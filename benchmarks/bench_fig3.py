@@ -1,0 +1,90 @@
+"""Regenerates Fig. 3: the ARP-view resource-consumption snapshot.
+
+Profiles the Original SIFT app (the version the paper's figure shows),
+renders the per-component current breakdown and the battery-life /
+detection-period slider sweep, and asserts the qualitative structure:
+compute plus BLE dominate the dynamic budget, and lifetime grows
+monotonically with the detection period.
+"""
+
+import math
+
+from repro.core.versions import DetectorVersion
+from repro.experiments.fig3 import (
+    format_fig3,
+    run_fig3,
+    run_grid_resource_sweep,
+)
+from repro.experiments.reporting import format_table
+
+from conftest import run_once
+
+
+def test_reproduce_fig3(benchmark, save_result):
+    result = run_once(benchmark, run_fig3)
+    save_result("fig3", format_fig3(result))
+
+    profile = result.profile
+    breakdown = profile.current_breakdown
+
+    # Components partition the average current.
+    assert sum(breakdown.values()) == abs(profile.average_current_ma) or (
+        abs(sum(breakdown.values()) - profile.average_current_ma) < 1e-12
+    )
+
+    # The libm build bills double-precision CPU work, and that work plus
+    # BLE reception dominate the dynamic budget.
+    top_two = {name for name, _ in result.top_consumers(2)}
+    assert any(name.startswith("cpu.double") for name in top_two)
+    assert "peripheral.ble_radio" in top_two
+
+    # The ARP-view slider: longer detection period, longer battery life.
+    periods = sorted(result.period_sweep)
+    lifetimes = [result.period_sweep[p] for p in periods]
+    assert lifetimes == sorted(lifetimes)
+    assert lifetimes[-1] > 1.5 * lifetimes[0]
+
+    # Static draws bound the slider's asymptote.
+    static = sum(v for k, v in breakdown.items() if k.startswith("static."))
+    asymptote = profile.battery.lifetime_days(static)
+    assert all(days < asymptote for days in lifetimes)
+
+
+def test_grid_resource_sweep(benchmark, save_result):
+    """The resource half of the grid-size trade-off (ARP-view slider)."""
+    rows = run_once(benchmark, run_grid_resource_sweep)
+    save_result(
+        "fig3_grid_resource_sweep",
+        format_table(
+            ["grid_n", "deployable", "det FRAM KB", "Mcyc/win", "days"],
+            [
+                [
+                    f"{row['grid_n']:g}",
+                    "yes" if row["deployable"] else "NO (array limit)",
+                    f"{row['detector_fram_kb']:.2f}",
+                    f"{row['mcycles_per_window']:.2f}",
+                    f"{row['lifetime_days']:.1f}",
+                ]
+                for row in rows
+            ],
+        ),
+    )
+    by_grid = {row["grid_n"]: row for row in rows}
+    # FRAM grows with n^2; the paper's n = 50 fits, n = 100 cannot deploy
+    # under the platform's array-size limit (Insight #1).
+    assert by_grid[50.0]["deployable"] == 1.0
+    assert by_grid[100.0]["deployable"] == 0.0
+    assert math.isnan(by_grid[100.0]["lifetime_days"])
+    assert by_grid[50.0]["detector_fram_kb"] > by_grid[10.0]["detector_fram_kb"]
+    assert by_grid[50.0]["lifetime_days"] <= by_grid[10.0]["lifetime_days"]
+
+
+def test_fig3_simplified_has_no_libm_components(benchmark, save_result):
+    result = run_once(
+        benchmark, lambda: run_fig3(version=DetectorVersion.SIMPLIFIED)
+    )
+    save_result("fig3_simplified", format_fig3(result))
+    assert not any(
+        "libm" in name or "double" in name
+        for name in result.profile.current_breakdown
+    )

@@ -1,0 +1,98 @@
+"""Robustness benches: channel loss, artifact load, alert debouncing.
+
+Operational studies extending the paper's evaluation -- see
+``repro.experiments.robustness`` for what each sweep models.
+"""
+
+import pytest
+
+from repro.experiments.pipeline import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.robustness import (
+    artifact_load_study,
+    channel_loss_study,
+    debounce_study,
+)
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(
+        n_subjects=6,
+        train_duration_s=300.0,
+        test_duration_s=120.0,
+        n_train_donors=3,
+        n_test_donors=2,
+    )
+
+
+def _table(rows, columns):
+    return format_table(
+        columns,
+        [
+            [
+                f"{row[c]:.4g}" if isinstance(row[c], float) else str(row[c])
+                for c in columns
+            ]
+            for row in rows
+        ],
+    )
+
+
+def test_channel_loss(benchmark, config, save_result):
+    rows = run_once(benchmark, lambda: channel_loss_study(config))
+    save_result(
+        "robustness_channel_loss",
+        _table(rows, ["loss_probability", "window_coverage", "accuracy_on_classified"]),
+    )
+    by_loss = {row["loss_probability"]: row for row in rows}
+    # Coverage falls roughly like (1-p)^2 (both halves must arrive)...
+    assert by_loss[0.0]["window_coverage"] == pytest.approx(1.0)
+    assert by_loss[0.4]["window_coverage"] < 0.6
+    # ...but accuracy on the windows that DO assemble barely moves.
+    assert (
+        by_loss[0.4]["accuracy_on_classified"]
+        > by_loss[0.0]["accuracy_on_classified"] - 0.1
+    )
+
+
+def test_artifact_load(benchmark, config, save_result):
+    rows = run_once(benchmark, lambda: artifact_load_study(config))
+    save_result(
+        "robustness_artifact_load",
+        _table(rows, ["artifact_rate_per_min", "accuracy", "fp_rate", "fn_rate"]),
+    )
+    by_rate = {row["artifact_rate_per_min"]: row for row in rows}
+    # Clean signals are easiest; heavy artifact load costs accuracy,
+    # mostly through false positives (genuine windows start looking odd).
+    assert by_rate[0.0]["accuracy"] >= by_rate[12.0]["accuracy"]
+    assert by_rate[12.0]["fp_rate"] >= by_rate[0.0]["fp_rate"]
+    # Even under heavy artifacts the detector stays useful.
+    assert by_rate[12.0]["accuracy"] > 0.6
+
+
+def test_debouncing(benchmark, config, save_result):
+    rows = run_once(benchmark, lambda: debounce_study(config))
+    save_result(
+        "robustness_debounce",
+        _table(
+            rows,
+            [
+                "votes_needed",
+                "vote_window",
+                "window_accuracy",
+                "false_episodes_per_run",
+                "attack_catch_rate",
+            ],
+        ),
+    )
+    by_k = {row["votes_needed"]: row for row in rows}
+    # Stricter voting cannot raise the false-episode rate...
+    assert (
+        by_k[3]["false_episodes_per_run"] <= by_k[1]["false_episodes_per_run"]
+    )
+    # ...and sustained attacks are still caught.
+    assert by_k[2]["attack_catch_rate"] >= 0.8
+    assert by_k[3]["attack_catch_rate"] >= 0.8

@@ -1,0 +1,57 @@
+"""Regenerates Table II: detection performance of the three versions.
+
+The full paper protocol -- 12 subjects, 20-minute training, 2-minute
+50 %-altered unseen test streams, both platforms -- runs once under the
+benchmark timer.  Shape assertions encode the paper's qualitative result:
+
+* Original and Simplified are comparable and both strong (>= ~85 %);
+* Reduced is several points worse;
+* the device (Amulet) rows track the reference (MATLAB) rows closely.
+"""
+
+import pytest
+
+from repro.core.versions import DetectorVersion
+from repro.experiments.table2 import (
+    format_table2,
+    format_table2_by_subject,
+    run_table2,
+)
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def table2_result(request):
+    """Computed lazily inside the benchmarked test, cached for asserts."""
+    return {}
+
+
+def test_reproduce_table2(benchmark, table2_result, save_result):
+    result = run_once(benchmark, run_table2)
+    table2_result["result"] = result
+    save_result("table2", format_table2(result))
+    save_result("table2_by_subject", format_table2_by_subject(result))
+
+    acc = {
+        (row.version, row.platform): row.report.accuracy for row in result.rows
+    }
+    # Original ~ Simplified, both strong.
+    for platform in ("amulet", "reference"):
+        assert acc[(DetectorVersion.ORIGINAL, platform)] > 0.85
+        assert acc[(DetectorVersion.SIMPLIFIED, platform)] > 0.85
+        gap = abs(
+            acc[(DetectorVersion.ORIGINAL, platform)]
+            - acc[(DetectorVersion.SIMPLIFIED, platform)]
+        )
+        assert gap < 0.05
+        # Reduced loses several points (paper: ~5-10).
+        assert (
+            acc[(DetectorVersion.REDUCED, platform)]
+            < acc[(DetectorVersion.SIMPLIFIED, platform)] - 0.01
+        )
+        assert acc[(DetectorVersion.REDUCED, platform)] > 0.75
+
+    # Device tracks reference per version.
+    for version in DetectorVersion:
+        assert abs(acc[(version, "amulet")] - acc[(version, "reference")]) < 0.05

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Adaptive security: the paper's Insight #4, running.
+
+The paper observes that flashing a single fixed SIFT version is
+impractical and envisions a decision engine that "automatically adjust[s]
+the security level by switching between different versions of one security
+app based on the available resources".  This example builds that engine:
+
+1. profile all three builds (accuracy + ARP resource profile);
+2. detect static constraints by pushing each build through the firmware
+   toolchain;
+3. simulate a full battery discharge under three policies and compare
+   lifetime vs time-weighted detection accuracy.
+
+Run:  python examples/adaptive_security.py
+"""
+
+import numpy as np
+
+from repro.adaptive import (
+    AccuracyFirstPolicy,
+    DecisionEngine,
+    LifetimeTargetPolicy,
+    SocThresholdPolicy,
+)
+from repro.adaptive.policy import VersionProfile
+from repro.attacks import AttackScenario, ReplacementAttack
+from repro.core import SIFTDetector
+from repro.core.versions import DetectorVersion
+from repro.signals import SyntheticFantasia
+from repro.sift_app import AmuletSIFTRunner
+
+
+def build_candidates() -> dict[DetectorVersion, VersionProfile]:
+    """Measure accuracy and resources for every build."""
+    data = SyntheticFantasia()
+    victim = data.subjects[0]
+    others = [s for s in data.subjects if s is not victim]
+    training_record = data.training_record(victim)
+    train_donors = [data.record(s, 120.0, "train") for s in others[:3]]
+    test_record = data.test_record(victim)
+    attack = ReplacementAttack([data.record(s, 120.0, "test") for s in others[3:6]])
+    stream = AttackScenario(attack).build(test_record, np.random.default_rng(42))
+
+    candidates = {}
+    for version in DetectorVersion:
+        detector = SIFTDetector(version=version).fit(training_record, train_donors)
+        runner = AmuletSIFTRunner(detector)
+        result = runner.run_stream(stream)
+        candidates[version] = VersionProfile(
+            version=version,
+            accuracy=result.report.accuracy,
+            profile=runner.profile(period_s=3.0),
+        )
+        print(f"  {version.value:10s} accuracy {100 * result.report.accuracy:5.1f}%  "
+              f"{candidates[version].average_current_ma:.4f} mA  "
+              f"{candidates[version].profile.lifetime_days:.0f} days standalone")
+    return candidates
+
+
+def main() -> None:
+    print("profiling the three builds...")
+    candidates = build_candidates()
+
+    policies = {
+        "accuracy-first (static best)": AccuracyFirstPolicy(),
+        "SoC thresholds (50% / 20%)": SocThresholdPolicy(),
+        "lifetime target (30 days)": LifetimeTargetPolicy(),
+    }
+    print("\npolicy comparison over one battery discharge:")
+    for name, policy in policies.items():
+        engine = DecisionEngine(candidates, policy)
+        timeline = engine.simulate_deployment(
+            step_h=6.0,
+            hours_needed=30 * 24.0 if "lifetime" in name else 0.0,
+        )
+        versions = " -> ".join(v.value for v in timeline.versions_used())
+        print(f"  {name:30s} lifetime {timeline.lifetime_days:5.1f} days | "
+              f"avg accuracy {100 * timeline.time_weighted_accuracy:5.2f}% | "
+              f"{timeline.n_switches} switches | {versions}")
+
+    print("\ntimeline of the SoC-threshold policy:")
+    engine = DecisionEngine(candidates, SocThresholdPolicy())
+    timeline = engine.simulate_deployment(step_h=24.0)
+    for point in timeline.points[::4]:
+        print(f"  day {point.time_h / 24:5.1f}  soc {100 * point.battery_soc:5.1f}%  "
+              f"running {point.version.value}")
+
+
+if __name__ == "__main__":
+    main()

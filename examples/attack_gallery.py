@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Attack gallery: SIFT against every class of sensor hijacking.
+
+The paper defines sensor-hijacking broadly -- "attacks that prevent
+sensors from accurately collecting or reporting their measurements" --
+and lists four compromise avenues.  This example pits one trained
+detector against four concrete attack behaviours and shows per-attack
+detection rates, probing the "attack-agnostic" claim:
+
+* replacement -- another person's ECG (the paper's evaluated attack);
+* replay      -- the victim's own ECG, recorded earlier;
+* interference -- EMI-style in-band sinusoidal injection (Ghost Talk);
+* morphology  -- time-shift plus amplitude warp of the live signal.
+
+Run:  python examples/attack_gallery.py
+"""
+
+import numpy as np
+
+from repro.attacks import (
+    AttackScenario,
+    InterferenceInjectionAttack,
+    MorphologyInjectionAttack,
+    ReplacementAttack,
+    ReplayAttack,
+)
+from repro.core import SIFTDetector
+from repro.signals import SyntheticFantasia
+
+
+def main() -> None:
+    data = SyntheticFantasia()
+    victim = data.subjects[0]
+    others = [s for s in data.subjects if s is not victim]
+
+    detector = SIFTDetector(version="simplified")
+    detector.fit(
+        data.training_record(victim),
+        [data.record(s, 120.0, "train") for s in others[:3]],
+    )
+
+    test_record = data.test_record(victim)
+    attacks = {
+        "replacement": ReplacementAttack(
+            [data.record(s, 120.0, "test") for s in others[3:6]]
+        ),
+        "replay": ReplayAttack(data.record(victim, 120.0, "extra")),
+        "interference (0.8 mV)": InterferenceInjectionAttack(amplitude=0.8),
+        "interference (4 mV)": InterferenceInjectionAttack(amplitude=4.0),
+        "morphology": MorphologyInjectionAttack(),
+    }
+
+    print(f"detector: simplified build trained for {victim.subject_id}\n")
+    print(f"{'attack':22s} {'FP':>7s} {'FN':>7s} {'Acc':>8s} {'F1':>8s}")
+    for name, attack in attacks.items():
+        scenario = AttackScenario(attack, window_s=3.0, altered_fraction=0.5)
+        stream = scenario.build(test_record, np.random.default_rng(1))
+        report = detector.evaluate(stream)
+        fp, fn, acc, f1 = report.as_percent_row()
+        print(f"{name:22s} {fp:6.2f}% {fn:6.2f}% {acc:7.2f}% {f1:7.2f}%")
+
+    print(
+        "\nTwo honest findings the sweep surfaces:\n"
+        "  * replay is hard -- the morphology is the victim's own, so only\n"
+        "    the broken beat alignment with the live ABP gives it away;\n"
+        "  * low-amplitude in-band interference is a blind spot: it leaves\n"
+        "    QRS detection (and hence the portrait's peaks) intact, so a\n"
+        "    detector trained only on replacement largely misses it until\n"
+        "    the injected amplitude rivals the R wave."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs the full 12-subject protocol (Table II), the resource profiling
+(Table III) and the ARP-view snapshot (Fig. 3), printing each next to the
+paper's reported values.  Expect a few minutes of runtime; pass --quick
+for a reduced cohort.
+
+Run:  python examples/reproduce_tables.py [--quick]
+"""
+
+import argparse
+import time
+
+from repro.core.versions import DetectorVersion
+from repro.experiments import (
+    ExperimentConfig,
+    format_fig3,
+    format_table2,
+    format_table3,
+    run_fig3,
+    run_table2,
+    run_table3,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced cohort for a fast pass"
+    )
+    args = parser.parse_args()
+    config = ExperimentConfig.quick() if args.quick else ExperimentConfig()
+
+    start = time.time()
+    print(format_table2(run_table2(config)))
+    print(f"\n[Table II regenerated in {time.time() - start:.0f} s]\n")
+
+    start = time.time()
+    result3 = run_table3(config)
+    print(format_table3(result3))
+    reduction = result3.lifetime_ratio(
+        DetectorVersion.ORIGINAL, DetectorVersion.REDUCED
+    )
+    print(f"\nReduced outlasts Original by {reduction:.1f}x "
+          f"(paper: {55 / 23:.1f}x)")
+    print(f"[Table III regenerated in {time.time() - start:.0f} s]\n")
+
+    start = time.time()
+    print(format_fig3(run_fig3(config)))
+    print(f"\n[Fig. 3 regenerated in {time.time() - start:.0f} s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs (which require ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-use-pep517`` take the legacy ``setup.py develop``
+path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

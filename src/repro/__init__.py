@@ -1,0 +1,51 @@
+"""repro: a full reproduction of "Deploying Data-Driven Security Solutions
+on Resource-Constrained Wearable IoT Systems" (Cai, Yun, Hester,
+Venkatasubramanian -- ICDCS 2017).
+
+The package implements the paper's contribution and every substrate it
+depends on:
+
+- :mod:`repro.core` -- SIFT, the ECG sensor-hijacking detector (portraits,
+  the three feature-set versions, per-user SVM training, alerts);
+- :mod:`repro.signals` -- a synthetic cardiac-process substrate standing in
+  for the PhysioBank Fantasia records (coupled ECG + ABP generation,
+  peak detection, the 12-subject cohort);
+- :mod:`repro.attacks` -- sensor-hijacking attack models and the paper's
+  evaluation scenario;
+- :mod:`repro.ml` -- from-scratch SVM (SMO), baselines, metrics, and
+  fixed-point model export;
+- :mod:`repro.amulet` -- the Amulet platform simulator (MSP430 model, QM
+  state machines, AmuletOS, firmware toolchain, resource profiler);
+- :mod:`repro.sift_app` -- the detector as a three-state Amulet app;
+- :mod:`repro.wiot` -- the sensors -> base station -> sink environment;
+- :mod:`repro.adaptive` -- the adaptive-security decision engine
+  (paper Insight #4, implemented);
+- :mod:`repro.experiments` -- harnesses regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro.signals import SyntheticFantasia
+    from repro.attacks import AttackScenario, ReplacementAttack
+    from repro.core import SIFTDetector
+
+    data = SyntheticFantasia()
+    victim, *others = data.subjects
+    detector = SIFTDetector(version="simplified")
+    detector.fit(
+        data.training_record(victim),
+        [data.record(s, 120.0) for s in others[:3]],
+    )
+    stream = AttackScenario(
+        ReplacementAttack([data.record(others[3], 120.0, "test")])
+    ).build(data.test_record(victim), np.random.default_rng(0))
+    print(detector.evaluate(stream))
+"""
+
+from repro.core import SIFTDetector
+from repro.core.versions import DetectorVersion
+
+__version__ = "1.0.0"
+
+__all__ = ["DetectorVersion", "SIFTDetector", "__version__"]

@@ -1,0 +1,47 @@
+"""Adaptive security (paper Insight #4, implemented).
+
+The paper envisions "an adaptive security model with the ability to
+automatically adjust the security level by switching between different
+versions of one security app based on the available resources", driven by
+a *decision engine* that observes two kinds of constraints:
+
+- **static constraints** -- compile-time facts (memory, available
+  libraries/APIs): :class:`~repro.adaptive.constraints.StaticConstraints`,
+  derived from the firmware toolchain;
+- **dynamic constraints** -- run-time facts (battery, CPU, memory):
+  :class:`~repro.adaptive.constraints.DynamicConstraints`.
+
+:class:`~repro.adaptive.engine.DecisionEngine` answers the paper's two
+open questions concretely: constraints are detected from the toolchain's
+static checks and the platform's battery/CPU state, and a pluggable
+:class:`~repro.adaptive.policy.SwitchingPolicy` maps the detected state to
+the detector version to run.
+"""
+
+from repro.adaptive.constraints import (
+    DynamicConstraints,
+    StaticConstraints,
+    detect_static_constraints,
+)
+from repro.adaptive.engine import AdaptiveTimeline, DecisionEngine, TimelinePoint
+from repro.adaptive.hysteresis import HysteresisPolicy
+from repro.adaptive.policy import (
+    AccuracyFirstPolicy,
+    LifetimeTargetPolicy,
+    SocThresholdPolicy,
+    SwitchingPolicy,
+)
+
+__all__ = [
+    "AccuracyFirstPolicy",
+    "AdaptiveTimeline",
+    "DecisionEngine",
+    "DynamicConstraints",
+    "HysteresisPolicy",
+    "LifetimeTargetPolicy",
+    "SocThresholdPolicy",
+    "StaticConstraints",
+    "SwitchingPolicy",
+    "TimelinePoint",
+    "detect_static_constraints",
+]

@@ -1,0 +1,105 @@
+"""Resource constraints, static and dynamic.
+
+The paper's adaptive model "considers two types of resource constraints:
+1) static constraints, which exist[] in the compile time, such as the
+memory, available library, available API ...  2) dynamic constraints,
+which exist[] in the runtime, such as the memory, CPU cycle, battery power
+...".  Static constraints are *detected* here by actually running each
+candidate build through the firmware toolchain -- a version that fails its
+static checks (doesn't fit, needs an unavailable library) is simply not
+deployable on this platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.amulet.firmware import FirmwareToolchain, StaticCheckError
+from repro.amulet.qm import QMApp
+from repro.core.versions import DetectorVersion
+
+__all__ = ["DynamicConstraints", "StaticConstraints", "detect_static_constraints"]
+
+
+@dataclass(frozen=True)
+class StaticConstraints:
+    """Compile-time feasibility of each candidate build.
+
+    Attributes
+    ----------
+    deployable:
+        Versions whose firmware image passed all static checks.
+    rejections:
+        For non-deployable versions, the toolchain's reason.
+    fram_headroom_bytes / sram_headroom_bytes:
+        Remaining device memory for the *largest* deployable image.
+    """
+
+    deployable: frozenset[DetectorVersion]
+    rejections: dict[DetectorVersion, str]
+    fram_headroom_bytes: dict[DetectorVersion, int]
+    sram_headroom_bytes: dict[DetectorVersion, int]
+
+    def is_deployable(self, version: DetectorVersion) -> bool:
+        """Did this version pass every compile-time check?"""
+        return version in self.deployable
+
+
+@dataclass(frozen=True)
+class DynamicConstraints:
+    """A runtime resource snapshot.
+
+    Attributes
+    ----------
+    battery_soc:
+        State of charge in [0, 1].
+    cpu_load:
+        Fraction of CPU time already committed to other apps, in [0, 1).
+    free_fram_bytes / free_sram_bytes:
+        Memory currently available for app switching.
+    hours_needed:
+        How much longer the wearer needs the device to last (the
+        mission-time input to lifetime-target policies).
+    """
+
+    battery_soc: float
+    cpu_load: float = 0.0
+    free_fram_bytes: int = 128 * 1024
+    free_sram_bytes: int = 2 * 1024
+    hours_needed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.battery_soc <= 1.0:
+            raise ValueError("battery_soc must be in [0, 1]")
+        if not 0.0 <= self.cpu_load < 1.0:
+            raise ValueError("cpu_load must be in [0, 1)")
+        if self.hours_needed < 0:
+            raise ValueError("hours_needed must be non-negative")
+
+
+def detect_static_constraints(
+    apps: dict[DetectorVersion, QMApp],
+    toolchain: FirmwareToolchain | None = None,
+) -> StaticConstraints:
+    """Run every candidate build through the toolchain's static checks."""
+    toolchain = toolchain or FirmwareToolchain()
+    deployable: set[DetectorVersion] = set()
+    rejections: dict[DetectorVersion, str] = {}
+    fram_headroom: dict[DetectorVersion, int] = {}
+    sram_headroom: dict[DetectorVersion, int] = {}
+    for version, app in apps.items():
+        try:
+            image = toolchain.build([app])
+        except StaticCheckError as error:
+            rejections[version] = str(error)
+            continue
+        deployable.add(version)
+        mcu = toolchain.hardware.mcu
+        fram_headroom[version] = mcu.fram_bytes - image.total_fram_bytes
+        sram_headroom[version] = mcu.sram_bytes - image.total_sram_bytes
+    return StaticConstraints(
+        deployable=frozenset(deployable),
+        rejections=rejections,
+        fram_headroom_bytes=fram_headroom,
+        sram_headroom_bytes=sram_headroom,
+    )

@@ -1,0 +1,180 @@
+"""The adaptive-security decision engine.
+
+"The core of this model is a *decision engine*, which can automatically
+detect any types of constraints during compile time and runtime, and
+decide which version of security app to run based on the detected resource
+constraints."  The engine here does both: static constraints come from the
+firmware toolchain at construction, dynamic constraints are sampled each
+decision epoch, and the configured policy picks the build.
+:meth:`DecisionEngine.simulate_deployment` plays the whole battery life
+forward, producing the timeline the adaptive-security ablation plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adaptive.constraints import (
+    DynamicConstraints,
+    StaticConstraints,
+    detect_static_constraints,
+)
+from repro.adaptive.policy import SwitchingPolicy, VersionProfile
+from repro.amulet.firmware import FirmwareToolchain
+from repro.core.versions import DetectorVersion
+from repro.sift_app.app import SIFTDetectorApp
+
+__all__ = ["AdaptiveTimeline", "DecisionEngine", "TimelinePoint"]
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One decision epoch of a simulated deployment."""
+
+    time_h: float
+    battery_soc: float
+    version: DetectorVersion
+    accuracy: float
+    switched: bool
+
+
+@dataclass(frozen=True)
+class AdaptiveTimeline:
+    """A full simulated deployment."""
+
+    points: tuple[TimelinePoint, ...]
+    lifetime_h: float
+
+    @property
+    def lifetime_days(self) -> float:
+        return self.lifetime_h / 24.0
+
+    @property
+    def n_switches(self) -> int:
+        return sum(1 for p in self.points if p.switched)
+
+    @property
+    def time_weighted_accuracy(self) -> float:
+        """Average detection accuracy over the deployment's lifetime."""
+        if len(self.points) < 1 or self.lifetime_h <= 0:
+            return 0.0
+        total = 0.0
+        for i, point in enumerate(self.points):
+            end = (
+                self.points[i + 1].time_h
+                if i + 1 < len(self.points)
+                else self.lifetime_h
+            )
+            total += point.accuracy * max(0.0, end - point.time_h)
+        return total / self.lifetime_h
+
+    def versions_used(self) -> list[DetectorVersion]:
+        """The distinct versions in running order (consecutive dedup)."""
+        seen: list[DetectorVersion] = []
+        for point in self.points:
+            if not seen or seen[-1] is not point.version:
+                seen.append(point.version)
+        return seen
+
+
+class DecisionEngine:
+    """Detect constraints and drive version switching.
+
+    Parameters
+    ----------
+    candidates:
+        Per-version knowledge: accuracy plus the ARP resource profile.
+    policy:
+        The switching policy.
+    apps:
+        The candidate QM apps, used to detect static constraints with the
+        real toolchain; when omitted, fresh apps with dummy models are not
+        built and all candidate versions are assumed deployable.
+    toolchain:
+        Toolchain for static-constraint detection.
+    """
+
+    def __init__(
+        self,
+        candidates: dict[DetectorVersion, VersionProfile],
+        policy: SwitchingPolicy,
+        apps: dict[DetectorVersion, SIFTDetectorApp] | None = None,
+        toolchain: FirmwareToolchain | None = None,
+    ) -> None:
+        if not candidates:
+            raise ValueError("the engine needs at least one candidate version")
+        self.candidates = dict(candidates)
+        self.policy = policy
+        if apps is not None:
+            self.static = detect_static_constraints(apps, toolchain)
+        else:
+            self.static = StaticConstraints(
+                deployable=frozenset(candidates),
+                rejections={},
+                fram_headroom_bytes={},
+                sram_headroom_bytes={},
+            )
+
+    def decide(self, dynamic: DynamicConstraints) -> DetectorVersion:
+        """One decision: the version to run under the current constraints."""
+        return self.policy.select(self.candidates, self.static, dynamic)
+
+    def simulate_deployment(
+        self,
+        step_h: float = 6.0,
+        hours_needed: float = 0.0,
+        max_hours: float = 24.0 * 365,
+    ) -> AdaptiveTimeline:
+        """Play a full battery discharge under the engine's control.
+
+        Starting from a full battery, every ``step_h`` hours the engine
+        re-detects dynamic constraints and (possibly) switches versions;
+        charge drains at the running version's profiled average current.
+        The simulation ends when the battery empties or ``max_hours``
+        elapses.
+        """
+        if step_h <= 0:
+            raise ValueError("step_h must be positive")
+        # All candidates share one battery model (they describe the same
+        # physical device).
+        battery = next(iter(self.candidates.values())).profile.battery
+        usable_mah = battery.usable_mah
+
+        points: list[TimelinePoint] = []
+        soc = 1.0
+        time_h = 0.0
+        current_version: DetectorVersion | None = None
+        while soc > 0.0 and time_h < max_hours:
+            remaining_mission = max(0.0, hours_needed - time_h)
+            dynamic = DynamicConstraints(
+                battery_soc=soc, hours_needed=remaining_mission
+            )
+            version = self.decide(dynamic)
+            switched = current_version is not None and version is not current_version
+            current_version = version
+            candidate = self.candidates[version]
+            points.append(
+                TimelinePoint(
+                    time_h=time_h,
+                    battery_soc=soc,
+                    version=version,
+                    accuracy=candidate.accuracy,
+                    switched=switched,
+                )
+            )
+            drain_ma = (
+                candidate.average_current_ma + battery.self_discharge_current_ma
+            )
+            step_drain = drain_ma * step_h
+            if step_drain >= soc * usable_mah:
+                # Battery empties mid-step; end the timeline precisely.
+                time_h += (soc * usable_mah) / drain_ma if drain_ma > 0 else step_h
+                soc = 0.0
+                break
+            soc -= step_drain / usable_mah
+            time_h += step_h
+            # Time-aware policies (e.g. hysteresis) track the clock.
+            advance = getattr(self.policy, "advance_clock", None)
+            if advance is not None:
+                advance(step_h)
+        return AdaptiveTimeline(points=tuple(points), lifetime_h=time_h)

@@ -1,0 +1,84 @@
+"""Switching hysteresis: don't thrash between builds.
+
+On the real device a version switch is not free -- the paper notes "the
+Amulet device has to be flashed every time when switching to another
+version of SIFT".  Even with dynamic loading, each switch costs energy and
+a detection gap.  :class:`HysteresisPolicy` wraps any base policy with a
+minimum dwell time: once a version is selected it stays in force until the
+dwell elapses, unless the base policy wants to step *down* to a strictly
+lighter build (battery emergencies never wait).
+"""
+
+from __future__ import annotations
+
+from repro.adaptive.constraints import DynamicConstraints, StaticConstraints
+from repro.adaptive.policy import SwitchingPolicy, VersionProfile
+from repro.core.versions import DetectorVersion
+
+__all__ = ["HysteresisPolicy"]
+
+#: Heaviness order used to decide what counts as an emergency step-down.
+_WEIGHT = {
+    DetectorVersion.ORIGINAL: 2,
+    DetectorVersion.SIMPLIFIED: 1,
+    DetectorVersion.REDUCED: 0,
+}
+
+
+class HysteresisPolicy(SwitchingPolicy):
+    """Minimum-dwell wrapper around another switching policy.
+
+    Parameters
+    ----------
+    base:
+        The wrapped policy.
+    min_dwell_h:
+        Hours a selection stays pinned before an *upward* (heavier or
+        equal-weight lateral) switch is allowed.
+    """
+
+    def __init__(self, base: SwitchingPolicy, min_dwell_h: float = 24.0) -> None:
+        if min_dwell_h < 0:
+            raise ValueError("min_dwell_h must be non-negative")
+        self.base = base
+        self.min_dwell_h = float(min_dwell_h)
+        self._current: DetectorVersion | None = None
+        self._selected_at_h: float = 0.0
+        self._clock_h: float = 0.0
+        self.suppressed_switches = 0
+
+    def advance_clock(self, hours: float) -> None:
+        """Tell the policy how much deployment time has passed."""
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        self._clock_h += hours
+
+    def reset(self) -> None:
+        """Forget the pinned selection and restart the dwell clock."""
+        self._current = None
+        self._selected_at_h = 0.0
+        self._clock_h = 0.0
+        self.suppressed_switches = 0
+
+    def select(
+        self,
+        candidates: dict[DetectorVersion, VersionProfile],
+        static: StaticConstraints,
+        dynamic: DynamicConstraints,
+    ) -> DetectorVersion:
+        wanted = self.base.select(candidates, static, dynamic)
+        if self._current is None:
+            self._current = wanted
+            self._selected_at_h = self._clock_h
+            return wanted
+        if wanted is self._current:
+            return wanted
+
+        dwell_elapsed = self._clock_h - self._selected_at_h >= self.min_dwell_h
+        stepping_down = _WEIGHT[wanted] < _WEIGHT[self._current]
+        if stepping_down or dwell_elapsed:
+            self._current = wanted
+            self._selected_at_h = self._clock_h
+            return wanted
+        self.suppressed_switches += 1
+        return self._current

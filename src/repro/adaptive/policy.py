@@ -1,0 +1,157 @@
+"""Version-switching policies for the adaptive decision engine.
+
+A policy answers the paper's second open question -- "based on the
+detected resource constraints, how to decide which version of the security
+app to switch to?" -- given each deployable version's resource profile and
+detection accuracy.  Three reference policies:
+
+* :class:`AccuracyFirstPolicy` -- always the most accurate deployable
+  version (the non-adaptive baseline);
+* :class:`SocThresholdPolicy` -- step down versions at battery-charge
+  thresholds;
+* :class:`LifetimeTargetPolicy` -- the heaviest version whose projected
+  remaining lifetime still covers the wearer's mission time.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.adaptive.constraints import DynamicConstraints, StaticConstraints
+from repro.amulet.profiler import ResourceProfile
+from repro.core.versions import DetectorVersion
+
+__all__ = [
+    "AccuracyFirstPolicy",
+    "LifetimeTargetPolicy",
+    "SocThresholdPolicy",
+    "SwitchingPolicy",
+    "VersionProfile",
+]
+
+
+@dataclass(frozen=True)
+class VersionProfile:
+    """What the engine knows about one candidate version."""
+
+    version: DetectorVersion
+    accuracy: float
+    profile: ResourceProfile
+
+    @property
+    def average_current_ma(self) -> float:
+        return self.profile.average_current_ma
+
+
+class SwitchingPolicy(abc.ABC):
+    """Maps (static, dynamic) constraints to the version to run."""
+
+    @abc.abstractmethod
+    def select(
+        self,
+        candidates: dict[DetectorVersion, VersionProfile],
+        static: StaticConstraints,
+        dynamic: DynamicConstraints,
+    ) -> DetectorVersion:
+        """Choose among deployable candidates; raise if none exists."""
+
+    @staticmethod
+    def _deployable(
+        candidates: dict[DetectorVersion, VersionProfile],
+        static: StaticConstraints,
+    ) -> list[VersionProfile]:
+        usable = [
+            candidate
+            for version, candidate in candidates.items()
+            if static.is_deployable(version)
+        ]
+        if not usable:
+            raise RuntimeError(
+                "no detector version passes the platform's static checks: "
+                f"{static.rejections}"
+            )
+        return usable
+
+
+class AccuracyFirstPolicy(SwitchingPolicy):
+    """Ignore dynamic constraints; run the most accurate deployable build."""
+
+    def select(
+        self,
+        candidates: dict[DetectorVersion, VersionProfile],
+        static: StaticConstraints,
+        dynamic: DynamicConstraints,
+    ) -> DetectorVersion:
+        usable = self._deployable(candidates, static)
+        return max(usable, key=lambda c: c.accuracy).version
+
+
+class SocThresholdPolicy(SwitchingPolicy):
+    """Step down to lighter versions as the battery drains.
+
+    Parameters
+    ----------
+    step_down_soc:
+        ``{version: minimum state-of-charge}``.  At each decision point
+    the policy picks the most accurate deployable version whose minimum
+    SoC is at or below the current charge.
+    """
+
+    def __init__(
+        self, step_down_soc: dict[DetectorVersion, float] | None = None
+    ) -> None:
+        self.step_down_soc = step_down_soc or {
+            DetectorVersion.ORIGINAL: 0.5,
+            DetectorVersion.SIMPLIFIED: 0.2,
+            DetectorVersion.REDUCED: 0.0,
+        }
+        for version, soc in self.step_down_soc.items():
+            if not 0.0 <= soc <= 1.0:
+                raise ValueError(f"threshold for {version} must be in [0, 1]")
+
+    def select(
+        self,
+        candidates: dict[DetectorVersion, VersionProfile],
+        static: StaticConstraints,
+        dynamic: DynamicConstraints,
+    ) -> DetectorVersion:
+        usable = self._deployable(candidates, static)
+        allowed = [
+            c
+            for c in usable
+            if self.step_down_soc.get(c.version, 0.0) <= dynamic.battery_soc
+        ]
+        pool = allowed or usable  # never leave the user unprotected
+        return max(pool, key=lambda c: c.accuracy).version
+
+
+class LifetimeTargetPolicy(SwitchingPolicy):
+    """Heaviest version whose projected lifetime covers the mission time.
+
+    The projection uses each version's profiled average current against
+    the battery's *remaining* charge; if even the lightest version cannot
+    cover ``dynamic.hours_needed``, the lightest one is selected (degrade
+    as far as possible, never abandon detection).
+    """
+
+    def select(
+        self,
+        candidates: dict[DetectorVersion, VersionProfile],
+        static: StaticConstraints,
+        dynamic: DynamicConstraints,
+    ) -> DetectorVersion:
+        usable = self._deployable(candidates, static)
+        feasible = []
+        for candidate in usable:
+            battery = candidate.profile.battery
+            remaining_mah = battery.usable_mah * dynamic.battery_soc
+            current = (
+                candidate.average_current_ma + battery.self_discharge_current_ma
+            )
+            hours = remaining_mah / current if current > 0 else float("inf")
+            if hours >= dynamic.hours_needed:
+                feasible.append(candidate)
+        if feasible:
+            return max(feasible, key=lambda c: c.accuracy).version
+        return min(usable, key=lambda c: c.average_current_ma).version

@@ -1,0 +1,90 @@
+"""Amulet platform simulator.
+
+A behavioural model of the Amulet wearable base station (Hester et al.,
+SenSys'16) detailed enough to reproduce the paper's resource results:
+
+- :mod:`~repro.amulet.hardware` -- MSP430FR5989 micro-controller model
+  (2 KB SRAM, 128 KB FRAM), peripherals and their current draws;
+- :mod:`~repro.amulet.restricted` -- the restricted execution environment
+  apps compute in: operation counting for the energy model, a libm gate
+  (the Simplified/Reduced builds must not call ``sqrt``/``atan``/``exp``),
+  and single-precision arithmetic (the paper stores signals in C ``float``
+  arrays);
+- :mod:`~repro.amulet.qm` -- the QM event-driven state-machine framework
+  AmuletOS builds on (run-to-completion, no threads);
+- :mod:`~repro.amulet.amulet_os` -- AmuletOS: app isolation, event loop,
+  system services (including the string<->float conversions the authors
+  had to write themselves, Insight #2);
+- :mod:`~repro.amulet.firmware` -- the firmware toolchain: static checks
+  (no 2-D arrays, array-size limits, libm gate) and the code/data memory
+  layout;
+- :mod:`~repro.amulet.profiler` -- the Amulet Resource Profiler (ARP):
+  parameterized energy model and battery-lifetime projection;
+- :mod:`~repro.amulet.battery`, :mod:`~repro.amulet.display` -- the
+  110 mAh battery and the LED/LCD display.
+"""
+
+from repro.amulet.amulet_os import AmuletOS, OSServices
+from repro.amulet.arpview import render_comparison, render_memory_map, render_profile
+from repro.amulet.battery import Battery
+from repro.amulet.debug import DebugTracer, DisplayRecorder
+from repro.amulet.display import Display
+from repro.amulet.sensors import (
+    Accelerometer,
+    InternalSensor,
+    LightSensor,
+    SensorBatch,
+    TemperatureSensor,
+)
+from repro.amulet.firmware import (
+    AppBuild,
+    FirmwareImage,
+    FirmwareToolchain,
+    StaticCheckError,
+)
+from repro.amulet.flash import FlashManager, FlashOperation
+from repro.amulet.hardware import MSP430FR5989, AmuletHardware, Peripheral
+from repro.amulet.profiler import AmuletResourceProfiler, ResourceProfile
+from repro.amulet.qm import Event, QMApp, State, StateMachine
+from repro.amulet.restricted import (
+    CycleCostModel,
+    OpCounter,
+    RestrictedEnvironmentError,
+    RestrictedMath,
+)
+
+__all__ = [
+    "Accelerometer",
+    "AmuletHardware",
+    "AmuletOS",
+    "AmuletResourceProfiler",
+    "AppBuild",
+    "Battery",
+    "CycleCostModel",
+    "DebugTracer",
+    "Display",
+    "DisplayRecorder",
+    "Event",
+    "FirmwareImage",
+    "FirmwareToolchain",
+    "FlashManager",
+    "FlashOperation",
+    "InternalSensor",
+    "LightSensor",
+    "MSP430FR5989",
+    "OSServices",
+    "OpCounter",
+    "Peripheral",
+    "QMApp",
+    "ResourceProfile",
+    "RestrictedEnvironmentError",
+    "RestrictedMath",
+    "SensorBatch",
+    "State",
+    "StateMachine",
+    "StaticCheckError",
+    "TemperatureSensor",
+    "render_comparison",
+    "render_memory_map",
+    "render_profile",
+]

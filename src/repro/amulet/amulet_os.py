@@ -1,0 +1,271 @@
+"""AmuletOS: app isolation, event loop and system services.
+
+The OS model matches the paper's description: applications are isolated
+state machines ("no processes or threads, all application code runs to
+completion"), events are delivered one at a time from a queue, and apps
+reach hardware only through system services.  Each installed app gets its
+own operation counter and restricted math environment -- one app can
+neither read another's memory nor consume its budget, which is the
+isolation property AmuletOS provides on the real device.
+
+The services deliberately include the two APIs the authors report having
+had to write themselves (Insight #2): ``float_to_string`` and
+``string_to_float``, implemented here with integer arithmetic exactly as
+one would on the device.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.amulet.display import Display
+from repro.amulet.firmware import AppBuild, FirmwareImage
+from repro.amulet.hardware import AmuletHardware
+from repro.amulet.qm import Event, QMApp
+from repro.amulet.restricted import CycleCostModel, OpCounter, RestrictedMath
+
+__all__ = ["AmuletOS", "OSServices", "UsageLedger"]
+
+#: Fixed scheduler overhead charged per dispatched event (queue pop,
+#: dispatch table lookup, state bookkeeping).
+_DISPATCH_OVERHEAD_INT_OPS = 160
+
+
+@dataclass
+class UsageLedger:
+    """Everything the resource profiler needs about a run."""
+
+    cycles_by_app: dict[str, int] = field(default_factory=dict)
+    ops_by_app: dict[str, OpCounter] = field(default_factory=dict)
+    peripheral_events: dict[str, int] = field(default_factory=dict)
+    dispatches: int = 0
+    sim_time_s: float = 0.0
+
+    def charge_cycles(self, app_name: str, cycles: int) -> None:
+        self.cycles_by_app[app_name] = self.cycles_by_app.get(app_name, 0) + cycles
+
+    def charge_peripheral(self, name: str, n: int = 1) -> None:
+        self.peripheral_events[name] = self.peripheral_events.get(name, 0) + n
+
+    def merge_ops(self, app_name: str, ops: OpCounter) -> None:
+        self.ops_by_app.setdefault(app_name, OpCounter()).merge(ops)
+
+    def total_cycles(self) -> int:
+        return sum(self.cycles_by_app.values())
+
+
+@dataclass
+class _AppContainer:
+    """Per-app isolation context."""
+
+    build: AppBuild
+    counter: OpCounter
+    math: RestrictedMath
+    mailbox: deque = field(default_factory=deque)
+
+    @property
+    def app(self) -> QMApp:
+        return self.build.app
+
+
+class OSServices:
+    """The system-call surface handed to one app's handlers."""
+
+    def __init__(self, os: "AmuletOS", container: _AppContainer) -> None:
+        self._os = os
+        self._container = container
+        #: Restricted math environment (this app's counter + libm gate).
+        self.math = container.math
+
+    # -- display & alerts -------------------------------------------------
+
+    def display_write(self, line: int, text: str) -> None:
+        """Write one display line (one refresh charged)."""
+        self._os.display.write_line(line, text)
+        self._os.ledger.charge_peripheral("display")
+
+    def display_scroll(self, text: str) -> None:
+        """Scroll a message onto the display (one refresh charged)."""
+        self._os.display.scroll_message(text)
+        self._os.ledger.charge_peripheral("display")
+
+    def alert(self, message: str) -> None:
+        """Raise a user-visible alert: display line plus a haptic buzz."""
+        self._os.display.scroll_message(f"! {message}")
+        self._os.ledger.charge_peripheral("display")
+        self._os.ledger.charge_peripheral("haptic")
+
+    # -- data & events -----------------------------------------------------
+
+    def fetch_window(self) -> Any:
+        """Fetch the next pre-stored / received data snippet, or ``None``.
+
+        The paper pre-stores ECG and ABP snippets (and their peak indexes)
+        in memory; at run time the same mailbox is fed by BLE reception.
+        """
+        if not self._container.mailbox:
+            return None
+        return self._container.mailbox.popleft()
+
+    def post(self, signal: str, payload: Any = None) -> None:
+        """Enqueue an event to this app (QM self-posting)."""
+        self._os.post(self._container.app.name, Event(signal, payload))
+
+    def time_s(self) -> float:
+        """Current simulated time in seconds."""
+        return self._os.ledger.sim_time_s
+
+    # -- the hand-written conversion APIs (Insight #2) ---------------------
+
+    def float_to_string(self, value: float, decimals: int = 2) -> str:
+        """Format a float with integer arithmetic only.
+
+        Rounds half away from zero at the requested number of decimals,
+        like the device implementation built on integer divide/modulo.
+        """
+        if decimals < 0 or decimals > 7:
+            raise ValueError("decimals must be in [0, 7] for 32-bit floats")
+        math = self.math
+        scale = 10**decimals
+        negative = value < 0
+        magnitude = -value if negative else value
+        scaled = int(magnitude * scale + 0.5)
+        math.counter.charge("float_mul", 1)
+        math.counter.charge("int_op", 4)
+        int_part, frac_part = divmod(scaled, scale)
+        math.counter.charge("int_div", 1)
+        digits = str(int_part)
+        math.counter.charge("int_div", max(len(digits) - 1, 0))
+        if decimals == 0:
+            text = digits
+        else:
+            frac_digits = str(frac_part).rjust(decimals, "0")
+            math.counter.charge("int_div", decimals)
+            text = f"{digits}.{frac_digits}"
+        return f"-{text}" if negative else text
+
+    def string_to_float(self, text: str) -> float:
+        """Parse a decimal string with integer arithmetic only."""
+        stripped = text.strip()
+        if not stripped:
+            raise ValueError("cannot parse an empty string")
+        negative = stripped.startswith("-")
+        if stripped[0] in "+-":
+            stripped = stripped[1:]
+        if not stripped or stripped == ".":
+            raise ValueError(f"malformed number: {text!r}")
+        int_text, _, frac_text = stripped.partition(".")
+        for part in (int_text, frac_text):
+            if part and not part.isdigit():
+                raise ValueError(f"malformed number: {text!r}")
+        math = self.math
+        value = 0
+        for ch in int_text:
+            value = value * 10 + (ord(ch) - ord("0"))
+            math.counter.charge("int_mul", 1)
+            math.counter.charge("int_op", 2)
+        frac = 0
+        for ch in frac_text:
+            frac = frac * 10 + (ord(ch) - ord("0"))
+            math.counter.charge("int_mul", 1)
+            math.counter.charge("int_op", 2)
+        result = float(value) + (float(frac) / (10 ** len(frac_text)) if frac_text else 0.0)
+        math.counter.charge("float_add", 1)
+        math.counter.charge("float_div", 1)
+        return -result if negative else result
+
+
+class AmuletOS:
+    """The operating system: installs a firmware image and runs events.
+
+    Parameters
+    ----------
+    image:
+        A linked :class:`~repro.amulet.firmware.FirmwareImage`.
+    hardware:
+        The device; defaults to the image's hardware.
+    cost_model:
+        Cycle costs used to advance simulated time and fill the ledger.
+    """
+
+    def __init__(
+        self,
+        image: FirmwareImage,
+        hardware: AmuletHardware | None = None,
+        cost_model: CycleCostModel | None = None,
+    ) -> None:
+        self.image = image
+        self.hardware = hardware or image.hardware
+        self.cost_model = cost_model or CycleCostModel()
+        self.display = Display()
+        self.ledger = UsageLedger()
+        self._queue: deque[tuple[str, Event]] = deque()
+        self._containers: dict[str, _AppContainer] = {}
+        for build in image.builds:
+            self._install(build)
+
+    def _install(self, build: AppBuild) -> None:
+        counter = OpCounter()
+        allow_libm = build.app.uses_libm() and self.image.links_libm
+        container = _AppContainer(
+            build=build,
+            counter=counter,
+            math=RestrictedMath(counter=counter, allow_libm=allow_libm),
+        )
+        self._containers[build.name] = container
+        build.app.services = OSServices(self, container)
+        build.app.start()
+
+    # -- event plumbing ----------------------------------------------------
+
+    def container(self, app_name: str) -> _AppContainer:
+        """The isolation container of an installed app (KeyError if absent)."""
+        try:
+            return self._containers[app_name]
+        except KeyError:
+            raise KeyError(f"no installed app named {app_name!r}") from None
+
+    def post(self, app_name: str, event: Event) -> None:
+        """Enqueue an event for an installed app."""
+        self.container(app_name)  # validate target
+        self._queue.append((app_name, event))
+
+    def deliver_sensor_window(self, app_name: str, payload: Any) -> None:
+        """Model BLE reception of one sensor snippet for an app."""
+        self.container(app_name).mailbox.append(payload)
+        self.ledger.charge_peripheral("ble_radio")
+        self.post(app_name, Event("SENSOR_DATA"))
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Dispatch one queued event; returns ``False`` when idle."""
+        if not self._queue:
+            return False
+        app_name, event = self._queue.popleft()
+        container = self._containers[app_name]
+        container.counter.reset()
+        container.counter.charge("int_op", _DISPATCH_OVERHEAD_INT_OPS)
+        container.app.dispatch(event)
+        cycles = self.cost_model.cycles_for(container.counter)
+        self.ledger.charge_cycles(app_name, cycles)
+        self.ledger.merge_ops(app_name, container.counter)
+        self.ledger.dispatches += 1
+        self.ledger.sim_time_s += self.hardware.mcu.cycles_to_seconds(cycles)
+        return True
+
+    def run_until_idle(self, max_dispatches: int = 100_000) -> int:
+        """Dispatch until the queue drains; returns the dispatch count."""
+        dispatched = 0
+        while self.step():
+            dispatched += 1
+            if dispatched > max_dispatches:
+                raise RuntimeError(
+                    f"event queue did not drain within {max_dispatches} "
+                    "dispatches; suspected self-posting loop"
+                )
+        return dispatched

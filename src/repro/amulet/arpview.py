@@ -1,0 +1,132 @@
+"""ARP-view: the Amulet Resource Profiler's developer-facing front end.
+
+"ARP-view presents developers a graphical view of the resource profile and
+sliders that allow them to see the battery-life impact when they adjust
+application parameters."  This module renders that view as text: the
+memory map, the energy breakdown, the battery-life sliders, and a
+side-by-side comparison of several builds -- the artifact the paper's
+Fig. 3 is a screenshot of.
+"""
+
+from __future__ import annotations
+
+from repro.amulet.firmware import FirmwareImage
+from repro.amulet.profiler import ResourceProfile
+
+__all__ = ["render_comparison", "render_memory_map", "render_profile"]
+
+
+def _bar(value: float, peak: float, width: int = 32) -> str:
+    filled = 0 if peak <= 0 else int(round(width * value / peak))
+    return "#" * filled
+
+
+def render_memory_map(image: FirmwareImage) -> str:
+    """The firmware layout: every segment with its footprint."""
+    rows = image.memory_map()
+    peak = max(size for _, _, size in rows)
+    name_width = max(len(name) for name, _, _ in rows)
+    lines = ["FRAM layout (MSP430FR5989, 128 KB):"]
+    for name, kind, size in rows:
+        lines.append(
+            f"  {name.ljust(name_width)} {kind:6s} "
+            f"{size / 1024.0:7.2f} KB |{_bar(size, peak)}"
+        )
+    used = image.total_fram_bytes / 1024.0
+    capacity = image.hardware.mcu.fram_bytes / 1024.0
+    lines.append(
+        f"  total: {used:.2f} / {capacity:.0f} KB "
+        f"({100 * used / capacity:.1f} % used)"
+    )
+    lines.append(
+        f"SRAM peak: {image.total_sram_bytes} / "
+        f"{image.hardware.mcu.sram_bytes} B"
+    )
+    return "\n".join(lines)
+
+
+def render_profile(
+    profile: ResourceProfile,
+    slider_periods: tuple[float, ...] = (1.5, 3.0, 6.0, 12.0, 30.0),
+) -> str:
+    """One app's full ARP-view pane: energy breakdown plus sliders."""
+    breakdown = sorted(
+        profile.current_breakdown.items(), key=lambda item: item[1], reverse=True
+    )
+    peak = breakdown[0][1] if breakdown else 0.0
+    label_width = max(len(label) for label, _ in breakdown)
+    lines = [
+        f"Resource profile: {profile.app_name}",
+        f"  memory: {profile.system_fram_kb:.2f} KB system + "
+        f"{profile.app_fram_kb:.2f} KB app FRAM; "
+        f"{profile.system_sram_bytes} + {profile.app_sram_bytes} B SRAM",
+        f"  compute: {profile.cycles_per_event / 1e6:.3f} M cycles per event"
+        f" (one event / {profile.period_s:g} s)",
+        "",
+        "  average current breakdown:",
+    ]
+    for label, current in breakdown:
+        lines.append(
+            f"    {label.ljust(label_width)} {1000 * current:8.2f} uA "
+            f"|{_bar(current, peak)}"
+        )
+    lines.append(
+        f"    {'TOTAL'.ljust(label_width)} "
+        f"{1000 * profile.average_current_ma:8.2f} uA"
+    )
+    lines.append("")
+    lines.append("  battery-life slider (detection period):")
+    for period in slider_periods:
+        projected = profile.with_period(period)
+        marker = " <- current" if period == profile.period_s else ""
+        lines.append(
+            f"    {period:5.1f} s -> {projected.lifetime_days:6.1f} days"
+            f"{marker}"
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(profiles: dict[str, ResourceProfile]) -> str:
+    """Side-by-side build comparison (the adaptive engine's input)."""
+    if not profiles:
+        return "(no profiles)"
+    headers = ["metric", *profiles.keys()]
+    rows = [
+        [
+            "app FRAM (KB)",
+            *(f"{p.app_fram_kb:.2f}" for p in profiles.values()),
+        ],
+        [
+            "system FRAM (KB)",
+            *(f"{p.system_fram_kb:.2f}" for p in profiles.values()),
+        ],
+        [
+            "app SRAM (B)",
+            *(str(p.app_sram_bytes) for p in profiles.values()),
+        ],
+        [
+            "Mcycles/event",
+            *(f"{p.cycles_per_event / 1e6:.3f}" for p in profiles.values()),
+        ],
+        [
+            "avg current (uA)",
+            *(f"{1000 * p.average_current_ma:.1f}" for p in profiles.values()),
+        ],
+        [
+            "lifetime (days)",
+            *(f"{p.lifetime_days:.1f}" for p in profiles.values()),
+        ],
+    ]
+    widths = [
+        max(len(str(row[i])) for row in [headers, *rows])
+        for i in range(len(headers))
+    ]
+    lines = [
+        " | ".join(str(cell).ljust(width) for cell, width in zip(headers, widths)),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append(
+            " | ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

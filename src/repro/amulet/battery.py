@@ -1,0 +1,76 @@
+"""Battery model and lifetime projection.
+
+Table III's "Expected Lifetime" column is ARP's projection of how long the
+110 mAh cell sustains the measured average current.  The model includes a
+usable-capacity derating and monthly self-discharge, both standard for
+small lithium cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Battery"]
+
+_HOURS_PER_DAY = 24.0
+_HOURS_PER_MONTH = 30.0 * _HOURS_PER_DAY
+
+
+@dataclass(frozen=True)
+class Battery:
+    """A small lithium cell.
+
+    Parameters
+    ----------
+    capacity_mah:
+        Nameplate capacity; the Amulet prototype carries 110 mAh.
+    usable_fraction:
+        Fraction of nameplate capacity deliverable before brown-out.
+    self_discharge_per_month:
+        Fractional capacity lost per month independent of the load.
+    """
+
+    capacity_mah: float = 110.0
+    usable_fraction: float = 0.9
+    self_discharge_per_month: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0:
+            raise ValueError("capacity_mah must be positive")
+        if not 0 < self.usable_fraction <= 1:
+            raise ValueError("usable_fraction must be in (0, 1]")
+        if not 0 <= self.self_discharge_per_month < 1:
+            raise ValueError("self_discharge_per_month must be in [0, 1)")
+
+    @property
+    def usable_mah(self) -> float:
+        return self.capacity_mah * self.usable_fraction
+
+    @property
+    def self_discharge_current_ma(self) -> float:
+        """Self-discharge expressed as an equivalent constant current."""
+        return (
+            self.capacity_mah * self.self_discharge_per_month / _HOURS_PER_MONTH
+        )
+
+    def lifetime_hours(self, average_current_ma: float) -> float:
+        """Hours until the usable capacity is exhausted at a given load."""
+        if average_current_ma < 0:
+            raise ValueError("average_current_ma must be non-negative")
+        total = average_current_ma + self.self_discharge_current_ma
+        if total <= 0:
+            return float("inf")
+        return self.usable_mah / total
+
+    def lifetime_days(self, average_current_ma: float) -> float:
+        """Days until the usable capacity is exhausted at a given load."""
+        return self.lifetime_hours(average_current_ma) / _HOURS_PER_DAY
+
+    def state_of_charge_after(
+        self, average_current_ma: float, hours: float
+    ) -> float:
+        """Remaining charge fraction after running a load for some hours."""
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        drained = (average_current_ma + self.self_discharge_current_ma) * hours
+        return max(0.0, 1.0 - drained / self.usable_mah)

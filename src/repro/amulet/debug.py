@@ -1,0 +1,220 @@
+"""Debugging tools for simulated Amulet apps (paper Insight #3).
+
+The authors' strongest complaint: "the lack of good debugging tools
+seriously reduces the efficacy of the app developer" -- GDB crashed, so
+they debugged by writing variables to the LED screen and re-flashing for
+every change.  The insight asks platform developers for exactly three
+things, all provided here against the simulator:
+
+* *"showing the resource consumption of the application"* --
+  :class:`DebugTracer` records per-dispatch cycle costs and operation
+  tallies;
+* *"showing where and how the sensor data is being transformed"* -- the
+  tracer logs every state transition and event with payload summaries;
+* *"providing a desktop based simulator that emulates the screen
+  writing"* -- :class:`DisplayRecorder` captures every frame the app ever
+  drew, so "printf-via-LED" debugging works without re-flashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.amulet.amulet_os import AmuletOS
+from repro.amulet.qm import Event
+
+__all__ = ["DebugTracer", "DispatchTrace", "DisplayRecorder"]
+
+
+@dataclass(frozen=True)
+class DispatchTrace:
+    """One dispatched event, as the tracer saw it."""
+
+    sequence: int
+    app_name: str
+    signal: str
+    payload_summary: str
+    state_before: str
+    state_after: str
+    cycles: int
+    ops: dict[str, int]
+    sim_time_s: float
+
+    @property
+    def transitioned(self) -> bool:
+        return self.state_before != self.state_after
+
+    def format(self) -> str:
+        arrow = (
+            f"{self.state_before} -> {self.state_after}"
+            if self.transitioned
+            else self.state_before
+        )
+        return (
+            f"[{self.sequence:04d} t={self.sim_time_s:9.4f}s] "
+            f"{self.app_name}: {self.signal} ({self.payload_summary}) "
+            f"in {arrow}, {self.cycles} cycles"
+        )
+
+
+def _summarize_payload(payload: Any) -> str:
+    if payload is None:
+        return "no payload"
+    text = repr(payload)
+    if len(text) > 48:
+        text = f"{type(payload).__name__}<{len(text)} chars>"
+    return text
+
+
+class DebugTracer:
+    """Wraps an :class:`AmuletOS` to record a full execution trace.
+
+    Usage::
+
+        os = AmuletOS(image)
+        tracer = DebugTracer(os)
+        ...deliver events...
+        os.run_until_idle()
+        print(tracer.format_trace())
+
+    The tracer hooks the OS's ``step`` method; detaching restores it.
+    """
+
+    def __init__(self, os: AmuletOS, max_entries: int = 10_000) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.os = os
+        self.max_entries = int(max_entries)
+        self.traces: list[DispatchTrace] = []
+        self.dropped = 0
+        self._original_step = os.step
+        os.step = self._traced_step  # type: ignore[method-assign]
+        self._attached = True
+
+    def detach(self) -> None:
+        """Restore the OS's original step method."""
+        if self._attached:
+            self.os.step = self._original_step  # type: ignore[method-assign]
+            self._attached = False
+
+    # ------------------------------------------------------------------
+
+    def _peek_next(self) -> tuple[str, Event] | None:
+        queue = self.os._queue
+        return queue[0] if queue else None
+
+    def _traced_step(self) -> bool:
+        pending = self._peek_next()
+        if pending is None:
+            return self._original_step()
+        app_name, event = pending
+        container = self.os.container(app_name)
+        state_before = (
+            container.app.machine.current.name
+            if container.app.machine.current
+            else "<unstarted>"
+        )
+        cycles_before = self.os.ledger.cycles_by_app.get(app_name, 0)
+
+        result = self._original_step()
+
+        state_after = (
+            container.app.machine.current.name
+            if container.app.machine.current
+            else "<unstarted>"
+        )
+        trace = DispatchTrace(
+            sequence=self.os.ledger.dispatches,
+            app_name=app_name,
+            signal=event.signal,
+            payload_summary=_summarize_payload(event.payload),
+            state_before=state_before,
+            state_after=state_after,
+            cycles=self.os.ledger.cycles_by_app.get(app_name, 0) - cycles_before,
+            ops=container.counter.snapshot(),
+            sim_time_s=self.os.ledger.sim_time_s,
+        )
+        if len(self.traces) < self.max_entries:
+            self.traces.append(trace)
+        else:
+            self.dropped += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def transitions(self) -> list[DispatchTrace]:
+        """Only the dispatches whose net state changed."""
+        return [t for t in self.traces if t.transitioned]
+
+    def hottest_dispatches(self, n: int = 5) -> list[DispatchTrace]:
+        """The n most cycle-expensive dispatches (the profiler's view)."""
+        return sorted(self.traces, key=lambda t: t.cycles, reverse=True)[:n]
+
+    def cycles_by_signal(self) -> dict[str, int]:
+        """Aggregate cost per event signal -- "where does the time go"."""
+        totals: dict[str, int] = {}
+        for trace in self.traces:
+            totals[trace.signal] = totals.get(trace.signal, 0) + trace.cycles
+        return totals
+
+    def format_trace(self, last: int | None = None) -> str:
+        """Render the (optionally truncated) trace as text."""
+        traces = self.traces if last is None else self.traces[-last:]
+        lines = [trace.format() for trace in traces]
+        if self.dropped:
+            lines.append(f"... ({self.dropped} entries dropped)")
+        return "\n".join(lines) if lines else "(no dispatches traced)"
+
+
+class DisplayRecorder:
+    """Captures every frame an app draws -- desktop screen emulation.
+
+    The paper's authors debugged by flashing values to the LED screen and
+    physically watching it.  The recorder keeps the full frame history so
+    a desktop run can inspect everything that was ever shown.
+    """
+
+    def __init__(self, os: AmuletOS, max_frames: int = 10_000) -> None:
+        if max_frames < 1:
+            raise ValueError("max_frames must be >= 1")
+        self.display = os.display
+        self.max_frames = int(max_frames)
+        self.frames: list[tuple[int, str]] = []
+        self._original_write = self.display.write_line
+        self._original_scroll = self.display.scroll_message
+        self.display.write_line = self._recording_write  # type: ignore[method-assign]
+        self.display.scroll_message = self._recording_scroll  # type: ignore[method-assign]
+
+    def detach(self) -> None:
+        """Restore the display's original write methods."""
+        self.display.write_line = self._original_write  # type: ignore[method-assign]
+        self.display.scroll_message = self._original_scroll  # type: ignore[method-assign]
+
+    def _snapshot(self) -> None:
+        if len(self.frames) < self.max_frames:
+            self.frames.append(
+                (self.display.refresh_count, self.display.visible_text())
+            )
+
+    def _recording_write(self, index: int, text: str) -> None:
+        self._original_write(index, text)
+        self._snapshot()
+
+    def _recording_scroll(self, text: str) -> None:
+        self._original_scroll(text)
+        self._snapshot()
+
+    def frames_containing(self, needle: str) -> list[tuple[int, str]]:
+        """All recorded frames in which some text was visible."""
+        return [frame for frame in self.frames if needle in frame[1]]
+
+    def ever_showed(self, needle: str) -> bool:
+        """Was some text visible in any recorded frame?"""
+        return bool(self.frames_containing(needle))
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.frames)

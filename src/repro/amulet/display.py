@@ -1,0 +1,58 @@
+"""The Amulet's display.
+
+The detector app uses the display twice: the PeaksDataCheck state shows
+the incoming ECG/ABP snippets, and the MLClassifier state "will generate
+an alert on the LED screen".  The simulation keeps a small line buffer
+(like the Sharp memory LCD's line-addressed model) and reports refresh
+events so the profiler can charge their energy.  It is also the debugging
+channel the authors were forced to use (Insight #3), so the buffer is
+inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Display"]
+
+
+@dataclass
+class Display:
+    """A line-buffered monochrome display."""
+
+    n_lines: int = 8
+    line_width: int = 24
+    lines: list[str] = field(init=False)
+    refresh_count: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_lines < 1 or self.line_width < 1:
+            raise ValueError("display dimensions must be positive")
+        self.lines = [""] * self.n_lines
+
+    def write_line(self, index: int, text: str) -> None:
+        """Write one line (truncated to the panel width) and refresh."""
+        if not 0 <= index < self.n_lines:
+            raise IndexError(
+                f"line {index} out of range for {self.n_lines}-line display"
+            )
+        self.lines[index] = text[: self.line_width]
+        self.refresh_count += 1
+
+    def scroll_message(self, text: str) -> None:
+        """Append a message at the bottom, scrolling prior lines up."""
+        self.lines = self.lines[1:] + [text[: self.line_width]]
+        self.refresh_count += 1
+
+    def clear(self) -> None:
+        """Blank every line (one refresh)."""
+        self.lines = [""] * self.n_lines
+        self.refresh_count += 1
+
+    def visible_text(self) -> str:
+        """The panel contents as one newline-joined string."""
+        return "\n".join(self.lines)
+
+    def contains(self, needle: str) -> bool:
+        """Debugging aid: is some text currently on screen?"""
+        return any(needle in line for line in self.lines)

@@ -1,0 +1,286 @@
+"""The Amulet Firmware Toolchain, simulated.
+
+The real toolchain translates Amulet-C to safe C, runs static checks
+(array bounds, no recursion/goto/pointers, no problematic integer
+operations), merges all apps into one QM file and links only what is
+needed -- "efficient app isolation and optimization through compile-time
+techniques".  This module reproduces the parts that matter for the paper's
+evaluation:
+
+* **Static checks** that encode the platform limitations the authors hit
+  (Insight #1): no 2-D arrays, a cap on single-array size, per-app SRAM
+  quotas, and whole-image FRAM/SRAM fit;
+* **Demand linking** of system components: libm and the soft-double
+  library enter the image only when some app requires them, which is why
+  the Simplified build's *system* footprint drops relative to Original
+  (Table III);
+* a **memory layout** (:class:`FirmwareImage`) with per-app code/data
+  segments, consumed by the resource profiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.amulet.hardware import AmuletHardware
+from repro.amulet.qm import QMApp
+
+__all__ = [
+    "AppBuild",
+    "ArrayDeclaration",
+    "FirmwareImage",
+    "FirmwareToolchain",
+    "StaticCheckError",
+    "SystemComponent",
+]
+
+
+class StaticCheckError(Exception):
+    """A compile-time check rejected the application."""
+
+
+@dataclass(frozen=True)
+class ArrayDeclaration:
+    """An app-level array attribute, as declared in the QM file.
+
+    AmuletOS arrays carry an associated length for bounds checking; the
+    toolchain additionally rejects 2-D arrays and over-large allocations,
+    the two restrictions the paper's Insight #1 complains about.
+    """
+
+    name: str
+    element_bytes: int
+    length: int
+    dimensions: int = 1
+
+    def __post_init__(self) -> None:
+        if self.element_bytes < 1 or self.length < 1:
+            raise ValueError("array element size and length must be positive")
+        if self.dimensions < 1:
+            raise ValueError("dimensions must be >= 1")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.element_bytes * self.length
+
+
+@dataclass(frozen=True)
+class SystemComponent:
+    """One linkable piece of the system image."""
+
+    name: str
+    fram_bytes: int
+    sram_bytes: int = 0
+    #: Service tag that pulls this component in; ``None`` = always linked.
+    provides: str | None = None
+
+
+def default_system_components() -> list[SystemComponent]:
+    """The AmuletOS component inventory with engineering size estimates.
+
+    Always-linked pieces model the OS core, QM runtime and drivers;
+    demand-linked pieces model the capabilities the SIFT builds differ in:
+    ``libm`` (and the soft-double arithmetic it drags in) for the Original
+    build, grid/DSP helpers for the matrix-feature builds, and the
+    string<->float conversion API the authors wrote (Insight #2).
+    """
+    return [
+        SystemComponent("os_core", fram_bytes=20_800, sram_bytes=320),
+        SystemComponent("qm_runtime", fram_bytes=6_200, sram_bytes=96),
+        SystemComponent("display_driver", fram_bytes=4_900, sram_bytes=64),
+        SystemComponent("ble_driver", fram_bytes=5_600, sram_bytes=120),
+        SystemComponent("sensor_drivers", fram_bytes=3_900, sram_bytes=48),
+        SystemComponent("app_framework", fram_bytes=7_800, sram_bytes=46),
+        SystemComponent(
+            "softfp_single", fram_bytes=3_900, provides="float_arithmetic"
+        ),
+        SystemComponent(
+            "softfp_double", fram_bytes=4_700, provides="double_arithmetic"
+        ),
+        SystemComponent("libm", fram_bytes=5_800, provides="libm"),
+        SystemComponent(
+            "string_float_api", fram_bytes=1_300, provides="string_float"
+        ),
+        SystemComponent(
+            "sensor_pipeline", fram_bytes=9_300, sram_bytes=2, provides="signal_arrays"
+        ),
+        SystemComponent("grid_dsp_api", fram_bytes=6_400, provides="grid_dsp"),
+    ]
+
+
+@dataclass(frozen=True)
+class AppBuild:
+    """A statically checked application, ready to install."""
+
+    app: QMApp
+    code_bytes: int
+    data_bytes: int
+    sram_bytes: int
+    required_services: frozenset[str]
+
+    @property
+    def fram_bytes(self) -> int:
+        return self.code_bytes + self.data_bytes
+
+    @property
+    def name(self) -> str:
+        return self.app.name
+
+
+@dataclass(frozen=True)
+class FirmwareImage:
+    """The merged firmware: system components plus app builds."""
+
+    builds: tuple[AppBuild, ...]
+    components: tuple[SystemComponent, ...]
+    hardware: AmuletHardware = field(default_factory=AmuletHardware)
+
+    @property
+    def system_fram_bytes(self) -> int:
+        return sum(c.fram_bytes for c in self.components)
+
+    @property
+    def system_sram_bytes(self) -> int:
+        return sum(c.sram_bytes for c in self.components)
+
+    @property
+    def app_fram_bytes(self) -> int:
+        return sum(b.fram_bytes for b in self.builds)
+
+    @property
+    def app_sram_bytes(self) -> int:
+        """Peak app SRAM: handlers run to completion, one at a time."""
+        return max((b.sram_bytes for b in self.builds), default=0)
+
+    @property
+    def total_fram_bytes(self) -> int:
+        return self.system_fram_bytes + self.app_fram_bytes
+
+    @property
+    def total_sram_bytes(self) -> int:
+        return self.system_sram_bytes + self.app_sram_bytes
+
+    @property
+    def links_libm(self) -> bool:
+        return any(c.name == "libm" for c in self.components)
+
+    def build_for(self, app_name: str) -> AppBuild:
+        """The AppBuild of a named app (KeyError if absent)."""
+        for build in self.builds:
+            if build.name == app_name:
+                return build
+        raise KeyError(f"no app named {app_name!r} in this image")
+
+    def memory_map(self) -> list[tuple[str, str, int]]:
+        """``(segment, kind, bytes)`` rows, system first then apps."""
+        rows: list[tuple[str, str, int]] = [
+            (component.name, "system", component.fram_bytes)
+            for component in self.components
+        ]
+        for build in self.builds:
+            rows.append((f"{build.name}.code", "app", build.code_bytes))
+            rows.append((f"{build.name}.data", "app", build.data_bytes))
+        return rows
+
+
+class FirmwareToolchain:
+    """Static checker and linker.
+
+    Parameters
+    ----------
+    hardware:
+        Target device (memory capacities for fit checks).
+    max_array_bytes:
+        Largest single array an app may declare.  The default admits the
+        paper's two 1080-element ``float`` arrays (4320 B each) with
+        little headroom -- the constraint Insight #1 describes.
+    components:
+        System component inventory; defaults to
+        :func:`default_system_components`.
+    """
+
+    def __init__(
+        self,
+        hardware: AmuletHardware | None = None,
+        max_array_bytes: int = 4_608,
+        components: list[SystemComponent] | None = None,
+    ) -> None:
+        self.hardware = hardware or AmuletHardware()
+        self.max_array_bytes = int(max_array_bytes)
+        self.components = (
+            components if components is not None else default_system_components()
+        )
+
+    # -- per-app checks ---------------------------------------------------
+
+    def check_app(self, app: QMApp) -> AppBuild:
+        """Run the static checks on one app and size its segments."""
+        arrays = list(getattr(app, "array_declarations", list)())
+        for array in arrays:
+            if array.dimensions > 1:
+                raise StaticCheckError(
+                    f"app {app.name!r}: array {array.name!r} is "
+                    f"{array.dimensions}-D; the platform does not support "
+                    "2-D arrays (Insight #1)"
+                )
+            if array.total_bytes > self.max_array_bytes:
+                raise StaticCheckError(
+                    f"app {app.name!r}: array {array.name!r} needs "
+                    f"{array.total_bytes} B, exceeding the platform's "
+                    f"{self.max_array_bytes} B array limit (Insight #1)"
+                )
+        sram = app.sram_peak_bytes()
+        if sram < 0:
+            raise StaticCheckError(f"app {app.name!r}: negative SRAM declaration")
+        services = set(getattr(app, "required_services", set)())
+        if app.uses_libm():
+            services |= {"libm", "double_arithmetic"}
+        unknown = services - {
+            c.provides for c in self.components if c.provides is not None
+        }
+        if unknown:
+            raise StaticCheckError(
+                f"app {app.name!r} requires services with no providing "
+                f"component: {sorted(unknown)}"
+            )
+        return AppBuild(
+            app=app,
+            code_bytes=app.code_bytes,
+            data_bytes=app.data_bytes,
+            sram_bytes=sram,
+            required_services=frozenset(services),
+        )
+
+    # -- image link --------------------------------------------------------
+
+    def build(self, apps: list[QMApp]) -> FirmwareImage:
+        """Check every app, link required components, verify the fit."""
+        if not apps:
+            raise StaticCheckError("an image needs at least one application")
+        names = [app.name for app in apps]
+        if len(set(names)) != len(names):
+            raise StaticCheckError(f"duplicate app names in image: {names}")
+        builds = tuple(self.check_app(app) for app in apps)
+
+        needed = set().union(*(b.required_services for b in builds))
+        linked = tuple(
+            c
+            for c in self.components
+            if c.provides is None or c.provides in needed
+        )
+        image = FirmwareImage(
+            builds=builds, components=linked, hardware=self.hardware
+        )
+
+        mcu = self.hardware.mcu
+        if image.total_fram_bytes > mcu.fram_bytes:
+            raise StaticCheckError(
+                f"image needs {image.total_fram_bytes} B of FRAM; the "
+                f"MSP430FR5989 has {mcu.fram_bytes} B"
+            )
+        if image.total_sram_bytes > mcu.sram_bytes:
+            raise StaticCheckError(
+                f"image needs {image.total_sram_bytes} B of SRAM; the "
+                f"MSP430FR5989 has {mcu.sram_bytes} B"
+            )
+        return image

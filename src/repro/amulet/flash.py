@@ -1,0 +1,108 @@
+"""Firmware flashing: the cost of switching detector versions.
+
+The paper's Insight #4 complains that "the Amulet device has to be flashed
+every time when switching to another version of SIFT".  This module models
+that operation so the adaptive engine can charge it honestly:
+
+* flashing writes the new image over the wire and into FRAM, consuming
+  charge proportional to the image size;
+* detection is *down* for the duration of the flash -- a coverage gap the
+  adaptive timeline should account for;
+* the flash store keeps the available images (compiled once, off-device),
+  which is how a practical adaptive deployment would stage its versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.amulet.firmware import FirmwareImage
+
+__all__ = ["FlashManager", "FlashOperation"]
+
+
+@dataclass(frozen=True)
+class FlashOperation:
+    """One completed (re)flash."""
+
+    image_name: str
+    image_bytes: int
+    duration_s: float
+    charge_mah: float
+    at_time_h: float
+
+
+@dataclass
+class FlashManager:
+    """Stages firmware images and performs (simulated) reflashes.
+
+    Parameters
+    ----------
+    write_bytes_per_s:
+        Effective flash throughput including transfer and FRAM writes.
+        BLE transfer of a ~70 KB image dominates; a few KB/s is typical.
+    flash_current_ma:
+        Average current during a flash (radio + FRAM writes).
+    """
+
+    write_bytes_per_s: float = 4096.0
+    flash_current_ma: float = 4.5
+    images: dict[str, FirmwareImage] = field(default_factory=dict)
+    history: list[FlashOperation] = field(default_factory=list)
+    installed: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.write_bytes_per_s <= 0:
+            raise ValueError("write_bytes_per_s must be positive")
+        if self.flash_current_ma < 0:
+            raise ValueError("flash_current_ma must be non-negative")
+
+    def stage(self, name: str, image: FirmwareImage) -> None:
+        """Register a compiled image under a name."""
+        if not name:
+            raise ValueError("image name must be non-empty")
+        self.images[name] = image
+
+    def flash_cost(self, name: str) -> tuple[float, float]:
+        """``(duration_s, charge_mah)`` of flashing a staged image."""
+        image = self._get(name)
+        duration_s = image.total_fram_bytes / self.write_bytes_per_s
+        charge_mah = self.flash_current_ma * duration_s / 3600.0
+        return duration_s, charge_mah
+
+    def flash(self, name: str, at_time_h: float = 0.0) -> FlashOperation:
+        """Install a staged image; returns the operation's cost record.
+
+        Re-flashing the already-installed image is rejected -- the
+        decision engine should not pay for a no-op.
+        """
+        image = self._get(name)
+        if name == self.installed:
+            raise ValueError(f"image {name!r} is already installed")
+        duration_s, charge_mah = self.flash_cost(name)
+        operation = FlashOperation(
+            image_name=name,
+            image_bytes=image.total_fram_bytes,
+            duration_s=duration_s,
+            charge_mah=charge_mah,
+            at_time_h=at_time_h,
+        )
+        self.history.append(operation)
+        self.installed = name
+        return operation
+
+    def _get(self, name: str) -> FirmwareImage:
+        try:
+            return self.images[name]
+        except KeyError:
+            raise KeyError(
+                f"no staged image named {name!r}; staged: {sorted(self.images)}"
+            ) from None
+
+    @property
+    def total_flash_charge_mah(self) -> float:
+        return sum(op.charge_mah for op in self.history)
+
+    @property
+    def total_downtime_s(self) -> float:
+        return sum(op.duration_s for op in self.history)

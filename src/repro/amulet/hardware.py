@@ -1,0 +1,109 @@
+"""Hardware model of the Amulet wearable prototype.
+
+The prototype (paper, Section II-B) is built around a Texas Instruments
+MSP430FR5989 micro-controller -- 2 KB of SRAM and 128 KB of integrated
+FRAM -- plus a battery, haptic buzzer, display, BLE radio and a set of
+internal sensors.  This module captures the numbers the resource profiler
+needs: memory capacities, clock rate, and per-component current draws.
+
+Current figures are representative values assembled from the parts'
+datasheets (MSP430FR5989, Sharp memory-in-pixel LCD, nRF51-class BLE) --
+the same style of "parameterized model" the Amulet Resource Profiler
+builds.  Absolute lifetimes depend on them; the Original/Simplified/
+Reduced *ratios* in Table III depend only on the measured cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MSP430FR5989", "AmuletHardware", "Peripheral"]
+
+
+@dataclass(frozen=True)
+class MSP430FR5989:
+    """The application micro-controller."""
+
+    sram_bytes: int = 2 * 1024
+    fram_bytes: int = 128 * 1024
+    clock_hz: float = 8_000_000.0
+    #: Active-mode current at the configured clock (datasheet ~100-130
+    #: uA/MHz executing from FRAM).
+    active_current_ma: float = 0.9
+    #: LPM3 sleep current with RTC running.
+    sleep_current_ma: float = 0.0007
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        """Wall-clock seconds to execute a cycle count at this clock."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        return cycles / self.clock_hz
+
+    def active_charge_mah(self, cycles: int) -> float:
+        """Charge consumed executing ``cycles`` in active mode, in mAh."""
+        return self.active_current_ma * self.cycles_to_seconds(cycles) / 3600.0
+
+
+@dataclass(frozen=True)
+class Peripheral:
+    """A peripheral with a static draw and per-use energy cost.
+
+    Attributes
+    ----------
+    name:
+        Peripheral identifier.
+    static_current_ma:
+        Always-on current while the peripheral is enabled.
+    event_charge_mah:
+        Charge per discrete use (one display refresh, one BLE packet
+        reception, one buzz).
+    """
+
+    name: str
+    static_current_ma: float = 0.0
+    event_charge_mah: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.static_current_ma < 0 or self.event_charge_mah < 0:
+            raise ValueError("peripheral currents must be non-negative")
+
+
+def _default_peripherals() -> dict[str, Peripheral]:
+    return {
+        # Sharp memory LCD: tiny static draw, ~0.05 mA for ~30 ms per
+        # line update -> ~4e-7 mAh per refresh.
+        "display": Peripheral("display", static_current_ma=0.004, event_charge_mah=4.0e-7),
+        # BLE reception of one 3 s ECG+ABP snippet (a burst of packets
+        # carrying two 1080-sample float arrays plus peak indexes).
+        "ble_radio": Peripheral("ble_radio", static_current_ma=0.006, event_charge_mah=3.4e-5),
+        # Haptic buzzer burst on alert.
+        "haptic": Peripheral("haptic", static_current_ma=0.0, event_charge_mah=8.0e-6),
+        # Internal sensor rail (accelerometer, gyro idle, light, temp).
+        "sensors": Peripheral("sensors", static_current_ma=0.020, event_charge_mah=0.0),
+    }
+
+
+@dataclass(frozen=True)
+class AmuletHardware:
+    """The complete wearable: MCU, peripherals and battery capacity."""
+
+    mcu: MSP430FR5989 = field(default_factory=MSP430FR5989)
+    peripherals: dict[str, Peripheral] = field(default_factory=_default_peripherals)
+    battery_capacity_mah: float = 110.0  # the paper's 110 mAh cell
+
+    def peripheral(self, name: str) -> Peripheral:
+        """Look up a peripheral by name (KeyError if unknown)."""
+        try:
+            return self.peripherals[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown peripheral {name!r}; available: "
+                f"{sorted(self.peripherals)}"
+            ) from None
+
+    @property
+    def baseline_current_ma(self) -> float:
+        """System floor: MCU sleep plus all static peripheral draws."""
+        return self.mcu.sleep_current_ma + sum(
+            p.static_current_ma for p in self.peripherals.values()
+        )

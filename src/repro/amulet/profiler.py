@@ -1,0 +1,199 @@
+"""The Amulet Resource Profiler (ARP).
+
+ARP "captures information about each app's code space and memory
+requirements, using a combination of compiler tools and static analysis"
+and "builds a parameterized model of the app's energy consumption"; its
+front end ARP-view shows a per-component breakdown with sliders for app
+parameters (paper Fig. 3).  This module reproduces that workflow:
+
+* memory comes from the firmware image's static layout;
+* energy comes from a measured run -- an app processes representative
+  workload events on the simulated OS, the
+  :class:`~repro.amulet.amulet_os.UsageLedger` records cycles and
+  peripheral events, and the profiler turns those into an average current
+  and a battery-lifetime projection;
+* :meth:`ResourceProfile.with_period` is the ARP-view slider: re-evaluate
+  the lifetime as the app's detection period changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.amulet.amulet_os import UsageLedger
+from repro.amulet.battery import Battery
+from repro.amulet.firmware import FirmwareImage
+from repro.amulet.restricted import CycleCostModel, OpCounter
+
+__all__ = ["AmuletResourceProfiler", "ResourceProfile"]
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Everything Table III and Fig. 3 report for one app build.
+
+    Currents are in mA, memory in bytes, the period in seconds.
+    ``current_breakdown`` maps component labels (cpu op classes,
+    peripherals, static draws) to their average-current contribution;
+    its values sum to ``average_current_ma``.
+    """
+
+    app_name: str
+    system_fram_bytes: int
+    app_fram_bytes: int
+    system_sram_bytes: int
+    app_sram_bytes: int
+    cycles_per_event: float
+    events_per_period: dict[str, float]
+    period_s: float
+    average_current_ma: float
+    current_breakdown: dict[str, float]
+    lifetime_days: float
+    battery: Battery
+
+    # -- presentation helpers ---------------------------------------------
+
+    @property
+    def system_fram_kb(self) -> float:
+        return self.system_fram_bytes / 1024.0
+
+    @property
+    def app_fram_kb(self) -> float:
+        return self.app_fram_bytes / 1024.0
+
+    def table_row(self) -> dict[str, str]:
+        """One app's rows of Table III, formatted like the paper."""
+        return {
+            "Memory Use (FRAM)": (
+                f"{self.system_fram_kb:.2f} KB_system + "
+                f"{self.app_fram_kb:.2f} KB_detector"
+            ),
+            "Max Ram Use (SRAM)": (
+                f"{self.system_sram_bytes} B_system + "
+                f"{self.app_sram_bytes} B_detector"
+            ),
+            "Expected Lifetime": f"{self.lifetime_days:.0f} days",
+        }
+
+    def with_period(self, period_s: float) -> "ResourceProfile":
+        """The ARP-view slider: same app, different detection period.
+
+        Compute charge and peripheral events scale inversely with the
+        period; static draws are unchanged.
+        """
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        ratio = self.period_s / period_s
+        breakdown = {
+            label: current * ratio if label in self._dynamic_labels() else current
+            for label, current in self.current_breakdown.items()
+        }
+        average = sum(breakdown.values())
+        return replace(
+            self,
+            period_s=period_s,
+            current_breakdown=breakdown,
+            average_current_ma=average,
+            lifetime_days=self.battery.lifetime_days(average),
+        )
+
+    def _dynamic_labels(self) -> set[str]:
+        """Breakdown labels that scale with the event rate."""
+        return {
+            label
+            for label in self.current_breakdown
+            if label.startswith("cpu.") or label.startswith("peripheral.")
+        }
+
+
+class AmuletResourceProfiler:
+    """Builds :class:`ResourceProfile` objects from a measured run."""
+
+    def __init__(
+        self,
+        battery: Battery | None = None,
+        cost_model: CycleCostModel | None = None,
+    ) -> None:
+        self.battery = battery or Battery()
+        self.cost_model = cost_model or CycleCostModel()
+
+    def profile(
+        self,
+        image: FirmwareImage,
+        app_name: str,
+        ledger: UsageLedger,
+        n_events: int,
+        period_s: float,
+    ) -> ResourceProfile:
+        """Profile one app from a run of ``n_events`` workload events.
+
+        Parameters
+        ----------
+        image:
+            The firmware image the run used (memory layout).
+        app_name:
+            Which app to attribute the run to.
+        ledger:
+            The OS ledger after processing the workload.
+        n_events:
+            Number of workload events (detection windows) processed, used
+            to normalize the ledger to per-event costs.
+        period_s:
+            Wall-clock spacing of workload events; the detector receives
+            one window every ``w = 3 s``.
+        """
+        if n_events < 1:
+            raise ValueError("n_events must be >= 1")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        build = image.build_for(app_name)
+        hardware = image.hardware
+        mcu = hardware.mcu
+
+        cycles = ledger.cycles_by_app.get(app_name, 0)
+        cycles_per_event = cycles / n_events
+        ops = ledger.ops_by_app.get(app_name, OpCounter())
+
+        breakdown: dict[str, float] = {}
+        # CPU compute, split by operation class for the Fig. 3 view.
+        active_minus_sleep = mcu.active_current_ma - mcu.sleep_current_ma
+        for op, count in sorted(ops.snapshot().items()):
+            op_cycles = getattr(self.cost_model, op) * count
+            seconds_per_event = mcu.cycles_to_seconds(op_cycles) / n_events
+            breakdown[f"cpu.{op}"] = (
+                active_minus_sleep * seconds_per_event / period_s
+            )
+        # Peripheral event charges, normalized to a continuous current.
+        for name, count in sorted(ledger.peripheral_events.items()):
+            peripheral = hardware.peripheral(name)
+            events_per_second = count / n_events / period_s
+            breakdown[f"peripheral.{name}"] = (
+                peripheral.event_charge_mah * events_per_second * _SECONDS_PER_HOUR
+            )
+        # Static floor: MCU sleep plus always-on peripheral rails.
+        breakdown["static.mcu_sleep"] = mcu.sleep_current_ma
+        for name, peripheral in sorted(hardware.peripherals.items()):
+            if peripheral.static_current_ma > 0:
+                breakdown[f"static.{name}"] = peripheral.static_current_ma
+
+        average = sum(breakdown.values())
+        events_per_period = {
+            name: count / n_events
+            for name, count in sorted(ledger.peripheral_events.items())
+        }
+        return ResourceProfile(
+            app_name=app_name,
+            system_fram_bytes=image.system_fram_bytes,
+            app_fram_bytes=build.fram_bytes,
+            system_sram_bytes=image.system_sram_bytes,
+            app_sram_bytes=build.sram_bytes,
+            cycles_per_event=cycles_per_event,
+            events_per_period=events_per_period,
+            period_s=period_s,
+            average_current_ma=average,
+            current_breakdown=breakdown,
+            lifetime_days=self.battery.lifetime_days(average),
+            battery=self.battery,
+        )

@@ -1,0 +1,208 @@
+"""The QM event-driven programming framework.
+
+AmuletOS is implemented on top of the QM framework (paper, Section II-B):
+each application is a state machine with memory, there are no processes or
+threads, and "all application code runs to completion without
+context-switching overhead".  This module models that programming style:
+
+* an :class:`Event` is a named signal with an optional payload;
+* a :class:`State` maps signals to handlers; a handler may return the name
+  of the next state to transition to;
+* a :class:`StateMachine` dispatches one event at a time, running entry
+  actions and chained transitions to completion before returning;
+* a :class:`QMApp` couples a state machine with the resource declarations
+  (code inventory, static data, SRAM peak, libm use) that the firmware
+  toolchain and the resource profiler consume.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["Event", "QMApp", "State", "StateMachine"]
+
+#: Upper bound on chained transitions per dispatch; exceeding it indicates
+#: a transition cycle, which the run-to-completion model cannot allow.
+_MAX_CHAINED_TRANSITIONS = 16
+
+
+@dataclass(frozen=True)
+class Event:
+    """A QM event: a signal name plus an arbitrary payload."""
+
+    signal: str
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.signal:
+            raise ValueError("event signal must be a non-empty string")
+
+
+#: An event handler receives (app, event) and may return the next state's
+#: name, or None to remain in the current state.
+Handler = Callable[["QMApp", Event], str | None]
+#: An entry action receives the app and may return a follow-up transition.
+EntryAction = Callable[["QMApp"], str | None]
+
+
+class State:
+    """One state of a QM state machine."""
+
+    def __init__(self, name: str, on_entry: EntryAction | None = None) -> None:
+        if not name:
+            raise ValueError("state name must be non-empty")
+        self.name = name
+        self.on_entry = on_entry
+        self._handlers: dict[str, Handler] = {}
+
+    def on(self, signal: str, handler: Handler) -> "State":
+        """Register a handler for a signal; returns self for chaining."""
+        if signal in self._handlers:
+            raise ValueError(
+                f"state {self.name!r} already handles signal {signal!r}"
+            )
+        self._handlers[signal] = handler
+        return self
+
+    def handler_for(self, signal: str) -> Handler | None:
+        """The handler registered for a signal, or ``None``."""
+        return self._handlers.get(signal)
+
+    @property
+    def signals(self) -> tuple[str, ...]:
+        return tuple(self._handlers)
+
+    def __repr__(self) -> str:
+        return f"State({self.name!r}, signals={list(self._handlers)})"
+
+
+class StateMachine:
+    """A run-to-completion state machine.
+
+    Parameters
+    ----------
+    states:
+        All states of the machine.
+    initial:
+        Name of the initial state, entered by :meth:`start`.
+    """
+
+    def __init__(self, states: list[State], initial: str) -> None:
+        if not states:
+            raise ValueError("a state machine needs at least one state")
+        self.states: dict[str, State] = {}
+        for state in states:
+            if state.name in self.states:
+                raise ValueError(f"duplicate state name: {state.name!r}")
+            self.states[state.name] = state
+        if initial not in self.states:
+            raise ValueError(f"initial state {initial!r} is not a known state")
+        self.initial = initial
+        self.current: State | None = None
+        self.dispatch_count = 0
+
+    def start(self, app: "QMApp") -> None:
+        """Enter the initial state (running entry actions to completion)."""
+        self.current = self.states[self.initial]
+        self._run_entry_chain(app)
+
+    def _transition(self, app: "QMApp", target: str) -> None:
+        if target not in self.states:
+            raise ValueError(f"transition to unknown state {target!r}")
+        self.current = self.states[target]
+        self._run_entry_chain(app)
+
+    def _run_entry_chain(self, app: "QMApp") -> None:
+        for _ in range(_MAX_CHAINED_TRANSITIONS):
+            assert self.current is not None
+            action = self.current.on_entry
+            if action is None:
+                return
+            target = action(app)
+            if target is None:
+                return
+            if target not in self.states:
+                raise ValueError(f"transition to unknown state {target!r}")
+            self.current = self.states[target]
+        raise RuntimeError(
+            "entry-action transition chain exceeded "
+            f"{_MAX_CHAINED_TRANSITIONS} steps; state machine has a cycle"
+        )
+
+    def dispatch(self, app: "QMApp", event: Event) -> bool:
+        """Deliver one event; returns ``True`` if the state handled it.
+
+        The handler and any resulting transition (with entry actions) run
+        to completion before this method returns -- there is no
+        preemption, exactly like QM on the device.
+        """
+        if self.current is None:
+            raise RuntimeError("state machine not started; call start() first")
+        handler = self.current.handler_for(event.signal)
+        if handler is None:
+            return False
+        self.dispatch_count += 1
+        target = handler(app, event)
+        if target is not None:
+            self._transition(app, target)
+        return True
+
+
+class QMApp(abc.ABC):
+    """An Amulet application: a state machine plus resource declarations.
+
+    Subclasses build their machine in ``__init__`` and implement the
+    declaration methods, which the firmware toolchain uses for static
+    checks and the memory layout, and the profiler for the energy model.
+    """
+
+    def __init__(self, name: str, machine: StateMachine) -> None:
+        if not name:
+            raise ValueError("app name must be non-empty")
+        self.name = name
+        self.machine = machine
+        #: Bound by AmuletOS at install time.
+        self.services: Any = None
+
+    # -- execution -------------------------------------------------------
+
+    def start(self) -> None:
+        """Enter the machine's initial state."""
+        self.machine.start(self)
+
+    def dispatch(self, event: Event) -> bool:
+        """Deliver one event to this app's state machine."""
+        return self.machine.dispatch(self, event)
+
+    # -- resource declarations -------------------------------------------
+
+    @abc.abstractmethod
+    def code_inventory(self) -> dict[str, int]:
+        """Map of routine name -> estimated code bytes in FRAM."""
+
+    @abc.abstractmethod
+    def static_data_bytes(self) -> dict[str, int]:
+        """Map of persistent data block name -> bytes in FRAM."""
+
+    @abc.abstractmethod
+    def sram_peak_bytes(self) -> int:
+        """Peak transient RAM (stack + temporaries) of any handler."""
+
+    @abc.abstractmethod
+    def uses_libm(self) -> bool:
+        """Whether the build must link the C math library."""
+
+    @property
+    def code_bytes(self) -> int:
+        return sum(self.code_inventory().values())
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(self.static_data_bytes().values())
+
+    @property
+    def fram_bytes(self) -> int:
+        """Total persistent footprint: code plus static data."""
+        return self.code_bytes + self.data_bytes

@@ -1,0 +1,363 @@
+"""The restricted execution environment of Amulet applications.
+
+App code on the Amulet runs on an MSP430 with no floating-point unit and,
+for the Simplified/Reduced detector builds, without the C math library.
+This module models those constraints for simulated app code:
+
+* **Operation counting** -- every arithmetic primitive reports how many
+  scalar operations it performed to an :class:`OpCounter`; a
+  :class:`CycleCostModel` converts the counts into MSP430 CPU cycles,
+  which the Amulet Resource Profiler turns into energy.
+* **The libm gate** -- ``sqrt`` / ``atan2`` / ``exp`` raise
+  :class:`RestrictedEnvironmentError` unless the environment was created
+  with ``allow_libm=True`` (only the Original build links libm).
+* **Precision** -- the Simplified and Reduced builds compute in C
+  ``float`` (binary32, the type the paper's 1080-sample arrays use); the
+  Original build links libm, whose routines work in ``double``, so its
+  arithmetic is performed -- and billed -- at double precision.  Sub-LSB
+  differences against the float64 reference pipeline are exactly the
+  Amulet-vs-MATLAB gap Table II quantifies.
+
+All vector primitives compute with numpy but charge costs *per scalar
+element*, the way the real run-to-completion C loops would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "CycleCostModel",
+    "OpCounter",
+    "RestrictedEnvironmentError",
+    "RestrictedMath",
+]
+
+
+class RestrictedEnvironmentError(RuntimeError):
+    """An app used a capability its build does not link (e.g. libm)."""
+
+
+@dataclass
+class OpCounter:
+    """Tally of scalar operations executed by simulated app code."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def charge(self, op: str, n: int = 1) -> None:
+        """Add ``n`` occurrences of an operation to the tally."""
+        if n < 0:
+            raise ValueError("cannot charge a negative operation count")
+        self.counts[op] = self.counts.get(op, 0) + int(n)
+
+    def total(self) -> int:
+        """Total scalar operations across all categories."""
+        return sum(self.counts.values())
+
+    def merge(self, other: "OpCounter") -> None:
+        """Fold another counter's tallies into this one."""
+        for op, n in other.counts.items():
+            self.charge(op, n)
+
+    def reset(self) -> None:
+        """Clear all tallies."""
+        self.counts.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """An independent copy of the current tallies."""
+        return dict(self.counts)
+
+
+@dataclass(frozen=True)
+class CycleCostModel:
+    """MSP430 cycles per scalar operation.
+
+    The MSP430FR5989 has a hardware integer multiplier but no FPU: float
+    arithmetic is software-emulated (mspabi routines, roughly 10^2 cycles
+    per operation; the double-precision variants ~30 % more) and libm
+    transcendentals cost thousands of cycles.  Integer ops (loop/index
+    bookkeeping, histogram increments) take a handful of cycles.  These
+    are engineering estimates in the spirit of ARP's "parameterized model
+    of the app's energy consumption"; Table III depends mostly on their
+    ratios.
+    """
+
+    int_op: int = 4  # add/sub/compare/increment, incl. addressing
+    int_mul: int = 12  # via the hardware multiplier
+    int_div: int = 80  # software routine
+    float_add: int = 160  # software-emulated binary32
+    float_mul: int = 200
+    float_div: int = 550
+    double_add: int = 210  # software-emulated binary64 (libm builds)
+    double_mul: int = 260
+    double_div: int = 700
+    libm_sqrt: int = 1500
+    libm_atan: int = 3000
+    libm_exp: int = 2800
+    mem_access: int = 3  # FRAM/SRAM read or write
+    branch: int = 2
+
+    _OP_FIELDS = (
+        "int_op",
+        "int_mul",
+        "int_div",
+        "float_add",
+        "float_mul",
+        "float_div",
+        "double_add",
+        "double_mul",
+        "double_div",
+        "libm_sqrt",
+        "libm_atan",
+        "libm_exp",
+        "mem_access",
+        "branch",
+    )
+
+    def cycles_for(self, counter: OpCounter) -> int:
+        """Total CPU cycles implied by an operation tally."""
+        total = 0
+        for op, n in counter.counts.items():
+            if op not in self._OP_FIELDS:
+                raise KeyError(f"no cycle cost defined for operation {op!r}")
+            total += getattr(self, op) * n
+        return total
+
+
+class RestrictedMath:
+    """Arithmetic primitives available to simulated Amulet app code.
+
+    Parameters
+    ----------
+    counter:
+        Destination for operation counts.
+    allow_libm:
+        Whether the build links the C math library.  Only the Original
+        detector build does; the Simplified and Reduced builds were
+        written specifically to avoid it.
+    double_precision:
+        Whether arithmetic is performed (and billed) in C ``double``.
+        Libm-linking builds compute in double; the others in ``float``.
+    """
+
+    def __init__(
+        self,
+        counter: OpCounter | None = None,
+        allow_libm: bool = False,
+        double_precision: bool | None = None,
+    ) -> None:
+        self.counter = counter if counter is not None else OpCounter()
+        self.allow_libm = bool(allow_libm)
+        if double_precision is None:
+            double_precision = self.allow_libm
+        self.double_precision = bool(double_precision)
+        self._dtype = np.float64 if self.double_precision else np.float32
+        self._prefix = "double" if self.double_precision else "float"
+
+    # -- precision helpers -------------------------------------------------
+
+    def _real(self, values: np.ndarray | float) -> np.ndarray:
+        return np.asarray(values, dtype=self._dtype)
+
+    def _charge_real(self, kind: str, n: int) -> None:
+        self.counter.charge(f"{self._prefix}_{kind}", n)
+
+    # -- libm gate ----------------------------------------------------------
+
+    def _require_libm(self, function: str) -> None:
+        if not self.allow_libm:
+            raise RestrictedEnvironmentError(
+                f"{function}() requires the C math library, which this build "
+                "does not link (paper, Section III: the Simplified version "
+                '"did not utilize the standard C math library")'
+            )
+
+    # -- element-wise arithmetic ---------------------------------------------
+
+    def add(self, a: np.ndarray | float, b: np.ndarray | float) -> np.ndarray:
+        """Element-wise addition, billed per scalar."""
+        out = self._real(a) + self._real(b)
+        self._charge_real("add", out.size)
+        self.counter.charge("mem_access", 2 * out.size)
+        return out.astype(self._dtype)
+
+    def sub(self, a: np.ndarray | float, b: np.ndarray | float) -> np.ndarray:
+        """Element-wise subtraction, billed per scalar."""
+        out = self._real(a) - self._real(b)
+        self._charge_real("add", out.size)
+        self.counter.charge("mem_access", 2 * out.size)
+        return out.astype(self._dtype)
+
+    def mul(self, a: np.ndarray | float, b: np.ndarray | float) -> np.ndarray:
+        """Element-wise multiplication, billed per scalar."""
+        out = self._real(a) * self._real(b)
+        self._charge_real("mul", out.size)
+        self.counter.charge("mem_access", 2 * out.size)
+        return out.astype(self._dtype)
+
+    def div(self, a: np.ndarray | float, b: np.ndarray | float) -> np.ndarray:
+        """Saturating division: zero denominators use the smallest normal.
+
+        Embedded code cannot trap on division by zero (the Amulet
+        toolchain statically rejects "problematic integer operations"),
+        so the device idiom is to clamp the denominator.
+        """
+        a, b = self._real(a), self._real(b)
+        tiny = np.asarray(np.finfo(self._dtype).tiny, dtype=self._dtype)
+        safe = np.where(np.abs(b) < tiny, np.where(b < 0, -tiny, tiny), b)
+        out = (a / safe).astype(self._dtype)
+        self._charge_real("div", out.size)
+        self.counter.charge("mem_access", 2 * out.size)
+        return out
+
+    def maximum(self, a: np.ndarray | float, b: np.ndarray | float) -> np.ndarray:
+        """Element-wise maximum against a floor (a branch per element)."""
+        out = np.maximum(self._real(a), self._real(b))
+        self.counter.charge("branch", out.size)
+        self.counter.charge("mem_access", 2 * out.size)
+        return out.astype(self._dtype)
+
+    # -- reductions -----------------------------------------------------------
+
+    def sum(self, a: np.ndarray) -> float:
+        """Sum reduction, billed as n-1 additions."""
+        a = self._real(a)
+        self._charge_real("add", max(a.size - 1, 0))
+        self.counter.charge("mem_access", a.size)
+        return self._dtype(a.sum(dtype=self._dtype))
+
+    def mean(self, a: np.ndarray) -> float:
+        """Arithmetic mean: a sum reduction plus one division."""
+        a = self._real(a)
+        total = self.sum(a)
+        self._charge_real("div", 1)
+        return self._dtype(total / self._dtype(max(a.size, 1)))
+
+    def min(self, a: np.ndarray) -> float:
+        """Minimum of an array (a branch per comparison)."""
+        a = self._real(a)
+        self.counter.charge("branch", max(a.size - 1, 0))
+        self.counter.charge("mem_access", a.size)
+        return self._dtype(a.min())
+
+    def max(self, a: np.ndarray) -> float:
+        """Maximum of an array (a branch per comparison)."""
+        a = self._real(a)
+        self.counter.charge("branch", max(a.size - 1, 0))
+        self.counter.charge("mem_access", a.size)
+        return self._dtype(a.max())
+
+    # -- libm-gated transcendentals ---------------------------------------------
+
+    def sqrt(self, a: np.ndarray | float) -> np.ndarray:
+        """Square root (libm-gated)."""
+        self._require_libm("sqrt")
+        a = self._real(a)
+        self.counter.charge("libm_sqrt", a.size)
+        return np.sqrt(a).astype(self._dtype)
+
+    def atan2(self, y: np.ndarray | float, x: np.ndarray | float) -> np.ndarray:
+        """Two-argument arctangent (libm-gated)."""
+        self._require_libm("atan2")
+        out = np.arctan2(self._real(y), self._real(x))
+        self.counter.charge("libm_atan", out.size)
+        return out.astype(self._dtype)
+
+    def exp(self, a: np.ndarray | float) -> np.ndarray:
+        """Exponential (libm-gated)."""
+        self._require_libm("exp")
+        a = self._real(a)
+        self.counter.charge("libm_exp", a.size)
+        return np.exp(a).astype(self._dtype)
+
+    # -- integer / structural helpers ----------------------------------------------
+
+    def normalize_minmax(self, a: np.ndarray) -> np.ndarray:
+        """Min-max normalize to [0, 1] (0.5 for flat signals)."""
+        a = self._real(a)
+        low = self.min(a)
+        high = self.max(a)
+        if high <= low:
+            self.counter.charge("mem_access", a.size)
+            return np.full(a.shape, self._dtype(0.5))
+        span = self._dtype(high - low)
+        self._charge_real("add", a.size)
+        self._charge_real("div", a.size)
+        self.counter.charge("mem_access", 2 * a.size)
+        return ((a - low) / span).astype(self._dtype)
+
+    def histogram2d(
+        self, x: np.ndarray, y: np.ndarray, n: int, saturate: int | None = 255
+    ) -> np.ndarray:
+        """Occupancy matrix over [0,1]^2, as the device's int loop builds it.
+
+        Per point: two real multiplications (coordinate scaling), two
+        real->int truncations, two clamps and one histogram increment.
+        ``saturate`` models the uint8 cell type of the on-device matrix
+        (counts clip at 255); pass ``None`` for unbounded counts.
+        """
+        if n < 1:
+            raise ValueError("grid size must be >= 1")
+        x, y = self._real(x), self._real(y)
+        if x.shape != y.shape:
+            raise ValueError("x and y must have equal shape")
+        col = np.clip((x * n).astype(np.int64), 0, n - 1)
+        row = np.clip((y * n).astype(np.int64), 0, n - 1)
+        matrix = np.zeros((n, n), dtype=np.int64)
+        np.add.at(matrix, (row, col), 1)
+        if saturate is not None:
+            matrix = np.minimum(matrix, int(saturate))
+        self._charge_real("mul", 2 * x.size)
+        self.counter.charge("int_op", 4 * x.size)  # truncate + clamp x2
+        self.counter.charge("mem_access", 3 * x.size)
+        return matrix
+
+    def int_sum(self, a: np.ndarray) -> int:
+        """Integer sum of an array, billed as the int loop."""
+        a = np.asarray(a)
+        self.counter.charge("int_op", max(a.size - 1, 0))
+        self.counter.charge("mem_access", a.size)
+        return int(a.sum())
+
+    def int_sq_sum(self, a: np.ndarray) -> int:
+        """Sum of squares of integer values (hardware-multiplier loop)."""
+        a = np.asarray(a, dtype=np.int64)
+        self.counter.charge("int_mul", a.size)
+        self.counter.charge("int_op", max(a.size - 1, 0))
+        self.counter.charge("mem_access", a.size)
+        return int(np.sum(a * a))
+
+    def int_to_real(self, a: np.ndarray) -> np.ndarray:
+        """Integer-to-real conversion, billed per element."""
+        a = np.asarray(a)
+        self.counter.charge("int_op", a.size)
+        self.counter.charge("mem_access", 2 * a.size)
+        return a.astype(self._dtype)
+
+    def dot(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Real dot product (used by the Original build's classifier)."""
+        a, b = self._real(a), self._real(b)
+        if a.shape != b.shape:
+            raise ValueError("dot operands must have equal shape")
+        self._charge_real("mul", a.size)
+        self._charge_real("add", max(a.size - 1, 0))
+        self.counter.charge("mem_access", 2 * a.size)
+        return self._dtype(np.dot(a, b))
+
+    def fixed_mac(
+        self, weights_q: np.ndarray, features_q: np.ndarray, frac_bits: int
+    ) -> int:
+        """Integer multiply-accumulate of a quantized linear model."""
+        weights_q = np.asarray(weights_q, dtype=np.int64)
+        features_q = np.asarray(features_q, dtype=np.int64)
+        if weights_q.shape != features_q.shape:
+            raise ValueError("weight and feature vectors must have equal shape")
+        acc = 0
+        for w, f in zip(weights_q.tolist(), features_q.tolist()):
+            acc += (w * f) >> frac_bits
+        self.counter.charge("int_mul", weights_q.size)
+        self.counter.charge("int_op", 2 * weights_q.size)  # shift + accumulate
+        self.counter.charge("mem_access", 2 * weights_q.size)
+        return acc

@@ -1,0 +1,149 @@
+"""The Amulet's internal sensors.
+
+The prototype "is equipped with internal sensors for use by developers: an
+Analog Devices ADMP510 microphone, an Avago Tech APDS-9008 light sensor, a
+TI TMP20 temperature sensor, an STMicroelectronics L3GD20H gyroscope and
+an AD ADXL362 accelerometer."  These models generate plausible sample
+batches for the companion apps that share the device with the SIFT
+detector (the Amulet's multi-app support is one of the paper's four
+reasons for choosing it as the base station).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Accelerometer",
+    "InternalSensor",
+    "LightSensor",
+    "SensorBatch",
+    "TemperatureSensor",
+]
+
+
+@dataclass(frozen=True)
+class SensorBatch:
+    """One batch of samples from an internal sensor."""
+
+    sensor: str
+    start_time_s: float
+    sample_rate: float
+    samples: np.ndarray  # shape (n,) or (n, n_axes)
+
+    @property
+    def duration_s(self) -> float:
+        return self.samples.shape[0] / self.sample_rate
+
+
+class InternalSensor(abc.ABC):
+    """An on-board sensor producing fixed-rate sample batches."""
+
+    name: str = "sensor"
+    sample_rate: float = 50.0
+
+    @abc.abstractmethod
+    def sample(
+        self, start_time_s: float, duration_s: float, rng: np.random.Generator
+    ) -> SensorBatch:
+        """Generate one batch covering ``duration_s`` seconds."""
+
+    def _batch(self, start_time_s: float, samples: np.ndarray) -> SensorBatch:
+        return SensorBatch(
+            sensor=self.name,
+            start_time_s=start_time_s,
+            sample_rate=self.sample_rate,
+            samples=samples,
+        )
+
+
+class Accelerometer(InternalSensor):
+    """ADXL362 model: 3-axis acceleration with gait impulses.
+
+    While the wearer walks, each step adds a damped impulse on top of
+    gravity plus sensor noise -- enough structure for a step-counting
+    companion app.
+
+    Parameters
+    ----------
+    cadence_hz:
+        Steps per second while walking (0 models standing still).
+    step_amplitude_g:
+        Peak acceleration of a step impulse.
+    """
+
+    name = "accelerometer"
+    sample_rate = 50.0
+
+    def __init__(self, cadence_hz: float = 1.8, step_amplitude_g: float = 0.45) -> None:
+        if cadence_hz < 0:
+            raise ValueError("cadence_hz must be non-negative")
+        if step_amplitude_g < 0:
+            raise ValueError("step_amplitude_g must be non-negative")
+        self.cadence_hz = float(cadence_hz)
+        self.step_amplitude_g = float(step_amplitude_g)
+
+    def sample(
+        self, start_time_s: float, duration_s: float, rng: np.random.Generator
+    ) -> SensorBatch:
+        n = int(round(duration_s * self.sample_rate))
+        t = np.arange(n) / self.sample_rate
+        samples = np.zeros((n, 3))
+        samples[:, 2] = 1.0  # gravity on z
+        samples += 0.02 * rng.standard_normal((n, 3))
+        if self.cadence_hz > 0:
+            phase = rng.uniform(0.0, 1.0 / self.cadence_hz)
+            step_times = np.arange(phase, duration_s, 1.0 / self.cadence_hz)
+            for step_time in step_times:
+                impulse = self.step_amplitude_g * np.exp(
+                    -((t - step_time) ** 2) / (2 * 0.03**2)
+                )
+                samples[:, 2] += impulse
+                samples[:, 0] += 0.4 * impulse * rng.uniform(0.5, 1.0)
+        return self._batch(start_time_s, samples)
+
+    def expected_steps(self, duration_s: float) -> int:
+        """Ground-truth step count for a walking duration."""
+        return int(self.cadence_hz * duration_s)
+
+
+class LightSensor(InternalSensor):
+    """APDS-9008 model: slowly varying ambient light in lux."""
+
+    name = "light"
+    sample_rate = 2.0
+
+    def __init__(self, mean_lux: float = 300.0) -> None:
+        if mean_lux < 0:
+            raise ValueError("mean_lux must be non-negative")
+        self.mean_lux = float(mean_lux)
+
+    def sample(
+        self, start_time_s: float, duration_s: float, rng: np.random.Generator
+    ) -> SensorBatch:
+        n = max(1, int(round(duration_s * self.sample_rate)))
+        drift = np.cumsum(rng.standard_normal(n)) * 2.0
+        samples = np.maximum(self.mean_lux + drift, 0.0)
+        return self._batch(start_time_s, samples)
+
+
+class TemperatureSensor(InternalSensor):
+    """TMP20 model: skin temperature around 33 C with slow drift."""
+
+    name = "temperature"
+    sample_rate = 1.0
+
+    def __init__(self, mean_c: float = 33.0) -> None:
+        self.mean_c = float(mean_c)
+
+    def sample(
+        self, start_time_s: float, duration_s: float, rng: np.random.Generator
+    ) -> SensorBatch:
+        n = max(1, int(round(duration_s * self.sample_rate)))
+        samples = self.mean_c + 0.05 * np.cumsum(rng.standard_normal(n)) / np.sqrt(
+            np.arange(1, n + 1)
+        )
+        return self._batch(start_time_s, samples)

@@ -1,0 +1,21 @@
+"""Companion Amulet applications.
+
+The Amulet "allows multiple applications from different third party
+developers to be deployed on the same device", and the paper's adaptive
+vision assumes the SIFT detector coexists with ordinary wellness apps.
+These are two such apps, in the style of the Amulet paper's example suite:
+
+- :class:`~repro.apps.pedometer.PedometerApp` -- step counting from the
+  internal accelerometer;
+- :class:`~repro.apps.heart_rate.HeartRateApp` -- heart-rate display from
+  the same ECG windows the detector consumes.
+
+Both are complete QM apps with resource declarations, so they install
+next to the SIFT detector in one firmware image and compete for the same
+energy budget.
+"""
+
+from repro.apps.heart_rate import HeartRateApp
+from repro.apps.pedometer import PedometerApp
+
+__all__ = ["HeartRateApp", "PedometerApp"]

@@ -1,0 +1,95 @@
+"""A heart-rate display companion app.
+
+Consumes the same :class:`~repro.sift_app.payload.DeviceWindow` snippets
+the SIFT detector receives (on the real Amulet both apps subscribe to the
+ECG stream through the OS) and maintains an exponentially smoothed heart
+rate from the pre-stored R-peak indexes.
+"""
+
+from __future__ import annotations
+
+from repro.amulet.qm import Event, QMApp, State, StateMachine
+from repro.sift_app.payload import DeviceWindow
+
+__all__ = ["HeartRateApp"]
+
+
+def _on_sensor_data(app: "HeartRateApp", event: Event) -> str | None:
+    window = app.services.fetch_window()
+    if window is None:
+        return None
+    if not isinstance(window, DeviceWindow):
+        app.ignored_payloads += 1
+        return None
+    app._window = window
+    return "Computing"
+
+
+def _compute(app: "HeartRateApp") -> str:
+    window = app._window
+    assert window is not None, "Computing entered without a window"
+    math = app.services.math
+    n_beats = int(window.r_peaks.size)
+    math.counter.charge("int_op", 4)
+    if n_beats >= 2:
+        # Rate from the spanned RR intervals: robust to window edges.
+        span_samples = int(window.r_peaks[-1] - window.r_peaks[0])
+        span_s = span_samples / window.sample_rate
+        math.counter.charge("float_div", 2)
+        math.counter.charge("float_mul", 1)
+        if span_s > 0:
+            instantaneous = 60.0 * (n_beats - 1) / span_s
+            if app.heart_rate_bpm is None:
+                app.heart_rate_bpm = instantaneous
+            else:
+                # Exponential smoothing, alpha = 1/4 (shift-friendly).
+                math.counter.charge("float_mul", 2)
+                math.counter.charge("float_add", 1)
+                app.heart_rate_bpm += 0.25 * (instantaneous - app.heart_rate_bpm)
+            app.windows_seen += 1
+            text = app.services.float_to_string(app.heart_rate_bpm, 0)
+            app.services.display_write(2, f"HR {text} bpm")
+            if app.heart_rate_bpm > app.tachycardia_bpm:
+                app.services.alert("HIGH HEART RATE")
+    app._window = None
+    return "Idle"
+
+
+class HeartRateApp(QMApp):
+    """Smoothed heart-rate display with a tachycardia alert."""
+
+    def __init__(self, name: str = "heart-rate", tachycardia_bpm: float = 150.0) -> None:
+        idle = State("Idle").on("SENSOR_DATA", _on_sensor_data)
+        computing = State("Computing", on_entry=_compute)
+        super().__init__(name, StateMachine([idle, computing], initial="Idle"))
+        if tachycardia_bpm <= 0:
+            raise ValueError("tachycardia_bpm must be positive")
+        self.tachycardia_bpm = float(tachycardia_bpm)
+        self.heart_rate_bpm: float | None = None
+        self.windows_seen = 0
+        self.ignored_payloads = 0
+        self._window: DeviceWindow | None = None
+
+    # -- resource declarations ------------------------------------------
+
+    def code_inventory(self) -> dict[str, int]:
+        return {
+            "window_fetch": 180,
+            "rr_rate": 190,
+            "smoothing": 90,
+            "display_alert": 140,
+            "state_glue": 160,
+        }
+
+    def static_data_bytes(self) -> dict[str, int]:
+        return {"hr_state": 8}
+
+    def sram_peak_bytes(self) -> int:
+        return 36
+
+    def uses_libm(self) -> bool:
+        return False
+
+    def required_services(self) -> set[str]:
+        """System services this app links against."""
+        return {"float_arithmetic", "string_float", "signal_arrays"}

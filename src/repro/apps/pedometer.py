@@ -1,0 +1,107 @@
+"""A step-counting companion app.
+
+Consumes :class:`~repro.amulet.sensors.SensorBatch` payloads from the
+internal ADXL362 accelerometer and counts steps with a threshold-plus-
+refractory detector over the acceleration magnitude, the standard
+wearable-pedometer algorithm.  Two states: *Idle* (waiting for data) and
+*Counting* (processing a batch and updating the display).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amulet.qm import Event, QMApp, State, StateMachine
+from repro.amulet.sensors import SensorBatch
+
+__all__ = ["PedometerApp"]
+
+#: Acceleration magnitude above gravity that counts as a step candidate.
+_STEP_THRESHOLD_G = 0.25
+#: Minimum spacing between steps, in seconds (max ~3.3 steps/s).
+_REFRACTORY_S = 0.3
+
+
+def _on_sensor_data(app: "PedometerApp", event: Event) -> str | None:
+    batch = app.services.fetch_window()
+    if batch is None:
+        return None
+    if not isinstance(batch, SensorBatch) or batch.sensor != "accelerometer":
+        app.ignored_batches += 1
+        return None
+    app._batch = batch
+    return "Counting"
+
+
+def _count(app: "PedometerApp") -> str:
+    batch = app._batch
+    assert batch is not None, "Counting entered without a batch"
+    math = app.services.math
+    samples = batch.samples.astype(np.float32)
+
+    # Magnitude above gravity, squared to avoid sqrt (no libm linked).
+    sq = math.add(
+        math.add(
+            math.mul(samples[:, 0], samples[:, 0]),
+            math.mul(samples[:, 1], samples[:, 1]),
+        ),
+        math.mul(samples[:, 2], samples[:, 2]),
+    )
+    threshold_sq = (1.0 + _STEP_THRESHOLD_G) ** 2
+    above = sq > threshold_sq
+    math.counter.charge("branch", above.size)
+
+    refractory = int(_REFRACTORY_S * batch.sample_rate)
+    last = app._last_step_sample - app._samples_seen
+    for i in np.flatnonzero(above):
+        math.counter.charge("int_op", 2)
+        if i - last >= refractory:
+            app.steps += 1
+            last = int(i)
+    app._last_step_sample = app._samples_seen + last
+    app._samples_seen += samples.shape[0]
+
+    text = app.services.float_to_string(float(app.steps), 0)
+    app.services.display_write(1, f"steps {text}")
+    app._batch = None
+    return "Idle"
+
+
+class PedometerApp(QMApp):
+    """Step counter sharing the Amulet with the SIFT detector."""
+
+    def __init__(self, name: str = "pedometer") -> None:
+        idle = State("Idle").on("SENSOR_DATA", _on_sensor_data)
+        counting = State("Counting", on_entry=_count)
+        super().__init__(
+            name, StateMachine([idle, counting], initial="Idle")
+        )
+        self.steps = 0
+        self.ignored_batches = 0
+        self._batch: SensorBatch | None = None
+        self._samples_seen = 0
+        self._last_step_sample = -(10**9)
+
+    # -- resource declarations ------------------------------------------
+
+    def code_inventory(self) -> dict[str, int]:
+        return {
+            "batch_fetch": 180,
+            "magnitude_threshold": 220,
+            "step_refractory": 140,
+            "display_update": 120,
+            "state_glue": 160,
+        }
+
+    def static_data_bytes(self) -> dict[str, int]:
+        return {"step_counter": 4, "gait_state": 12}
+
+    def sram_peak_bytes(self) -> int:
+        return 48
+
+    def uses_libm(self) -> bool:
+        return False
+
+    def required_services(self) -> set[str]:
+        """System services this app links against."""
+        return {"float_arithmetic", "string_float"}

@@ -1,0 +1,29 @@
+"""Sensor-hijacking attack models.
+
+The paper defines sensor-hijacking as "attacks that prevent sensors from
+accurately collecting or reporting their measurements" and evaluates the
+concrete case of replacing a user's ECG with someone else's.  This
+subpackage implements that attack plus the other manifestations the paper's
+threat model lists (reporting *old* measurements -> replay; sensory-channel
+injection -> interference/morphology injection), and the scenario builder
+that produces the paper's 2-minute, 50 %-altered evaluation streams.
+"""
+
+from repro.attacks.base import SensorHijackingAttack
+from repro.attacks.injection import (
+    InterferenceInjectionAttack,
+    MorphologyInjectionAttack,
+)
+from repro.attacks.replacement import ReplacementAttack
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.scenario import AttackScenario, LabeledStream
+
+__all__ = [
+    "AttackScenario",
+    "InterferenceInjectionAttack",
+    "LabeledStream",
+    "MorphologyInjectionAttack",
+    "ReplacementAttack",
+    "ReplayAttack",
+    "SensorHijackingAttack",
+]

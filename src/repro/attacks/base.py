@@ -1,0 +1,52 @@
+"""Attack interface.
+
+A sensor-hijacking attack tampers with the ECG stream *as reported to the
+base station*: the adversary controls what the ECG sensor sends, not the
+user's physiology.  Consequently an attack rewrites a window's ECG samples
+and the R-peak indexes derived from them, while the ABP samples and
+systolic peaks -- the trusted reference signal in the paper's threat model
+-- pass through untouched.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.signals.dataset import SignalWindow
+
+__all__ = ["SensorHijackingAttack"]
+
+
+class SensorHijackingAttack(abc.ABC):
+    """Base class for attacks on the reported ECG stream."""
+
+    #: Short machine-readable attack name (used in experiment reports).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def alter(self, window: SignalWindow, rng: np.random.Generator) -> SignalWindow:
+        """Return the window as the adversary would report it.
+
+        Implementations must leave ``window.abp`` and
+        ``window.systolic_peaks`` unchanged and set ``altered=True`` on the
+        returned window.
+        """
+
+    @staticmethod
+    def _rebuild(
+        window: SignalWindow, ecg: np.ndarray, r_peaks: np.ndarray
+    ) -> SignalWindow:
+        """Assemble the altered window, preserving the trusted ABP side."""
+        if ecg.shape != window.ecg.shape:
+            raise ValueError("altered ECG must keep the window length")
+        return SignalWindow(
+            ecg=np.asarray(ecg, dtype=np.float64),
+            abp=window.abp,
+            r_peaks=np.asarray(r_peaks, dtype=np.intp),
+            systolic_peaks=window.systolic_peaks,
+            sample_rate=window.sample_rate,
+            subject_id=window.subject_id,
+            altered=True,
+        )

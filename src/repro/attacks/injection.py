@@ -1,0 +1,92 @@
+"""Sensory-channel injection attacks.
+
+The paper's threat model includes hijacking "through the unprotected
+sensory-channel" (EMI signal injection a la Ghost Talk, reference [5]).
+Two models are provided:
+
+* :class:`InterferenceInjectionAttack` -- additive narrow-band interference
+  strong enough to corrupt QRS detection, as an EMI adversary would induce;
+* :class:`MorphologyInjectionAttack` -- the reported waveform is the
+  victim's, but time-shifted and amplitude-warped, modelling an adversary
+  that manipulates the analog front end rather than substituting a signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import SensorHijackingAttack
+from repro.signals.dataset import SignalWindow
+from repro.signals.peaks import detect_r_peaks
+
+__all__ = ["InterferenceInjectionAttack", "MorphologyInjectionAttack"]
+
+
+class InterferenceInjectionAttack(SensorHijackingAttack):
+    """Add narrow-band interference to the reported ECG.
+
+    Parameters
+    ----------
+    amplitude:
+        Interference amplitude in the ECG's units (mV).  The default is of
+        the same order as the R wave, enough to spawn false QRS detections.
+    frequency:
+        Interference frequency in Hz.  Defaults to an in-band frequency a
+        naive notch filter would not remove.
+    """
+
+    name = "interference"
+
+    def __init__(self, amplitude: float = 0.8, frequency: float = 7.0) -> None:
+        if amplitude < 0:
+            raise ValueError("amplitude must be non-negative")
+        if frequency <= 0:
+            raise ValueError("frequency must be positive")
+        self.amplitude = float(amplitude)
+        self.frequency = float(frequency)
+
+    def alter(self, window: SignalWindow, rng: np.random.Generator) -> SignalWindow:
+        t = np.arange(window.n_samples) / window.sample_rate
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        ecg = window.ecg + self.amplitude * np.sin(
+            2.0 * np.pi * self.frequency * t + phase
+        )
+        # The pipeline derives peak indexes from the reported signal, so
+        # re-detect on the corrupted waveform.
+        r_peaks = detect_r_peaks(ecg, window.sample_rate)
+        return self._rebuild(window, ecg=ecg, r_peaks=r_peaks)
+
+
+class MorphologyInjectionAttack(SensorHijackingAttack):
+    """Time-shift and amplitude-warp the victim's own ECG.
+
+    Parameters
+    ----------
+    max_shift_s:
+        Maximum circular time shift in seconds; the actual shift is drawn
+        uniformly from ``[0.25 * max, max]`` so every altered window is
+        meaningfully misaligned.
+    gain_range:
+        ``(low, high)`` multiplicative amplitude distortion.
+    """
+
+    name = "morphology"
+
+    def __init__(
+        self, max_shift_s: float = 0.4, gain_range: tuple[float, float] = (0.5, 1.6)
+    ) -> None:
+        if max_shift_s <= 0:
+            raise ValueError("max_shift_s must be positive")
+        low, high = gain_range
+        if not 0 < low <= high:
+            raise ValueError("gain_range must satisfy 0 < low <= high")
+        self.max_shift_s = float(max_shift_s)
+        self.gain_range = (float(low), float(high))
+
+    def alter(self, window: SignalWindow, rng: np.random.Generator) -> SignalWindow:
+        shift_s = rng.uniform(0.25 * self.max_shift_s, self.max_shift_s)
+        shift = max(1, int(shift_s * window.sample_rate))
+        gain = rng.uniform(*self.gain_range)
+        ecg = gain * np.roll(window.ecg, shift)
+        r_peaks = np.sort((window.r_peaks + shift) % window.n_samples)
+        return self._rebuild(window, ecg=ecg, r_peaks=r_peaks)

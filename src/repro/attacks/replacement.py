@@ -1,0 +1,59 @@
+"""Cross-subject ECG replacement -- the attack the paper evaluates.
+
+"We simulated ECG measurement alteration due to sensor hijacking by
+replacing a user's ECG with someone else's."  The donor signal comes from a
+different subject's recording; its beat timing and morphology no longer
+track the victim's ABP, which is the inconsistency SIFT detects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import SensorHijackingAttack
+from repro.signals.dataset import Record, SignalWindow
+from repro.signals.peaks import peak_indices_in_window
+
+__all__ = ["ReplacementAttack"]
+
+
+class ReplacementAttack(SensorHijackingAttack):
+    """Replace the victim's ECG with a segment of a donor subject's ECG.
+
+    Parameters
+    ----------
+    donors:
+        One or more donor :class:`~repro.signals.dataset.Record` objects
+        (recordings of *other* subjects).  Each altered window draws a
+        uniformly random segment from a uniformly random donor.
+    """
+
+    name = "replacement"
+
+    def __init__(self, donors: list[Record] | Record) -> None:
+        if isinstance(donors, Record):
+            donors = [donors]
+        if not donors:
+            raise ValueError("at least one donor record is required")
+        self.donors = list(donors)
+
+    def alter(self, window: SignalWindow, rng: np.random.Generator) -> SignalWindow:
+        donor = self.donors[int(rng.integers(len(self.donors)))]
+        if donor.subject_id == window.subject_id:
+            raise ValueError(
+                "donor record belongs to the victim subject; replacement "
+                "would not be an attack"
+            )
+        length = window.n_samples
+        if donor.n_samples < length:
+            raise ValueError(
+                f"donor record ({donor.n_samples} samples) is shorter than "
+                f"the window ({length} samples)"
+            )
+        start = int(rng.integers(donor.n_samples - length + 1))
+        stop = start + length
+        return self._rebuild(
+            window,
+            ecg=donor.ecg[start:stop].copy(),
+            r_peaks=peak_indices_in_window(donor.r_peaks, start, stop),
+        )

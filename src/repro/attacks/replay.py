@@ -1,0 +1,51 @@
+"""Replay attack: reporting *old* measurements.
+
+The paper's definition of sensor hijacking explicitly includes "reporting
+old ... physiological measurements".  A replay adversary records the
+victim's own ECG and feeds it back later.  Morphology then still matches
+the victim, but beat timing no longer tracks the live ABP -- a strictly
+harder case for the detector than cross-subject replacement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import SensorHijackingAttack
+from repro.signals.dataset import Record, SignalWindow
+from repro.signals.peaks import peak_indices_in_window
+
+__all__ = ["ReplayAttack"]
+
+
+class ReplayAttack(SensorHijackingAttack):
+    """Replay a segment of the victim's own, previously captured ECG.
+
+    Parameters
+    ----------
+    captured:
+        A recording of the *victim* captured earlier by the adversary (for
+        instance, an old training record).
+    """
+
+    name = "replay"
+
+    def __init__(self, captured: Record) -> None:
+        self.captured = captured
+
+    def alter(self, window: SignalWindow, rng: np.random.Generator) -> SignalWindow:
+        if self.captured.subject_id != window.subject_id:
+            raise ValueError(
+                "replay source must be a recording of the victim; use "
+                "ReplacementAttack for cross-subject material"
+            )
+        length = window.n_samples
+        if self.captured.n_samples < length:
+            raise ValueError("captured record is shorter than the window")
+        start = int(rng.integers(self.captured.n_samples - length + 1))
+        stop = start + length
+        return self._rebuild(
+            window,
+            ecg=self.captured.ecg[start:stop].copy(),
+            r_peaks=peak_indices_in_window(self.captured.r_peaks, start, stop),
+        )

@@ -1,0 +1,99 @@
+"""Evaluation scenario builder.
+
+Reproduces the paper's test protocol: take 2 minutes of *unseen* ECG and
+ABP, alter about 50 % of it by applying a sensor-hijacking attack "in
+random locations within the 2 minute snippet", and cut the stream into
+w = 3 s windows -- 40 test examples per subject, each labelled with the
+ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.base import SensorHijackingAttack
+from repro.signals.dataset import Record, SignalWindow
+
+__all__ = ["AttackScenario", "LabeledStream"]
+
+
+@dataclass(frozen=True)
+class LabeledStream:
+    """A sequence of windows as received by the base station, with truth."""
+
+    windows: list[SignalWindow]
+    subject_id: str
+    attack_name: str
+
+    def __post_init__(self) -> None:
+        if any(w.altered is None for w in self.windows):
+            raise ValueError("every window in a labeled stream needs a label")
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Boolean ground truth: ``True`` where the window was altered."""
+        return np.array([bool(w.altered) for w in self.windows])
+
+    @property
+    def n_altered(self) -> int:
+        return int(self.labels.sum())
+
+
+class AttackScenario:
+    """Build labelled evaluation streams from a clean test record.
+
+    Parameters
+    ----------
+    attack:
+        The sensor-hijacking attack to apply.
+    window_s:
+        Detector window size; the paper uses 3 seconds.
+    altered_fraction:
+        Fraction of windows to alter; the paper alters about half.
+    """
+
+    def __init__(
+        self,
+        attack: SensorHijackingAttack,
+        window_s: float = 3.0,
+        altered_fraction: float = 0.5,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if not 0.0 <= altered_fraction <= 1.0:
+            raise ValueError("altered_fraction must be in [0, 1]")
+        self.attack = attack
+        self.window_s = float(window_s)
+        self.altered_fraction = float(altered_fraction)
+
+    def build(self, record: Record, rng: np.random.Generator) -> LabeledStream:
+        """Cut ``record`` into windows and attack a random subset.
+
+        The altered windows are chosen uniformly at random without
+        replacement (the paper's "random locations"); their count is
+        ``round(altered_fraction * n_windows)``.
+        """
+        length = int(round(self.window_s * record.sample_rate))
+        n_windows = record.n_samples // length
+        if n_windows == 0:
+            raise ValueError("record is shorter than one window")
+        n_altered = int(round(self.altered_fraction * n_windows))
+        altered_at = set(
+            rng.choice(n_windows, size=n_altered, replace=False).tolist()
+        )
+        windows: list[SignalWindow] = []
+        for i in range(n_windows):
+            window = record.window(i * length, length, altered=False)
+            if i in altered_at:
+                window = self.attack.alter(window, rng)
+            windows.append(window)
+        return LabeledStream(
+            windows=windows,
+            subject_id=record.subject_id,
+            attack_name=self.attack.name,
+        )

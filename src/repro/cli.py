@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    The quickstart flow: train one detector, attack the stream, report.
+``table2`` / ``table3`` / ``fig3``
+    Regenerate the paper's tables and figure (``--quick`` for a reduced
+    cohort).
+``profile``
+    Build one detector version, deploy it on the simulated Amulet and
+    print the ARP-view pane.
+``export``
+    Train a detector and write its deployable artifacts: the JSON model
+    and the generated C decision function.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SIFT sensor-hijacking detection on a simulated Amulet "
+        "(ICDCS 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="train, attack, detect (quickstart)")
+    demo.add_argument("--version", default="simplified",
+                      choices=("original", "simplified", "reduced"))
+    demo.add_argument("--seed", type=int, default=42)
+
+    for name in ("table2", "table3", "fig3"):
+        table = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        table.add_argument("--quick", action="store_true",
+                           help="reduced cohort, short training")
+
+    profile = sub.add_parser("profile", help="ARP-view pane for one build")
+    profile.add_argument("--version", default="original",
+                         choices=("original", "simplified", "reduced"))
+
+    export = sub.add_parser("export", help="write deployable model artifacts")
+    export.add_argument("--version", default="simplified",
+                        choices=("simplified", "reduced"))
+    export.add_argument("--out", type=Path, default=Path("sift_model"),
+                        help="output path stem (.json and .c are appended)")
+    return parser
+
+
+def _config(quick: bool):
+    from repro.experiments import ExperimentConfig
+
+    return ExperimentConfig.quick() if quick else ExperimentConfig()
+
+
+def _train_demo_detector(version: str):
+    from repro.core import SIFTDetector
+    from repro.signals import SyntheticFantasia
+
+    data = SyntheticFantasia()
+    victim = data.subjects[0]
+    others = [s for s in data.subjects if s is not victim]
+    detector = SIFTDetector(version=version)
+    detector.fit(
+        data.training_record(victim),
+        [data.record(s, 120.0, "train") for s in others[:3]],
+    )
+    return data, victim, others, detector
+
+
+def _cmd_demo(args) -> int:
+    from repro.attacks import AttackScenario, ReplacementAttack
+
+    data, victim, others, detector = _train_demo_detector(args.version)
+    stream = AttackScenario(
+        ReplacementAttack([data.record(s, 120.0, "test") for s in others[3:6]])
+    ).build(data.test_record(victim), np.random.default_rng(args.seed))
+    report = detector.evaluate(stream)
+    fp, fn, acc, f1 = report.as_percent_row()
+    print(f"subject {victim.subject_id}, {args.version} build, "
+          f"{len(stream)} windows ({stream.n_altered} altered)")
+    print(f"FP {fp:.2f}%  FN {fn:.2f}%  accuracy {acc:.2f}%  F1 {f1:.2f}%")
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.experiments import format_table2, run_table2
+
+    print(format_table2(run_table2(_config(args.quick))))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from repro.experiments import format_table3, run_table3
+
+    print(format_table3(run_table3(_config(args.quick))))
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    from repro.experiments import format_fig3, run_fig3
+
+    print(format_fig3(run_fig3(_config(args.quick))))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.amulet import render_memory_map, render_profile
+    from repro.attacks import AttackScenario, ReplacementAttack
+    from repro.sift_app import AmuletSIFTRunner
+
+    data, victim, others, detector = _train_demo_detector(args.version)
+    runner = AmuletSIFTRunner(detector)
+    stream = AttackScenario(
+        ReplacementAttack([data.record(s, 120.0, "test") for s in others[3:6]])
+    ).build(data.test_record(victim), np.random.default_rng(0))
+    runner.run_stream(stream)
+    print(render_memory_map(runner.image))
+    print()
+    print(render_profile(runner.profile(period_s=3.0)))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.core.serialization import save_detector
+
+    _, victim, _, detector = _train_demo_detector(args.version)
+    json_path = args.out.with_suffix(".json")
+    c_path = args.out.with_suffix(".c")
+    save_detector(detector, json_path)
+    c_path.write_text(detector.deploy().to_c_source())
+    print(f"wrote {json_path} (model for {victim.subject_id}) and {c_path}")
+    return 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "fig3": _cmd_fig3,
+    "profile": _cmd_profile,
+    "export": _cmd_export,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

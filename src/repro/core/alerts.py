@@ -1,0 +1,70 @@
+"""Alert records.
+
+"If the feature point is deemed to be positive, then this w second ECG
+signal snippet is considered to be altered and an alert will be generated."
+On the simulated Amulet the alert additionally goes to the LED display; the
+:class:`AlertLog` is the platform-independent record of what the detector
+raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Alert", "AlertLog"]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One raised alert.
+
+    Attributes
+    ----------
+    window_index:
+        Index of the offending window in the inspected stream.
+    time_s:
+        Stream time of the window start, in seconds.
+    subject_id:
+        Wearer whose model raised the alert.
+    version:
+        Detector version name ("original" / "simplified" / "reduced").
+    decision_value:
+        The classifier's decision value; larger means more confidently
+        altered.
+    """
+
+    window_index: int
+    time_s: float
+    subject_id: str
+    version: str
+    decision_value: float
+
+    def __post_init__(self) -> None:
+        if self.window_index < 0:
+            raise ValueError("window_index must be non-negative")
+
+
+@dataclass
+class AlertLog:
+    """Append-only log of alerts raised during a stream inspection."""
+
+    alerts: list[Alert] = field(default_factory=list)
+
+    def raise_alert(self, alert: Alert) -> None:
+        """Append one alert to the log."""
+        self.alerts.append(alert)
+
+    def __len__(self) -> int:
+        return len(self.alerts)
+
+    def __iter__(self) -> Iterator[Alert]:
+        return iter(self.alerts)
+
+    @property
+    def window_indices(self) -> list[int]:
+        return [alert.window_index for alert in self.alerts]
+
+    def since(self, time_s: float) -> list[Alert]:
+        """Alerts at or after a stream time."""
+        return [alert for alert in self.alerts if alert.time_s >= time_s]

@@ -1,0 +1,169 @@
+"""The SIFT detector: per-user train / classify / deploy API.
+
+One :class:`SIFTDetector` instance is one *version* of the detector trained
+for one wearer.  ``fit`` runs the paper's offline training step;
+``classify_window`` is the reference ("MATLAB") detection path; ``deploy``
+exports the fixed-point model that the simulated Amulet app executes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.scenario import LabeledStream
+from repro.core.alerts import Alert, AlertLog
+from repro.core.features.base import FeatureExtractor
+from repro.core.training import TrainingSet, build_training_set
+from repro.core.versions import DetectorVersion, make_extractor
+from repro.ml.kernels import make_kernel
+from repro.ml.metrics import DetectionReport, score_predictions
+from repro.ml.model_codegen import FixedPointLinearModel, export_fixed_point
+from repro.ml.scaler import StandardScaler
+from repro.ml.svm import SVC
+from repro.signals.dataset import Record, SignalWindow
+
+__all__ = ["SIFTDetector"]
+
+
+class SIFTDetector:
+    """A trainable, deployable SIFT detector for one wearer.
+
+    Parameters
+    ----------
+    version:
+        Which of the three builds to use; accepts a
+        :class:`~repro.core.versions.DetectorVersion` or its string name.
+    window_s:
+        Detection window size ``w``; the paper uses 3 seconds.
+    grid_n:
+        Occupancy-grid side length for the matrix features (paper: 50).
+    C:
+        SVM soft-margin penalty.
+    kernel:
+        ``"linear"`` (the paper's deployed choice) or ``"rbf"``.
+    seed:
+        Seed for the SMO solver's internal randomness.
+    """
+
+    def __init__(
+        self,
+        version: DetectorVersion | str = DetectorVersion.ORIGINAL,
+        window_s: float = 3.0,
+        grid_n: int = 50,
+        C: float = 1.0,
+        kernel: str = "linear",
+        seed: int = 0,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if isinstance(version, str):
+            version = DetectorVersion.from_name(version)
+        self.version = version
+        self.window_s = float(window_s)
+        self.grid_n = int(grid_n)
+        self.kernel_name = kernel
+        self.extractor: FeatureExtractor = make_extractor(version, grid_n=grid_n)
+        self.scaler = StandardScaler()
+        self.svc = SVC(C=C, kernel=make_kernel(kernel), seed=seed)
+        self.subject_id: str | None = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Training (offline; "need not be done on amulet platform itself")
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        training_record: Record,
+        donor_records: list[Record],
+        stride_s: float | None = None,
+        rng: np.random.Generator | None = None,
+        attacks: list | None = None,
+    ) -> "SIFTDetector":
+        """Train the per-user model from a training recording and donors.
+
+        ``attacks`` widens the positive class beyond the paper's default
+        cross-subject replacement (see
+        :func:`~repro.core.training.build_training_set`).
+        """
+        training_set = build_training_set(
+            self.extractor,
+            training_record,
+            donor_records,
+            window_s=self.window_s,
+            stride_s=stride_s,
+            rng=rng,
+            attacks=attacks,
+        )
+        return self.fit_training_set(training_set, subject_id=training_record.subject_id)
+
+    def fit_training_set(
+        self, training_set: TrainingSet, subject_id: str | None = None
+    ) -> "SIFTDetector":
+        """Train directly from a prepared :class:`TrainingSet`."""
+        if training_set.X.shape[1] != self.extractor.n_features:
+            raise ValueError(
+                f"training set has {training_set.X.shape[1]} features but the "
+                f"{self.version.value} extractor produces {self.extractor.n_features}"
+            )
+        X = self.scaler.fit_transform(training_set.X)
+        self.svc.fit(X, training_set.y)
+        self.subject_id = subject_id
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Detection (reference float path)
+    # ------------------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("SIFTDetector is not fitted; call fit() first")
+
+    def extract_features(self, window: SignalWindow) -> np.ndarray:
+        """Raw (unstandardized) feature vector of one window."""
+        return self.extractor.extract_window(window)
+
+    def decision_value(self, window: SignalWindow) -> float:
+        """Signed score; non-negative means "altered"."""
+        self._require_fitted()
+        features = self.scaler.transform(self.extract_features(window))
+        return float(self.svc.decision_function(features)[0])
+
+    def classify_window(self, window: SignalWindow) -> bool:
+        """``True`` when the window is classified as altered."""
+        return self.decision_value(window) >= 0.0
+
+    def inspect_stream(self, stream: LabeledStream) -> tuple[np.ndarray, AlertLog]:
+        """Classify every window of a stream, collecting alerts."""
+        self._require_fitted()
+        log = AlertLog()
+        predictions = np.zeros(len(stream), dtype=bool)
+        for i, window in enumerate(stream.windows):
+            value = self.decision_value(window)
+            predictions[i] = value >= 0.0
+            if predictions[i]:
+                log.raise_alert(
+                    Alert(
+                        window_index=i,
+                        time_s=i * self.window_s,
+                        subject_id=stream.subject_id,
+                        version=self.version.value,
+                        decision_value=value,
+                    )
+                )
+        return predictions, log
+
+    def evaluate(self, stream: LabeledStream) -> DetectionReport:
+        """Score this detector against a labelled stream."""
+        predictions, _ = self.inspect_stream(stream)
+        return score_predictions(predictions, stream.labels)
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    def deploy(self, frac_bits: int = 14) -> FixedPointLinearModel:
+        """Export the trained model for the on-device MLClassifier state."""
+        self._require_fitted()
+        return export_fixed_point(self.svc, self.scaler, frac_bits=frac_bits)

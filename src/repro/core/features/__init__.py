@@ -1,0 +1,56 @@
+"""Feature extraction over portraits.
+
+Three variants, matching the paper's three detector versions:
+
+========== ================================ ======================= =====
+Variant    Matrix features                  Geometric features      Count
+========== ================================ ======================= =====
+Original   SFI, std of column averages,     angles (atan), and        8
+           trapezoidal AUC                  Euclidean distances
+Simplified SFI, *variance* of column        slopes (y/x) and          8
+           averages, composite-sum AUC      *squared* distances
+Reduced    (none)                           simplified geometric      5
+========== ================================ ======================= =====
+
+The Simplified and Reduced variants avoid every libm call (``sqrt``,
+``atan``); that property is machine-checked by the Amulet simulator's
+restricted execution environment.
+"""
+
+from repro.core.features.base import FeatureExtractor
+from repro.core.features.geometric import (
+    average_peak_angle,
+    average_peak_distance,
+    average_paired_distance,
+)
+from repro.core.features.matrix import (
+    auc_composite,
+    auc_trapezoid,
+    column_averages,
+    spatial_filling_index,
+)
+from repro.core.features.original import OriginalFeatureExtractor
+from repro.core.features.reduced import ReducedFeatureExtractor
+from repro.core.features.simplified import (
+    SimplifiedFeatureExtractor,
+    average_peak_slope,
+    average_squared_paired_distance,
+    average_squared_peak_distance,
+)
+
+__all__ = [
+    "FeatureExtractor",
+    "OriginalFeatureExtractor",
+    "ReducedFeatureExtractor",
+    "SimplifiedFeatureExtractor",
+    "auc_composite",
+    "auc_trapezoid",
+    "average_paired_distance",
+    "average_peak_angle",
+    "average_peak_distance",
+    "average_peak_slope",
+    "average_squared_paired_distance",
+    "average_squared_peak_distance",
+    "column_averages",
+    "spatial_filling_index",
+]

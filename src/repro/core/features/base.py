@@ -1,0 +1,56 @@
+"""Feature extractor interface."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.portrait import Portrait, build_portrait
+from repro.signals.dataset import SignalWindow
+
+__all__ = ["FeatureExtractor"]
+
+
+class FeatureExtractor(abc.ABC):
+    """Maps a portrait to a fixed-length feature vector.
+
+    Parameters
+    ----------
+    grid_n:
+        Side length of the occupancy grid for the matrix features; the
+        paper uses ``n = 50``.  Extractors without matrix features ignore
+        it but accept it for interface uniformity.
+    """
+
+    #: Whether the reference implementation needs libm (sqrt/atan/exp).
+    #: The Amulet's Simplified and Reduced builds must report ``False``.
+    requires_libm: bool = True
+
+    def __init__(self, grid_n: int = 50) -> None:
+        if grid_n < 2:
+            raise ValueError("grid_n must be >= 2")
+        self.grid_n = int(grid_n)
+
+    @property
+    @abc.abstractmethod
+    def feature_names(self) -> tuple[str, ...]:
+        """Ordered names of the produced features."""
+
+    @property
+    def n_features(self) -> int:
+        return len(self.feature_names)
+
+    @abc.abstractmethod
+    def extract(self, portrait: Portrait) -> np.ndarray:
+        """Extract the feature vector from one portrait."""
+
+    def extract_window(self, window: SignalWindow) -> np.ndarray:
+        """Convenience: build the portrait and extract in one call."""
+        return self.extract(build_portrait(window))
+
+    def extract_many(self, windows: list[SignalWindow]) -> np.ndarray:
+        """Feature matrix, one row per window."""
+        if not windows:
+            return np.empty((0, self.n_features))
+        return np.vstack([self.extract_window(w) for w in windows])

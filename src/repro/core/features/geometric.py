@@ -1,0 +1,61 @@
+"""Original geometric features: angles and Euclidean distances.
+
+Table I's five geometric features "describe the absolute and relative
+location of certain characteristic points (like R peaks in ECG and
+Systolic peaks in ABP) of the signals in the portrait":
+
+1. average of the angles the R-peak points subtend at the origin;
+2. the same for systolic-peak points;
+3. average distance from the R-peak points to the origin;
+4. average distance from the systolic-peak points to the origin;
+5. average distance between each R peak and its corresponding systolic
+   peak.
+
+The angle of a point is ``atan2(y, x)`` -- the Simplified build replaces it
+with the slope ``y / x`` (its tangent), which is why both builds share this
+interpretation.  Windows with no peaks of a kind yield 0.0 for the affected
+features: an implausibly empty portrait is itself anomalous and the
+classifier learns it as such.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "average_paired_distance",
+    "average_peak_angle",
+    "average_peak_distance",
+]
+
+
+def average_peak_angle(points: np.ndarray) -> float:
+    """Mean ``atan2(y, x)`` over peak points, 0.0 when there are none."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.size == 0:
+        return 0.0
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must have shape (m, 2)")
+    return float(np.mean(np.arctan2(points[:, 1], points[:, 0])))
+
+
+def average_peak_distance(points: np.ndarray) -> float:
+    """Mean Euclidean distance from peak points to the origin."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.size == 0:
+        return 0.0
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must have shape (m, 2)")
+    return float(np.mean(np.sqrt(points[:, 0] ** 2 + points[:, 1] ** 2)))
+
+
+def average_paired_distance(r_points: np.ndarray, s_points: np.ndarray) -> float:
+    """Mean distance between R peaks and their corresponding systolic peaks."""
+    r_points = np.asarray(r_points, dtype=np.float64)
+    s_points = np.asarray(s_points, dtype=np.float64)
+    if r_points.shape != s_points.shape:
+        raise ValueError("paired point arrays must have equal shape")
+    if r_points.size == 0:
+        return 0.0
+    deltas = r_points - s_points
+    return float(np.mean(np.sqrt(deltas[:, 0] ** 2 + deltas[:, 1] ** 2)))

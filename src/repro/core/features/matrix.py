@@ -1,0 +1,72 @@
+"""Matrix features: statistics of the n x n portrait occupancy grid C.
+
+The three matrix features of Table I:
+
+* **Spatial filling index** of C -- how concentrated the portrait's point
+  mass is.  With normalized cell probabilities ``p_ij = c_ij / N`` we use
+  ``SFI = n^2 * sum(p_ij^2)``, which is 1 for a perfectly space-filling
+  portrait and ``n^2`` for one collapsed into a single cell.  (The paper
+  cites but does not restate the definition; this is the standard
+  phase-space formulation up to the ``n^2`` normalization, which only
+  rescales the feature and is absorbed by standardization.)
+* **Standard deviation of the column averages** of C (variance in the
+  Simplified build, avoiding ``sqrt``).
+* **Area under the curve** formed by the column averages -- trapezoidal
+  integration in the Original build; the Simplified build evaluates the
+  paper's composite-sum formula
+  ``(b - a) / (2 N) * sum(f(x_n) + f(x_{n+1}))``, which is algebraically
+  the same quantity computed without any libm dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "auc_composite",
+    "auc_trapezoid",
+    "column_averages",
+    "spatial_filling_index",
+]
+
+
+def spatial_filling_index(matrix: np.ndarray) -> float:
+    """``n^2 * sum((c_ij / N)^2)``; 0.0 for an empty matrix."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("occupancy matrix must be square")
+    total = matrix.sum()
+    if total == 0:
+        return 0.0
+    p = matrix / total
+    return float(matrix.shape[0] ** 2 * np.sum(p**2))
+
+
+def column_averages(matrix: np.ndarray) -> np.ndarray:
+    """Mean of each column of C (averaging over rows)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("occupancy matrix must be 2-D")
+    return matrix.mean(axis=0)
+
+
+def auc_trapezoid(curve: np.ndarray) -> float:
+    """Trapezoidal area under a unit-spaced curve (the Original build)."""
+    curve = np.asarray(curve, dtype=np.float64)
+    if curve.size < 2:
+        return 0.0
+    return float(np.trapezoid(curve))
+
+
+def auc_composite(curve: np.ndarray) -> float:
+    """The paper's composite-sum integral for the Simplified build.
+
+    ``(b - a) / (2 N) * sum_{k=1}^{N} (f(x_k) + f(x_{k+1}))`` with unit
+    node spacing (``b - a = N``), i.e. ``0.5 * sum(f_k + f_{k+1})``.
+    Algebraically identical to :func:`auc_trapezoid`; kept separate
+    because the device build computes it in fixed point without libm.
+    """
+    curve = np.asarray(curve, dtype=np.float64)
+    if curve.size < 2:
+        return 0.0
+    return float(0.5 * np.sum(curve[:-1] + curve[1:]))

@@ -1,0 +1,64 @@
+"""The Original feature extractor: the full 8 features of Table I."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features.base import FeatureExtractor
+from repro.core.features.geometric import (
+    average_paired_distance,
+    average_peak_angle,
+    average_peak_distance,
+)
+from repro.core.features.matrix import (
+    auc_trapezoid,
+    column_averages,
+    spatial_filling_index,
+)
+from repro.core.portrait import Portrait
+
+__all__ = ["OriginalFeatureExtractor"]
+
+
+class OriginalFeatureExtractor(FeatureExtractor):
+    """Full implementation: std-dev, trapezoidal AUC, angles, distances.
+
+    This is the detector the paper calls the *Original version*; it is the
+    only variant that needs the C math library on the device.
+    """
+
+    requires_libm = True
+
+    _NAMES = (
+        "sfi",
+        "col_avg_std",
+        "col_avg_auc",
+        "r_angle_avg",
+        "systolic_angle_avg",
+        "r_origin_dist_avg",
+        "systolic_origin_dist_avg",
+        "r_systolic_dist_avg",
+    )
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        return self._NAMES
+
+    def extract(self, portrait: Portrait) -> np.ndarray:
+        matrix = portrait.occupancy_matrix(self.grid_n)
+        col_avg = column_averages(matrix)
+        r_points = portrait.r_peak_points()
+        s_points = portrait.systolic_peak_points()
+        paired_r, paired_s = portrait.paired_peak_points()
+        return np.array(
+            [
+                spatial_filling_index(matrix),
+                float(np.std(col_avg)),
+                auc_trapezoid(col_avg),
+                average_peak_angle(r_points),
+                average_peak_angle(s_points),
+                average_peak_distance(r_points),
+                average_peak_distance(s_points),
+                average_paired_distance(paired_r, paired_s),
+            ]
+        )

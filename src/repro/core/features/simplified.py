@@ -1,0 +1,118 @@
+"""Simplified features: the paper's libm-free approximations.
+
+Section III's simplified feature extraction replaces every operation that
+would need the C math library:
+
+* standard deviation of the column averages -> **variance** (no ``sqrt``);
+* trapezoidal AUC -> the composite-sum formula (identical value, libm-free
+  evaluation);
+* angle of a peak point -> **slope** ``y / x`` (its tangent, no ``atan``);
+* Euclidean distances -> **squared** distances (no ``sqrt``).
+
+Slope denominators are clamped at ``SLOPE_EPSILON`` to mirror the
+saturating division the device build performs for points on (or numerically
+at) the y-axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features.base import FeatureExtractor
+from repro.core.features.matrix import (
+    auc_composite,
+    column_averages,
+    spatial_filling_index,
+)
+from repro.core.portrait import Portrait
+
+__all__ = [
+    "SLOPE_EPSILON",
+    "SimplifiedFeatureExtractor",
+    "average_peak_slope",
+    "average_squared_paired_distance",
+    "average_squared_peak_distance",
+]
+
+#: Minimum slope denominator; matches one LSB of the device's Q-format
+#: x coordinate at the default 14 fractional bits.
+SLOPE_EPSILON = 1.0 / (1 << 14)
+
+
+def average_peak_slope(points: np.ndarray) -> float:
+    """Mean ``y / max(x, SLOPE_EPSILON)`` over peak points, 0.0 if none.
+
+    Portrait coordinates are in [0, 1], so ``x`` is non-negative and only
+    the near-zero case needs clamping.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.size == 0:
+        return 0.0
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must have shape (m, 2)")
+    x = np.maximum(points[:, 0], SLOPE_EPSILON)
+    return float(np.mean(points[:, 1] / x))
+
+
+def average_squared_peak_distance(points: np.ndarray) -> float:
+    """Mean ``x^2 + y^2`` over peak points, 0.0 when there are none."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.size == 0:
+        return 0.0
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must have shape (m, 2)")
+    return float(np.mean(points[:, 0] ** 2 + points[:, 1] ** 2))
+
+
+def average_squared_paired_distance(
+    r_points: np.ndarray, s_points: np.ndarray
+) -> float:
+    """Mean ``(xr - xs)^2 + (yr - ys)^2`` over corresponding peak pairs."""
+    r_points = np.asarray(r_points, dtype=np.float64)
+    s_points = np.asarray(s_points, dtype=np.float64)
+    if r_points.shape != s_points.shape:
+        raise ValueError("paired point arrays must have equal shape")
+    if r_points.size == 0:
+        return 0.0
+    deltas = r_points - s_points
+    return float(np.mean(deltas[:, 0] ** 2 + deltas[:, 1] ** 2))
+
+
+class SimplifiedFeatureExtractor(FeatureExtractor):
+    """The paper's *Simplified version*: 8 features, no libm."""
+
+    requires_libm = False
+
+    _NAMES = (
+        "sfi",
+        "col_avg_var",
+        "col_avg_auc",
+        "r_slope_avg",
+        "systolic_slope_avg",
+        "r_origin_sqdist_avg",
+        "systolic_origin_sqdist_avg",
+        "r_systolic_sqdist_avg",
+    )
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        return self._NAMES
+
+    def extract(self, portrait: Portrait) -> np.ndarray:
+        matrix = portrait.occupancy_matrix(self.grid_n)
+        col_avg = column_averages(matrix)
+        r_points = portrait.r_peak_points()
+        s_points = portrait.systolic_peak_points()
+        paired_r, paired_s = portrait.paired_peak_points()
+        return np.array(
+            [
+                spatial_filling_index(matrix),
+                float(np.var(col_avg)),
+                auc_composite(col_avg),
+                average_peak_slope(r_points),
+                average_peak_slope(s_points),
+                average_squared_peak_distance(r_points),
+                average_squared_peak_distance(s_points),
+                average_squared_paired_distance(paired_r, paired_s),
+            ]
+        )

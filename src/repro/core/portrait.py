@@ -1,0 +1,129 @@
+"""The 2-D portrait: SIFT's joint representation of ECG and ABP.
+
+``w`` seconds of synchronously measured ABP ``a(t)`` and ECG ``e(t)`` are
+min-max normalized to [0, 1] and combined point-wise into the portrait
+``P = { (a(t), e(t)) }`` -- a Lissajous-like figure whose shape encodes how
+the two signals track each other.  Characteristic points (R peaks, systolic
+peaks) map to specific portrait locations; the matrix features view the
+portrait as an occupancy grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.signals.dataset import SignalWindow
+from repro.signals.peaks import match_peaks
+
+__all__ = ["Portrait", "build_portrait", "normalize_signal"]
+
+
+def normalize_signal(signal: np.ndarray) -> np.ndarray:
+    """Min-max normalize a window to [0, 1].
+
+    A constant window (zero dynamic range -- e.g. a flat-lined hijacked
+    sensor) maps to all 0.5, keeping the portrait well-defined.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    low = float(np.min(signal))
+    high = float(np.max(signal))
+    if high <= low:
+        return np.full(signal.shape, 0.5)
+    return (signal - low) / (high - low)
+
+
+@dataclass(frozen=True)
+class Portrait:
+    """A normalized 2-D portrait with its characteristic points.
+
+    Attributes
+    ----------
+    x / y:
+        Normalized ABP (x) and ECG (y) sample values; ``(x[t], y[t])`` is
+        the portrait point at sample ``t``.
+    r_peaks / systolic_peaks:
+        Sample indices (into ``x``/``y``) of the window's R peaks and
+        systolic peaks.
+    peak_pairs:
+        ``(r_index, systolic_index)`` pairs matching each R peak with its
+        corresponding systolic peak (the one that follows it within a
+        physiological transit lag).
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    r_peaks: np.ndarray
+    systolic_peaks: np.ndarray
+    peak_pairs: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.x.shape != self.y.shape or self.x.ndim != 1:
+            raise ValueError("portrait coordinates must be equal-length 1-D arrays")
+
+    @property
+    def n_points(self) -> int:
+        return int(self.x.size)
+
+    def points(self) -> np.ndarray:
+        """The portrait as an (n, 2) array of (x, y) points."""
+        return np.column_stack([self.x, self.y])
+
+    def r_peak_points(self) -> np.ndarray:
+        """Portrait coordinates of the R peaks, shape (m, 2)."""
+        return np.column_stack([self.x[self.r_peaks], self.y[self.r_peaks]])
+
+    def systolic_peak_points(self) -> np.ndarray:
+        """Portrait coordinates of the systolic peaks, shape (k, 2)."""
+        return np.column_stack(
+            [self.x[self.systolic_peaks], self.y[self.systolic_peaks]]
+        )
+
+    def paired_peak_points(self) -> tuple[np.ndarray, np.ndarray]:
+        """(R points, matching systolic points), both shape (p, 2)."""
+        if not self.peak_pairs:
+            empty = np.empty((0, 2))
+            return empty, empty
+        r_idx = np.array([pair[0] for pair in self.peak_pairs], dtype=np.intp)
+        s_idx = np.array([pair[1] for pair in self.peak_pairs], dtype=np.intp)
+        r_points = np.column_stack([self.x[r_idx], self.y[r_idx]])
+        s_points = np.column_stack([self.x[s_idx], self.y[s_idx]])
+        return r_points, s_points
+
+    def occupancy_matrix(self, n: int = 50) -> np.ndarray:
+        """The n x n count matrix C over the portrait.
+
+        Element ``C[i, j]`` counts portrait points whose ECG value falls in
+        column ``j`` and ABP value in row ``i`` of a uniform grid over
+        [0, 1]^2 (points at exactly 1.0 land in the last cell).  Columns
+        index the *ECG* axis so that the column averages -- the basis of
+        two of the matrix features -- form the ECG occupancy profile, the
+        marginal that changes when the ECG stream is hijacked.
+        """
+        if n < 1:
+            raise ValueError("grid size must be >= 1")
+        col = np.minimum((self.y * n).astype(np.intp), n - 1)
+        row = np.minimum((self.x * n).astype(np.intp), n - 1)
+        matrix = np.zeros((n, n), dtype=np.int64)
+        np.add.at(matrix, (row, col), 1)
+        return matrix
+
+
+def build_portrait(window: SignalWindow, max_lag_s: float = 0.6) -> Portrait:
+    """Build the portrait of one signal window.
+
+    Peak pairing uses the same physiological rule as the signal substrate:
+    an R peak corresponds to the first systolic peak that follows it within
+    ``max_lag_s`` seconds.
+    """
+    pairs = match_peaks(
+        window.r_peaks, window.systolic_peaks, window.sample_rate, max_lag_s
+    )
+    return Portrait(
+        x=normalize_signal(window.abp),
+        y=normalize_signal(window.ecg),
+        r_peaks=np.asarray(window.r_peaks, dtype=np.intp),
+        systolic_peaks=np.asarray(window.systolic_peaks, dtype=np.intp),
+        peak_pairs=tuple(pairs),
+    )

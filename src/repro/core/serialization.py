@@ -1,0 +1,116 @@
+"""Model persistence.
+
+Trained detectors are deployed artifacts: the paper trains offline and
+flashes the result onto the device.  This module serializes a fitted
+:class:`~repro.core.detector.SIFTDetector` (scaler + linear SVM + version
+configuration) to a JSON document -- human-auditable, diff-able, and free
+of arbitrary-code-execution pitfalls -- and back.
+
+Only linear-kernel detectors are serializable: the deployed model is the
+primal weight vector, exactly what the firmware carries.  RBF models are a
+research-side ablation and never ship to the device.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.detector import SIFTDetector
+from repro.core.versions import DetectorVersion
+from repro.ml.kernels import LinearKernel
+
+__all__ = ["detector_from_json", "detector_to_json", "load_detector", "save_detector"]
+
+_FORMAT = "repro.sift-detector"
+_FORMAT_VERSION = 1
+
+
+def detector_to_json(detector: SIFTDetector) -> str:
+    """Serialize a fitted linear detector to a JSON string."""
+    if not detector._fitted:
+        raise ValueError("cannot serialize an unfitted detector")
+    if not isinstance(detector.svc.kernel, LinearKernel):
+        raise ValueError(
+            "only linear-kernel detectors serialize (the deployable form)"
+        )
+    document = {
+        "format": _FORMAT,
+        "format_version": _FORMAT_VERSION,
+        "detector": {
+            "version": detector.version.value,
+            "window_s": detector.window_s,
+            "grid_n": detector.grid_n,
+            "subject_id": detector.subject_id,
+        },
+        "scaler": {
+            "mean": detector.scaler.mean_.tolist(),
+            "scale": detector.scaler.scale_.tolist(),
+        },
+        "svm": {
+            "coef": detector.svc.coef_.tolist(),
+            "intercept": detector.svc.intercept_,
+            "support_vectors": detector.svc.support_vectors_.tolist(),
+            "dual_coef": detector.svc.dual_coef_.tolist(),
+            "C": detector.svc.C,
+        },
+    }
+    return json.dumps(document, indent=2)
+
+
+def detector_from_json(text: str) -> SIFTDetector:
+    """Reconstruct a fitted detector from :func:`detector_to_json` output."""
+    document = json.loads(text)
+    if document.get("format") != _FORMAT:
+        raise ValueError(
+            f"not a serialized SIFT detector (format={document.get('format')!r})"
+        )
+    if document.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {document.get('format_version')!r}"
+        )
+    meta = document["detector"]
+    detector = SIFTDetector(
+        version=DetectorVersion.from_name(meta["version"]),
+        window_s=float(meta["window_s"]),
+        grid_n=int(meta["grid_n"]),
+        C=float(document["svm"]["C"]),
+        kernel="linear",
+    )
+    detector.scaler.mean_ = np.asarray(document["scaler"]["mean"], dtype=np.float64)
+    detector.scaler.scale_ = np.asarray(document["scaler"]["scale"], dtype=np.float64)
+
+    svm = document["svm"]
+    detector.svc.coef_ = np.asarray(svm["coef"], dtype=np.float64)
+    detector.svc.intercept_ = float(svm["intercept"])
+    detector.svc.support_vectors_ = np.asarray(
+        svm["support_vectors"], dtype=np.float64
+    )
+    detector.svc.dual_coef_ = np.asarray(svm["dual_coef"], dtype=np.float64)
+
+    expected = detector.extractor.n_features
+    for name, array in (
+        ("scaler mean", detector.scaler.mean_),
+        ("scaler scale", detector.scaler.scale_),
+        ("svm coef", detector.svc.coef_),
+    ):
+        if array.shape != (expected,):
+            raise ValueError(
+                f"corrupt document: {name} has shape {array.shape}, "
+                f"expected ({expected},) for the {meta['version']} version"
+            )
+    detector.subject_id = meta.get("subject_id")
+    detector._fitted = True
+    return detector
+
+
+def save_detector(detector: SIFTDetector, path: str | Path) -> None:
+    """Write a fitted detector to a JSON file."""
+    Path(path).write_text(detector_to_json(detector))
+
+
+def load_detector(path: str | Path) -> SIFTDetector:
+    """Load a detector saved by :func:`save_detector`."""
+    return detector_from_json(Path(path).read_text())

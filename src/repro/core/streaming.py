@@ -1,0 +1,149 @@
+"""Online streaming detection with alert debouncing.
+
+The paper's detector labels each 3-second window independently and alerts
+on every positive.  Operationally that is noisy: a single false positive
+buzzes the wearer, and a single false negative during a sustained attack
+is irrelevant if neighbouring windows fire.  :class:`StreamingDetector`
+wraps a trained :class:`~repro.core.detector.SIFTDetector` with a k-of-n
+voting debouncer: an *attack episode* starts when at least ``k`` of the
+last ``n`` windows are positive and ends when the window votes drop to
+zero, trading per-window errors for episode-level precision and a bounded
+detection latency of at most ``k`` windows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.detector import SIFTDetector
+from repro.signals.dataset import SignalWindow
+
+__all__ = ["AttackEpisode", "StreamingDetector", "StreamingState"]
+
+
+@dataclass(frozen=True)
+class AttackEpisode:
+    """A contiguous run of windows judged to be under attack."""
+
+    start_index: int
+    end_index: int  # inclusive
+    start_time_s: float
+    end_time_s: float
+    peak_decision_value: float
+
+    def __post_init__(self) -> None:
+        if self.end_index < self.start_index:
+            raise ValueError("episode must end at or after its start")
+
+    @property
+    def n_windows(self) -> int:
+        return self.end_index - self.start_index + 1
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_time_s - self.start_time_s
+
+
+@dataclass
+class StreamingState:
+    """Mutable debouncer state (separated for inspectability)."""
+
+    window_index: int = 0
+    in_episode: bool = False
+    episode_start: int = 0
+    episode_peak: float = float("-inf")
+    recent: deque = field(default_factory=deque)
+
+
+class StreamingDetector:
+    """k-of-n debounced wrapper around a trained detector.
+
+    Parameters
+    ----------
+    detector:
+        A fitted :class:`SIFTDetector` (any version).
+    votes_needed:
+        ``k``: positives among the last ``n`` windows needed to *open* an
+        episode.
+    vote_window:
+        ``n``: the voting horizon, in windows.
+    """
+
+    def __init__(
+        self, detector: SIFTDetector, votes_needed: int = 2, vote_window: int = 3
+    ) -> None:
+        if vote_window < 1:
+            raise ValueError("vote_window must be >= 1")
+        if not 1 <= votes_needed <= vote_window:
+            raise ValueError("need 1 <= votes_needed <= vote_window")
+        self.detector = detector
+        self.votes_needed = int(votes_needed)
+        self.vote_window = int(vote_window)
+        self.state = StreamingState()
+        self.episodes: list[AttackEpisode] = []
+
+    @property
+    def window_s(self) -> float:
+        return self.detector.window_s
+
+    def _time_of(self, index: int) -> float:
+        return index * self.window_s
+
+    def process_window(self, window: SignalWindow) -> AttackEpisode | None:
+        """Feed one window; returns the episode if one just *closed*."""
+        state = self.state
+        value = self.detector.decision_value(window)
+        positive = value >= 0.0
+        state.recent.append(positive)
+        if len(state.recent) > self.vote_window:
+            state.recent.popleft()
+
+        closed: AttackEpisode | None = None
+        votes = sum(state.recent)
+        if not state.in_episode and votes >= self.votes_needed:
+            state.in_episode = True
+            # The episode starts at the earliest positive in the horizon.
+            offset = next(
+                i for i, vote in enumerate(state.recent) if vote
+            )
+            state.episode_start = state.window_index - (
+                len(state.recent) - 1 - offset
+            )
+            state.episode_peak = value
+        elif state.in_episode:
+            state.episode_peak = max(state.episode_peak, value)
+            if votes == 0:
+                closed = self._close_episode(end_index=state.window_index - 1)
+
+        state.window_index += 1
+        return closed
+
+    def _close_episode(self, end_index: int) -> AttackEpisode:
+        state = self.state
+        episode = AttackEpisode(
+            start_index=state.episode_start,
+            end_index=max(end_index, state.episode_start),
+            start_time_s=self._time_of(state.episode_start),
+            end_time_s=self._time_of(max(end_index, state.episode_start) + 1),
+            peak_decision_value=state.episode_peak,
+        )
+        self.episodes.append(episode)
+        state.in_episode = False
+        state.episode_peak = float("-inf")
+        return episode
+
+    def finish(self) -> AttackEpisode | None:
+        """Close any open episode at end of stream; returns it if any."""
+        if not self.state.in_episode:
+            return None
+        return self._close_episode(end_index=self.state.window_index - 1)
+
+    def under_attack(self) -> bool:
+        """Is an episode currently open?"""
+        return self.state.in_episode
+
+    def reset(self) -> None:
+        """Clear state and history (e.g. after re-synchronization)."""
+        self.state = StreamingState()
+        self.episodes = []

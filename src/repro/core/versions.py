@@ -1,0 +1,61 @@
+"""Detector version registry.
+
+The paper implements three versions of the SIFT detector "to deal with the
+trade-offs between detection performance and resource consumption", and its
+adaptive-security vision (Insight #4) switches between them at run time.
+This module is the single place that maps a version to its feature
+extractor and device-build properties.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.features.base import FeatureExtractor
+from repro.core.features.original import OriginalFeatureExtractor
+from repro.core.features.reduced import ReducedFeatureExtractor
+from repro.core.features.simplified import SimplifiedFeatureExtractor
+
+__all__ = ["DetectorVersion", "make_extractor"]
+
+
+class DetectorVersion(enum.Enum):
+    """The three detector builds, ordered from heaviest to lightest."""
+
+    ORIGINAL = "original"
+    SIMPLIFIED = "simplified"
+    REDUCED = "reduced"
+
+    @property
+    def requires_libm(self) -> bool:
+        return self is DetectorVersion.ORIGINAL
+
+    @property
+    def uses_matrix_features(self) -> bool:
+        return self is not DetectorVersion.REDUCED
+
+    @property
+    def n_features(self) -> int:
+        return 5 if self is DetectorVersion.REDUCED else 8
+
+    @classmethod
+    def from_name(cls, name: str) -> "DetectorVersion":
+        try:
+            return cls(name.lower())
+        except ValueError:
+            valid = ", ".join(v.value for v in cls)
+            raise ValueError(
+                f"unknown detector version {name!r}; expected one of: {valid}"
+            ) from None
+
+
+_EXTRACTORS: dict[DetectorVersion, type[FeatureExtractor]] = {
+    DetectorVersion.ORIGINAL: OriginalFeatureExtractor,
+    DetectorVersion.SIMPLIFIED: SimplifiedFeatureExtractor,
+    DetectorVersion.REDUCED: ReducedFeatureExtractor,
+}
+
+
+def make_extractor(version: DetectorVersion, grid_n: int = 50) -> FeatureExtractor:
+    """Instantiate the reference feature extractor for a version."""
+    return _EXTRACTORS[version](grid_n=grid_n)

@@ -1,0 +1,80 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+- :mod:`~repro.experiments.pipeline` -- the shared per-subject
+  train/deploy/evaluate pipeline and its configuration;
+- :mod:`~repro.experiments.table2` -- Table II (detection performance,
+  Amulet vs reference, three versions);
+- :mod:`~repro.experiments.table3` -- Table III (memory and expected
+  lifetime per version);
+- :mod:`~repro.experiments.fig3` -- Fig. 3 (ARP-view resource breakdown
+  and the battery-life/period slider);
+- :mod:`~repro.experiments.ablations` -- the design-choice studies
+  DESIGN.md calls out (window size, grid size, training duration, feature
+  classes, classifier, fixed-point precision, attack types).
+"""
+
+from repro.experiments.ablations import (
+    attack_type_ablation,
+    classifier_ablation,
+    feature_class_ablation,
+    fixed_point_ablation,
+    grid_size_ablation,
+    mixed_attack_training_ablation,
+    training_duration_ablation,
+    window_size_ablation,
+)
+from repro.experiments.fig3 import Fig3Result, format_fig3, run_fig3
+from repro.experiments.pipeline import (
+    ExperimentConfig,
+    SubjectRunResult,
+    make_dataset,
+    run_subject,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.robustness import (
+    artifact_load_study,
+    channel_loss_study,
+    debounce_study,
+)
+from repro.experiments.universal import (
+    UniversalStudyResult,
+    run_universal_study,
+)
+from repro.experiments.table2 import (
+    Table2Result,
+    format_table2,
+    format_table2_by_subject,
+    run_table2,
+)
+from repro.experiments.table3 import Table3Result, format_table3, run_table3
+
+__all__ = [
+    "ExperimentConfig",
+    "Fig3Result",
+    "SubjectRunResult",
+    "Table2Result",
+    "Table3Result",
+    "UniversalStudyResult",
+    "artifact_load_study",
+    "attack_type_ablation",
+    "channel_loss_study",
+    "classifier_ablation",
+    "debounce_study",
+    "feature_class_ablation",
+    "fixed_point_ablation",
+    "format_fig3",
+    "format_table",
+    "format_table2",
+    "format_table2_by_subject",
+    "format_table3",
+    "grid_size_ablation",
+    "make_dataset",
+    "mixed_attack_training_ablation",
+    "run_fig3",
+    "run_subject",
+    "run_table2",
+    "run_table3",
+    "run_universal_study",
+    "training_duration_ablation",
+    "window_size_ablation",
+]

@@ -1,0 +1,188 @@
+"""Robustness studies beyond the paper's evaluation.
+
+Three operational questions a deployment would ask next:
+
+* **Channel loss** -- how does detection degrade as the body-area link
+  drops packets?  (Windows missing a half are skipped, so loss costs
+  *coverage*, not per-window correctness.)
+* **Artifact load** -- how do motion artifacts, the realistic enemy of
+  wearable signal quality, move the FP/FN balance?
+* **Alert debouncing** -- how much episode-level precision does the k-of-n
+  streaming debouncer buy over the paper's per-window alerting?
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.attacks.replacement import ReplacementAttack
+from repro.attacks.scenario import AttackScenario
+from repro.core.streaming import StreamingDetector
+from repro.experiments.pipeline import (
+    ExperimentConfig,
+    build_stream,
+    make_dataset,
+    train_detector,
+)
+from repro.ml.metrics import mean_report, score_predictions
+from repro.wiot.channel import WirelessChannel
+from repro.wiot.environment import WIoTEnvironment
+
+__all__ = [
+    "artifact_load_study",
+    "channel_loss_study",
+    "debounce_study",
+]
+
+
+def channel_loss_study(
+    config: ExperimentConfig,
+    loss_values: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.4),
+) -> list[dict[str, Any]]:
+    """Sweep the wireless loss probability through the full environment."""
+    dataset = make_dataset(config)
+    rows = []
+    for loss in loss_values:
+        coverages, accuracies = [], []
+        for index, subject in enumerate(dataset.subjects):
+            detector = train_detector(dataset, subject, "simplified", config)
+            others = [s for s in dataset.subjects if s is not subject]
+            donors = [
+                dataset.record(d, config.donor_duration_s, purpose="test")
+                for d in others[: config.n_test_donors]
+            ]
+            record = dataset.record(
+                subject, config.test_duration_s, purpose="test"
+            )
+            environment = WIoTEnvironment(
+                detector,
+                channel=WirelessChannel(
+                    loss_probability=float(loss), seed=1000 + index
+                ),
+            )
+            summary = environment.run(
+                record,
+                attack=ReplacementAttack(donors),
+                attack_after_s=config.test_duration_s / 2,
+                rng=np.random.default_rng([7, index]),
+            )
+            coverages.append(
+                summary.n_windows_classified / summary.n_windows_sent
+            )
+            if summary.report is not None:
+                accuracies.append(summary.report.accuracy)
+        rows.append(
+            {
+                "loss_probability": float(loss),
+                "window_coverage": float(np.mean(coverages)),
+                "accuracy_on_classified": float(np.mean(accuracies)),
+            }
+        )
+    return rows
+
+
+def artifact_load_study(
+    config: ExperimentConfig,
+    artifact_rates: Sequence[float] = (0.0, 2.0, 6.0, 12.0),
+) -> list[dict[str, Any]]:
+    """Sweep the per-minute motion-artifact rate of the *test* subjects.
+
+    Models deteriorating wear conditions (loose electrodes, exercise):
+    training happened under nominal conditions, evaluation under the swept
+    rate, so the model faces a distribution shift.
+    """
+    dataset = make_dataset(config)
+    rows = []
+    for rate in artifact_rates:
+        reports = []
+        for index, subject in enumerate(dataset.subjects):
+            detector = train_detector(dataset, subject, "simplified", config)
+            noisy_subject = replace(
+                subject,
+                ecg_artifact_rate=float(rate),
+                abp_artifact_rate=float(rate) / 2.0,
+            )
+            record = dataset.record(
+                noisy_subject, config.test_duration_s, purpose="test"
+            )
+            if config.peak_source == "detected":
+                record = record.redetect_peaks()
+            others = [s for s in dataset.subjects if s is not subject]
+            donors = [
+                dataset.record(d, config.donor_duration_s, purpose="test")
+                for d in others[: config.n_test_donors]
+            ]
+            scenario = AttackScenario(
+                ReplacementAttack(donors),
+                window_s=config.window_s,
+                altered_fraction=config.altered_fraction,
+            )
+            stream = scenario.build(record, np.random.default_rng([11, index]))
+            reports.append(detector.evaluate(stream))
+        mean = mean_report(reports)
+        rows.append(
+            {
+                "artifact_rate_per_min": float(rate),
+                "accuracy": mean.accuracy,
+                "fp_rate": mean.false_positive_rate,
+                "fn_rate": mean.false_negative_rate,
+            }
+        )
+    return rows
+
+
+def debounce_study(
+    config: ExperimentConfig,
+    settings: Sequence[tuple[int, int]] = ((1, 1), (2, 3), (3, 4)),
+) -> list[dict[str, Any]]:
+    """Compare per-window alerting with k-of-n debounced episodes.
+
+    The stream alternates genuine and attacked halves; window-level
+    predictions are scored as usual, while episode openings inside the
+    genuine half count as false episodes.
+    """
+    dataset = make_dataset(config)
+    rows = []
+    for votes_needed, vote_window in settings:
+        window_reports = []
+        false_episodes = []
+        attacks_caught = []
+        for index, subject in enumerate(dataset.subjects):
+            detector = train_detector(dataset, subject, "simplified", config)
+            stream = build_stream(dataset, subject, config)
+            # Re-order into genuine-then-attacked halves for episode truth.
+            genuine = [w for w in stream.windows if not w.altered]
+            altered = [w for w in stream.windows if w.altered]
+            streaming = StreamingDetector(
+                detector, votes_needed=votes_needed, vote_window=vote_window
+            )
+            for window in genuine + altered:
+                streaming.process_window(window)
+            streaming.finish()
+
+            boundary = len(genuine)
+            false_episodes.append(
+                sum(1 for e in streaming.episodes if e.start_index < boundary)
+            )
+            attacks_caught.append(
+                any(e.end_index >= boundary for e in streaming.episodes)
+            )
+            predictions = np.array(
+                [detector.classify_window(w) for w in genuine + altered]
+            )
+            labels = np.array([False] * len(genuine) + [True] * len(altered))
+            window_reports.append(score_predictions(predictions, labels))
+        mean = mean_report(window_reports)
+        rows.append(
+            {
+                "votes_needed": votes_needed,
+                "vote_window": vote_window,
+                "window_accuracy": mean.accuracy,
+                "false_episodes_per_run": float(np.mean(false_episodes)),
+                "attack_catch_rate": float(np.mean(attacks_caught)),
+            }
+        )
+    return rows

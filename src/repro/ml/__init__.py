@@ -1,0 +1,64 @@
+"""Machine-learning substrate, implemented from scratch on numpy.
+
+The paper trains a linear-kernel SVM offline ("we fed a set of positive and
+negative feature points into the SVM classifier with a linear kernel") and
+hand-translates the prediction function to C for the Amulet.  This
+subpackage provides:
+
+- :class:`~repro.ml.svm.SVC` -- an SMO-based support vector classifier
+  (linear and RBF kernels);
+- :class:`~repro.ml.scaler.StandardScaler` -- feature standardization;
+- :mod:`~repro.ml.metrics` -- the paper's metrics (FP rate, FN rate,
+  accuracy, F1);
+- :mod:`~repro.ml.baselines` -- the "other algorithms we tried" (logistic
+  regression, k-NN, nearest centroid);
+- :mod:`~repro.ml.model_codegen` -- exports a trained linear model to a
+  fixed-point integer decision function plus C source, the analogue of the
+  paper's hand translation.
+"""
+
+from repro.ml.baselines import (
+    KNearestNeighbors,
+    LogisticRegression,
+    NearestCentroid,
+)
+from repro.ml.kernels import Kernel, LinearKernel, RBFKernel, make_kernel
+from repro.ml.metrics import (
+    ClassificationCounts,
+    DetectionReport,
+    mean_report,
+    score_predictions,
+)
+from repro.ml.model_codegen import FixedPointLinearModel, export_fixed_point
+from repro.ml.model_selection import (
+    CVResult,
+    GridSearchResult,
+    cross_validate,
+    grid_search_c,
+    stratified_folds,
+)
+from repro.ml.scaler import StandardScaler
+from repro.ml.svm import SVC
+
+__all__ = [
+    "CVResult",
+    "ClassificationCounts",
+    "DetectionReport",
+    "FixedPointLinearModel",
+    "GridSearchResult",
+    "KNearestNeighbors",
+    "Kernel",
+    "LinearKernel",
+    "LogisticRegression",
+    "NearestCentroid",
+    "RBFKernel",
+    "SVC",
+    "StandardScaler",
+    "cross_validate",
+    "export_fixed_point",
+    "grid_search_c",
+    "make_kernel",
+    "mean_report",
+    "score_predictions",
+    "stratified_folds",
+]

@@ -1,0 +1,63 @@
+"""Kernel functions for the SVM."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Kernel", "LinearKernel", "RBFKernel", "make_kernel"]
+
+
+class Kernel(abc.ABC):
+    """A positive-semidefinite kernel ``k(x, z)``."""
+
+    @abc.abstractmethod
+    def __call__(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Gram matrix between row-sets ``x`` (m, d) and ``z`` (n, d)."""
+
+
+class LinearKernel(Kernel):
+    """``k(x, z) = x . z`` -- the kernel the paper deploys."""
+
+    def __call__(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64) @ np.asarray(z, dtype=np.float64).T
+
+    def __repr__(self) -> str:
+        return "LinearKernel()"
+
+
+class RBFKernel(Kernel):
+    """``k(x, z) = exp(-gamma * ||x - z||^2)``.
+
+    Included for the classifier-choice ablation; it cannot be deployed on
+    the Amulet's Simplified/Reduced builds because evaluation requires
+    ``exp`` from libm.
+    """
+
+    def __init__(self, gamma: float = 0.5) -> None:
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.gamma = float(gamma)
+
+    def __call__(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        z = np.asarray(z, dtype=np.float64)
+        sq = (
+            np.sum(x**2, axis=1)[:, None]
+            - 2.0 * (x @ z.T)
+            + np.sum(z**2, axis=1)[None, :]
+        )
+        return np.exp(-self.gamma * np.maximum(sq, 0.0))
+
+    def __repr__(self) -> str:
+        return f"RBFKernel(gamma={self.gamma})"
+
+
+def make_kernel(name: str, gamma: float = 0.5) -> Kernel:
+    """Kernel factory: ``"linear"`` or ``"rbf"``."""
+    if name == "linear":
+        return LinearKernel()
+    if name == "rbf":
+        return RBFKernel(gamma=gamma)
+    raise ValueError(f"unknown kernel: {name!r}")

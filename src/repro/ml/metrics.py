@@ -1,0 +1,130 @@
+"""Detection metrics, defined exactly as in the paper.
+
+* *false positive rate* -- "the fraction of the cases in which an unaltered
+  ECG sensor measurement is misclassified as altered";
+* *false negative rate* -- "the fraction of the cases where an altered ECG
+  sensor measurement is misclassified as unaltered";
+* *accuracy rate* -- the fraction of all cases classified correctly;
+* *F1* -- harmonic mean of precision and recall on the positive
+  ("altered") class, as the paper's footnote defines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ClassificationCounts",
+    "DetectionReport",
+    "mean_report",
+    "score_predictions",
+]
+
+
+@dataclass(frozen=True)
+class ClassificationCounts:
+    """Confusion-matrix counts ("altered" is the positive class)."""
+
+    true_positive: int
+    true_negative: int
+    false_positive: int
+    false_negative: int
+
+    def __post_init__(self) -> None:
+        for name in ("true_positive", "true_negative", "false_positive", "false_negative"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positive
+            + self.true_negative
+            + self.false_positive
+            + self.false_negative
+        )
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """The four rates the paper reports, as fractions in [0, 1]."""
+
+    false_positive_rate: float
+    false_negative_rate: float
+    accuracy: float
+    f1: float
+
+    def as_percent_row(self) -> tuple[float, float, float, float]:
+        """``(FP%, FN%, Acc%, F1%)`` -- the layout of the paper's Table II."""
+        return (
+            100.0 * self.false_positive_rate,
+            100.0 * self.false_negative_rate,
+            100.0 * self.accuracy,
+            100.0 * self.f1,
+        )
+
+
+def _counts(predicted: np.ndarray, actual: np.ndarray) -> ClassificationCounts:
+    predicted = np.asarray(predicted, dtype=bool)
+    actual = np.asarray(actual, dtype=bool)
+    if predicted.shape != actual.shape:
+        raise ValueError("predicted and actual label arrays must match in shape")
+    return ClassificationCounts(
+        true_positive=int(np.sum(predicted & actual)),
+        true_negative=int(np.sum(~predicted & ~actual)),
+        false_positive=int(np.sum(predicted & ~actual)),
+        false_negative=int(np.sum(~predicted & actual)),
+    )
+
+
+def score_predictions(
+    predicted: Sequence[bool] | np.ndarray, actual: Sequence[bool] | np.ndarray
+) -> DetectionReport:
+    """Score boolean predictions (``True`` = classified as altered).
+
+    Rates follow the paper's definitions: FP rate is normalized by the
+    number of genuinely *unaltered* cases and FN rate by the number of
+    genuinely *altered* cases.  Degenerate denominators yield a rate of
+    0.0 (no cases of that kind, hence no errors of that kind).
+    """
+    c = _counts(np.asarray(predicted), np.asarray(actual))
+    negatives = c.true_negative + c.false_positive
+    positives = c.true_positive + c.false_negative
+    fp_rate = c.false_positive / negatives if negatives else 0.0
+    fn_rate = c.false_negative / positives if positives else 0.0
+    accuracy = (c.true_positive + c.true_negative) / c.total if c.total else 0.0
+
+    predicted_positive = c.true_positive + c.false_positive
+    precision = c.true_positive / predicted_positive if predicted_positive else 0.0
+    recall = c.true_positive / positives if positives else 0.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if (precision + recall) > 0
+        else 0.0
+    )
+    return DetectionReport(
+        false_positive_rate=fp_rate,
+        false_negative_rate=fn_rate,
+        accuracy=accuracy,
+        f1=f1,
+    )
+
+
+def mean_report(reports: Iterable[DetectionReport]) -> DetectionReport:
+    """Average per-subject reports, the paper's "Avg." columns."""
+    reports = list(reports)
+    if not reports:
+        raise ValueError("cannot average zero reports")
+    return DetectionReport(
+        false_positive_rate=float(
+            np.mean([r.false_positive_rate for r in reports])
+        ),
+        false_negative_rate=float(
+            np.mean([r.false_negative_rate for r in reports])
+        ),
+        accuracy=float(np.mean([r.accuracy for r in reports])),
+        f1=float(np.mean([r.f1 for r in reports])),
+    )

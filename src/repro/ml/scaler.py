@@ -1,0 +1,59 @@
+"""Feature standardization.
+
+SIFT's eight features live on wildly different scales (a spatial-filling
+index near zero, squared distances up to two, AUC values in the tens), so
+the SVM is trained on standardized features.  The fitted mean/scale become
+part of the deployed model -- on the Amulet they are folded into the
+fixed-point linear decision function by :mod:`repro.ml.model_codegen`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Standardize features to zero mean and unit variance.
+
+    Constant features (zero variance) are centered but not scaled, so
+    transforming never divides by zero.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Learn per-feature means and scales."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D (n_samples, n_features)")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on zero samples")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Standardize features with the fitted statistics."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != self.mean_.size:
+            raise ValueError(
+                f"expected {self.mean_.size} features, got {X.shape[1]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` and return its standardized form."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Map standardized features back to raw units."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        return np.atleast_2d(np.asarray(X, dtype=np.float64)) * self.scale_ + self.mean_

@@ -1,0 +1,44 @@
+"""The SIFT detector as an Amulet application.
+
+This is the deployment half of the reproduction: the detector re-implemented
+the way the paper's C code ran on the device -- single-precision arithmetic
+through the restricted math environment, three QM states
+(*PeaksDataCheck -> FeatureExtraction -> MLClassifier*), a fixed-point
+(Simplified/Reduced) or software-float (Original) classifier, and resource
+declarations for the firmware toolchain.
+
+The :class:`~repro.sift_app.harness.AmuletSIFTRunner` wires a trained
+reference detector into a firmware image, streams evaluation windows
+through the simulated OS, and hands back both the device's verdicts (for
+Table II's "Amulet" rows) and the usage ledger (for Table III and Fig. 3).
+"""
+
+from repro.sift_app.app import SIFTDetectorApp
+from repro.sift_app.device_features import (
+    device_extract_features,
+    device_extract_original,
+    device_extract_reduced,
+    device_extract_simplified,
+)
+from repro.sift_app.device_peaks import (
+    device_detect_r_peaks,
+    device_detect_systolic_peaks,
+)
+from repro.sift_app.harness import AmuletSIFTRunner, DeviceRunResult
+from repro.sift_app.models import DeployedModel, FloatLinearModel
+from repro.sift_app.payload import DeviceWindow
+
+__all__ = [
+    "AmuletSIFTRunner",
+    "DeployedModel",
+    "DeviceRunResult",
+    "DeviceWindow",
+    "FloatLinearModel",
+    "SIFTDetectorApp",
+    "device_detect_r_peaks",
+    "device_detect_systolic_peaks",
+    "device_extract_features",
+    "device_extract_original",
+    "device_extract_reduced",
+    "device_extract_simplified",
+]

@@ -1,0 +1,161 @@
+"""On-device peak detection (the paper's "simple extension").
+
+The paper pre-stores peak indexes alongside the snippets "for ease of
+testing", noting that "it is a simple extension to perform these tasks at
+run-time based on live data".  This module is that extension: R-peak and
+systolic-peak detection written against the restricted math environment --
+integer/single-precision only, no libm -- so the PeaksDataCheck state can
+derive the indexes itself when a snippet arrives without them.
+
+The algorithm is the integer skeleton of the reference detector
+(:mod:`repro.signals.peaks`): first-difference energy, a boxcar
+integration, a fixed-fraction threshold of the batch maximum, and a
+refractory scan.  Simpler than the reference (no percentile statistics,
+no detrending -- both would be luxuries on an MSP430), which is exactly
+the fidelity trade-off a device port makes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amulet.restricted import RestrictedMath
+from repro.sift_app.payload import DeviceWindow
+
+__all__ = ["device_detect_r_peaks", "device_detect_systolic_peaks", "with_live_peaks"]
+
+
+def _scan_peaks(
+    math: RestrictedMath,
+    score: np.ndarray,
+    threshold: float,
+    refractory: int,
+) -> list[int]:
+    """Greedy left-to-right maxima scan with a refractory window.
+
+    The single-pass loop a C implementation would use: track the running
+    maximum inside each super-threshold region; emit it when the signal
+    falls below threshold or the refractory distance is reached.
+    """
+    peaks: list[int] = []
+    best_index = -1
+    best_value = -np.inf
+    math.counter.charge("branch", score.size)
+    math.counter.charge("mem_access", score.size)
+    for i, value in enumerate(score.tolist()):
+        if value > threshold:
+            if value > best_value:
+                best_value = value
+                best_index = i
+        elif best_index >= 0:
+            if not peaks or best_index - peaks[-1] >= refractory:
+                peaks.append(best_index)
+            best_index = -1
+            best_value = -np.inf
+    if best_index >= 0 and (not peaks or best_index - peaks[-1] >= refractory):
+        peaks.append(best_index)
+    math.counter.charge("int_op", 2 * len(peaks))
+    return peaks
+
+
+def device_detect_r_peaks(
+    math: RestrictedMath,
+    ecg: np.ndarray,
+    sample_rate: float,
+    threshold_fraction: float = 0.3,
+    refractory_s: float = 0.25,
+) -> np.ndarray:
+    """Detect R peaks in a device window without libm.
+
+    Derivative -> squaring -> short boxcar integration -> threshold at a
+    fraction of the window maximum -> refractory maxima scan, then refine
+    each detection to the local signal maximum.
+    """
+    if sample_rate <= 0:
+        raise ValueError("sample_rate must be positive")
+    ecg32 = np.asarray(ecg, dtype=np.float32)
+    if ecg32.size < 8:
+        return np.empty(0, dtype=np.intp)
+
+    derivative = math.sub(ecg32[1:], ecg32[:-1])
+    energy = math.mul(derivative, derivative)
+    # Boxcar integration over ~100 ms via a running sum (one add and one
+    # subtract per sample on device; billed as two adds).
+    width = max(1, int(0.1 * sample_rate))
+    kernel = np.ones(width, dtype=np.float32)
+    integrated = np.convolve(energy, kernel, mode="same").astype(np.float32)
+    math.counter.charge(f"{'double' if math.double_precision else 'float'}_add",
+                        2 * energy.size)
+    math.counter.charge("mem_access", 2 * energy.size)
+
+    peak_value = float(math.max(integrated))
+    if peak_value <= 0:
+        return np.empty(0, dtype=np.intp)
+    # Dual threshold: a fraction of the window maximum, floored by a
+    # multiple of the mean energy so that one large motion artifact cannot
+    # push the threshold above the real QRS complexes.
+    mean_value = float(math.mean(integrated))
+    threshold = min(threshold_fraction * peak_value, 8.0 * mean_value)
+    math.counter.charge("float_mul", 2)
+    math.counter.charge("branch", 1)
+
+    refractory = max(1, int(refractory_s * sample_rate))
+    rough = _scan_peaks(math, integrated, threshold, refractory)
+
+    # Refine to the ECG maximum within +-60 ms.
+    half = max(1, int(0.06 * sample_rate))
+    refined = []
+    for index in rough:
+        lo = max(0, index - half)
+        hi = min(ecg32.size, index + half + 1)
+        refined.append(lo + int(np.argmax(ecg32[lo:hi])))
+        math.counter.charge("branch", hi - lo)
+        math.counter.charge("mem_access", hi - lo)
+    return np.unique(np.asarray(refined, dtype=np.intp))
+
+
+def device_detect_systolic_peaks(
+    math: RestrictedMath,
+    abp: np.ndarray,
+    sample_rate: float,
+    threshold_fraction: float = 0.6,
+    min_spacing_s: float = 0.4,
+) -> np.ndarray:
+    """Detect systolic peaks in a device window without libm.
+
+    Thresholds at a fraction of the window's dynamic range above its
+    minimum and scans for refractory-separated maxima on the raw signal.
+    """
+    if sample_rate <= 0:
+        raise ValueError("sample_rate must be positive")
+    abp32 = np.asarray(abp, dtype=np.float32)
+    if abp32.size < 4:
+        return np.empty(0, dtype=np.intp)
+    low = float(math.min(abp32))
+    high = float(math.max(abp32))
+    if high <= low:
+        return np.empty(0, dtype=np.intp)
+    threshold = low + threshold_fraction * (high - low)
+    math.counter.charge("float_mul", 1)
+    math.counter.charge("float_add", 2)
+    refractory = max(1, int(min_spacing_s * sample_rate))
+    peaks = _scan_peaks(math, abp32, threshold, refractory)
+    return np.asarray(peaks, dtype=np.intp)
+
+
+def with_live_peaks(math: RestrictedMath, window: DeviceWindow) -> DeviceWindow:
+    """Re-derive a window's peak indexes on device.
+
+    Used by PeaksDataCheck when ``live_peak_detection`` is enabled: the
+    incoming snippet's pre-stored indexes (if any) are discarded and
+    replaced by the on-device detectors' output.
+    """
+    return DeviceWindow(
+        ecg=window.ecg,
+        abp=window.abp,
+        r_peaks=device_detect_r_peaks(math, window.ecg, window.sample_rate),
+        systolic_peaks=device_detect_systolic_peaks(
+            math, window.abp, window.sample_rate
+        ),
+        sample_rate=window.sample_rate,
+    )

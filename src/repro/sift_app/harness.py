@@ -1,0 +1,131 @@
+"""Run a trained detector on the simulated Amulet.
+
+The :class:`AmuletSIFTRunner` is the deployment harness: it deploys a
+reference-trained :class:`~repro.core.detector.SIFTDetector` into a
+firmware image (Original -> float classifier + libm; Simplified/Reduced ->
+fixed-point classifier, no libm), boots AmuletOS, streams evaluation
+windows in over the simulated BLE path and collects both the device's
+verdicts and the resource ledger.  Table II's "Amulet" rows and all of
+Table III / Fig. 3 come out of this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.amulet.amulet_os import AmuletOS, UsageLedger
+from repro.amulet.battery import Battery
+from repro.amulet.firmware import FirmwareImage, FirmwareToolchain
+from repro.amulet.profiler import AmuletResourceProfiler, ResourceProfile
+from repro.amulet.restricted import CycleCostModel
+from repro.attacks.scenario import LabeledStream
+from repro.core.detector import SIFTDetector
+from repro.core.versions import DetectorVersion
+from repro.ml.metrics import DetectionReport, score_predictions
+from repro.sift_app.app import SIFTDetectorApp
+from repro.sift_app.models import (
+    DeployedModel,
+    FixedPointDeployedModel,
+    FloatLinearModel,
+)
+from repro.sift_app.payload import DeviceWindow
+
+__all__ = ["AmuletSIFTRunner", "DeviceRunResult", "deploy_model"]
+
+
+def deploy_model(detector: SIFTDetector, frac_bits: int = 14) -> DeployedModel:
+    """Deploy a trained detector's classifier in its build's native form."""
+    if detector.version is DetectorVersion.ORIGINAL:
+        return FloatLinearModel.from_trained(detector.svc, detector.scaler)
+    return FixedPointDeployedModel(detector.deploy(frac_bits))
+
+
+@dataclass(frozen=True)
+class DeviceRunResult:
+    """Outcome of streaming one labelled stream through the device."""
+
+    predictions: np.ndarray
+    decision_values: np.ndarray
+    labels: np.ndarray
+    ledger: UsageLedger
+    n_windows: int
+
+    @property
+    def report(self) -> DetectionReport:
+        return score_predictions(self.predictions, self.labels)
+
+
+class AmuletSIFTRunner:
+    """Deploys one trained detector and drives it with signal windows.
+
+    Parameters
+    ----------
+    detector:
+        A fitted reference detector (any version, linear kernel).
+    frac_bits:
+        Fixed-point fractional bits for the Simplified/Reduced classifier.
+    toolchain / battery / cost_model:
+        Override the platform models (defaults reproduce the paper's
+        device).
+    """
+
+    def __init__(
+        self,
+        detector: SIFTDetector,
+        frac_bits: int = 14,
+        toolchain: FirmwareToolchain | None = None,
+        battery: Battery | None = None,
+        cost_model: CycleCostModel | None = None,
+    ) -> None:
+        self.detector = detector
+        self.app = SIFTDetectorApp(
+            version=detector.version,
+            model=deploy_model(detector, frac_bits),
+            grid_n=detector.grid_n,
+        )
+        toolchain = toolchain or FirmwareToolchain()
+        self.image: FirmwareImage = toolchain.build([self.app])
+        self.cost_model = cost_model or CycleCostModel()
+        self.os = AmuletOS(self.image, cost_model=self.cost_model)
+        self.profiler = AmuletResourceProfiler(
+            battery=battery, cost_model=self.cost_model
+        )
+        self._windows_run = 0
+
+    def run_stream(self, stream: LabeledStream) -> DeviceRunResult:
+        """Deliver every window over simulated BLE and classify it."""
+        first = len(self.app.predictions)
+        for window in stream.windows:
+            self.os.deliver_sensor_window(
+                self.app.name, DeviceWindow.from_signal_window(window)
+            )
+            self.os.run_until_idle()
+        self._windows_run += len(stream)
+        predictions = np.asarray(self.app.predictions[first:], dtype=bool)
+        values = np.asarray(self.app.decision_values[first:], dtype=np.float64)
+        if predictions.size != len(stream):
+            raise RuntimeError(
+                f"device classified {predictions.size} of {len(stream)} "
+                "windows; some snippets were rejected by PeaksDataCheck"
+            )
+        return DeviceRunResult(
+            predictions=predictions,
+            decision_values=values,
+            labels=stream.labels,
+            ledger=self.os.ledger,
+            n_windows=len(stream),
+        )
+
+    def profile(self, period_s: float = 3.0) -> ResourceProfile:
+        """ARP profile from everything run so far (Table III / Fig. 3)."""
+        if self._windows_run == 0:
+            raise RuntimeError("run at least one stream before profiling")
+        return self.profiler.profile(
+            image=self.image,
+            app_name=self.app.name,
+            ledger=self.os.ledger,
+            n_events=self._windows_run,
+            period_s=period_s,
+        )

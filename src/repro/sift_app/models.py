@@ -1,0 +1,129 @@
+"""On-device classifier models for the MLClassifier state.
+
+Two deployment forms of the trained linear SVM (scaler folded into the
+weights either way):
+
+* :class:`FloatLinearModel` -- the Original build's classifier: a
+  software-float dot product (libm builds compute in double anyway, so
+  float arithmetic is already linked);
+* :class:`FixedPointDeployedModel` -- the Simplified/Reduced builds'
+  classifier: the quantized integer decision function produced by
+  :mod:`repro.ml.model_codegen`, evaluated with the hardware multiplier.
+
+Both bill their work to the app's restricted math environment.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.amulet.restricted import RestrictedMath
+from repro.ml.model_codegen import FixedPointLinearModel
+from repro.ml.scaler import StandardScaler
+from repro.ml.svm import SVC
+
+__all__ = ["DeployedModel", "FixedPointDeployedModel", "FloatLinearModel"]
+
+
+class DeployedModel(abc.ABC):
+    """A classifier as it exists inside the firmware image."""
+
+    @property
+    @abc.abstractmethod
+    def n_features(self) -> int: ...
+
+    @property
+    @abc.abstractmethod
+    def data_bytes(self) -> int:
+        """FRAM bytes of the model's weight tables."""
+
+    @abc.abstractmethod
+    def classify(
+        self, math: RestrictedMath, features: np.ndarray
+    ) -> tuple[bool, float]:
+        """Return ``(altered, decision_value)`` for one feature vector."""
+
+
+@dataclass(frozen=True)
+class FloatLinearModel(DeployedModel):
+    """Affine decision function over raw features, evaluated in real math."""
+
+    weights: np.ndarray
+    bias: float
+
+    def __post_init__(self) -> None:
+        weights = np.asarray(self.weights, dtype=np.float64)
+        if weights.ndim != 1:
+            raise ValueError("weights must be 1-D")
+        object.__setattr__(self, "weights", weights)
+
+    @property
+    def n_features(self) -> int:
+        return int(self.weights.size)
+
+    @property
+    def data_bytes(self) -> int:
+        # Doubles on the libm build: 8 bytes per weight plus the bias.
+        return 8 * (self.n_features + 1)
+
+    @classmethod
+    def from_trained(cls, svc: SVC, scaler: StandardScaler) -> "FloatLinearModel":
+        """Fold the scaler into a linear SVC's primal weights."""
+        if svc.coef_ is None:
+            raise ValueError("FloatLinearModel requires a linear-kernel SVC")
+        if scaler.mean_ is None or scaler.scale_ is None:
+            raise ValueError("scaler must be fitted")
+        weights = svc.coef_ / scaler.scale_
+        bias = float(svc.intercept_ - np.dot(svc.coef_, scaler.mean_ / scaler.scale_))
+        return cls(weights=weights, bias=bias)
+
+    def classify(
+        self, math: RestrictedMath, features: np.ndarray
+    ) -> tuple[bool, float]:
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape != (self.n_features,):
+            raise ValueError(
+                f"expected {self.n_features} features, got shape {features.shape}"
+            )
+        score = float(math.dot(self.weights, features))
+        score = float(math.add(score, self.bias))
+        math.counter.charge("branch", 1)
+        return score >= 0.0, score
+
+
+@dataclass(frozen=True)
+class FixedPointDeployedModel(DeployedModel):
+    """The quantized integer model, as the generated C code evaluates it."""
+
+    model: FixedPointLinearModel
+
+    @property
+    def n_features(self) -> int:
+        return self.model.n_features
+
+    @property
+    def data_bytes(self) -> int:
+        return 4 * (self.n_features + 1)
+
+    def classify(
+        self, math: RestrictedMath, features: np.ndarray
+    ) -> tuple[bool, float]:
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape != (self.n_features,):
+            raise ValueError(
+                f"expected {self.n_features} features, got shape {features.shape}"
+            )
+        # Feature quantization: one real multiply + truncate per feature.
+        features_q = self.model.quantize(features)
+        math.counter.charge("float_mul", self.n_features)
+        math.counter.charge("int_op", self.n_features)
+        acc = math.fixed_mac(
+            self.model.weights_q, features_q, self.model.frac_bits
+        )
+        acc += self.model.bias_q
+        math.counter.charge("int_op", 1)
+        math.counter.charge("branch", 1)
+        return acc >= 0, acc / self.model.scale

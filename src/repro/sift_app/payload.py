@@ -1,0 +1,59 @@
+"""The data snippet an app receives: the device-side window format.
+
+The paper pre-stores "ECG and ABP data and their corresponding peak
+indexes" in the Amulet's memory; over BLE the same payload would arrive
+from the sensors.  Signals are single-precision (C ``float`` arrays of
+1080 samples for a 3 s window at 360 Hz) and peak indexes are 16-bit
+integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.signals.dataset import SignalWindow
+
+__all__ = ["DeviceWindow"]
+
+
+@dataclass(frozen=True)
+class DeviceWindow:
+    """One window as stored in / delivered to the Amulet."""
+
+    ecg: np.ndarray  # float32
+    abp: np.ndarray  # float32
+    r_peaks: np.ndarray  # int16-range sample indexes
+    systolic_peaks: np.ndarray
+    sample_rate: float
+
+    def __post_init__(self) -> None:
+        if self.ecg.shape != self.abp.shape or self.ecg.ndim != 1:
+            raise ValueError("ECG and ABP must be equal-length 1-D arrays")
+        for name in ("r_peaks", "systolic_peaks"):
+            peaks = getattr(self, name)
+            if peaks.size and (peaks.min() < 0 or peaks.max() >= self.ecg.size):
+                raise ValueError(f"{name} contains out-of-window indexes")
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.ecg.size)
+
+    @classmethod
+    def from_signal_window(cls, window: SignalWindow) -> "DeviceWindow":
+        """Convert a simulation window to the device format.
+
+        The float64 -> float32 cast happens here: it models the sensor's
+        wire format, so both the device pipeline and any comparison
+        against the reference operate on what the device actually saw.
+        """
+        return cls(
+            ecg=window.ecg.astype(np.float32),
+            abp=window.abp.astype(np.float32),
+            r_peaks=np.asarray(window.r_peaks, dtype=np.int16).astype(np.intp),
+            systolic_peaks=np.asarray(window.systolic_peaks, dtype=np.int16).astype(
+                np.intp
+            ),
+            sample_rate=float(window.sample_rate),
+        )

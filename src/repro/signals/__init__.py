@@ -1,0 +1,67 @@
+"""Physiological signal substrate.
+
+This subpackage replaces the MIT PhysioBank *Fantasia* records used by the
+paper with a synthetic cardiac-process simulator.  A single beat train (the
+"underlying physiological process" that SIFT exploits) drives both the ECG
+and the arterial blood pressure (ABP) waveform generators, so the two
+signals are inherently correlated within a subject -- exactly the property
+SIFT's portrait features measure.
+
+Public API
+----------
+- :class:`~repro.signals.cardiac.CardiacProcess` / ``BeatTrain``
+- :class:`~repro.signals.ecg.ECGSynthesizer`
+- :class:`~repro.signals.abp.ABPSynthesizer`
+- :class:`~repro.signals.subjects.SubjectParameters` and
+  :func:`~repro.signals.subjects.generate_cohort`
+- :func:`~repro.signals.peaks.detect_r_peaks`,
+  :func:`~repro.signals.peaks.detect_systolic_peaks`
+- :class:`~repro.signals.dataset.Record`,
+  :class:`~repro.signals.dataset.SyntheticFantasia`
+"""
+
+from repro.signals.abp import ABPSynthesizer
+from repro.signals.cardiac import BeatTrain, CardiacProcess
+from repro.signals.dataset import (
+    DEFAULT_SAMPLE_RATE,
+    Record,
+    SignalWindow,
+    SyntheticFantasia,
+    iter_windows,
+)
+from repro.signals.ecg import ECGSynthesizer
+from repro.signals.peaks import (
+    detect_r_peaks,
+    detect_systolic_peaks,
+    match_peaks,
+    peak_indices_in_window,
+)
+from repro.signals.quality import (
+    QualityReport,
+    SignalQualityIndex,
+    assess_window,
+)
+from repro.signals.subjects import SubjectParameters, generate_cohort
+from repro.signals.wfdb import load_record as load_wfdb_record
+
+__all__ = [
+    "ABPSynthesizer",
+    "BeatTrain",
+    "CardiacProcess",
+    "DEFAULT_SAMPLE_RATE",
+    "ECGSynthesizer",
+    "QualityReport",
+    "Record",
+    "SignalQualityIndex",
+    "SignalWindow",
+    "SubjectParameters",
+    "SyntheticFantasia",
+    "assess_window",
+    "detect_r_peaks",
+    "detect_systolic_peaks",
+    "generate_cohort",
+    "iter_windows",
+    "load_wfdb_record",
+    "match_peaks",
+    "peak_indices_in_window",
+]

@@ -1,0 +1,204 @@
+"""The underlying cardiac process.
+
+SIFT rests on the observation that ECG and ABP are two manifestations of one
+physiological process.  This module models that process: a sequence of heart
+beats whose inter-beat (RR) intervals fluctuate with the two dominant heart
+rate variability (HRV) rhythms,
+
+* respiratory sinus arrhythmia (RSA), a high-frequency modulation locked to
+  breathing (~0.15-0.4 Hz), and
+* Mayer waves, a low-frequency modulation of sympathetic origin (~0.1 Hz),
+
+plus unstructured beat-to-beat jitter.  The resulting :class:`BeatTrain` is
+the shared input to both the ECG and the ABP synthesizers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BeatTrain", "CardiacProcess"]
+
+
+@dataclass(frozen=True)
+class BeatTrain:
+    """A realization of the cardiac process.
+
+    Attributes
+    ----------
+    onsets:
+        Beat onset times in seconds, strictly increasing, starting at or
+        after ``0``.  A beat's onset is the time of its R peak in the ECG.
+    rr_intervals:
+        ``onsets[i + 1] - onsets[i]`` for convenience; one element shorter
+        than ``onsets``.
+    duration:
+        Total covered duration in seconds (the generation horizon, not the
+        last onset).
+    ectopic:
+        Boolean mask marking premature ventricular beats (all-False when
+        the process has no ectopy).
+    """
+
+    onsets: np.ndarray
+    duration: float
+    ectopic: np.ndarray | None = None
+    rr_intervals: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        onsets = np.asarray(self.onsets, dtype=np.float64)
+        if onsets.ndim != 1:
+            raise ValueError("beat onsets must be a 1-D array")
+        if onsets.size >= 2 and not np.all(np.diff(onsets) > 0):
+            raise ValueError("beat onsets must be strictly increasing")
+        if onsets.size and onsets[0] < 0:
+            raise ValueError("beat onsets must be non-negative")
+        object.__setattr__(self, "onsets", onsets)
+        object.__setattr__(self, "rr_intervals", np.diff(onsets))
+        ectopic = self.ectopic
+        if ectopic is None:
+            ectopic = np.zeros(onsets.size, dtype=bool)
+        else:
+            ectopic = np.asarray(ectopic, dtype=bool)
+            if ectopic.shape != onsets.shape:
+                raise ValueError("ectopic mask must match onsets in shape")
+        object.__setattr__(self, "ectopic", ectopic)
+
+    @property
+    def n_ectopic(self) -> int:
+        return int(self.ectopic.sum())
+
+    def __len__(self) -> int:
+        return int(self.onsets.size)
+
+    @property
+    def mean_heart_rate(self) -> float:
+        """Mean heart rate in beats per minute."""
+        if self.rr_intervals.size == 0:
+            return 0.0
+        return 60.0 / float(np.mean(self.rr_intervals))
+
+    def slice(self, start: float, stop: float) -> "BeatTrain":
+        """Return the beats with ``start <= onset < stop``, re-based to 0."""
+        if stop < start:
+            raise ValueError("stop must be >= start")
+        mask = (self.onsets >= start) & (self.onsets < stop)
+        return BeatTrain(
+            onsets=self.onsets[mask] - start,
+            duration=stop - start,
+            ectopic=self.ectopic[mask],
+        )
+
+
+class CardiacProcess:
+    """Generator of :class:`BeatTrain` realizations for one subject.
+
+    Parameters
+    ----------
+    mean_hr:
+        Mean heart rate in beats per minute.
+    rsa_depth:
+        Fractional RR modulation depth of respiratory sinus arrhythmia
+        (e.g. ``0.05`` modulates RR intervals by +-5 %).
+    rsa_frequency:
+        Breathing frequency in Hz.
+    mayer_depth:
+        Fractional RR modulation depth of the ~0.1 Hz Mayer wave.
+    mayer_frequency:
+        Mayer wave frequency in Hz.
+    jitter:
+        Standard deviation of unstructured fractional RR jitter.
+    """
+
+    def __init__(
+        self,
+        mean_hr: float = 70.0,
+        rsa_depth: float = 0.04,
+        rsa_frequency: float = 0.25,
+        mayer_depth: float = 0.03,
+        mayer_frequency: float = 0.1,
+        jitter: float = 0.01,
+        ectopic_rate_per_min: float = 0.0,
+    ) -> None:
+        if mean_hr <= 0:
+            raise ValueError("mean_hr must be positive")
+        if not 0 <= rsa_depth < 0.5 or not 0 <= mayer_depth < 0.5:
+            raise ValueError("modulation depths must be in [0, 0.5)")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if rsa_frequency <= 0 or mayer_frequency <= 0:
+            raise ValueError("modulation frequencies must be positive")
+        if ectopic_rate_per_min < 0:
+            raise ValueError("ectopic_rate_per_min must be non-negative")
+        self.mean_hr = float(mean_hr)
+        self.rsa_depth = float(rsa_depth)
+        self.rsa_frequency = float(rsa_frequency)
+        self.mayer_depth = float(mayer_depth)
+        self.mayer_frequency = float(mayer_frequency)
+        self.jitter = float(jitter)
+        self.ectopic_rate_per_min = float(ectopic_rate_per_min)
+
+    @property
+    def mean_rr(self) -> float:
+        """Mean RR interval in seconds."""
+        return 60.0 / self.mean_hr
+
+    def generate(self, duration: float, rng: np.random.Generator) -> BeatTrain:
+        """Generate beats covering ``duration`` seconds.
+
+        The RR interval of each beat is the mean RR modulated by the RSA and
+        Mayer oscillations evaluated at the beat's onset time, plus Gaussian
+        jitter.  Intervals are clamped to stay physiologically positive.
+
+        With a non-zero ``ectopic_rate_per_min``, premature ventricular
+        contractions are interleaved: an ectopic beat arrives early (at
+        ~55 % of the scheduled coupling interval) and is followed by a
+        compensatory pause, the classic PVC timing signature.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        mean_rr = self.mean_rr
+        # Random phases make realizations distinct even with zero jitter.
+        rsa_phase = rng.uniform(0.0, 2.0 * np.pi)
+        mayer_phase = rng.uniform(0.0, 2.0 * np.pi)
+        ectopic_probability = (
+            self.ectopic_rate_per_min * mean_rr / 60.0
+        )  # per scheduled beat
+
+        onsets = [float(rng.uniform(0.0, mean_rr))]
+        ectopic = [False]
+        while onsets[-1] < duration:
+            t = onsets[-1]
+            modulation = (
+                1.0
+                + self.rsa_depth
+                * np.sin(2.0 * np.pi * self.rsa_frequency * t + rsa_phase)
+                + self.mayer_depth
+                * np.sin(2.0 * np.pi * self.mayer_frequency * t + mayer_phase)
+            )
+            rr = mean_rr * modulation * (1.0 + self.jitter * rng.standard_normal())
+            rr = max(rr, 0.25 * mean_rr)
+            if ectopic_probability > 0 and rng.random() < ectopic_probability:
+                coupling = rr * rng.uniform(0.5, 0.6)
+                onsets.append(t + coupling)
+                ectopic.append(True)
+                # Compensatory pause: the next sinus beat lands where it
+                # would have without the PVC, i.e. a long post-PVC gap.
+                onsets.append(t + rr + rr * rng.uniform(0.9, 1.0))
+                ectopic.append(False)
+            else:
+                onsets.append(t + rr)
+                ectopic.append(False)
+        # The loop appends onsets beyond the horizon; drop them.
+        mask = [t < duration for t in onsets]
+        kept = np.array(
+            [t for t, keep in zip(onsets, mask) if keep], dtype=np.float64
+        )
+        kept_ectopic = np.array(
+            [e for e, keep in zip(ectopic, mask) if keep], dtype=bool
+        )
+        return BeatTrain(
+            onsets=kept, duration=float(duration), ectopic=kept_ectopic
+        )

@@ -1,0 +1,256 @@
+"""Records, windows and the synthetic Fantasia-like dataset.
+
+A :class:`Record` bundles a subject's synchronously sampled ECG and ABP
+traces with their characteristic-point indexes (R peaks, systolic peaks) --
+the exact payload the paper pre-stores in the Amulet's memory.
+:class:`SyntheticFantasia` regenerates such records on demand for a cohort
+of synthetic subjects, with disjoint RNG streams for training and test
+recordings so that test windows are "unseen" in the paper's sense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.signals.peaks import (
+    detect_r_peaks,
+    detect_systolic_peaks,
+    peak_indices_in_window,
+)
+from repro.signals.subjects import SubjectParameters, generate_cohort
+
+__all__ = [
+    "DEFAULT_SAMPLE_RATE",
+    "Record",
+    "SignalWindow",
+    "SyntheticFantasia",
+    "iter_windows",
+]
+
+#: Samples per second.  360 Hz makes a 3-second window exactly 1080 samples,
+#: the float-array size the paper reports for the Amulet implementation.
+DEFAULT_SAMPLE_RATE = 360.0
+
+
+@dataclass(frozen=True)
+class SignalWindow:
+    """One ``w``-second snippet of synchronized ECG and ABP.
+
+    Peak indexes are relative to the window start.  ``altered`` records the
+    ground-truth attack label when the window comes from an evaluation
+    scenario (``None`` for plain recordings).
+    """
+
+    ecg: np.ndarray
+    abp: np.ndarray
+    r_peaks: np.ndarray
+    systolic_peaks: np.ndarray
+    sample_rate: float
+    subject_id: str = ""
+    altered: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.ecg.shape != self.abp.shape:
+            raise ValueError("ECG and ABP windows must have equal length")
+        if self.ecg.ndim != 1:
+            raise ValueError("window signals must be 1-D")
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.ecg.size)
+
+    @property
+    def duration(self) -> float:
+        return self.n_samples / self.sample_rate
+
+
+@dataclass(frozen=True)
+class Record:
+    """A full synchronized ECG+ABP recording for one subject."""
+
+    subject_id: str
+    sample_rate: float
+    ecg: np.ndarray
+    abp: np.ndarray
+    r_peaks: np.ndarray = field(repr=False)
+    systolic_peaks: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.ecg.shape != self.abp.shape:
+            raise ValueError("ECG and ABP must have equal length")
+        if self.ecg.ndim != 1:
+            raise ValueError("record signals must be 1-D")
+        if self.sample_rate <= 0:
+            raise ValueError("sample_rate must be positive")
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.ecg.size)
+
+    @property
+    def duration(self) -> float:
+        return self.n_samples / self.sample_rate
+
+    def window(self, start: int, length: int, altered: bool | None = None) -> SignalWindow:
+        """Extract the window ``[start, start + length)`` with re-based peaks."""
+        if start < 0 or length <= 0 or start + length > self.n_samples:
+            raise ValueError(
+                f"window [{start}, {start + length}) out of range "
+                f"for record of {self.n_samples} samples"
+            )
+        stop = start + length
+        return SignalWindow(
+            ecg=self.ecg[start:stop],
+            abp=self.abp[start:stop],
+            r_peaks=peak_indices_in_window(self.r_peaks, start, stop),
+            systolic_peaks=peak_indices_in_window(self.systolic_peaks, start, stop),
+            sample_rate=self.sample_rate,
+            subject_id=self.subject_id,
+            altered=altered,
+        )
+
+    def redetect_peaks(self) -> "Record":
+        """Copy of this record with peaks re-derived by the detectors.
+
+        Records from :class:`SyntheticFantasia` carry ground-truth peak
+        indexes (the paper's pre-stored indexes).  This method swaps them
+        for detector output, for experiments on detector robustness.
+        """
+        return Record(
+            subject_id=self.subject_id,
+            sample_rate=self.sample_rate,
+            ecg=self.ecg,
+            abp=self.abp,
+            r_peaks=detect_r_peaks(self.ecg, self.sample_rate),
+            systolic_peaks=detect_systolic_peaks(self.abp, self.sample_rate),
+        )
+
+
+def iter_windows(
+    record: Record, window_s: float, stride_s: float | None = None
+) -> Iterator[SignalWindow]:
+    """Slide a ``window_s``-second window over a record.
+
+    The default stride equals the window size (non-overlapping), which is
+    how the detector consumes data at run time; training may pass a smaller
+    stride for more feature points.
+    """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    stride_s = window_s if stride_s is None else stride_s
+    if stride_s <= 0:
+        raise ValueError("stride_s must be positive")
+    length = int(round(window_s * record.sample_rate))
+    stride = max(1, int(round(stride_s * record.sample_rate)))
+    for start in range(0, record.n_samples - length + 1, stride):
+        yield record.window(start, length)
+
+
+class SyntheticFantasia:
+    """Synthetic stand-in for the 12-subject Fantasia selection.
+
+    Parameters
+    ----------
+    n_subjects:
+        Cohort size (paper: 12).
+    seed:
+        Cohort seed; also the base of the per-record RNG streams.
+    sample_rate:
+        Sampling rate in Hz.
+    """
+
+    #: RNG stream tags guaranteeing train and test recordings never share
+    #: random state.
+    _PURPOSES = {"train": 0, "test": 1, "extra": 2}
+
+    def __init__(
+        self,
+        n_subjects: int = 12,
+        seed: int = 2017,
+        sample_rate: float = DEFAULT_SAMPLE_RATE,
+    ) -> None:
+        if sample_rate <= 0:
+            raise ValueError("sample_rate must be positive")
+        self.seed = int(seed)
+        self.sample_rate = float(sample_rate)
+        self.subjects: list[SubjectParameters] = generate_cohort(
+            n_subjects=n_subjects, seed=seed
+        )
+
+    def __len__(self) -> int:
+        return len(self.subjects)
+
+    def subject(self, subject_id: str) -> SubjectParameters:
+        """Look up a cohort subject by id (KeyError if absent)."""
+        for subject in self.subjects:
+            if subject.subject_id == subject_id:
+                return subject
+        raise KeyError(f"no such subject: {subject_id!r}")
+
+    def _rng(self, subject: SubjectParameters, purpose: str) -> np.random.Generator:
+        """RNG stream keyed by subject *identity* (its id) and purpose.
+
+        Keying by id rather than list position lets callers pass modified
+        copies of a cohort subject (e.g. with a different noise level) and
+        still draw the same realization stream.
+        """
+        if purpose not in self._PURPOSES:
+            raise ValueError(f"unknown record purpose: {purpose!r}")
+        index = next(
+            (
+                i
+                for i, candidate in enumerate(self.subjects)
+                if candidate.subject_id == subject.subject_id
+            ),
+            None,
+        )
+        if index is None:
+            raise KeyError(
+                f"subject {subject.subject_id!r} is not from this cohort"
+            )
+        return np.random.default_rng(
+            [self.seed, index, self._PURPOSES[purpose]]
+        )
+
+    def record(
+        self, subject: SubjectParameters, duration: float, purpose: str = "train"
+    ) -> Record:
+        """Generate a recording with ground-truth peak indexes.
+
+        ``purpose`` selects a disjoint RNG stream: ``"train"`` recordings
+        and ``"test"`` recordings of the same subject are different
+        realizations of the same cardiac process.
+        """
+        rng = self._rng(subject, purpose)
+        beats = subject.cardiac_process().generate(duration, rng)
+        ecg_synth = subject.ecg_synthesizer()
+        abp_synth = subject.abp_synthesizer()
+        ecg = ecg_synth.synthesize(beats, self.sample_rate, rng)
+        abp = abp_synth.synthesize(beats, self.sample_rate, rng)
+        n = ecg.size
+        r_idx = np.round(beats.onsets * self.sample_rate).astype(np.intp)
+        s_times = abp_synth.systolic_peak_times(beats)
+        s_idx = np.round(s_times * self.sample_rate).astype(np.intp)
+        return Record(
+            subject_id=subject.subject_id,
+            sample_rate=self.sample_rate,
+            ecg=ecg,
+            abp=abp,
+            r_peaks=r_idx[r_idx < n],
+            systolic_peaks=s_idx[s_idx < n],
+        )
+
+    def training_record(
+        self, subject: SubjectParameters, duration: float = 20 * 60.0
+    ) -> Record:
+        """The paper's Delta = 20 minutes of training data."""
+        return self.record(subject, duration, purpose="train")
+
+    def test_record(
+        self, subject: SubjectParameters, duration: float = 2 * 60.0
+    ) -> Record:
+        """The paper's 2 minutes of unseen evaluation data."""
+        return self.record(subject, duration, purpose="test")

@@ -1,0 +1,158 @@
+"""Signal-quality assessment (SQI) for detection gating.
+
+Wearable practice: classify signal *quality* before classifying signal
+*content*, and withhold clinical decisions on garbage windows.  The
+robustness study shows motion artifacts inflate SIFT's false-positive
+rate; a quality gate converts those would-be false alarms into explicit
+"window unusable" outcomes, which a safety UI treats differently from
+"attack detected".
+
+The index combines three cheap, libm-free checks per channel:
+
+* **clipping/flatline** -- the fraction of samples pinned at the window
+  extremes (saturated front end or disconnected lead);
+* **burst energy** -- the ratio of the 98th-percentile to the median of
+  the first-difference energy (motion bursts are impulsive; cardiac
+  activity is rhythmic);
+* **beat plausibility** -- the implied beat count against physiological
+  bounds for the window length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.signals.dataset import SignalWindow
+
+__all__ = ["QualityReport", "SignalQualityIndex", "assess_window"]
+
+#: Physiological heart-rate bounds used by the beat-plausibility check.
+_MIN_BPM, _MAX_BPM = 25.0, 220.0
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Per-window quality verdict.
+
+    ``sqi`` is in [0, 1]; 1.0 means all checks passed cleanly.  ``usable``
+    applies the configured threshold.  Component scores are retained so a
+    UI (or a test) can say *why* a window was rejected.
+    """
+
+    sqi: float
+    usable: bool
+    clipping_score: float
+    burst_score: float
+    beat_score: float
+
+    def __post_init__(self) -> None:
+        for name in ("sqi", "clipping_score", "burst_score", "beat_score"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0 + 1e-9:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+class SignalQualityIndex:
+    """Configurable quality assessor for ECG+ABP windows.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum SQI for a window to count as usable.
+    clipping_tolerance:
+        Fraction of samples allowed at the window extremes before the
+        clipping score starts dropping.
+    burst_ratio_limit:
+        First-difference energy 98th-percentile-to-median ratio above
+        which the burst score reaches zero.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.6,
+        clipping_tolerance: float = 0.02,
+        burst_ratio_limit: float = 400.0,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if clipping_tolerance < 0:
+            raise ValueError("clipping_tolerance must be non-negative")
+        if burst_ratio_limit <= 1.0:
+            raise ValueError("burst_ratio_limit must exceed 1")
+        self.threshold = float(threshold)
+        self.clipping_tolerance = float(clipping_tolerance)
+        self.burst_ratio_limit = float(burst_ratio_limit)
+
+    # -- component checks ---------------------------------------------------
+
+    def _clipping_score(self, signal: np.ndarray) -> float:
+        low, high = float(np.min(signal)), float(np.max(signal))
+        if high <= low:
+            return 0.0  # flatline
+        span = high - low
+        pinned = np.mean(
+            (signal <= low + 0.01 * span) | (signal >= high - 0.01 * span)
+        )
+        # A healthy oscillating signal touches its extremes rarely.
+        excess = max(0.0, float(pinned) - self.clipping_tolerance)
+        return float(np.clip(1.0 - excess / 0.25, 0.0, 1.0))
+
+    def _burst_score(self, signal: np.ndarray) -> float:
+        diff = np.diff(signal)
+        energy = diff * diff
+        median = float(np.median(energy))
+        if median <= 0:
+            return 0.0
+        ratio = float(np.percentile(energy, 98)) / median
+        if ratio <= self.burst_ratio_limit:
+            return 1.0
+        return float(
+            np.clip(
+                1.0
+                - (ratio - self.burst_ratio_limit) / (4 * self.burst_ratio_limit),
+                0.0,
+                1.0,
+            )
+        )
+
+    def _beat_score(self, window: SignalWindow) -> float:
+        duration_min = window.duration / 60.0
+        lower = _MIN_BPM * duration_min
+        upper = _MAX_BPM * duration_min
+        score = 1.0
+        for peaks in (window.r_peaks, window.systolic_peaks):
+            count = float(len(peaks))
+            if count < lower:
+                score = min(score, count / max(lower, 1e-9))
+            elif count > upper:
+                score = min(score, float(np.clip(2.0 - count / upper, 0.0, 1.0)))
+        return float(score)
+
+    # -- public API -----------------------------------------------------------
+
+    def assess(self, window: SignalWindow) -> QualityReport:
+        """Score one window; the SQI is the minimum of the channel checks.
+
+        Using the minimum (not the mean) makes the gate conservative: one
+        failed check is enough to withhold a clinical decision.
+        """
+        clipping = min(
+            self._clipping_score(window.ecg), self._clipping_score(window.abp)
+        )
+        burst = min(self._burst_score(window.ecg), self._burst_score(window.abp))
+        beats = self._beat_score(window)
+        sqi = min(clipping, burst, beats)
+        return QualityReport(
+            sqi=sqi,
+            usable=sqi >= self.threshold,
+            clipping_score=clipping,
+            burst_score=burst,
+            beat_score=beats,
+        )
+
+
+def assess_window(window: SignalWindow, threshold: float = 0.6) -> QualityReport:
+    """One-shot convenience around :class:`SignalQualityIndex`."""
+    return SignalQualityIndex(threshold=threshold).assess(window)

@@ -1,0 +1,221 @@
+"""Minimal WFDB reader: use the *real* Fantasia records when available.
+
+The paper's dataset is 12 subjects from the MIT PhysioBank Fantasia
+database, distributed in WFDB format (a text header ``<record>.hea`` plus
+a binary ``<record>.dat``).  This module implements the subset of the
+format those records use -- format **212** (two 12-bit two's-complement
+samples packed into 3 bytes) and format **16** (little-endian int16) --
+so that an offline copy of Fantasia can be loaded into the exact same
+:class:`~repro.signals.dataset.Record` API the synthetic substrate
+produces.  No network access is attempted; when no files are present the
+project simply runs on the synthetic cohort.
+
+Format reference: https://physionet.org/physiotools/wag/header-5.htm
+(implemented from the specification; only the fields Fantasia uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.signals.dataset import Record
+from repro.signals.peaks import detect_r_peaks, detect_systolic_peaks
+
+__all__ = ["WFDBHeader", "WFDBSignalSpec", "load_record", "read_header", "read_signals"]
+
+
+@dataclass(frozen=True)
+class WFDBSignalSpec:
+    """One signal line of a ``.hea`` file (the fields we need)."""
+
+    file_name: str
+    format: int
+    gain: float  # ADC units per physical unit
+    baseline: int  # ADC value corresponding to 0 physical units
+    units: str
+    description: str
+
+
+@dataclass(frozen=True)
+class WFDBHeader:
+    """The record line plus one spec per signal."""
+
+    record_name: str
+    n_signals: int
+    sample_rate: float
+    n_samples: int
+    signals: tuple[WFDBSignalSpec, ...]
+
+    def signal_index(self, keyword: str) -> int:
+        """Index of the first signal whose description contains ``keyword``."""
+        keyword = keyword.lower()
+        for i, spec in enumerate(self.signals):
+            if keyword in spec.description.lower() or keyword in spec.units.lower():
+                return i
+        raise KeyError(
+            f"no signal matching {keyword!r}; available: "
+            f"{[s.description for s in self.signals]}"
+        )
+
+
+def read_header(path: str | Path) -> WFDBHeader:
+    """Parse a ``.hea`` file.
+
+    Raises
+    ------
+    ValueError
+        On malformed record lines or unsupported signal formats.
+    """
+    path = Path(path)
+    lines = [
+        line.strip()
+        for line in path.read_text().splitlines()
+        if line.strip() and not line.startswith("#")
+    ]
+    if not lines:
+        raise ValueError(f"{path}: empty header")
+    record_fields = lines[0].split()
+    if len(record_fields) < 4:
+        raise ValueError(f"{path}: malformed record line: {lines[0]!r}")
+    record_name = record_fields[0]
+    n_signals = int(record_fields[1])
+    # The sampling-frequency field may carry counter info ("250/..."),
+    # keep the base frequency.
+    sample_rate = float(record_fields[2].split("/")[0])
+    n_samples = int(record_fields[3])
+    if n_signals < 1:
+        raise ValueError(f"{path}: record declares no signals")
+    if len(lines) - 1 < n_signals:
+        raise ValueError(
+            f"{path}: header declares {n_signals} signals but has "
+            f"{len(lines) - 1} signal lines"
+        )
+
+    specs = []
+    for line in lines[1 : 1 + n_signals]:
+        fields = line.split()
+        if len(fields) < 2:
+            raise ValueError(f"{path}: malformed signal line: {line!r}")
+        file_name = fields[0]
+        fmt = int(fields[1].split("x")[0].split(":")[0].split("+")[0])
+        if fmt not in (16, 212):
+            raise ValueError(
+                f"{path}: unsupported WFDB format {fmt}; this reader "
+                "implements formats 16 and 212 (all Fantasia uses)"
+            )
+        # gain field: "gain(baseline)/units", all parts optional.
+        gain, baseline, units = 200.0, 0, "adu"
+        if len(fields) >= 3:
+            gain_field = fields[2]
+            if "/" in gain_field:
+                gain_field, units = gain_field.split("/", 1)
+            if "(" in gain_field:
+                gain_part, baseline_part = gain_field.split("(")
+                baseline = int(baseline_part.rstrip(")"))
+                gain_field = gain_part
+            if gain_field:
+                gain = float(gain_field)
+                if gain == 0:
+                    gain = 200.0  # the spec's documented default
+        description = " ".join(fields[8:]) if len(fields) > 8 else file_name
+        specs.append(
+            WFDBSignalSpec(
+                file_name=file_name,
+                format=fmt,
+                gain=gain,
+                baseline=baseline,
+                units=units,
+                description=description,
+            )
+        )
+    return WFDBHeader(
+        record_name=record_name,
+        n_signals=n_signals,
+        sample_rate=sample_rate,
+        n_samples=n_samples,
+        signals=tuple(specs),
+    )
+
+
+def _decode_212(raw: bytes, n_values: int) -> np.ndarray:
+    """Unpack WFDB format 212: two 12-bit samples per 3 bytes."""
+    data = np.frombuffer(raw, dtype=np.uint8)
+    n_frames = data.size // 3
+    data = data[: n_frames * 3].reshape(-1, 3).astype(np.int32)
+    first = ((data[:, 1] & 0x0F) << 8) | data[:, 0]
+    second = ((data[:, 1] & 0xF0) << 4) | data[:, 2]
+    samples = np.empty(2 * n_frames, dtype=np.int32)
+    samples[0::2] = first
+    samples[1::2] = second
+    # 12-bit two's complement.
+    samples[samples > 2047] -= 4096
+    return samples[:n_values]
+
+
+def _decode_16(raw: bytes, n_values: int) -> np.ndarray:
+    return np.frombuffer(raw, dtype="<i2")[:n_values].astype(np.int32)
+
+
+def read_signals(header: WFDBHeader, directory: str | Path) -> np.ndarray:
+    """Read all signals of a record; returns shape (n_samples, n_signals).
+
+    Fantasia stores all signals interleaved in a single ``.dat``; this
+    reader supports that layout (all specs naming the same file) as well
+    as one file per signal.
+    """
+    directory = Path(directory)
+    by_file: dict[str, list[int]] = {}
+    for i, spec in enumerate(header.signals):
+        by_file.setdefault(spec.file_name, []).append(i)
+
+    output = np.zeros((header.n_samples, header.n_signals), dtype=np.float64)
+    for file_name, indices in by_file.items():
+        raw = (directory / file_name).read_bytes()
+        fmt = header.signals[indices[0]].format
+        if any(header.signals[i].format != fmt for i in indices):
+            raise ValueError(
+                f"{file_name}: mixed formats in one file are not supported"
+            )
+        n_interleaved = header.n_samples * len(indices)
+        decoder = _decode_212 if fmt == 212 else _decode_16
+        flat = decoder(raw, n_interleaved)
+        if flat.size < n_interleaved:
+            raise ValueError(
+                f"{file_name}: expected {n_interleaved} samples, "
+                f"decoded {flat.size}"
+            )
+        frames = flat.reshape(-1, len(indices))
+        for column, signal_index in enumerate(indices):
+            spec = header.signals[signal_index]
+            output[:, signal_index] = (
+                frames[:, column] - spec.baseline
+            ) / spec.gain
+    return output
+
+
+def load_record(
+    header_path: str | Path,
+    ecg_keyword: str = "ecg",
+    abp_keyword: str = "bp",
+) -> Record:
+    """Load a WFDB record into the project's :class:`Record` API.
+
+    Peak indexes are derived with the project's detectors, the same
+    upstream step the paper's pre-stored indexes came from.
+    """
+    header_path = Path(header_path)
+    header = read_header(header_path)
+    signals = read_signals(header, header_path.parent)
+    ecg = signals[:, header.signal_index(ecg_keyword)]
+    abp = signals[:, header.signal_index(abp_keyword)]
+    return Record(
+        subject_id=header.record_name,
+        sample_rate=header.sample_rate,
+        ecg=ecg,
+        abp=abp,
+        r_peaks=detect_r_peaks(ecg, header.sample_rate),
+        systolic_peaks=detect_systolic_peaks(abp, header.sample_rate),
+    )

@@ -1,0 +1,41 @@
+"""The wearable IoT environment (paper Fig. 1).
+
+Sensors form a wireless network around the user and forward measurements
+to an always-present, safety-critical *base station* (the Amulet), which
+acts on the data and forwards it to a resource-rich *sink* (phone/tablet)
+for storage and visualization.  This subpackage wires those three tiers
+together around the signal substrate and the Amulet simulator:
+
+- :mod:`~repro.wiot.sensor` -- ECG/ABP body sensors (optionally
+  compromised at the source);
+- :mod:`~repro.wiot.channel` -- the lossy wireless hop;
+- :mod:`~repro.wiot.basestation` -- window assembly + the SIFT detector
+  on the simulated Amulet;
+- :mod:`~repro.wiot.sink` -- historical storage and summaries;
+- :mod:`~repro.wiot.environment` -- end-to-end orchestration.
+"""
+
+from repro.wiot.basestation import BaseStation
+from repro.wiot.channel import WirelessChannel
+from repro.wiot.environment import WIoTEnvironment, WIoTRunSummary
+from repro.wiot.secure_channel import (
+    AuthenticatedPacket,
+    PacketAuthenticator,
+    PacketVerifier,
+)
+from repro.wiot.sensor import BodySensor, CompromisedSensor, SensorPacket
+from repro.wiot.sink import Sink
+
+__all__ = [
+    "AuthenticatedPacket",
+    "BaseStation",
+    "BodySensor",
+    "CompromisedSensor",
+    "PacketAuthenticator",
+    "PacketVerifier",
+    "SensorPacket",
+    "Sink",
+    "WIoTEnvironment",
+    "WIoTRunSummary",
+    "WirelessChannel",
+]

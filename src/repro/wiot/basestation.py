@@ -1,0 +1,125 @@
+"""The base station: window assembly plus the Amulet-hosted detector.
+
+The base station pairs same-sequence ECG and ABP packets into synchronized
+windows, hands each complete window to the SIFT app running on its
+simulated Amulet, and forwards the window verdicts downstream to the sink.
+Windows whose ECG or ABP half was lost in the channel are counted and
+skipped -- a safety-critical detector must not classify half a window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.detector import SIFTDetector
+from repro.sift_app.harness import AmuletSIFTRunner
+from repro.sift_app.payload import DeviceWindow
+from repro.wiot.channel import DeliveredPacket
+from repro.wiot.sink import Sink
+
+__all__ = ["BaseStation", "WindowVerdict"]
+
+
+@dataclass(frozen=True)
+class WindowVerdict:
+    """The base station's decision about one assembled window."""
+
+    sequence: int
+    time_s: float
+    altered: bool
+    decision_value: float
+
+
+class BaseStation:
+    """An Amulet-based base station running one SIFT detector build.
+
+    Parameters
+    ----------
+    detector:
+        A fitted reference detector to deploy on the simulated Amulet.
+    sink:
+        Downstream sink receiving verdicts (optional).
+    """
+
+    def __init__(self, detector: SIFTDetector, sink: Sink | None = None) -> None:
+        self.runner = AmuletSIFTRunner(detector)
+        self.sink = sink
+        self.verdicts: list[WindowVerdict] = []
+        self.incomplete_windows = 0
+        self._pending: dict[int, dict[str, DeliveredPacket]] = {}
+
+    @property
+    def app(self):
+        return self.runner.app
+
+    @property
+    def os(self):
+        return self.runner.os
+
+    def receive(self, delivered: DeliveredPacket | None) -> WindowVerdict | None:
+        """Accept one channel delivery; classify when a window completes."""
+        if delivered is None:
+            return None
+        packet = delivered.packet
+        slot = self._pending.setdefault(packet.sequence, {})
+        slot[packet.channel] = delivered
+        if "ecg" not in slot or "abp" not in slot:
+            return None
+        return self._classify(packet.sequence, slot)
+
+    def flush_incomplete(self) -> int:
+        """Drop windows still missing a half; returns how many were lost."""
+        lost = len(self._pending)
+        self.incomplete_windows += lost
+        self._pending.clear()
+        return lost
+
+    def _classify(
+        self, sequence: int, slot: dict[str, DeliveredPacket]
+    ) -> WindowVerdict:
+        ecg = slot["ecg"].packet
+        abp = slot["abp"].packet
+        del self._pending[sequence]
+        if ecg.samples.size != abp.samples.size:
+            raise ValueError(
+                f"window {sequence}: ECG and ABP packet lengths differ "
+                f"({ecg.samples.size} vs {abp.samples.size})"
+            )
+        window = DeviceWindow(
+            ecg=ecg.samples.astype(np.float32),
+            abp=abp.samples.astype(np.float32),
+            r_peaks=np.asarray(ecg.peak_indexes, dtype=np.intp),
+            systolic_peaks=np.asarray(abp.peak_indexes, dtype=np.intp),
+            sample_rate=ecg.sample_rate,
+        )
+        app = self.runner.app
+        before = len(app.predictions)
+        self.runner.os.deliver_sensor_window(app.name, window)
+        self.runner.os.run_until_idle()
+        self.runner._windows_run += 1
+        if len(app.predictions) == before:
+            # PeaksDataCheck rejected the snippet (corrupt peak metadata).
+            self.incomplete_windows += 1
+            verdict = WindowVerdict(
+                sequence=sequence,
+                time_s=ecg.start_time_s,
+                altered=True,  # fail-safe: unverifiable data is suspect
+                decision_value=float("nan"),
+            )
+        else:
+            verdict = WindowVerdict(
+                sequence=sequence,
+                time_s=ecg.start_time_s,
+                altered=app.predictions[-1],
+                decision_value=app.decision_values[-1],
+            )
+        self.verdicts.append(verdict)
+        if self.sink is not None:
+            self.sink.store_verdict(verdict)
+        return verdict
+
+    @property
+    def alert_count(self) -> int:
+        return sum(1 for v in self.verdicts if v.altered)

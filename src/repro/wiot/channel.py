@@ -1,0 +1,74 @@
+"""The wireless hop between body sensors and the base station.
+
+Body-area links are short but lossy.  The channel model drops packets
+independently with a configurable probability and adds bounded random
+latency; the base station must therefore tolerate missing or late halves
+of a window (it skips windows it cannot assemble, as a real
+store-and-forward pipeline would).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.wiot.sensor import SensorPacket
+
+__all__ = ["DeliveredPacket", "WirelessChannel"]
+
+
+@dataclass(frozen=True)
+class DeliveredPacket:
+    """A packet as it arrives at the base station."""
+
+    packet: SensorPacket
+    arrival_time_s: float
+
+
+@dataclass
+class WirelessChannel:
+    """Independent-loss, bounded-latency wireless link.
+
+    Parameters
+    ----------
+    loss_probability:
+        Probability that a packet is dropped.
+    base_latency_s / jitter_s:
+        Arrival time is send time plus the base latency plus a uniform
+        jitter in ``[0, jitter_s]``.
+    seed:
+        Seed for the channel's own RNG.
+    """
+
+    loss_probability: float = 0.0
+    base_latency_s: float = 0.05
+    jitter_s: float = 0.05
+    seed: int = 7
+    packets_sent: int = field(default=0, init=False)
+    packets_dropped: int = field(default=0, init=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        if self.base_latency_s < 0 or self.jitter_s < 0:
+            raise ValueError("latencies must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def transmit(self, packet: SensorPacket) -> DeliveredPacket | None:
+        """Send one packet; ``None`` means the channel dropped it."""
+        self.packets_sent += 1
+        if self._rng.random() < self.loss_probability:
+            self.packets_dropped += 1
+            return None
+        latency = self.base_latency_s + self._rng.uniform(0.0, self.jitter_s)
+        return DeliveredPacket(
+            packet=packet, arrival_time_s=packet.start_time_s + latency
+        )
+
+    @property
+    def delivery_rate(self) -> float:
+        if self.packets_sent == 0:
+            return 1.0
+        return 1.0 - self.packets_dropped / self.packets_sent

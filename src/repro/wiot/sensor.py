@@ -1,0 +1,178 @@
+"""Body sensors.
+
+A :class:`BodySensor` chops one channel of a recording into fixed-size
+packets, each carrying the samples and the channel's characteristic-point
+indexes (R peaks for ECG, systolic peaks for ABP) -- the payload the
+paper's base station expects.  :class:`CompromisedSensor` wraps a sensor
+and applies a sensor-hijacking attack *at the source*, modelling the four
+compromise avenues of the paper's threat model (channel, firmware,
+sensory channel, physical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.attacks.base import SensorHijackingAttack
+from repro.signals.dataset import Record, SignalWindow
+from repro.signals.peaks import peak_indices_in_window
+
+__all__ = ["BodySensor", "CompromisedSensor", "SensorPacket"]
+
+
+@dataclass(frozen=True)
+class SensorPacket:
+    """One transmission from a sensor to the base station."""
+
+    sensor_id: str
+    channel: str  # "ecg" | "abp"
+    sequence: int
+    start_time_s: float
+    samples: np.ndarray
+    peak_indexes: np.ndarray
+    sample_rate: float
+
+    def __post_init__(self) -> None:
+        if self.channel not in ("ecg", "abp"):
+            raise ValueError(f"unknown channel: {self.channel!r}")
+        if self.sequence < 0:
+            raise ValueError("sequence must be non-negative")
+
+    @property
+    def duration_s(self) -> float:
+        return self.samples.size / self.sample_rate
+
+
+class BodySensor:
+    """A wearable sensor streaming one channel of a recording.
+
+    Parameters
+    ----------
+    sensor_id:
+        Unique device identifier.
+    channel:
+        ``"ecg"`` or ``"abp"``.
+    record:
+        The measured physiology this sensor observes.
+    packet_s:
+        Packetization interval; the detector's window size (3 s).
+    """
+
+    def __init__(
+        self, sensor_id: str, channel: str, record: Record, packet_s: float = 3.0
+    ) -> None:
+        if channel not in ("ecg", "abp"):
+            raise ValueError(f"unknown channel: {channel!r}")
+        if packet_s <= 0:
+            raise ValueError("packet_s must be positive")
+        self.sensor_id = sensor_id
+        self.channel = channel
+        self.record = record
+        self.packet_s = float(packet_s)
+
+    @property
+    def n_packets(self) -> int:
+        length = int(round(self.packet_s * self.record.sample_rate))
+        return self.record.n_samples // length
+
+    def packets(self) -> Iterator[SensorPacket]:
+        """Yield the recording as a sequence of packets."""
+        length = int(round(self.packet_s * self.record.sample_rate))
+        peaks = (
+            self.record.r_peaks if self.channel == "ecg" else self.record.systolic_peaks
+        )
+        samples = (
+            self.record.ecg if self.channel == "ecg" else self.record.abp
+        )
+        for sequence in range(self.n_packets):
+            start = sequence * length
+            yield SensorPacket(
+                sensor_id=self.sensor_id,
+                channel=self.channel,
+                sequence=sequence,
+                start_time_s=start / self.record.sample_rate,
+                samples=samples[start : start + length],
+                peak_indexes=peak_indices_in_window(peaks, start, start + length),
+                sample_rate=self.record.sample_rate,
+            )
+
+
+class CompromisedSensor:
+    """A hijacked sensor: packets are altered before transmission.
+
+    Parameters
+    ----------
+    sensor:
+        The underlying (ECG) sensor.
+    attack:
+        The hijacking behaviour.
+    active_after_s:
+        Stream time at which the compromise activates (a firmware
+        implant lying dormant, or the instant of channel takeover).
+    abp_record:
+        The victim's genuine recording, used only to give the attack
+        implementation a well-formed window to rewrite.
+    """
+
+    def __init__(
+        self,
+        sensor: BodySensor,
+        attack: SensorHijackingAttack,
+        abp_record: Record,
+        active_after_s: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if sensor.channel != "ecg":
+            raise ValueError(
+                "the paper's threat model hijacks the ECG sensor; ABP is trusted"
+            )
+        self.sensor = sensor
+        self.attack = attack
+        self.abp_record = abp_record
+        self.active_after_s = float(active_after_s)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    @property
+    def sensor_id(self) -> str:
+        return self.sensor.sensor_id
+
+    @property
+    def channel(self) -> str:
+        return self.sensor.channel
+
+    @property
+    def n_packets(self) -> int:
+        return self.sensor.n_packets
+
+    def packets(self) -> Iterator[SensorPacket]:
+        """Yield packets, altered once the compromise activates."""
+        length = int(round(self.sensor.packet_s * self.sensor.record.sample_rate))
+        for packet in self.sensor.packets():
+            if packet.start_time_s < self.active_after_s:
+                yield packet
+                continue
+            start = packet.sequence * length
+            window = SignalWindow(
+                ecg=packet.samples,
+                abp=self.abp_record.abp[start : start + length],
+                r_peaks=packet.peak_indexes,
+                systolic_peaks=peak_indices_in_window(
+                    self.abp_record.systolic_peaks, start, start + length
+                ),
+                sample_rate=packet.sample_rate,
+                subject_id=self.sensor.record.subject_id,
+                altered=False,
+            )
+            altered = self.attack.alter(window, self.rng)
+            yield SensorPacket(
+                sensor_id=packet.sensor_id,
+                channel=packet.channel,
+                sequence=packet.sequence,
+                start_time_s=packet.start_time_s,
+                samples=altered.ecg,
+                peak_indexes=altered.r_peaks,
+                sample_rate=packet.sample_rate,
+            )

@@ -1,0 +1,60 @@
+"""The sink: the resource-rich tier of the WIoT environment.
+
+"The sink is [a] resource-rich device responsible for providing expensive
+but non safety-critical operations such as local storage of historical
+patient information, visualization tools, and cloud connectivity."  Here
+it stores the verdict history and produces the summaries a companion app
+would plot.  Nothing safety-critical lives here, and per the paper's
+architecture the sink is *not* assumed secure -- it receives verdicts but
+plays no role in producing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.wiot.basestation import WindowVerdict
+
+__all__ = ["Sink"]
+
+
+@dataclass
+class Sink:
+    """Historical storage plus simple analytics."""
+
+    verdict_history: list["WindowVerdict"] = field(default_factory=list)
+
+    def store_verdict(self, verdict: "WindowVerdict") -> None:
+        """Persist one verdict in the history."""
+        self.verdict_history.append(verdict)
+
+    @property
+    def n_stored(self) -> int:
+        return len(self.verdict_history)
+
+    @property
+    def alert_fraction(self) -> float:
+        if not self.verdict_history:
+            return 0.0
+        return sum(1 for v in self.verdict_history if v.altered) / len(
+            self.verdict_history
+        )
+
+    def alerts_between(self, start_s: float, stop_s: float) -> list["WindowVerdict"]:
+        """Alert verdicts within a time range (visualization query)."""
+        if stop_s < start_s:
+            raise ValueError("stop_s must be >= start_s")
+        return [
+            v
+            for v in self.verdict_history
+            if v.altered and start_s <= v.time_s < stop_s
+        ]
+
+    def first_alert_time(self) -> float | None:
+        """Detection latency query: when did the first alert fire?"""
+        for verdict in self.verdict_history:
+            if verdict.altered:
+                return verdict.time_s
+        return None

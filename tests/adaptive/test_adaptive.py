@@ -1,0 +1,153 @@
+"""Tests for the adaptive-security decision engine."""
+
+import pytest
+
+from repro.adaptive.constraints import (
+    DynamicConstraints,
+    detect_static_constraints,
+)
+from repro.adaptive.engine import DecisionEngine
+from repro.adaptive.policy import (
+    AccuracyFirstPolicy,
+    LifetimeTargetPolicy,
+    SocThresholdPolicy,
+    VersionProfile,
+)
+from repro.amulet.firmware import FirmwareToolchain
+from repro.amulet.hardware import AmuletHardware, MSP430FR5989
+from repro.core.versions import DetectorVersion
+from repro.sift_app.app import SIFTDetectorApp
+from repro.sift_app.harness import AmuletSIFTRunner, deploy_model
+
+
+@pytest.fixture(scope="module")
+def candidates(trained_detectors, labeled_stream):
+    out = {}
+    for version, detector in trained_detectors.items():
+        runner = AmuletSIFTRunner(detector)
+        result = runner.run_stream(labeled_stream)
+        out[version] = VersionProfile(
+            version=version,
+            accuracy=result.report.accuracy,
+            profile=runner.profile(period_s=3.0),
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def sift_apps(trained_detectors):
+    return {
+        version: SIFTDetectorApp(version, deploy_model(detector))
+        for version, detector in trained_detectors.items()
+    }
+
+
+class TestStaticConstraints:
+    def test_all_versions_deployable_on_real_device(self, sift_apps):
+        static = detect_static_constraints(sift_apps)
+        assert static.deployable == frozenset(DetectorVersion)
+        assert not static.rejections
+        for version in DetectorVersion:
+            assert static.fram_headroom_bytes[version] > 0
+
+    def test_small_device_rejects_heavy_builds(self, sift_apps):
+        """A hypothetical Amulet with a quarter of the FRAM cannot host
+        the libm-linked Original build."""
+        tiny_mcu = MSP430FR5989(fram_bytes=70 * 1024)
+        toolchain = FirmwareToolchain(hardware=AmuletHardware(mcu=tiny_mcu))
+        static = detect_static_constraints(sift_apps, toolchain)
+        assert DetectorVersion.ORIGINAL not in static.deployable
+        assert DetectorVersion.REDUCED in static.deployable
+        assert "FRAM" in static.rejections[DetectorVersion.ORIGINAL]
+
+    def test_dynamic_constraints_validation(self):
+        with pytest.raises(ValueError):
+            DynamicConstraints(battery_soc=1.5)
+        with pytest.raises(ValueError):
+            DynamicConstraints(battery_soc=0.5, cpu_load=1.0)
+        with pytest.raises(ValueError):
+            DynamicConstraints(battery_soc=0.5, hours_needed=-1.0)
+
+
+class TestPolicies:
+    def test_accuracy_first_picks_best(self, candidates):
+        engine = DecisionEngine(candidates, AccuracyFirstPolicy())
+        best = max(candidates.values(), key=lambda c: c.accuracy).version
+        assert engine.decide(DynamicConstraints(battery_soc=0.05)) is best
+
+    def test_soc_threshold_steps_down(self, candidates):
+        engine = DecisionEngine(candidates, SocThresholdPolicy())
+        high = engine.decide(DynamicConstraints(battery_soc=0.9))
+        low = engine.decide(DynamicConstraints(battery_soc=0.1))
+        assert low is DetectorVersion.REDUCED
+        assert high is not DetectorVersion.REDUCED or high is low
+
+    def test_soc_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SocThresholdPolicy({DetectorVersion.ORIGINAL: 2.0})
+
+    def test_lifetime_target_degrades_when_mission_long(self, candidates):
+        engine = DecisionEngine(candidates, LifetimeTargetPolicy())
+        short_mission = engine.decide(
+            DynamicConstraints(battery_soc=1.0, hours_needed=24.0)
+        )
+        long_mission = engine.decide(
+            DynamicConstraints(battery_soc=1.0, hours_needed=45 * 24.0)
+        )
+        assert long_mission is DetectorVersion.REDUCED
+        assert (
+            candidates[short_mission].accuracy
+            >= candidates[long_mission].accuracy
+        )
+
+    def test_lifetime_target_falls_back_to_lightest(self, candidates):
+        engine = DecisionEngine(candidates, LifetimeTargetPolicy())
+        # Impossible mission: even Reduced cannot last a year.
+        choice = engine.decide(
+            DynamicConstraints(battery_soc=0.5, hours_needed=365 * 24.0)
+        )
+        assert choice is DetectorVersion.REDUCED
+
+
+class TestDecisionEngine:
+    def test_requires_candidates(self):
+        with pytest.raises(ValueError):
+            DecisionEngine({}, AccuracyFirstPolicy())
+
+    def test_static_detection_integrates_toolchain(
+        self, candidates, sift_apps
+    ):
+        engine = DecisionEngine(
+            candidates, AccuracyFirstPolicy(), apps=sift_apps
+        )
+        assert engine.static.deployable == frozenset(DetectorVersion)
+
+    def test_simulation_ends_with_empty_battery(self, candidates):
+        engine = DecisionEngine(candidates, AccuracyFirstPolicy())
+        timeline = engine.simulate_deployment(step_h=12.0)
+        assert timeline.lifetime_h > 0
+        assert timeline.points[0].battery_soc == 1.0
+        assert timeline.points[-1].battery_soc > 0  # sampled before empty
+
+    def test_adaptive_outlives_accuracy_first(self, candidates):
+        fixed = DecisionEngine(candidates, AccuracyFirstPolicy())
+        adaptive = DecisionEngine(candidates, SocThresholdPolicy())
+        fixed_life = fixed.simulate_deployment(step_h=6.0).lifetime_h
+        adaptive_life = adaptive.simulate_deployment(step_h=6.0).lifetime_h
+        assert adaptive_life > fixed_life
+
+    def test_time_weighted_accuracy_between_extremes(self, candidates):
+        engine = DecisionEngine(candidates, SocThresholdPolicy())
+        timeline = engine.simulate_deployment(step_h=6.0)
+        accuracies = [c.accuracy for c in candidates.values()]
+        assert min(accuracies) <= timeline.time_weighted_accuracy <= max(accuracies)
+
+    def test_switch_count_and_versions_used(self, candidates):
+        engine = DecisionEngine(candidates, SocThresholdPolicy())
+        timeline = engine.simulate_deployment(step_h=6.0)
+        assert timeline.n_switches == len(timeline.versions_used()) - 1
+
+    def test_simulation_validation(self, candidates):
+        engine = DecisionEngine(candidates, AccuracyFirstPolicy())
+        with pytest.raises(ValueError):
+            engine.simulate_deployment(step_h=0.0)

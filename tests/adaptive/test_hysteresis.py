@@ -1,0 +1,118 @@
+"""Tests for the hysteresis policy wrapper."""
+
+import pytest
+
+from repro.adaptive.constraints import DynamicConstraints, StaticConstraints
+from repro.adaptive.hysteresis import HysteresisPolicy
+from repro.adaptive.policy import SwitchingPolicy, VersionProfile
+from repro.core.versions import DetectorVersion
+
+
+class _ScriptedPolicy(SwitchingPolicy):
+    """Returns a scripted sequence of selections."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = 0
+
+    def select(self, candidates, static, dynamic):
+        choice = self.script[min(self.calls, len(self.script) - 1)]
+        self.calls += 1
+        return choice
+
+
+def _static():
+    return StaticConstraints(
+        deployable=frozenset(DetectorVersion),
+        rejections={},
+        fram_headroom_bytes={},
+        sram_headroom_bytes={},
+    )
+
+
+def _dynamic(soc=1.0):
+    return DynamicConstraints(battery_soc=soc)
+
+
+ORIGINAL = DetectorVersion.ORIGINAL
+SIMPLIFIED = DetectorVersion.SIMPLIFIED
+REDUCED = DetectorVersion.REDUCED
+
+
+class TestHysteresisPolicy:
+    def test_first_selection_passes_through(self):
+        policy = HysteresisPolicy(_ScriptedPolicy([SIMPLIFIED]), min_dwell_h=24.0)
+        assert policy.select({}, _static(), _dynamic()) is SIMPLIFIED
+
+    def test_upward_switch_suppressed_within_dwell(self):
+        base = _ScriptedPolicy([SIMPLIFIED, ORIGINAL, ORIGINAL])
+        policy = HysteresisPolicy(base, min_dwell_h=24.0)
+        assert policy.select({}, _static(), _dynamic()) is SIMPLIFIED
+        policy.advance_clock(6.0)
+        assert policy.select({}, _static(), _dynamic()) is SIMPLIFIED
+        assert policy.suppressed_switches == 1
+        policy.advance_clock(30.0)  # dwell elapsed
+        assert policy.select({}, _static(), _dynamic()) is ORIGINAL
+
+    def test_downward_switch_is_immediate(self):
+        """Battery emergencies never wait for the dwell."""
+        base = _ScriptedPolicy([ORIGINAL, REDUCED])
+        policy = HysteresisPolicy(base, min_dwell_h=1000.0)
+        assert policy.select({}, _static(), _dynamic()) is ORIGINAL
+        policy.advance_clock(1.0)
+        assert policy.select({}, _static(), _dynamic(0.1)) is REDUCED
+        assert policy.suppressed_switches == 0
+
+    def test_stable_selection_never_suppressed(self):
+        base = _ScriptedPolicy([SIMPLIFIED, SIMPLIFIED, SIMPLIFIED])
+        policy = HysteresisPolicy(base, min_dwell_h=24.0)
+        for _ in range(3):
+            assert policy.select({}, _static(), _dynamic()) is SIMPLIFIED
+        assert policy.suppressed_switches == 0
+
+    def test_reset(self):
+        policy = HysteresisPolicy(_ScriptedPolicy([ORIGINAL]), min_dwell_h=24.0)
+        policy.select({}, _static(), _dynamic())
+        policy.advance_clock(10.0)
+        policy.reset()
+        assert policy.suppressed_switches == 0
+        assert policy._current is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HysteresisPolicy(_ScriptedPolicy([ORIGINAL]), min_dwell_h=-1.0)
+        policy = HysteresisPolicy(_ScriptedPolicy([ORIGINAL]))
+        with pytest.raises(ValueError):
+            policy.advance_clock(-5.0)
+
+
+class TestHysteresisInEngine:
+    def test_engine_advances_the_clock(self, trained_detectors, labeled_stream):
+        """With the engine driving, hysteresis limits switch frequency
+        without losing the step-down behaviour."""
+        from repro.adaptive.engine import DecisionEngine
+        from repro.adaptive.policy import SocThresholdPolicy
+        from repro.sift_app.harness import AmuletSIFTRunner
+
+        candidates = {}
+        for version, detector in trained_detectors.items():
+            runner = AmuletSIFTRunner(detector)
+            result = runner.run_stream(labeled_stream)
+            candidates[version] = VersionProfile(
+                version=version,
+                accuracy=result.report.accuracy,
+                profile=runner.profile(period_s=3.0),
+            )
+
+        raw = DecisionEngine(candidates, SocThresholdPolicy())
+        damped = DecisionEngine(
+            candidates,
+            HysteresisPolicy(SocThresholdPolicy(), min_dwell_h=48.0),
+        )
+        raw_timeline = raw.simulate_deployment(step_h=6.0)
+        damped_timeline = damped.simulate_deployment(step_h=6.0)
+        assert damped_timeline.n_switches <= raw_timeline.n_switches
+        # Step-downs still happen: the damped run also ends on a lighter
+        # build than it started with.
+        versions = damped_timeline.versions_used()
+        assert versions[-1] is not versions[0] or len(versions) == 1

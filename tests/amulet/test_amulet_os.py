@@ -1,0 +1,210 @@
+"""Tests for AmuletOS: event loop, isolation, services."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amulet.amulet_os import AmuletOS
+from repro.amulet.firmware import FirmwareToolchain
+from repro.amulet.qm import Event, QMApp, State, StateMachine
+from repro.amulet.restricted import RestrictedEnvironmentError
+
+
+class _EchoApp(QMApp):
+    """Counts events; exercises math and display services."""
+
+    def __init__(self, name="echo", libm=False):
+        state = State("run")
+        state.on("TICK", self._on_tick)
+        state.on("SENSOR_DATA", self._on_data)
+        super().__init__(name, StateMachine([state], initial="run"))
+        self._libm = libm
+        self.ticks = 0
+        self.received = []
+
+    @staticmethod
+    def _on_tick(app, event):
+        app.ticks += 1
+        app.services.math.add(np.ones(100), np.ones(100))
+        return None
+
+    @staticmethod
+    def _on_data(app, event):
+        app.received.append(app.services.fetch_window())
+        return None
+
+    def code_inventory(self):
+        return {"handlers": 200}
+
+    def static_data_bytes(self):
+        return {}
+
+    def sram_peak_bytes(self):
+        return 40
+
+    def uses_libm(self):
+        return self._libm
+
+
+def _os(*apps):
+    image = FirmwareToolchain().build(list(apps))
+    return AmuletOS(image)
+
+
+class TestEventLoop:
+    def test_post_and_step(self):
+        app = _EchoApp()
+        os = _os(app)
+        os.post("echo", Event("TICK"))
+        assert os.pending_events == 1
+        assert os.step()
+        assert app.ticks == 1
+        assert not os.step()  # idle
+
+    def test_run_until_idle(self):
+        app = _EchoApp()
+        os = _os(app)
+        for _ in range(5):
+            os.post("echo", Event("TICK"))
+        assert os.run_until_idle() == 5
+        assert app.ticks == 5
+
+    def test_post_to_unknown_app(self):
+        os = _os(_EchoApp())
+        with pytest.raises(KeyError):
+            os.post("ghost", Event("TICK"))
+
+    def test_self_posting_loop_detected(self):
+        class _LoopApp(_EchoApp):
+            @staticmethod
+            def _on_tick(app, event):
+                app.services.post("TICK")
+                return None
+
+        state = State("run").on("TICK", _LoopApp._on_tick)
+        app = _LoopApp.__new__(_LoopApp)
+        QMApp.__init__(app, "loop", StateMachine([state], initial="run"))
+        app._libm = False
+        app.ticks = 0
+        app.received = []
+        os = _os(app)
+        os.post("loop", Event("TICK"))
+        with pytest.raises(RuntimeError, match="did not drain"):
+            os.run_until_idle(max_dispatches=50)
+
+    def test_ledger_charges_cycles_and_time(self):
+        app = _EchoApp()
+        os = _os(app)
+        os.post("echo", Event("TICK"))
+        os.run_until_idle()
+        assert os.ledger.cycles_by_app["echo"] > 0
+        assert os.ledger.sim_time_s > 0
+        assert os.ledger.dispatches == 1
+        assert os.ledger.ops_by_app["echo"].counts["float_add"] == 100
+
+    def test_sensor_delivery(self):
+        app = _EchoApp()
+        os = _os(app)
+        os.deliver_sensor_window("echo", {"payload": 1})
+        os.run_until_idle()
+        assert app.received == [{"payload": 1}]
+        assert os.ledger.peripheral_events["ble_radio"] == 1
+
+    def test_fetch_from_empty_mailbox(self):
+        app = _EchoApp()
+        os = _os(app)
+        os.post("echo", Event("SENSOR_DATA"))
+        os.run_until_idle()
+        assert app.received == [None]
+
+
+class TestIsolation:
+    def test_apps_have_separate_counters(self):
+        a, b = _EchoApp("a"), _EchoApp("b")
+        os = _os(a, b)
+        os.post("a", Event("TICK"))
+        os.run_until_idle()
+        assert os.ledger.cycles_by_app.get("a", 0) > 0
+        assert os.ledger.cycles_by_app.get("b", 0) == 0
+
+    def test_libm_gate_follows_build(self):
+        restricted = _EchoApp("restricted", libm=False)
+        os = _os(restricted)
+        with pytest.raises(RestrictedEnvironmentError):
+            restricted.services.math.sqrt(np.array([2.0]))
+
+        privileged = _EchoApp("privileged", libm=True)
+        os = _os(privileged)
+        out = privileged.services.math.sqrt(np.array([4.0]))
+        assert float(out[0]) == pytest.approx(2.0)
+
+    def test_mailboxes_are_separate(self):
+        a, b = _EchoApp("a"), _EchoApp("b")
+        os = _os(a, b)
+        os.deliver_sensor_window("a", "for-a")
+        os.run_until_idle()
+        assert a.received == ["for-a"]
+        assert b.received == []
+
+
+class TestServices:
+    def test_display_and_alert(self):
+        app = _EchoApp()
+        os = _os(app)
+        app.services.display_write(0, "hello")
+        assert os.display.lines[0] == "hello"
+        app.services.alert("ECG ALTERED")
+        assert os.display.contains("! ECG ALTERED")
+        assert os.ledger.peripheral_events["display"] == 2
+        assert os.ledger.peripheral_events["haptic"] == 1
+
+    def test_float_to_string_known_values(self):
+        app = _EchoApp()
+        _os(app)
+        fts = app.services.float_to_string
+        assert fts(3.14159, 2) == "3.14"
+        assert fts(-2.5, 1) == "-2.5"
+        assert fts(0.0, 2) == "0.00"
+        assert fts(9.999, 2) == "10.00"
+        assert fts(42.0, 0) == "42"
+        assert fts(0.05, 1) == "0.1"  # rounds half away from zero
+
+    def test_float_to_string_validation(self):
+        app = _EchoApp()
+        _os(app)
+        with pytest.raises(ValueError):
+            app.services.float_to_string(1.0, decimals=9)
+
+    def test_string_to_float_known_values(self):
+        app = _EchoApp()
+        _os(app)
+        stf = app.services.string_to_float
+        assert stf("3.14") == pytest.approx(3.14)
+        assert stf("-0.5") == pytest.approx(-0.5)
+        assert stf("  42 ") == pytest.approx(42.0)
+        assert stf("+7.125") == pytest.approx(7.125)
+
+    def test_string_to_float_rejects_garbage(self):
+        app = _EchoApp()
+        _os(app)
+        for bad in ("", ".", "-", "1.2.3", "abc", "1e5"):
+            with pytest.raises(ValueError):
+                app.services.string_to_float(bad)
+
+    @settings(max_examples=50, deadline=None)
+    @given(value=st.floats(-1e5, 1e5), decimals=st.integers(0, 6))
+    def test_property_conversion_roundtrip(self, value, decimals):
+        """The hand-written conversions agree to the printed precision."""
+        app = _EchoApp()
+        _os(app)
+        text = app.services.float_to_string(value, decimals)
+        back = app.services.string_to_float(text)
+        assert back == pytest.approx(value, abs=0.51 * 10**-decimals)
+
+    def test_conversions_are_billed(self):
+        app = _EchoApp()
+        os = _os(app)
+        before = app.services.math.counter.total()
+        app.services.float_to_string(123.456, 3)
+        assert app.services.math.counter.total() > before

@@ -1,0 +1,157 @@
+"""Tests for the debugging tools (Insight #3) and ARP-view rendering."""
+
+import pytest
+
+from repro.amulet.amulet_os import AmuletOS
+from repro.amulet.arpview import (
+    render_comparison,
+    render_memory_map,
+    render_profile,
+)
+from repro.amulet.debug import DebugTracer, DisplayRecorder
+from repro.amulet.firmware import FirmwareToolchain
+from repro.amulet.qm import Event
+from repro.core.versions import DetectorVersion
+from repro.sift_app.app import SIFTDetectorApp
+from repro.sift_app.harness import AmuletSIFTRunner, deploy_model
+from repro.sift_app.payload import DeviceWindow
+
+
+@pytest.fixture()
+def traced_run(trained_detectors, labeled_stream):
+    detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+    app = SIFTDetectorApp(DetectorVersion.SIMPLIFIED, deploy_model(detector))
+    os = AmuletOS(FirmwareToolchain().build([app]))
+    tracer = DebugTracer(os)
+    recorder = DisplayRecorder(os)
+    for window in labeled_stream.windows[:6]:
+        os.deliver_sensor_window(app.name, DeviceWindow.from_signal_window(window))
+    os.run_until_idle()
+    return app, os, tracer, recorder
+
+
+class TestDebugTracer:
+    def test_traces_every_dispatch(self, traced_run):
+        _, os, tracer, _ = traced_run
+        assert len(tracer.traces) == os.ledger.dispatches == 6
+
+    def test_run_to_completion_visible_in_trace(self, traced_run):
+        """One SENSOR_DATA dispatch walks all three states and returns to
+        PeaksDataCheck before the dispatch ends -- so the trace shows no
+        *net* transition, exactly the run-to-completion semantics."""
+        app, _, tracer, _ = traced_run
+        assert tracer.transitions() == []
+        for trace in tracer.traces:
+            assert trace.signal == "SENSOR_DATA"
+            assert trace.state_before == "PeaksDataCheck"
+            assert trace.state_after == "PeaksDataCheck"
+            # ...yet the full pipeline's work was done inside it.
+            assert trace.cycles > 100_000
+
+    def test_cycles_attributed(self, traced_run):
+        _, os, tracer, _ = traced_run
+        assert sum(t.cycles for t in tracer.traces) == os.ledger.total_cycles()
+        assert tracer.cycles_by_signal()["SENSOR_DATA"] > 0
+
+    def test_hottest_dispatches_sorted(self, traced_run):
+        _, _, tracer, _ = traced_run
+        hottest = tracer.hottest_dispatches(3)
+        assert hottest[0].cycles >= hottest[-1].cycles
+
+    def test_format_trace(self, traced_run):
+        _, _, tracer, _ = traced_run
+        text = tracer.format_trace(last=2)
+        assert "SENSOR_DATA" in text
+        assert "cycles" in text
+
+    def test_detach_restores_step(self, traced_run):
+        app, os, tracer, _ = traced_run
+        tracer.detach()
+        n_before = len(tracer.traces)
+        os.post(app.name, Event("NOPE"))
+        os.run_until_idle()
+        assert len(tracer.traces) == n_before
+
+    def test_bounded_memory(self, trained_detectors):
+        detector = trained_detectors[DetectorVersion.REDUCED]
+        app = SIFTDetectorApp(DetectorVersion.REDUCED, deploy_model(detector))
+        os = AmuletOS(FirmwareToolchain().build([app]))
+        tracer = DebugTracer(os, max_entries=3)
+        from repro.amulet.qm import Event
+
+        for _ in range(10):
+            os.post(app.name, Event("IGNORED"))
+        os.run_until_idle()
+        assert len(tracer.traces) == 3
+        assert tracer.dropped == 7
+
+    def test_validation(self, trained_detectors):
+        detector = trained_detectors[DetectorVersion.REDUCED]
+        app = SIFTDetectorApp(DetectorVersion.REDUCED, deploy_model(detector))
+        os = AmuletOS(FirmwareToolchain().build([app]))
+        with pytest.raises(ValueError):
+            DebugTracer(os, max_entries=0)
+
+
+class TestDisplayRecorder:
+    def test_records_frames(self, traced_run):
+        _, _, _, recorder = traced_run
+        assert recorder.n_frames > 0
+
+    def test_frame_history_searchable(self, traced_run):
+        app, _, _, recorder = traced_run
+        # PeaksDataCheck displays each snippet; detection alerts may fire.
+        assert recorder.ever_showed("ECG")
+        if any(app.predictions):
+            assert recorder.ever_showed("ALTERED")
+
+    def test_history_outlives_screen(self, traced_run):
+        """The recorder retains frames that later scrolled off."""
+        _, os, _, recorder = traced_run
+        first_frame_text = recorder.frames[0][1]
+        assert first_frame_text != os.display.visible_text() or len(
+            recorder.frames
+        ) == 1
+
+    def test_detach(self, traced_run):
+        _, os, _, recorder = traced_run
+        recorder.detach()
+        n = recorder.n_frames
+        os.display.scroll_message("after detach")
+        assert recorder.n_frames == n
+
+
+class TestARPView:
+    @pytest.fixture()
+    def profiles(self, trained_detectors, labeled_stream):
+        out = {}
+        for version, detector in trained_detectors.items():
+            runner = AmuletSIFTRunner(detector)
+            runner.run_stream(labeled_stream)
+            out[version.value] = (runner.image, runner.profile(period_s=3.0))
+        return out
+
+    def test_memory_map_rendering(self, profiles):
+        image, _ = profiles["original"]
+        text = render_memory_map(image)
+        assert "os_core" in text
+        assert "libm" in text
+        assert "% used" in text
+
+    def test_profile_rendering(self, profiles):
+        _, profile = profiles["simplified"]
+        text = render_profile(profile)
+        assert "battery-life slider" in text
+        assert "<- current" in text
+        assert "TOTAL" in text
+
+    def test_comparison_rendering(self, profiles):
+        text = render_comparison(
+            {name: profile for name, (_, profile) in profiles.items()}
+        )
+        assert "lifetime (days)" in text
+        for name in ("original", "simplified", "reduced"):
+            assert name in text
+
+    def test_comparison_empty(self):
+        assert render_comparison({}) == "(no profiles)"

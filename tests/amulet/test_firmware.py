@@ -1,0 +1,193 @@
+"""Tests for the firmware toolchain: static checks and demand linking."""
+
+import pytest
+
+from repro.amulet.firmware import (
+    ArrayDeclaration,
+    FirmwareToolchain,
+    StaticCheckError,
+)
+from repro.amulet.qm import QMApp, State, StateMachine
+from repro.core.versions import DetectorVersion
+from repro.sift_app.app import SIFTDetectorApp
+from repro.sift_app.harness import deploy_model
+
+
+class _StubApp(QMApp):
+    """Configurable app for toolchain tests."""
+
+    def __init__(
+        self,
+        name="stub",
+        arrays=(),
+        sram=64,
+        libm=False,
+        code=512,
+        data=128,
+        services=frozenset({"float_arithmetic"}),
+    ):
+        machine = StateMachine([State("only")], initial="only")
+        super().__init__(name, machine)
+        self._arrays = list(arrays)
+        self._sram = sram
+        self._libm = libm
+        self._code = code
+        self._data = data
+        self._services = set(services)
+
+    def code_inventory(self):
+        return {"all": self._code}
+
+    def static_data_bytes(self):
+        return {"all": self._data}
+
+    def sram_peak_bytes(self):
+        return self._sram
+
+    def uses_libm(self):
+        return self._libm
+
+    def array_declarations(self):
+        return self._arrays
+
+    def required_services(self):
+        return self._services
+
+
+@pytest.fixture(scope="module")
+def sift_apps(trained_detectors):
+    return {
+        version: SIFTDetectorApp(version, deploy_model(detector))
+        for version, detector in trained_detectors.items()
+    }
+
+
+class TestArrayDeclaration:
+    def test_total_bytes(self):
+        assert ArrayDeclaration("a", element_bytes=4, length=1080).total_bytes == 4320
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayDeclaration("a", element_bytes=0, length=10)
+        with pytest.raises(ValueError):
+            ArrayDeclaration("a", element_bytes=4, length=10, dimensions=0)
+
+
+class TestStaticChecks:
+    def test_rejects_2d_arrays(self):
+        """Insight #1: the platform does not support 2-D arrays."""
+        app = _StubApp(
+            arrays=[ArrayDeclaration("grid", 1, 2500, dimensions=2)]
+        )
+        with pytest.raises(StaticCheckError, match="2-D"):
+            FirmwareToolchain().check_app(app)
+
+    def test_rejects_oversized_array(self):
+        """Insight #1: large arrays are not allowed."""
+        app = _StubApp(arrays=[ArrayDeclaration("big", 4, 2000)])
+        with pytest.raises(StaticCheckError, match="array limit"):
+            FirmwareToolchain().check_app(app)
+
+    def test_paper_signal_arrays_just_fit(self):
+        """The two 1080-element float arrays (4320 B) pass the check."""
+        app = _StubApp(arrays=[ArrayDeclaration("ecg", 4, 1080),
+                               ArrayDeclaration("abp", 4, 1080)])
+        build = FirmwareToolchain().check_app(app)
+        assert build.name == "stub"
+
+    def test_rejects_unknown_service(self):
+        app = _StubApp(services={"quantum_rng"})
+        with pytest.raises(StaticCheckError, match="quantum_rng"):
+            FirmwareToolchain().check_app(app)
+
+    def test_rejects_oversized_image(self):
+        app = _StubApp(code=120 * 1024, data=30 * 1024)
+        with pytest.raises(StaticCheckError, match="FRAM"):
+            FirmwareToolchain().build([app])
+
+    def test_rejects_sram_overflow(self):
+        app = _StubApp(sram=4096)
+        with pytest.raises(StaticCheckError, match="SRAM"):
+            FirmwareToolchain().build([app])
+
+    def test_rejects_duplicate_app_names(self):
+        with pytest.raises(StaticCheckError, match="duplicate"):
+            FirmwareToolchain().build([_StubApp("a"), _StubApp("a")])
+
+    def test_rejects_empty_image(self):
+        with pytest.raises(StaticCheckError):
+            FirmwareToolchain().build([])
+
+
+class TestDemandLinking:
+    def test_libm_linked_only_when_needed(self):
+        plain = FirmwareToolchain().build([_StubApp()])
+        assert not plain.links_libm
+        mathy = FirmwareToolchain().build([_StubApp(libm=True)])
+        assert mathy.links_libm
+
+    def test_libm_app_pulls_double_arithmetic(self):
+        image = FirmwareToolchain().build([_StubApp(libm=True)])
+        names = {c.name for c in image.components}
+        assert "softfp_double" in names
+
+    def test_unneeded_components_absent(self):
+        image = FirmwareToolchain().build([_StubApp()])
+        names = {c.name for c in image.components}
+        assert "grid_dsp_api" not in names
+        assert "libm" not in names
+
+    def test_sift_system_fram_ordering(self, sift_apps):
+        """Original > Simplified > Reduced system footprint (Table III)."""
+        toolchain = FirmwareToolchain()
+        sizes = {
+            version: toolchain.build([app]).system_fram_bytes
+            for version, app in sift_apps.items()
+        }
+        assert (
+            sizes[DetectorVersion.ORIGINAL]
+            > sizes[DetectorVersion.SIMPLIFIED]
+            > sizes[DetectorVersion.REDUCED]
+        )
+
+    def test_sift_detector_fram_ordering(self, sift_apps):
+        toolchain = FirmwareToolchain()
+        sizes = {
+            version: toolchain.build([app]).build_for(app.name).fram_bytes
+            for version, app in sift_apps.items()
+        }
+        assert (
+            sizes[DetectorVersion.ORIGINAL]
+            > sizes[DetectorVersion.SIMPLIFIED]
+            > sizes[DetectorVersion.REDUCED]
+        )
+        # "consumes almost 50% less memory than the original"
+        assert sizes[DetectorVersion.REDUCED] < 0.6 * sizes[DetectorVersion.ORIGINAL]
+
+    def test_sift_sram_matches_paper(self, sift_apps):
+        """The paper's measured SRAM: 259 B matrix builds, 69 B reduced."""
+        toolchain = FirmwareToolchain()
+        for version, app in sift_apps.items():
+            build = toolchain.check_app(app)
+            expected = 69 if version is DetectorVersion.REDUCED else 259
+            assert build.sram_bytes == expected
+
+    def test_memory_map_accounts_everything(self, sift_apps):
+        app = sift_apps[DetectorVersion.ORIGINAL]
+        image = FirmwareToolchain().build([app])
+        rows = image.memory_map()
+        total = sum(size for _, _, size in rows)
+        assert total == image.total_fram_bytes
+
+    def test_multi_app_image(self, sift_apps):
+        """AmuletOS hosts multiple apps in one image."""
+        a = sift_apps[DetectorVersion.REDUCED]
+        b = _StubApp(name="pedometer")
+        image = FirmwareToolchain().build([a, b])
+        assert image.build_for("pedometer").code_bytes == 512
+        assert image.app_fram_bytes == a.fram_bytes + b.fram_bytes
+
+    def test_build_for_unknown_app(self, sift_apps):
+        image = FirmwareToolchain().build([sift_apps[DetectorVersion.REDUCED]])
+        with pytest.raises(KeyError):
+            image.build_for("ghost")

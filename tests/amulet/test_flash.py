@@ -1,0 +1,72 @@
+"""Tests for the firmware flash manager."""
+
+import pytest
+
+from repro.amulet.firmware import FirmwareToolchain
+from repro.amulet.flash import FlashManager
+from repro.core.versions import DetectorVersion
+from repro.sift_app.app import SIFTDetectorApp
+from repro.sift_app.harness import deploy_model
+
+
+@pytest.fixture(scope="module")
+def staged(trained_detectors):
+    manager = FlashManager()
+    toolchain = FirmwareToolchain()
+    for version, detector in trained_detectors.items():
+        app = SIFTDetectorApp(version, deploy_model(detector))
+        manager.stage(version.value, toolchain.build([app]))
+    return manager
+
+
+class TestFlashManager:
+    def test_flash_cost_scales_with_image(self, staged):
+        original = staged.flash_cost("original")
+        reduced = staged.flash_cost("reduced")
+        assert original[0] > reduced[0]  # duration
+        assert original[1] > reduced[1]  # charge
+
+    def test_flash_installs_and_records(self, trained_detectors):
+        manager = FlashManager()
+        toolchain = FirmwareToolchain()
+        for version, detector in trained_detectors.items():
+            app = SIFTDetectorApp(version, deploy_model(detector))
+            manager.stage(version.value, toolchain.build([app]))
+        op = manager.flash("simplified", at_time_h=1.0)
+        assert manager.installed == "simplified"
+        assert op.duration_s > 1.0  # ~70 KB at 4 KB/s
+        assert op.charge_mah > 0
+        manager.flash("reduced", at_time_h=2.0)
+        assert len(manager.history) == 2
+        assert manager.total_flash_charge_mah == pytest.approx(
+            sum(o.charge_mah for o in manager.history)
+        )
+        assert manager.total_downtime_s > 0
+
+    def test_reflash_same_image_rejected(self, trained_detectors):
+        manager = FlashManager()
+        toolchain = FirmwareToolchain()
+        detector = trained_detectors[DetectorVersion.REDUCED]
+        app = SIFTDetectorApp(DetectorVersion.REDUCED, deploy_model(detector))
+        manager.stage("reduced", toolchain.build([app]))
+        manager.flash("reduced")
+        with pytest.raises(ValueError, match="already installed"):
+            manager.flash("reduced")
+
+    def test_unknown_image(self, staged):
+        with pytest.raises(KeyError, match="no staged image"):
+            staged.flash_cost("ghost")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashManager(write_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            FlashManager(flash_current_ma=-1)
+        with pytest.raises(ValueError):
+            FlashManager().stage("", None)
+
+    def test_switch_cost_is_small_vs_lifetime_budget(self, staged):
+        """Sanity: a handful of switches costs well under 1% of the cell,
+        so adaptive switching is energetically worthwhile."""
+        _, charge = staged.flash_cost("original")
+        assert 5 * charge < 0.01 * 110.0

@@ -1,0 +1,128 @@
+"""Tests for the hardware, battery and display models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amulet.battery import Battery
+from repro.amulet.display import Display
+from repro.amulet.hardware import MSP430FR5989, AmuletHardware, Peripheral
+
+
+class TestMSP430:
+    def test_paper_memory_sizes(self):
+        mcu = MSP430FR5989()
+        assert mcu.sram_bytes == 2 * 1024
+        assert mcu.fram_bytes == 128 * 1024
+
+    def test_cycles_to_seconds(self):
+        mcu = MSP430FR5989(clock_hz=8e6)
+        assert mcu.cycles_to_seconds(8_000_000) == pytest.approx(1.0)
+
+    def test_active_charge(self):
+        mcu = MSP430FR5989(clock_hz=8e6, active_current_ma=0.9)
+        # One hour of continuous execution.
+        assert mcu.active_charge_mah(int(3600 * 8e6)) == pytest.approx(0.9)
+
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(ValueError):
+            MSP430FR5989().cycles_to_seconds(-1)
+
+
+class TestAmuletHardware:
+    def test_battery_capacity_matches_paper(self):
+        assert AmuletHardware().battery_capacity_mah == 110.0
+
+    def test_baseline_current_is_static_sum(self):
+        hw = AmuletHardware()
+        expected = hw.mcu.sleep_current_ma + sum(
+            p.static_current_ma for p in hw.peripherals.values()
+        )
+        assert hw.baseline_current_ma == pytest.approx(expected)
+
+    def test_peripheral_lookup(self):
+        hw = AmuletHardware()
+        assert hw.peripheral("display").name == "display"
+        with pytest.raises(KeyError, match="unknown peripheral"):
+            hw.peripheral("laser")
+
+    def test_peripheral_validation(self):
+        with pytest.raises(ValueError):
+            Peripheral("x", static_current_ma=-1.0)
+
+
+class TestBattery:
+    def test_lifetime_inverse_to_current(self):
+        battery = Battery(capacity_mah=110.0, self_discharge_per_month=0.0)
+        assert battery.lifetime_hours(1.0) == pytest.approx(99.0)
+        assert battery.lifetime_hours(0.5) == pytest.approx(198.0)
+
+    def test_self_discharge_bounds_zero_load(self):
+        battery = Battery()
+        assert battery.lifetime_days(0.0) < 2000  # not infinite
+
+    def test_infinite_without_any_drain(self):
+        battery = Battery(self_discharge_per_month=0.0)
+        assert battery.lifetime_hours(0.0) == float("inf")
+
+    def test_state_of_charge(self):
+        battery = Battery(capacity_mah=100.0, usable_fraction=1.0,
+                          self_discharge_per_month=0.0)
+        assert battery.state_of_charge_after(1.0, 50.0) == pytest.approx(0.5)
+        assert battery.state_of_charge_after(1.0, 200.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_mah=0.0)
+        with pytest.raises(ValueError):
+            Battery(usable_fraction=1.5)
+        with pytest.raises(ValueError):
+            Battery().lifetime_hours(-1.0)
+        with pytest.raises(ValueError):
+            Battery().state_of_charge_after(1.0, -1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        current=st.floats(0.001, 10.0),
+        extra=st.floats(0.001, 10.0),
+    )
+    def test_property_monotonic(self, current, extra):
+        battery = Battery()
+        assert battery.lifetime_hours(current) > battery.lifetime_hours(
+            current + extra
+        )
+
+
+class TestDisplay:
+    def test_write_and_read(self):
+        display = Display()
+        display.write_line(0, "hello world this line is longer than width")
+        assert display.lines[0] == "hello world this line is"[: display.line_width]
+        assert display.refresh_count == 1
+
+    def test_scroll(self):
+        display = Display(n_lines=3)
+        for text in ("a", "b", "c", "d"):
+            display.scroll_message(text)
+        assert display.lines == ["b", "c", "d"]
+
+    def test_contains(self):
+        display = Display()
+        display.scroll_message("! ECG ALTERED")
+        assert display.contains("ALTERED")
+        assert not display.contains("OK")
+
+    def test_clear(self):
+        display = Display()
+        display.write_line(1, "x")
+        display.clear()
+        assert display.visible_text().strip() == ""
+
+    def test_bounds(self):
+        display = Display(n_lines=2)
+        with pytest.raises(IndexError):
+            display.write_line(2, "x")
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            Display(n_lines=0)

@@ -1,0 +1,137 @@
+"""Stateful property test: AmuletOS invariants under random event traffic.
+
+A hypothesis rule-based machine drives an OS hosting two isolated apps
+with arbitrary interleavings of posts, sensor deliveries and run-to-idle
+calls, and checks the invariants the platform guarantees:
+
+* events are never lost or duplicated (per-app processed counts match
+  per-app delivered counts after the queue drains);
+* isolation: app A's cycle ledger never changes from app B's traffic;
+* the ledger's cycle total is non-decreasing and consistent with
+  simulated time;
+* the state machines always return to their initial state (all handlers
+  here are run-to-completion loops).
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.amulet.amulet_os import AmuletOS
+from repro.amulet.firmware import FirmwareToolchain
+from repro.amulet.qm import Event, QMApp, State, StateMachine
+
+
+class _CountingApp(QMApp):
+    """Processes TICK and SENSOR_DATA; counts everything it sees."""
+
+    def __init__(self, name: str) -> None:
+        running = State("Running")
+        running.on("TICK", self._on_tick)
+        running.on("SENSOR_DATA", self._on_data)
+        super().__init__(name, StateMachine([running], initial="Running"))
+        self.ticks = 0
+        self.payloads: list = []
+
+    @staticmethod
+    def _on_tick(app, event):
+        app.ticks += 1
+        app.services.math.add(np.ones(16), np.ones(16))
+        return None
+
+    @staticmethod
+    def _on_data(app, event):
+        app.payloads.append(app.services.fetch_window())
+        return None
+
+    def code_inventory(self):
+        return {"handlers": 128}
+
+    def static_data_bytes(self):
+        return {}
+
+    def sram_peak_bytes(self):
+        return 16
+
+    def uses_libm(self):
+        return False
+
+
+class AmuletOSMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.alpha = _CountingApp("alpha")
+        self.beta = _CountingApp("beta")
+        image = FirmwareToolchain().build([self.alpha, self.beta])
+        self.os = AmuletOS(image)
+        self.sent = {"alpha": 0, "beta": 0}
+        self.delivered_payloads = {"alpha": 0, "beta": 0}
+        self.last_total_cycles = 0
+
+    # -- rules -----------------------------------------------------------
+
+    @rule(target_app=st.sampled_from(["alpha", "beta"]))
+    def post_tick(self, target_app):
+        self.os.post(target_app, Event("TICK"))
+        self.sent[target_app] += 1
+
+    @rule(target_app=st.sampled_from(["alpha", "beta"]), payload=st.integers())
+    def deliver_sensor(self, target_app, payload):
+        self.os.deliver_sensor_window(target_app, payload)
+        self.delivered_payloads[target_app] += 1
+
+    @rule()
+    def drain(self):
+        self.os.run_until_idle()
+
+    @rule(n=st.integers(0, 5))
+    def step_a_few(self, n):
+        for _ in range(n):
+            if not self.os.step():
+                break
+
+    # -- invariants --------------------------------------------------------
+
+    @invariant()
+    def cycles_monotone(self):
+        total = self.os.ledger.total_cycles()
+        assert total >= self.last_total_cycles
+        self.last_total_cycles = total
+
+    @invariant()
+    def no_events_lost_when_idle(self):
+        if self.os.pending_events == 0:
+            assert self.alpha.ticks == self.sent["alpha"]
+            assert self.beta.ticks == self.sent["beta"]
+            assert len(self.alpha.payloads) == self.delivered_payloads["alpha"]
+            assert len(self.beta.payloads) == self.delivered_payloads["beta"]
+
+    @invariant()
+    def machines_in_initial_state(self):
+        assert self.alpha.machine.current.name == "Running"
+        assert self.beta.machine.current.name == "Running"
+
+    @invariant()
+    def isolation_holds(self):
+        """An app with no traffic has no cycles billed."""
+        for name, app in (("alpha", self.alpha), ("beta", self.beta)):
+            if self.sent[name] == 0 and self.delivered_payloads[name] == 0:
+                assert self.os.ledger.cycles_by_app.get(name, 0) == 0
+
+    @invariant()
+    def ledger_time_consistent(self):
+        expected = self.os.hardware.mcu.cycles_to_seconds(
+            self.os.ledger.total_cycles()
+        )
+        assert abs(self.os.ledger.sim_time_s - expected) < 1e-9
+
+
+TestAmuletOSStateful = AmuletOSMachine.TestCase
+TestAmuletOSStateful.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)

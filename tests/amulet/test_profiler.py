@@ -1,0 +1,128 @@
+"""Tests for the Amulet Resource Profiler."""
+
+import pytest
+
+from repro.amulet.battery import Battery
+from repro.amulet.profiler import AmuletResourceProfiler
+from repro.core.versions import DetectorVersion
+from repro.sift_app.harness import AmuletSIFTRunner
+
+
+@pytest.fixture(scope="module")
+def profiled_runner(trained_detectors, labeled_stream):
+    runner = AmuletSIFTRunner(trained_detectors[DetectorVersion.SIMPLIFIED])
+    runner.run_stream(labeled_stream)
+    return runner
+
+
+@pytest.fixture(scope="module")
+def profile(profiled_runner):
+    return profiled_runner.profile(period_s=3.0)
+
+
+class TestResourceProfile:
+    def test_breakdown_sums_to_average(self, profile):
+        assert sum(profile.current_breakdown.values()) == pytest.approx(
+            profile.average_current_ma
+        )
+
+    def test_memory_matches_image(self, profiled_runner, profile):
+        image = profiled_runner.image
+        assert profile.system_fram_bytes == image.system_fram_bytes
+        assert profile.app_fram_bytes == image.build_for(
+            profiled_runner.app.name
+        ).fram_bytes
+
+    def test_lifetime_consistent_with_battery(self, profile):
+        expected = Battery().lifetime_days(profile.average_current_ma)
+        assert profile.lifetime_days == pytest.approx(expected)
+
+    def test_static_floor_present(self, profile):
+        assert profile.current_breakdown["static.mcu_sleep"] > 0
+        assert profile.current_breakdown["static.sensors"] > 0
+
+    def test_cpu_components_labelled(self, profile):
+        cpu_labels = [k for k in profile.current_breakdown if k.startswith("cpu.")]
+        assert "cpu.float_div" in cpu_labels
+        # The no-libm build must not bill any libm operations.
+        assert not any("libm" in label for label in cpu_labels)
+
+    def test_table_row_formatting(self, profile):
+        row = profile.table_row()
+        assert "KB_system" in row["Memory Use (FRAM)"]
+        assert row["Expected Lifetime"].endswith("days")
+
+    def test_with_period_slider(self, profile):
+        slower = profile.with_period(6.0)
+        assert slower.lifetime_days > profile.lifetime_days
+        faster = profile.with_period(1.5)
+        assert faster.lifetime_days < profile.lifetime_days
+        # Static draws do not scale with the period.
+        assert slower.current_breakdown["static.sensors"] == pytest.approx(
+            profile.current_breakdown["static.sensors"]
+        )
+        # Compute scales inversely with the period.
+        assert slower.current_breakdown["cpu.float_div"] == pytest.approx(
+            profile.current_breakdown["cpu.float_div"] / 2.0
+        )
+
+    def test_with_period_validation(self, profile):
+        with pytest.raises(ValueError):
+            profile.with_period(0.0)
+
+    def test_profile_requires_events(self, profiled_runner):
+        profiler = AmuletResourceProfiler()
+        with pytest.raises(ValueError):
+            profiler.profile(
+                profiled_runner.image,
+                profiled_runner.app.name,
+                profiled_runner.os.ledger,
+                n_events=0,
+                period_s=3.0,
+            )
+
+    def test_runner_requires_run_before_profile(self, trained_detectors):
+        runner = AmuletSIFTRunner(trained_detectors[DetectorVersion.REDUCED])
+        with pytest.raises(RuntimeError, match="run at least one"):
+            runner.profile()
+
+
+class TestVersionEnergyOrdering:
+    """Table III's energy story, from measured cycles."""
+
+    @pytest.fixture(scope="class")
+    def profiles(self, trained_detectors, labeled_stream):
+        out = {}
+        for version, detector in trained_detectors.items():
+            runner = AmuletSIFTRunner(detector)
+            runner.run_stream(labeled_stream)
+            out[version] = runner.profile(period_s=3.0)
+        return out
+
+    def test_lifetime_ordering(self, profiles):
+        assert (
+            profiles[DetectorVersion.REDUCED].lifetime_days
+            > profiles[DetectorVersion.SIMPLIFIED].lifetime_days
+            > profiles[DetectorVersion.ORIGINAL].lifetime_days
+        )
+
+    def test_reduced_lasts_about_twice_original(self, profiles):
+        ratio = (
+            profiles[DetectorVersion.REDUCED].lifetime_days
+            / profiles[DetectorVersion.ORIGINAL].lifetime_days
+        )
+        assert 1.8 <= ratio <= 3.0  # paper: 55 / 23 = 2.4
+
+    def test_cycle_ordering(self, profiles):
+        assert (
+            profiles[DetectorVersion.ORIGINAL].cycles_per_event
+            > profiles[DetectorVersion.SIMPLIFIED].cycles_per_event
+            > profiles[DetectorVersion.REDUCED].cycles_per_event
+        )
+
+    def test_reduced_skips_the_array_passes(self, profiles):
+        """The Reduced build's compute is at least 10x cheaper."""
+        assert (
+            profiles[DetectorVersion.REDUCED].cycles_per_event
+            < profiles[DetectorVersion.SIMPLIFIED].cycles_per_event / 10
+        )

@@ -1,0 +1,144 @@
+"""Tests for the QM state-machine framework."""
+
+import pytest
+
+from repro.amulet.qm import Event, QMApp, State, StateMachine
+
+
+class _RecordingApp(QMApp):
+    """Minimal concrete app for framework tests."""
+
+    def __init__(self, machine: StateMachine) -> None:
+        super().__init__("recorder", machine)
+        self.trace: list[str] = []
+
+    def code_inventory(self):
+        return {"handler": 100}
+
+    def static_data_bytes(self):
+        return {"buffer": 16}
+
+    def sram_peak_bytes(self):
+        return 32
+
+    def uses_libm(self):
+        return False
+
+
+def _simple_machine():
+    idle = State("idle")
+    busy = State("busy")
+    idle.on("GO", lambda app, e: app.trace.append("go") or "busy")
+    busy.on("DONE", lambda app, e: app.trace.append("done") or "idle")
+    busy.on("PING", lambda app, e: app.trace.append("ping") or None)
+    return StateMachine([idle, busy], initial="idle")
+
+
+class TestEvent:
+    def test_requires_signal(self):
+        with pytest.raises(ValueError):
+            Event("")
+
+    def test_payload_optional(self):
+        assert Event("X").payload is None
+        assert Event("X", 42).payload == 42
+
+
+class TestState:
+    def test_duplicate_handler_rejected(self):
+        state = State("s").on("A", lambda app, e: None)
+        with pytest.raises(ValueError, match="already handles"):
+            state.on("A", lambda app, e: None)
+
+    def test_signals_listed(self):
+        state = State("s").on("A", lambda app, e: None).on("B", lambda app, e: None)
+        assert state.signals == ("A", "B")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            State("")
+
+
+class TestStateMachine:
+    def test_transition_on_handler_return(self):
+        app = _RecordingApp(_simple_machine())
+        app.start()
+        assert app.machine.current.name == "idle"
+        assert app.dispatch(Event("GO"))
+        assert app.machine.current.name == "busy"
+        assert app.dispatch(Event("DONE"))
+        assert app.machine.current.name == "idle"
+        assert app.trace == ["go", "done"]
+
+    def test_unhandled_event_ignored(self):
+        app = _RecordingApp(_simple_machine())
+        app.start()
+        assert not app.dispatch(Event("DONE"))  # not handled in idle
+        assert app.machine.current.name == "idle"
+
+    def test_handler_staying_in_state(self):
+        app = _RecordingApp(_simple_machine())
+        app.start()
+        app.dispatch(Event("GO"))
+        app.dispatch(Event("PING"))
+        assert app.machine.current.name == "busy"
+
+    def test_dispatch_before_start_raises(self):
+        app = _RecordingApp(_simple_machine())
+        with pytest.raises(RuntimeError, match="not started"):
+            app.dispatch(Event("GO"))
+
+    def test_dispatch_count(self):
+        app = _RecordingApp(_simple_machine())
+        app.start()
+        app.dispatch(Event("GO"))
+        app.dispatch(Event("PING"))
+        app.dispatch(Event("NOPE"))
+        assert app.machine.dispatch_count == 2
+
+    def test_entry_actions_chain_run_to_completion(self):
+        order = []
+        a = State("a", on_entry=lambda app: order.append("a") or "b")
+        b = State("b", on_entry=lambda app: order.append("b") or "c")
+        c = State("c", on_entry=lambda app: order.append("c") or None)
+        machine = StateMachine([a, b, c], initial="a")
+        app = _RecordingApp(machine)
+        app.start()
+        assert order == ["a", "b", "c"]
+        assert machine.current.name == "c"
+
+    def test_entry_cycle_detected(self):
+        a = State("a", on_entry=lambda app: "b")
+        b = State("b", on_entry=lambda app: "a")
+        machine = StateMachine([a, b], initial="a")
+        app = _RecordingApp(machine)
+        with pytest.raises(RuntimeError, match="cycle"):
+            app.start()
+
+    def test_transition_to_unknown_state(self):
+        s = State("s").on("X", lambda app, e: "nowhere")
+        machine = StateMachine([s], initial="s")
+        app = _RecordingApp(machine)
+        app.start()
+        with pytest.raises(ValueError, match="unknown state"):
+            app.dispatch(Event("X"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StateMachine([], initial="x")
+        with pytest.raises(ValueError):
+            StateMachine([State("a")], initial="b")
+        with pytest.raises(ValueError):
+            StateMachine([State("a"), State("a")], initial="a")
+
+
+class TestQMAppDeclarations:
+    def test_footprint_properties(self):
+        app = _RecordingApp(_simple_machine())
+        assert app.code_bytes == 100
+        assert app.data_bytes == 16
+        assert app.fram_bytes == 116
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            QMApp.__init__(object.__new__(_RecordingApp), "", _simple_machine())

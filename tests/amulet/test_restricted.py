@@ -1,0 +1,209 @@
+"""Tests for the restricted execution environment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amulet.restricted import (
+    CycleCostModel,
+    OpCounter,
+    RestrictedEnvironmentError,
+    RestrictedMath,
+)
+
+
+class TestOpCounter:
+    def test_charge_accumulates(self):
+        counter = OpCounter()
+        counter.charge("float_add", 10)
+        counter.charge("float_add", 5)
+        counter.charge("int_op", 1)
+        assert counter.counts == {"float_add": 15, "int_op": 1}
+        assert counter.total() == 16
+
+    def test_merge(self):
+        a, b = OpCounter(), OpCounter()
+        a.charge("branch", 2)
+        b.charge("branch", 3)
+        b.charge("int_mul", 1)
+        a.merge(b)
+        assert a.counts == {"branch": 5, "int_mul": 1}
+
+    def test_reset(self):
+        counter = OpCounter()
+        counter.charge("int_op")
+        counter.reset()
+        assert counter.total() == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            OpCounter().charge("int_op", -1)
+
+
+class TestCycleCostModel:
+    def test_cycles_for_known_tally(self):
+        model = CycleCostModel()
+        counter = OpCounter()
+        counter.charge("float_add", 2)
+        counter.charge("libm_sqrt", 1)
+        expected = 2 * model.float_add + model.libm_sqrt
+        assert model.cycles_for(counter) == expected
+
+    def test_unknown_op_rejected(self):
+        counter = OpCounter()
+        counter.charge("teleport", 1)
+        with pytest.raises(KeyError):
+            CycleCostModel().cycles_for(counter)
+
+    def test_double_ops_cost_more_than_single(self):
+        model = CycleCostModel()
+        assert model.double_add > model.float_add
+        assert model.double_div > model.float_div
+
+    def test_libm_dominates(self):
+        model = CycleCostModel()
+        assert model.libm_atan > model.float_div
+        assert model.libm_sqrt > model.float_div
+
+
+class TestLibmGate:
+    def test_sqrt_blocked_without_libm(self):
+        math = RestrictedMath(allow_libm=False)
+        with pytest.raises(RestrictedEnvironmentError, match="math library"):
+            math.sqrt(np.array([4.0]))
+
+    def test_atan2_blocked_without_libm(self):
+        math = RestrictedMath(allow_libm=False)
+        with pytest.raises(RestrictedEnvironmentError):
+            math.atan2(1.0, 1.0)
+
+    def test_exp_blocked_without_libm(self):
+        math = RestrictedMath(allow_libm=False)
+        with pytest.raises(RestrictedEnvironmentError):
+            math.exp(1.0)
+
+    def test_allowed_with_libm(self):
+        math = RestrictedMath(allow_libm=True)
+        assert float(math.sqrt(np.array([4.0]))[0]) == pytest.approx(2.0)
+        assert float(math.atan2(1.0, 1.0)) == pytest.approx(np.pi / 4)
+
+
+class TestPrecision:
+    def test_libm_build_computes_in_double(self):
+        math = RestrictedMath(allow_libm=True)
+        assert math.add(1.0, 2.0).dtype == np.float64
+
+    def test_restricted_build_computes_in_float32(self):
+        math = RestrictedMath(allow_libm=False)
+        assert math.add(1.0, 2.0).dtype == np.float32
+
+    def test_ops_billed_at_matching_precision(self):
+        single = RestrictedMath(allow_libm=False)
+        single.mul(np.ones(10), np.ones(10))
+        assert single.counter.counts.get("float_mul") == 10
+        double = RestrictedMath(allow_libm=True)
+        double.mul(np.ones(10), np.ones(10))
+        assert double.counter.counts.get("double_mul") == 10
+
+
+class TestArithmetic:
+    def test_div_saturates_on_zero_denominator(self):
+        math = RestrictedMath()
+        out = math.div(np.array([1.0]), np.array([0.0]))
+        assert np.isfinite(out).all()
+        assert out[0] > 1e30
+
+    def test_div_preserves_sign(self):
+        math = RestrictedMath()
+        out = math.div(np.array([1.0, 1.0]), np.array([-0.0, 0.0]))
+        assert out[0] < 0 or out[1] > 0  # signed saturation
+
+    def test_normalize_minmax(self):
+        math = RestrictedMath()
+        out = math.normalize_minmax(np.array([2.0, 4.0, 6.0]))
+        assert np.allclose(out, [0.0, 0.5, 1.0])
+
+    def test_normalize_flat(self):
+        math = RestrictedMath()
+        assert np.allclose(math.normalize_minmax(np.full(5, 7.0)), 0.5)
+
+    def test_reductions(self):
+        math = RestrictedMath()
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert float(math.sum(a)) == pytest.approx(10.0)
+        assert float(math.mean(a)) == pytest.approx(2.5)
+        assert float(math.min(a)) == 1.0
+        assert float(math.max(a)) == 4.0
+
+    def test_dot(self):
+        math = RestrictedMath()
+        assert float(
+            math.dot(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        ) == pytest.approx(11.0)
+
+    def test_dot_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            RestrictedMath().dot(np.ones(2), np.ones(3))
+
+    def test_fixed_mac_matches_model_semantics(self):
+        math = RestrictedMath()
+        weights = np.array([1 << 14, 2 << 14])  # 1.0 and 2.0 at Q14
+        features = np.array([3 << 14, 4 << 14])  # 3.0 and 4.0
+        acc = math.fixed_mac(weights, features, 14)
+        assert acc / (1 << 14) == pytest.approx(11.0)
+
+    def test_every_op_is_billed(self):
+        math = RestrictedMath()
+        math.add(np.ones(7), np.ones(7))
+        math.mul(np.ones(3), 2.0)
+        math.sum(np.ones(5))
+        counts = math.counter.counts
+        assert counts["float_add"] == 7 + 4  # add + sum reduction
+        assert counts["float_mul"] == 3
+
+
+class TestHistogram2D:
+    def test_counts_match_numpy(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.random(500), rng.random(500)
+        math = RestrictedMath()
+        ours = math.histogram2d(x, y, 20, saturate=None)
+        cols = np.minimum((x * 20).astype(int), 19)
+        rows = np.minimum((y * 20).astype(int), 19)
+        reference = np.zeros((20, 20), dtype=int)
+        np.add.at(reference, (rows, cols), 1)
+        # float32 coordinate scaling may move borderline points one cell.
+        assert np.abs(ours - reference).sum() <= 4
+
+    def test_saturation(self):
+        math = RestrictedMath()
+        x = np.full(1000, 0.5)
+        y = np.full(1000, 0.5)
+        matrix = math.histogram2d(x, y, 10, saturate=255)
+        assert matrix.max() == 255
+
+    def test_charges_per_point(self):
+        math = RestrictedMath()
+        math.histogram2d(np.random.default_rng(1).random(100),
+                         np.random.default_rng(2).random(100), 10)
+        assert math.counter.counts["float_mul"] == 200
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(1, 40),
+        size=st.integers(0, 200),
+        seed=st.integers(0, 9999),
+    )
+    def test_property_total_preserved(self, n, size, seed):
+        rng = np.random.default_rng(seed)
+        math = RestrictedMath()
+        matrix = math.histogram2d(rng.random(size), rng.random(size), n,
+                                  saturate=None)
+        assert matrix.sum() == size
+
+    def test_int_helpers(self):
+        math = RestrictedMath()
+        assert math.int_sum(np.array([1, 2, 3])) == 6
+        assert math.int_sq_sum(np.array([1, 2, 3])) == 14
+        assert math.int_to_real(np.array([1, 2])).dtype == np.float32

@@ -1,0 +1,154 @@
+"""Tests for the companion apps and multi-app coexistence."""
+
+import numpy as np
+import pytest
+
+from repro.amulet.amulet_os import AmuletOS
+from repro.amulet.firmware import FirmwareToolchain
+from repro.amulet.sensors import Accelerometer, LightSensor, TemperatureSensor
+from repro.apps import HeartRateApp, PedometerApp
+from repro.core.versions import DetectorVersion
+from repro.sift_app.app import SIFTDetectorApp
+from repro.sift_app.harness import deploy_model
+from repro.sift_app.payload import DeviceWindow
+
+
+class TestInternalSensors:
+    def test_accelerometer_step_structure(self, rng):
+        accel = Accelerometer(cadence_hz=2.0)
+        batch = accel.sample(0.0, 10.0, rng)
+        assert batch.samples.shape == (500, 3)
+        assert batch.duration_s == pytest.approx(10.0)
+        magnitude = np.linalg.norm(batch.samples, axis=1)
+        # Gravity baseline plus step impulses.
+        assert 0.9 < np.median(magnitude) < 1.2
+        assert magnitude.max() > 1.25
+
+    def test_accelerometer_standing_still(self, rng):
+        accel = Accelerometer(cadence_hz=0.0)
+        batch = accel.sample(0.0, 5.0, rng)
+        magnitude = np.linalg.norm(batch.samples, axis=1)
+        assert magnitude.max() < 1.15
+
+    def test_light_sensor_non_negative(self, rng):
+        batch = LightSensor(mean_lux=5.0).sample(0.0, 30.0, rng)
+        assert np.all(batch.samples >= 0.0)
+
+    def test_temperature_near_skin(self, rng):
+        batch = TemperatureSensor().sample(0.0, 60.0, rng)
+        assert 31.0 < batch.samples.mean() < 35.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Accelerometer(cadence_hz=-1.0)
+        with pytest.raises(ValueError):
+            LightSensor(mean_lux=-1.0)
+
+
+class TestPedometerApp:
+    def _run(self, cadence, duration=30.0, seed=0):
+        app = PedometerApp()
+        os = AmuletOS(FirmwareToolchain().build([app]))
+        accel = Accelerometer(cadence_hz=cadence)
+        rng = np.random.default_rng(seed)
+        for start in np.arange(0.0, duration, 5.0):
+            os.deliver_sensor_window(app.name, accel.sample(start, 5.0, rng))
+        os.run_until_idle()
+        return app, os, accel
+
+    def test_counts_steps_within_tolerance(self):
+        app, _, accel = self._run(cadence=1.8, duration=30.0)
+        expected = accel.expected_steps(30.0)
+        assert expected * 0.8 <= app.steps <= expected * 1.2
+
+    def test_no_steps_when_still(self):
+        app, _, _ = self._run(cadence=0.0)
+        assert app.steps <= 1
+
+    def test_displays_count(self):
+        app, os, _ = self._run(cadence=2.0, duration=10.0)
+        assert os.display.contains("steps")
+
+    def test_ignores_foreign_payloads(self):
+        app = PedometerApp()
+        os = AmuletOS(FirmwareToolchain().build([app]))
+        os.deliver_sensor_window(app.name, {"not": "a batch"})
+        os.run_until_idle()
+        assert app.ignored_batches == 1
+        assert app.steps == 0
+
+
+class TestHeartRateApp:
+    def test_estimates_rate_from_windows(self, labeled_stream):
+        app = HeartRateApp()
+        os = AmuletOS(FirmwareToolchain().build([app]))
+        for window in labeled_stream.windows:
+            if not window.altered:
+                os.deliver_sensor_window(
+                    app.name, DeviceWindow.from_signal_window(window)
+                )
+        os.run_until_idle()
+        assert app.heart_rate_bpm is not None
+        assert 40.0 < app.heart_rate_bpm < 120.0
+        assert os.display.contains("bpm")
+
+    def test_tachycardia_alert(self, labeled_stream):
+        app = HeartRateApp(tachycardia_bpm=30.0)  # absurdly low threshold
+        os = AmuletOS(FirmwareToolchain().build([app]))
+        window = next(w for w in labeled_stream.windows if not w.altered)
+        os.deliver_sensor_window(app.name, DeviceWindow.from_signal_window(window))
+        os.run_until_idle()
+        assert os.display.contains("HIGH HEART RATE")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeartRateApp(tachycardia_bpm=0.0)
+
+
+class TestMultiAppCoexistence:
+    """The paper's setting: SIFT shares the device with wellness apps."""
+
+    @pytest.fixture()
+    def loaded_os(self, trained_detectors, labeled_stream):
+        sift = SIFTDetectorApp(
+            DetectorVersion.REDUCED,
+            deploy_model(trained_detectors[DetectorVersion.REDUCED]),
+        )
+        pedometer = PedometerApp()
+        heart_rate = HeartRateApp()
+        image = FirmwareToolchain().build([sift, pedometer, heart_rate])
+        os = AmuletOS(image)
+        return os, sift, pedometer, heart_rate
+
+    def test_three_apps_fit_the_device(self, loaded_os):
+        os, *_ = loaded_os
+        assert os.image.total_fram_bytes <= os.hardware.mcu.fram_bytes
+        assert os.image.total_sram_bytes <= os.hardware.mcu.sram_bytes
+
+    def test_interleaved_operation(self, loaded_os, labeled_stream, rng):
+        os, sift, pedometer, heart_rate = loaded_os
+        accel = Accelerometer(cadence_hz=2.0)
+        for i, window in enumerate(labeled_stream.windows[:10]):
+            device_window = DeviceWindow.from_signal_window(window)
+            os.deliver_sensor_window(sift.name, device_window)
+            os.deliver_sensor_window(heart_rate.name, device_window)
+            os.deliver_sensor_window(
+                pedometer.name, accel.sample(3.0 * i, 3.0, rng)
+            )
+        os.run_until_idle()
+        assert sift.windows_processed == 10
+        assert heart_rate.windows_seen > 0
+        assert pedometer.steps > 0
+
+    def test_energy_attributed_per_app(self, loaded_os, labeled_stream, rng):
+        os, sift, pedometer, heart_rate = loaded_os
+        accel = Accelerometer(cadence_hz=2.0)
+        window = DeviceWindow.from_signal_window(labeled_stream.windows[0])
+        os.deliver_sensor_window(sift.name, window)
+        os.deliver_sensor_window(heart_rate.name, window)
+        os.deliver_sensor_window(pedometer.name, accel.sample(0.0, 3.0, rng))
+        os.run_until_idle()
+        cycles = os.ledger.cycles_by_app
+        assert set(cycles) == {sift.name, pedometer.name, heart_rate.name}
+        # The detector dominates even in its lightest build.
+        assert cycles[sift.name] > cycles[heart_rate.name]

@@ -1,0 +1,142 @@
+"""Tests for the sensor-hijacking attack models."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.injection import (
+    InterferenceInjectionAttack,
+    MorphologyInjectionAttack,
+)
+from repro.attacks.replacement import ReplacementAttack
+from repro.attacks.replay import ReplayAttack
+from repro.signals.dataset import iter_windows
+
+
+@pytest.fixture()
+def victim_window(test_record):
+    return test_record.window(0, 1080, altered=False)
+
+
+class TestReplacementAttack:
+    def test_replaces_ecg_keeps_abp(self, victim_window, test_donor_records, rng):
+        attack = ReplacementAttack(test_donor_records)
+        altered = attack.alter(victim_window, rng)
+        assert altered.altered is True
+        assert np.array_equal(altered.abp, victim_window.abp)
+        assert np.array_equal(altered.systolic_peaks, victim_window.systolic_peaks)
+        assert not np.array_equal(altered.ecg, victim_window.ecg)
+
+    def test_donor_segment_matches_a_donor(
+        self, victim_window, test_donor_records, rng
+    ):
+        attack = ReplacementAttack(test_donor_records)
+        altered = attack.alter(victim_window, rng)
+        found = any(
+            np.abs(
+                np.lib.stride_tricks.sliding_window_view(d.ecg, 1080)
+                - altered.ecg
+            ).sum(axis=1).min()
+            < 1e-9
+            for d in test_donor_records
+        )
+        assert found
+
+    def test_peaks_in_window_range(self, victim_window, test_donor_records, rng):
+        attack = ReplacementAttack(test_donor_records)
+        altered = attack.alter(victim_window, rng)
+        if altered.r_peaks.size:
+            assert altered.r_peaks.min() >= 0
+            assert altered.r_peaks.max() < altered.n_samples
+
+    def test_rejects_self_donor(self, victim_window, test_record, rng):
+        attack = ReplacementAttack([test_record])
+        with pytest.raises(ValueError, match="victim"):
+            attack.alter(victim_window, rng)
+
+    def test_rejects_empty_donor_list(self):
+        with pytest.raises(ValueError):
+            ReplacementAttack([])
+
+    def test_rejects_short_donor(self, victim_window, test_donor_records, rng):
+        short = test_donor_records[0].__class__(
+            subject_id="short",
+            sample_rate=360.0,
+            ecg=np.zeros(100),
+            abp=np.zeros(100),
+            r_peaks=np.array([], dtype=np.intp),
+            systolic_peaks=np.array([], dtype=np.intp),
+        )
+        with pytest.raises(ValueError, match="shorter"):
+            ReplacementAttack(short).alter(victim_window, rng)
+
+
+class TestReplayAttack:
+    def test_replays_victims_own_signal(self, victim_window, dataset, victim, rng):
+        captured = dataset.record(victim, 30.0, purpose="extra")
+        attack = ReplayAttack(captured)
+        altered = attack.alter(victim_window, rng)
+        assert altered.altered is True
+        assert np.array_equal(altered.abp, victim_window.abp)
+        # The replayed ECG is a contiguous slice of the captured record.
+        view = np.lib.stride_tricks.sliding_window_view(captured.ecg, 1080)
+        assert np.abs(view - altered.ecg).sum(axis=1).min() < 1e-9
+
+    def test_rejects_cross_subject_source(
+        self, victim_window, test_donor_records, rng
+    ):
+        attack = ReplayAttack(test_donor_records[0])
+        with pytest.raises(ValueError, match="victim"):
+            attack.alter(victim_window, rng)
+
+
+class TestInterferenceInjectionAttack:
+    def test_adds_interference_energy(self, victim_window, rng):
+        attack = InterferenceInjectionAttack(amplitude=1.0, frequency=7.0)
+        altered = attack.alter(victim_window, rng)
+        residual = altered.ecg - victim_window.ecg
+        assert np.std(residual) == pytest.approx(1.0 / np.sqrt(2), rel=0.1)
+        assert np.array_equal(altered.abp, victim_window.abp)
+
+    def test_re_detects_peaks_on_corrupted_signal(self, victim_window, rng):
+        attack = InterferenceInjectionAttack(amplitude=3.0)
+        altered = attack.alter(victim_window, rng)
+        assert altered.r_peaks.dtype == np.intp
+        if altered.r_peaks.size:
+            assert altered.r_peaks.max() < altered.n_samples
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            InterferenceInjectionAttack(amplitude=-1.0)
+        with pytest.raises(ValueError):
+            InterferenceInjectionAttack(frequency=0.0)
+
+
+class TestMorphologyInjectionAttack:
+    def test_shifts_and_scales(self, victim_window, rng):
+        attack = MorphologyInjectionAttack(max_shift_s=0.4, gain_range=(2.0, 2.0))
+        altered = attack.alter(victim_window, rng)
+        assert np.max(np.abs(altered.ecg)) == pytest.approx(
+            2.0 * np.max(np.abs(victim_window.ecg)), rel=1e-6
+        )
+        assert altered.r_peaks.size == victim_window.r_peaks.size
+
+    def test_peaks_shift_with_signal(self, victim_window, rng):
+        attack = MorphologyInjectionAttack()
+        altered = attack.alter(victim_window, rng)
+        n = altered.n_samples
+        # Each altered peak equals some original peak plus the shift mod n.
+        if victim_window.r_peaks.size:
+            diffs = (altered.r_peaks[:, None] - victim_window.r_peaks[None, :]) % n
+            shift_candidates = set(diffs.flatten().tolist())
+            assert any(
+                np.all(np.isin((victim_window.r_peaks + s) % n, altered.r_peaks))
+                for s in shift_candidates
+            )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MorphologyInjectionAttack(max_shift_s=0.0)
+        with pytest.raises(ValueError):
+            MorphologyInjectionAttack(gain_range=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            MorphologyInjectionAttack(gain_range=(2.0, 1.0))

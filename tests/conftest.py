@@ -1,0 +1,79 @@
+"""Shared fixtures: a small cohort and pre-trained detectors.
+
+Expensive artifacts (recordings, trained models) are session-scoped; tests
+must treat them as immutable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackScenario, ReplacementAttack
+from repro.core import SIFTDetector
+from repro.core.versions import DetectorVersion
+from repro.experiments import ExperimentConfig
+from repro.signals import SyntheticFantasia
+
+
+@pytest.fixture(scope="session")
+def dataset() -> SyntheticFantasia:
+    return SyntheticFantasia(n_subjects=6, seed=2017)
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> ExperimentConfig:
+    return ExperimentConfig.quick()
+
+
+@pytest.fixture(scope="session")
+def victim(dataset):
+    return dataset.subjects[0]
+
+
+@pytest.fixture(scope="session")
+def train_record(dataset, victim):
+    """3 minutes of training data (fast stand-in for the paper's 20)."""
+    return dataset.record(victim, 180.0, purpose="train")
+
+
+@pytest.fixture(scope="session")
+def train_donors(dataset, victim):
+    others = [s for s in dataset.subjects if s is not victim]
+    return [dataset.record(s, 60.0, purpose="train") for s in others[:3]]
+
+
+@pytest.fixture(scope="session")
+def test_record(dataset, victim):
+    return dataset.record(victim, 60.0, purpose="test")
+
+
+@pytest.fixture(scope="session")
+def test_donor_records(dataset, victim):
+    others = [s for s in dataset.subjects if s is not victim]
+    return [dataset.record(s, 60.0, purpose="test") for s in others[3:5]]
+
+
+@pytest.fixture(scope="session")
+def trained_detectors(train_record, train_donors) -> dict[DetectorVersion, SIFTDetector]:
+    """One fitted detector per version, trained on the same records."""
+    detectors = {}
+    for version in DetectorVersion:
+        detector = SIFTDetector(version=version)
+        detector.fit(train_record, train_donors)
+        detectors[version] = detector
+    return detectors
+
+
+@pytest.fixture(scope="session")
+def labeled_stream(test_record, test_donor_records):
+    """A 20-window labelled evaluation stream (50 % altered)."""
+    scenario = AttackScenario(
+        ReplacementAttack(test_donor_records), window_s=3.0, altered_fraction=0.5
+    )
+    return scenario.build(test_record, np.random.default_rng(42))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)

@@ -1,0 +1,125 @@
+"""Tests for training-set construction and the SIFTDetector API."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import SIFTDetector
+from repro.core.training import TrainingSet, build_training_set
+from repro.core.versions import DetectorVersion, make_extractor
+from repro.ml.model_codegen import FixedPointLinearModel
+
+
+class TestBuildTrainingSet:
+    def test_balanced_classes(self, train_record, train_donors):
+        extractor = make_extractor(DetectorVersion.SIMPLIFIED)
+        ts = build_training_set(extractor, train_record, train_donors)
+        assert ts.n_positive == ts.n_negative
+        assert ts.n_samples == ts.n_positive * 2
+        assert ts.X.shape == (ts.n_samples, 8)
+        assert ts.feature_names == extractor.feature_names
+
+    def test_window_count(self, train_record, train_donors):
+        extractor = make_extractor(DetectorVersion.REDUCED)
+        ts = build_training_set(
+            extractor, train_record, train_donors, window_s=3.0
+        )
+        expected = int(train_record.duration // 3.0)
+        assert ts.n_negative == expected
+
+    def test_stride_increases_samples(self, train_record, train_donors):
+        extractor = make_extractor(DetectorVersion.REDUCED)
+        dense = build_training_set(
+            extractor, train_record, train_donors, stride_s=1.5
+        )
+        sparse = build_training_set(extractor, train_record, train_donors)
+        assert dense.n_samples > sparse.n_samples
+
+    def test_requires_donors(self, train_record):
+        extractor = make_extractor(DetectorVersion.REDUCED)
+        with pytest.raises(ValueError, match="donor"):
+            build_training_set(extractor, train_record, [])
+
+    def test_training_set_validation(self):
+        with pytest.raises(ValueError):
+            TrainingSet(
+                X=np.zeros((4, 2)),
+                y=np.zeros(3, dtype=bool),
+                feature_names=("a", "b"),
+            )
+        with pytest.raises(ValueError):
+            TrainingSet(
+                X=np.zeros((4, 2)),
+                y=np.zeros(4, dtype=bool),
+                feature_names=("a",),
+            )
+
+
+class TestSIFTDetector:
+    def test_version_accepts_string(self):
+        detector = SIFTDetector(version="reduced")
+        assert detector.version is DetectorVersion.REDUCED
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="unknown detector version"):
+            SIFTDetector(version="tiny")
+
+    def test_unfitted_raises(self, labeled_stream):
+        detector = SIFTDetector()
+        with pytest.raises(RuntimeError, match="not fitted"):
+            detector.classify_window(labeled_stream.windows[0])
+
+    @pytest.mark.parametrize("version", list(DetectorVersion))
+    def test_fitted_detector_beats_chance(
+        self, version, trained_detectors, labeled_stream
+    ):
+        report = trained_detectors[version].evaluate(labeled_stream)
+        assert report.accuracy > 0.7
+
+    def test_decision_value_sign_is_classification(
+        self, trained_detectors, labeled_stream
+    ):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        window = labeled_stream.windows[0]
+        assert detector.classify_window(window) == (
+            detector.decision_value(window) >= 0.0
+        )
+
+    def test_inspect_stream_alerts_match_positive_predictions(
+        self, trained_detectors, labeled_stream
+    ):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        predictions, log = detector.inspect_stream(labeled_stream)
+        assert len(log) == int(predictions.sum())
+        assert log.window_indices == list(np.flatnonzero(predictions))
+        for alert in log:
+            assert alert.version == "simplified"
+            assert alert.decision_value >= 0.0
+
+    def test_deploy_produces_fixed_point_model(self, trained_detectors):
+        model = trained_detectors[DetectorVersion.SIMPLIFIED].deploy()
+        assert isinstance(model, FixedPointLinearModel)
+        assert model.n_features == 8
+
+    def test_deploy_reduced_has_five_weights(self, trained_detectors):
+        assert trained_detectors[DetectorVersion.REDUCED].deploy().n_features == 5
+
+    def test_fit_training_set_feature_mismatch(self, train_record, train_donors):
+        extractor = make_extractor(DetectorVersion.REDUCED)
+        ts = build_training_set(extractor, train_record, train_donors)
+        detector = SIFTDetector(version="original")  # expects 8 features
+        with pytest.raises(ValueError, match="features"):
+            detector.fit_training_set(ts)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            SIFTDetector(window_s=0.0)
+
+    def test_subject_id_recorded(self, trained_detectors, train_record):
+        detector = trained_detectors[DetectorVersion.ORIGINAL]
+        assert detector.subject_id == train_record.subject_id
+
+    def test_rbf_kernel_cannot_deploy(self, train_record, train_donors):
+        detector = SIFTDetector(version="reduced", kernel="rbf")
+        detector.fit(train_record, train_donors)
+        with pytest.raises(ValueError, match="linear"):
+            detector.deploy()

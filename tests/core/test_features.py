@@ -1,0 +1,164 @@
+"""Tests for matrix and geometric feature primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features.geometric import (
+    average_paired_distance,
+    average_peak_angle,
+    average_peak_distance,
+)
+from repro.core.features.matrix import (
+    auc_composite,
+    auc_trapezoid,
+    column_averages,
+    spatial_filling_index,
+)
+from repro.core.features.simplified import (
+    SLOPE_EPSILON,
+    average_peak_slope,
+    average_squared_paired_distance,
+    average_squared_peak_distance,
+)
+
+
+class TestSpatialFillingIndex:
+    def test_uniform_matrix_is_one(self):
+        assert spatial_filling_index(np.ones((50, 50))) == pytest.approx(1.0)
+
+    def test_concentrated_matrix_is_n_squared(self):
+        matrix = np.zeros((10, 10))
+        matrix[3, 7] = 42
+        assert spatial_filling_index(matrix) == pytest.approx(100.0)
+
+    def test_empty_matrix_is_zero(self):
+        assert spatial_filling_index(np.zeros((10, 10))) == 0.0
+
+    def test_scale_invariant(self):
+        matrix = np.random.default_rng(0).integers(0, 9, size=(20, 20))
+        assert spatial_filling_index(matrix) == pytest.approx(
+            spatial_filling_index(matrix * 7)
+        )
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            spatial_filling_index(np.zeros((3, 4)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(2, 30), seed=st.integers(0, 9999))
+    def test_property_bounds(self, n, seed):
+        matrix = np.random.default_rng(seed).integers(0, 5, size=(n, n))
+        if matrix.sum() == 0:
+            return
+        sfi = spatial_filling_index(matrix)
+        assert 1.0 - 1e-9 <= sfi <= n * n + 1e-9
+
+
+class TestColumnAverages:
+    def test_shape_and_values(self):
+        matrix = np.array([[1, 2], [3, 4]])
+        assert np.allclose(column_averages(matrix), [2.0, 3.0])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            column_averages(np.array([1, 2, 3]))
+
+
+class TestAUC:
+    def test_trapezoid_of_constant(self):
+        assert auc_trapezoid(np.full(11, 2.0)) == pytest.approx(20.0)
+
+    def test_composite_equals_trapezoid(self):
+        """The paper's composite-sum formula IS the trapezoid rule."""
+        curve = np.random.default_rng(0).random(50)
+        assert auc_composite(curve) == pytest.approx(auc_trapezoid(curve))
+
+    def test_short_curves(self):
+        assert auc_trapezoid(np.array([1.0])) == 0.0
+        assert auc_composite(np.array([1.0])) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        curve=st.lists(st.floats(0.0, 100.0), min_size=2, max_size=60)
+    )
+    def test_property_agreement(self, curve):
+        curve = np.array(curve)
+        assert auc_composite(curve) == pytest.approx(
+            auc_trapezoid(curve), rel=1e-9, abs=1e-9
+        )
+
+
+class TestGeometricOriginal:
+    def test_average_angle_of_known_points(self):
+        points = np.array([[1.0, 1.0], [1.0, 0.0]])  # 45 deg and 0 deg
+        assert average_peak_angle(points) == pytest.approx(np.pi / 8)
+
+    def test_average_distance(self):
+        points = np.array([[3.0, 4.0], [0.0, 1.0]])
+        assert average_peak_distance(points) == pytest.approx(3.0)
+
+    def test_paired_distance(self):
+        r = np.array([[0.0, 0.0], [1.0, 1.0]])
+        s = np.array([[3.0, 4.0], [1.0, 1.0]])
+        assert average_paired_distance(r, s) == pytest.approx(2.5)
+
+    def test_empty_inputs_yield_zero(self):
+        empty = np.empty((0, 2))
+        assert average_peak_angle(empty) == 0.0
+        assert average_peak_distance(empty) == 0.0
+        assert average_paired_distance(empty, empty) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            average_peak_angle(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            average_paired_distance(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestGeometricSimplified:
+    def test_slope_is_tangent_of_angle(self):
+        points = np.array([[0.5, 0.25]])
+        assert average_peak_slope(points) == pytest.approx(0.5)
+
+    def test_slope_clamps_near_zero_x(self):
+        points = np.array([[0.0, 1.0]])
+        assert average_peak_slope(points) == pytest.approx(1.0 / SLOPE_EPSILON)
+
+    def test_squared_distance(self):
+        points = np.array([[3.0, 4.0]])
+        assert average_squared_peak_distance(points) == pytest.approx(25.0)
+
+    def test_squared_paired_distance(self):
+        r = np.array([[0.0, 0.0]])
+        s = np.array([[3.0, 4.0]])
+        assert average_squared_paired_distance(r, s) == pytest.approx(25.0)
+
+    def test_squared_is_square_of_original_for_single_point(self):
+        point = np.array([[0.6, 0.8]])
+        assert average_squared_peak_distance(point) == pytest.approx(
+            average_peak_distance(point) ** 2
+        )
+
+    def test_empty_inputs_yield_zero(self):
+        empty = np.empty((0, 2))
+        assert average_peak_slope(empty) == 0.0
+        assert average_squared_peak_distance(empty) == 0.0
+        assert average_squared_paired_distance(empty, empty) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pts=st.lists(
+            st.tuples(st.floats(0.01, 1.0), st.floats(0.0, 1.0)),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_property_slope_matches_atan(self, pts):
+        """For portrait-range points, slope = tan(angle) per point."""
+        points = np.array(pts)
+        slopes = points[:, 1] / points[:, 0]
+        assert average_peak_slope(points) == pytest.approx(
+            float(np.mean(slopes)), rel=1e-9
+        )

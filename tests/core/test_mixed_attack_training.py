@@ -1,0 +1,108 @@
+"""Tests for attack-diverse training (the broader-threat-model extension)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    AttackScenario,
+    InterferenceInjectionAttack,
+    MorphologyInjectionAttack,
+    ReplacementAttack,
+)
+from repro.core import SIFTDetector
+from repro.core.training import build_training_set
+from repro.core.versions import DetectorVersion, make_extractor
+
+
+@pytest.fixture(scope="module")
+def mixed_detector(train_record, train_donors):
+    """Simplified detector trained against three attack classes."""
+    detector = SIFTDetector(version="simplified")
+    detector.fit(
+        train_record,
+        train_donors,
+        attacks=[
+            ReplacementAttack(train_donors),
+            InterferenceInjectionAttack(amplitude=1.0),
+            MorphologyInjectionAttack(),
+        ],
+    )
+    return detector
+
+
+class TestMixedAttackTrainingSet:
+    def test_round_robin_keeps_balance(self, train_record, train_donors):
+        extractor = make_extractor(DetectorVersion.REDUCED)
+        ts = build_training_set(
+            extractor,
+            train_record,
+            train_donors,
+            attacks=[
+                ReplacementAttack(train_donors),
+                InterferenceInjectionAttack(),
+            ],
+        )
+        assert ts.n_positive == ts.n_negative
+
+    def test_empty_attack_list_rejected(self, train_record, train_donors):
+        extractor = make_extractor(DetectorVersion.REDUCED)
+        with pytest.raises(ValueError, match="at least one attack"):
+            build_training_set(
+                extractor, train_record, train_donors, attacks=[]
+            )
+
+    def test_default_still_requires_donors(self, train_record):
+        extractor = make_extractor(DetectorVersion.REDUCED)
+        with pytest.raises(ValueError, match="donor"):
+            build_training_set(extractor, train_record, [])
+
+    def test_attacks_without_donors_allowed(self, train_record):
+        """Injection attacks need no donor material."""
+        extractor = make_extractor(DetectorVersion.REDUCED)
+        ts = build_training_set(
+            extractor,
+            train_record,
+            [],
+            attacks=[InterferenceInjectionAttack()],
+        )
+        assert ts.n_positive > 0
+
+
+class TestMixedAttackDetection:
+    def test_closes_the_interference_blind_spot(
+        self, mixed_detector, trained_detectors, test_record, rng
+    ):
+        """A replacement-only model largely misses low-amplitude
+        interference; training on it fixes that."""
+        narrow = trained_detectors[DetectorVersion.SIMPLIFIED]
+        scenario = AttackScenario(InterferenceInjectionAttack(amplitude=1.0))
+        stream = scenario.build(test_record, np.random.default_rng(9))
+        narrow_report = narrow.evaluate(stream)
+        mixed_report = mixed_detector.evaluate(stream)
+        assert (
+            mixed_report.false_negative_rate
+            < narrow_report.false_negative_rate
+        )
+        assert mixed_report.accuracy > narrow_report.accuracy
+
+    def test_replacement_detection_degrades_boundedly(
+        self, mixed_detector, test_record, test_donor_records, rng
+    ):
+        """Diluting the replacement positives to a third of the class
+        costs replacement accuracy (the coverage-vs-specialization
+        trade-off the ablation bench quantifies) but must stay clearly
+        above chance on this short training fixture."""
+        scenario = AttackScenario(ReplacementAttack(test_donor_records))
+        stream = scenario.build(test_record, np.random.default_rng(10))
+        report = mixed_detector.evaluate(stream)
+        assert report.accuracy > 0.6
+        assert report.false_positive_rate < 0.2
+
+    def test_false_positives_stay_bounded(self, mixed_detector, dataset, victim):
+        record = dataset.record(victim, 60.0, purpose="extra")
+        windows = [
+            record.window(i * 1080, 1080)
+            for i in range(record.n_samples // 1080)
+        ]
+        flagged = sum(mixed_detector.classify_window(w) for w in windows)
+        assert flagged / len(windows) < 0.35

@@ -1,0 +1,196 @@
+"""Tests for streaming detection and model serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import SIFTDetector
+from repro.core.serialization import (
+    detector_from_json,
+    detector_to_json,
+    load_detector,
+    save_detector,
+)
+from repro.core.streaming import AttackEpisode, StreamingDetector
+from repro.core.versions import DetectorVersion
+
+
+@pytest.fixture(scope="module")
+def streaming(trained_detectors):
+    return lambda **kw: StreamingDetector(
+        trained_detectors[DetectorVersion.SIMPLIFIED], **kw
+    )
+
+
+class TestStreamingDetector:
+    def test_sustained_attack_becomes_one_episode(
+        self, streaming, labeled_stream
+    ):
+        """Feed all genuine windows, then all altered windows: the attack
+        block should surface as a single closed episode."""
+        detector = streaming(votes_needed=2, vote_window=3)
+        genuine = [w for w in labeled_stream.windows if not w.altered]
+        altered = [w for w in labeled_stream.windows if w.altered]
+        for window in genuine + altered:
+            detector.process_window(window)
+        final = detector.finish()
+        assert final is not None
+        episodes = detector.episodes
+        assert len(episodes) >= 1
+        # The final episode covers most of the attacked block.
+        assert episodes[-1].n_windows >= len(altered) - 3
+        assert episodes[-1].end_index == len(genuine) + len(altered) - 1
+
+    def test_isolated_false_positive_suppressed(self, streaming, labeled_stream):
+        """With k=2, a single positive window cannot open an episode."""
+        detector = streaming(votes_needed=2, vote_window=3)
+        genuine = [w for w in labeled_stream.windows if not w.altered]
+        altered = [w for w in labeled_stream.windows if w.altered]
+        # one altered window sandwiched in genuine traffic
+        sequence = genuine[:5] + altered[:1] + genuine[5:]
+        for window in sequence:
+            detector.process_window(window)
+        detector.finish()
+        # The single spike alone must not produce an episode covering it,
+        # unless neighbouring genuine windows also misfired (check votes).
+        solo = [e for e in detector.episodes if e.n_windows == 1]
+        for episode in solo:
+            # any 1-window episode must come from >= k votes, impossible
+            # for an isolated positive
+            assert episode.n_windows > 1 or not solo
+
+    def test_detection_latency_bounded(self, streaming, labeled_stream):
+        detector = streaming(votes_needed=2, vote_window=3)
+        genuine = [w for w in labeled_stream.windows if not w.altered]
+        altered = [w for w in labeled_stream.windows if w.altered]
+        attack_start = len(genuine)
+        opened_at = None
+        for i, window in enumerate(genuine + altered):
+            detector.process_window(window)
+            if detector.under_attack() and opened_at is None:
+                opened_at = i
+        assert opened_at is not None
+        assert opened_at - attack_start <= detector.votes_needed + 1
+
+    def test_under_attack_flag(self, streaming, labeled_stream):
+        detector = streaming(votes_needed=1, vote_window=1)
+        altered = [w for w in labeled_stream.windows if w.altered]
+        detector.process_window(altered[0])
+        # With k=n=1 a positive window opens immediately (if classified +).
+        if detector.detector.classify_window(altered[0]):
+            assert detector.under_attack()
+
+    def test_two_attack_bursts_two_episodes(self, streaming, labeled_stream):
+        """Separated attack bursts must surface as separate episodes."""
+        detector = streaming(votes_needed=2, vote_window=3)
+        genuine = [w for w in labeled_stream.windows if not w.altered]
+        altered = [w for w in labeled_stream.windows if w.altered]
+        half = len(altered) // 2
+        # burst - long quiet gap - burst
+        sequence = (
+            altered[:half] + genuine * 2 + altered[half:]
+        )
+        for window in sequence:
+            detector.process_window(window)
+        detector.finish()
+        # At least two episodes, and they don't overlap the quiet gap's
+        # middle (allowing edge effects at the burst boundaries).
+        assert len(detector.episodes) >= 2
+        gap_mid = half + len(genuine)
+        for episode in detector.episodes:
+            assert not (
+                episode.start_index <= gap_mid <= episode.end_index
+            ) or episode.n_windows > len(genuine)
+
+    def test_episode_start_points_into_the_burst(self, streaming, labeled_stream):
+        detector = streaming(votes_needed=2, vote_window=3)
+        genuine = [w for w in labeled_stream.windows if not w.altered]
+        altered = [w for w in labeled_stream.windows if w.altered]
+        for window in genuine + altered:
+            detector.process_window(window)
+        final = detector.finish()
+        assert final is not None
+        # The episode cannot start earlier than the voting horizon allows
+        # before the true attack onset.
+        assert final.start_index >= len(genuine) - detector.vote_window
+
+    def test_reset(self, streaming, labeled_stream):
+        detector = streaming()
+        for window in labeled_stream.windows[:5]:
+            detector.process_window(window)
+        detector.reset()
+        assert detector.state.window_index == 0
+        assert detector.episodes == []
+        assert not detector.under_attack()
+
+    def test_parameter_validation(self, trained_detectors):
+        base = trained_detectors[DetectorVersion.REDUCED]
+        with pytest.raises(ValueError):
+            StreamingDetector(base, votes_needed=0)
+        with pytest.raises(ValueError):
+            StreamingDetector(base, votes_needed=4, vote_window=3)
+
+    def test_episode_validation(self):
+        with pytest.raises(ValueError):
+            AttackEpisode(
+                start_index=5,
+                end_index=3,
+                start_time_s=15.0,
+                end_time_s=9.0,
+                peak_decision_value=1.0,
+            )
+
+
+class TestSerialization:
+    def test_round_trip_preserves_decisions(
+        self, trained_detectors, labeled_stream
+    ):
+        for version, detector in trained_detectors.items():
+            text = detector_to_json(detector)
+            restored = detector_from_json(text)
+            assert restored.version is version
+            assert restored.subject_id == detector.subject_id
+            for window in labeled_stream.windows[:8]:
+                assert restored.decision_value(window) == pytest.approx(
+                    detector.decision_value(window)
+                )
+
+    def test_file_round_trip(self, trained_detectors, tmp_path):
+        detector = trained_detectors[DetectorVersion.REDUCED]
+        path = tmp_path / "model.json"
+        save_detector(detector, path)
+        restored = load_detector(path)
+        assert restored.version is DetectorVersion.REDUCED
+
+    def test_restored_detector_deploys(self, trained_detectors):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        restored = detector_from_json(detector_to_json(detector))
+        model = restored.deploy()
+        assert np.array_equal(model.weights_q, detector.deploy().weights_q)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError, match="unfitted"):
+            detector_to_json(SIFTDetector())
+
+    def test_rbf_rejected(self, train_record, train_donors):
+        detector = SIFTDetector(version="reduced", kernel="rbf")
+        detector.fit(train_record, train_donors)
+        with pytest.raises(ValueError, match="linear"):
+            detector_to_json(detector)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a serialized"):
+            detector_from_json('{"format": "something-else"}')
+
+    def test_corrupt_shapes_rejected(self, trained_detectors):
+        import json
+
+        text = detector_to_json(trained_detectors[DetectorVersion.REDUCED])
+        document = json.loads(text)
+        document["svm"]["coef"] = [1.0, 2.0]  # wrong length
+        with pytest.raises(ValueError, match="corrupt"):
+            detector_from_json(json.dumps(document))
+
+    def test_json_is_human_auditable(self, trained_detectors):
+        text = detector_to_json(trained_detectors[DetectorVersion.SIMPLIFIED])
+        assert '"version": "simplified"' in text
+        assert '"grid_n": 50' in text

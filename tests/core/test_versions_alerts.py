@@ -1,0 +1,65 @@
+"""Tests for the version registry and the alert log."""
+
+import pytest
+
+from repro.core.alerts import Alert, AlertLog
+from repro.core.versions import DetectorVersion
+
+
+class TestDetectorVersion:
+    def test_from_name_case_insensitive(self):
+        assert DetectorVersion.from_name("Original") is DetectorVersion.ORIGINAL
+        assert DetectorVersion.from_name("REDUCED") is DetectorVersion.REDUCED
+
+    def test_from_name_invalid(self):
+        with pytest.raises(ValueError, match="expected one of"):
+            DetectorVersion.from_name("nano")
+
+    def test_libm_only_original(self):
+        assert DetectorVersion.ORIGINAL.requires_libm
+        assert not DetectorVersion.SIMPLIFIED.requires_libm
+        assert not DetectorVersion.REDUCED.requires_libm
+
+    def test_matrix_features_flag(self):
+        assert DetectorVersion.ORIGINAL.uses_matrix_features
+        assert DetectorVersion.SIMPLIFIED.uses_matrix_features
+        assert not DetectorVersion.REDUCED.uses_matrix_features
+
+    def test_feature_counts(self):
+        assert DetectorVersion.ORIGINAL.n_features == 8
+        assert DetectorVersion.REDUCED.n_features == 5
+
+
+class TestAlertLog:
+    def _alert(self, index=0, time_s=0.0):
+        return Alert(
+            window_index=index,
+            time_s=time_s,
+            subject_id="s00",
+            version="simplified",
+            decision_value=1.5,
+        )
+
+    def test_append_and_iterate(self):
+        log = AlertLog()
+        log.raise_alert(self._alert(0, 0.0))
+        log.raise_alert(self._alert(3, 9.0))
+        assert len(log) == 2
+        assert log.window_indices == [0, 3]
+        assert [a.time_s for a in log] == [0.0, 9.0]
+
+    def test_since_filters_by_time(self):
+        log = AlertLog()
+        for i in range(5):
+            log.raise_alert(self._alert(i, 3.0 * i))
+        assert len(log.since(6.0)) == 3
+
+    def test_alert_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            Alert(
+                window_index=-1,
+                time_s=0.0,
+                subject_id="s",
+                version="v",
+                decision_value=0.0,
+            )

@@ -1,0 +1,202 @@
+"""Tests for the experiment harness (quick configurations)."""
+
+import pytest
+
+from repro.core.versions import DetectorVersion
+from repro.experiments.fig3 import format_fig3, run_fig3
+from repro.experiments.pipeline import (
+    ExperimentConfig,
+    make_dataset,
+    run_subject,
+)
+from repro.experiments.reporting import format_bar_chart, format_table
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig.quick()
+
+
+@pytest.fixture(scope="module")
+def table2(config):
+    return run_table2(config, versions=(DetectorVersion.SIMPLIFIED,))
+
+
+@pytest.fixture(scope="module")
+def table3(config):
+    return run_table3(config)
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper(self):
+        config = ExperimentConfig()
+        assert config.n_subjects == 12
+        assert config.window_s == 3.0
+        assert config.grid_n == 50
+        assert config.train_duration_s == 20 * 60.0
+        assert config.test_duration_s == 2 * 60.0
+        assert config.altered_fraction == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_subjects=1)
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_subjects=3, n_train_donors=2, n_test_donors=2)
+        with pytest.raises(ValueError):
+            ExperimentConfig(peak_source="psychic")
+
+    def test_quick_overrides(self):
+        config = ExperimentConfig.quick(window_s=6.0)
+        assert config.window_s == 6.0
+        assert config.n_subjects == 4
+
+
+class TestRunSubject:
+    def test_reference_only(self, config):
+        dataset = make_dataset(config)
+        result = run_subject(
+            dataset, dataset.subjects[0], "reduced", config, with_device=False
+        )
+        assert result.device_report is None
+        assert result.n_test_windows == 20
+        assert 0.0 <= result.reference_report.accuracy <= 1.0
+
+    def test_with_device(self, config):
+        dataset = make_dataset(config)
+        result = run_subject(
+            dataset, dataset.subjects[1], "simplified", config, with_device=True
+        )
+        assert result.device_report is not None
+        # Device and reference should be close.
+        assert abs(
+            result.device_report.accuracy - result.reference_report.accuracy
+        ) <= 0.2
+
+
+class TestTable2:
+    def test_rows_and_platforms(self, table2):
+        platforms = {(r.version, r.platform) for r in table2.rows}
+        assert platforms == {
+            (DetectorVersion.SIMPLIFIED, "amulet"),
+            (DetectorVersion.SIMPLIFIED, "reference"),
+        }
+        assert len(table2.per_subject) == 4
+
+    def test_detection_beats_chance(self, table2):
+        for row in table2.rows:
+            assert row.report.accuracy > 0.6
+
+    def test_row_lookup(self, table2):
+        row = table2.row(DetectorVersion.SIMPLIFIED, "amulet")
+        assert row.platform == "amulet"
+        with pytest.raises(KeyError):
+            table2.row(DetectorVersion.ORIGINAL, "amulet")
+
+    def test_formatting(self, table2):
+        text = format_table2(table2)
+        assert "TABLE II" in text
+        assert "Simplified" in text
+        assert "%" in text
+
+    def test_paper_values_attached(self, table2):
+        row = table2.row(DetectorVersion.SIMPLIFIED, "amulet")
+        assert row.paper_values == (6.67, 7.58, 92.86, 93.43)
+
+
+class TestTable3:
+    def test_profiles_all_versions(self, table3):
+        assert set(table3.profiles) == set(DetectorVersion)
+
+    def test_lifetime_shape(self, table3):
+        """The paper's headline: Reduced lives about twice as long."""
+        ratio = table3.lifetime_ratio(
+            DetectorVersion.ORIGINAL, DetectorVersion.REDUCED
+        )
+        assert ratio > 1.8
+
+    def test_memory_shape(self, table3):
+        original = table3.profile(DetectorVersion.ORIGINAL)
+        reduced = table3.profile(DetectorVersion.REDUCED)
+        assert original.system_fram_bytes > reduced.system_fram_bytes
+        assert original.app_fram_bytes > 1.6 * reduced.app_fram_bytes
+        assert original.app_sram_bytes == 259
+        assert reduced.app_sram_bytes == 69
+
+    def test_formatting(self, table3):
+        text = format_table3(table3)
+        assert "TABLE III" in text
+        assert "Expected Lifetime" in text
+
+
+class TestFig3:
+    def test_breakdown_and_sweep(self, config):
+        result = run_fig3(config, version=DetectorVersion.SIMPLIFIED,
+                          periods=(1.5, 3.0, 6.0))
+        assert set(result.period_sweep) == {1.5, 3.0, 6.0}
+        # Longer period -> longer lifetime, monotonically.
+        lifetimes = [result.period_sweep[p] for p in (1.5, 3.0, 6.0)]
+        assert lifetimes == sorted(lifetimes)
+        assert result.top_consumers(3)[0][1] >= result.top_consumers(3)[-1][1]
+        text = format_fig3(result)
+        assert "Fig. 3" in text
+        assert "slider" in text
+
+
+class TestGridResourceSweep:
+    def test_sweep_shape(self, config):
+        from repro.experiments.fig3 import run_grid_resource_sweep
+
+        rows = run_grid_resource_sweep(config, grids=(10, 50, 100))
+        by_grid = {row["grid_n"]: row for row in rows}
+        assert by_grid[10.0]["deployable"] == 1.0
+        assert by_grid[50.0]["deployable"] == 1.0
+        # n = 100 exceeds the Insight #1 array limit (10000 B matrix).
+        assert by_grid[100.0]["deployable"] == 0.0
+        assert (
+            by_grid[50.0]["detector_fram_kb"]
+            > by_grid[10.0]["detector_fram_kb"]
+        )
+        assert (
+            by_grid[50.0]["detector_sram_bytes"]
+            > by_grid[10.0]["detector_sram_bytes"]
+        )
+
+
+class TestRobustnessStudies:
+    def test_debounce_rows(self, config):
+        from repro.experiments.robustness import debounce_study
+
+        rows = debounce_study(config, settings=((1, 1), (2, 3)))
+        assert len(rows) == 2
+        for row in rows:
+            assert 0.0 <= row["window_accuracy"] <= 1.0
+            assert row["false_episodes_per_run"] >= 0.0
+            assert 0.0 <= row["attack_catch_rate"] <= 1.0
+
+    def test_artifact_rows(self, config):
+        from repro.experiments.robustness import artifact_load_study
+
+        rows = artifact_load_study(config, artifact_rates=(0.0, 8.0))
+        assert [row["artifact_rate_per_min"] for row in rows] == [0.0, 8.0]
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_format_table_validates(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+    def test_format_bar_chart(self):
+        text = format_bar_chart([("x", 2.0), ("yy", 1.0)], unit="mA")
+        assert "##" in text
+        assert "yy" in text
+
+    def test_format_bar_chart_empty(self):
+        assert "(empty)" in format_bar_chart([])

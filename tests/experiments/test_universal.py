@@ -1,0 +1,35 @@
+"""Tests for the universal-model study."""
+
+import pytest
+
+from repro.experiments.pipeline import ExperimentConfig
+from repro.experiments.universal import run_universal_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    config = ExperimentConfig(
+        n_subjects=5,
+        train_duration_s=180.0,
+        test_duration_s=60.0,
+        n_train_donors=2,
+        n_test_donors=2,
+    )
+    return run_universal_study(config)
+
+
+class TestUniversalStudy:
+    def test_universal_model_beats_chance(self, study):
+        """Consistency checking transfers across wearers."""
+        assert study.universal.accuracy > 0.7
+
+    def test_per_user_enrollment_pays(self, study):
+        """...but the paper's per-user models are at least as good: the
+        enrollment step buys accuracy, it doesn't just add friction."""
+        assert study.per_user.accuracy >= study.universal.accuracy - 0.02
+        assert -0.05 <= study.accuracy_gap <= 0.3
+
+    def test_per_subject_reports_complete(self, study):
+        assert len(study.per_subject_universal) == 5
+        for report in study.per_subject_universal.values():
+            assert 0.0 <= report.accuracy <= 1.0

@@ -1,0 +1,78 @@
+"""Tests for the baseline classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.baselines import KNearestNeighbors, LogisticRegression, NearestCentroid
+
+
+def _blobs(n=60, gap=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(loc=gap, scale=0.5, size=(n // 2, 2))
+    neg = rng.normal(loc=-gap, scale=0.5, size=(n // 2, 2))
+    X = np.vstack([pos, neg])
+    y = np.concatenate([np.ones(n // 2, dtype=bool), np.zeros(n // 2, dtype=bool)])
+    return X, y
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [LogisticRegression, lambda: KNearestNeighbors(k=5), NearestCentroid],
+    ids=["logistic", "knn", "centroid"],
+)
+class TestAllBaselines:
+    def test_learns_separable_blobs(self, factory):
+        X, y = _blobs()
+        clf = factory().fit(X, y)
+        assert np.mean(clf.predict_bool(X) == y) == 1.0
+
+    def test_decision_sign_matches_prediction(self, factory):
+        X, y = _blobs(seed=4)
+        clf = factory().fit(X, y)
+        values = clf.decision_function(X)
+        assert np.array_equal(values >= 0, clf.predict_bool(X))
+
+    def test_unfitted_raises(self, factory):
+        with pytest.raises(RuntimeError):
+            factory().decision_function(np.zeros((1, 2)))
+
+
+class TestLogisticRegression:
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+    def test_regularization_shrinks_weights(self):
+        X, y = _blobs()
+        loose = LogisticRegression(l2=1e-6).fit(X, y)
+        tight = LogisticRegression(l2=1.0).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+
+class TestKNearestNeighbors:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KNearestNeighbors(k=0)
+
+    def test_needs_k_samples(self):
+        with pytest.raises(ValueError):
+            KNearestNeighbors(k=5).fit(np.zeros((3, 2)), np.array([1, 0, 1]))
+
+    def test_k1_memorizes(self):
+        X, y = _blobs(seed=2)
+        clf = KNearestNeighbors(k=1).fit(X, y)
+        assert np.array_equal(clf.predict_bool(X), y)
+
+
+class TestNearestCentroid:
+    def test_centroids_are_class_means(self):
+        X, y = _blobs(seed=1)
+        clf = NearestCentroid().fit(X, y)
+        assert np.allclose(clf.centroid_pos_, X[y].mean(axis=0))
+        assert np.allclose(clf.centroid_neg_, X[~y].mean(axis=0))
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            NearestCentroid().fit(np.zeros((4, 2)), np.ones(4, dtype=bool))

@@ -1,0 +1,137 @@
+"""Tests for fixed-point model export and C code generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.model_codegen import (
+    FixedPointLinearModel,
+    export_fixed_point,
+)
+from repro.ml.scaler import StandardScaler
+from repro.ml.svm import SVC
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(0)
+    X = np.vstack(
+        [
+            rng.normal(loc=2.0, scale=0.8, size=(60, 5)),
+            rng.normal(loc=-1.0, scale=0.8, size=(60, 5)),
+        ]
+    )
+    y = np.concatenate([np.ones(60, dtype=bool), np.zeros(60, dtype=bool)])
+    scaler = StandardScaler()
+    svc = SVC().fit(scaler.fit_transform(X), y)
+    return X, y, scaler, svc
+
+
+class TestExportFixedPoint:
+    def test_folded_model_matches_float_pipeline(self, trained):
+        X, _, scaler, svc = trained
+        model = export_fixed_point(svc, scaler, frac_bits=14)
+        for x in X[:20]:
+            float_score = float(svc.decision_function(scaler.transform(x))[0])
+            fixed_score = model.decision_float(x)
+            assert fixed_score == pytest.approx(float_score, abs=0.05)
+
+    def test_predictions_agree_away_from_boundary(self, trained):
+        X, _, scaler, svc = trained
+        model = export_fixed_point(svc, scaler, frac_bits=14)
+        scores = svc.decision_function(scaler.transform(X))
+        confident = np.abs(scores) > 0.2
+        fixed = np.array(
+            [model.predict_bool_fixed(model.quantize(x)) for x in X]
+        )
+        assert np.array_equal(fixed[confident], (scores >= 0)[confident])
+
+    def test_more_bits_less_error(self, trained):
+        X, _, scaler, svc = trained
+        float_scores = svc.decision_function(scaler.transform(X))
+
+        def max_error(bits: int) -> float:
+            model = export_fixed_point(svc, scaler, frac_bits=bits)
+            fixed = np.array([model.decision_float(x) for x in X])
+            return float(np.max(np.abs(fixed - float_scores)))
+
+        assert max_error(20) < max_error(6)
+
+    def test_rejects_rbf_model(self, trained):
+        X, y, scaler, _ = trained
+        from repro.ml.kernels import RBFKernel
+
+        rbf = SVC(kernel=RBFKernel()).fit(scaler.transform(X), y)
+        with pytest.raises(ValueError, match="linear"):
+            export_fixed_point(rbf, scaler)
+
+    def test_rejects_unfitted_scaler(self, trained):
+        _, _, _, svc = trained
+        with pytest.raises(ValueError, match="fitted"):
+            export_fixed_point(svc, StandardScaler())
+
+
+class TestFixedPointLinearModel:
+    def test_quantize_dequantize_roundtrip(self):
+        model = FixedPointLinearModel(
+            weights_q=np.array([1, 2, 3]), bias_q=0, frac_bits=10
+        )
+        values = np.array([0.5, -1.25, 3.75])
+        back = model.dequantize(model.quantize(values))
+        assert np.allclose(back, values, atol=1.0 / (1 << 10))
+
+    def test_saturation_clamps_quantization(self):
+        model = FixedPointLinearModel(
+            weights_q=np.array([1]), bias_q=0, frac_bits=20
+        )
+        q = model.quantize(np.array([1e9]))
+        assert q[0] == 2**31 - 1
+
+    def test_feature_count_enforced(self):
+        model = FixedPointLinearModel(
+            weights_q=np.array([1, 2]), bias_q=0, frac_bits=8
+        )
+        with pytest.raises(ValueError):
+            model.decision_fixed(np.array([1, 2, 3]))
+
+    def test_rejects_bad_frac_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointLinearModel(
+                weights_q=np.array([1]), bias_q=0, frac_bits=0
+            )
+        with pytest.raises(ValueError):
+            FixedPointLinearModel(
+                weights_q=np.array([1]), bias_q=0, frac_bits=31
+            )
+
+    def test_c_source_structure(self, trained):
+        _, _, scaler, svc = trained
+        model = export_fixed_point(svc, scaler, frac_bits=14)
+        source = model.to_c_source("my_classify")
+        assert "int my_classify(const int32_t features" in source
+        assert f"#define SIFT_N_FEATURES {model.n_features}" in source
+        assert f">> {model.frac_bits}" in source
+        assert str(int(model.bias_q)) in source
+        for weight in model.weights_q:
+            assert str(int(weight)) in source
+
+    def test_code_size_scales_with_features(self):
+        small = FixedPointLinearModel(np.array([1] * 5), 0, 14)
+        big = FixedPointLinearModel(np.array([1] * 8), 0, 14)
+        assert big.code_size_bytes > small.code_size_bytes
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        frac_bits=st.integers(4, 24),
+        values=st.lists(
+            st.floats(-50.0, 50.0), min_size=3, max_size=3
+        ),
+    )
+    def test_property_quantization_error_bounded(self, frac_bits, values):
+        model = FixedPointLinearModel(
+            weights_q=np.array([0, 0, 0]), bias_q=0, frac_bits=frac_bits
+        )
+        values = np.array(values)
+        error = np.abs(model.dequantize(model.quantize(values)) - values)
+        assert np.all(error <= 0.5 / (1 << frac_bits) + 1e-12)

@@ -1,0 +1,121 @@
+"""Tests for cross-validation and grid search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.baselines import NearestCentroid
+from repro.ml.model_selection import (
+    cross_validate,
+    grid_search_c,
+    stratified_folds,
+)
+from repro.ml.svm import SVC
+
+
+def _blobs(n=80, gap=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(loc=gap, scale=0.6, size=(n // 2, 3))
+    neg = rng.normal(loc=-gap, scale=0.6, size=(n // 2, 3))
+    X = np.vstack([pos, neg])
+    y = np.concatenate([np.ones(n // 2, dtype=bool), np.zeros(n // 2, dtype=bool)])
+    return X, y
+
+
+class TestStratifiedFolds:
+    def test_partition_properties(self):
+        y = np.array([True] * 20 + [False] * 30)
+        folds = stratified_folds(y, 5, np.random.default_rng(0))
+        all_indices = np.concatenate(folds)
+        assert sorted(all_indices.tolist()) == list(range(50))
+        for fold in folds:
+            positives = int(y[fold].sum())
+            assert positives == 4  # 20 positives / 5 folds
+            assert fold.size == 10
+
+    def test_uneven_classes(self):
+        y = np.array([True] * 7 + [False] * 13)
+        folds = stratified_folds(y, 3, np.random.default_rng(1))
+        per_fold_pos = [int(y[f].sum()) for f in folds]
+        assert max(per_fold_pos) - min(per_fold_pos) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stratified_folds(np.array([True, False]), 1)
+        with pytest.raises(ValueError, match="stratify"):
+            stratified_folds(np.array([True] + [False] * 20), 3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_pos=st.integers(5, 40),
+        n_neg=st.integers(5, 40),
+        n_folds=st.integers(2, 5),
+        seed=st.integers(0, 999),
+    )
+    def test_property_partition(self, n_pos, n_neg, n_folds, seed):
+        if min(n_pos, n_neg) < n_folds:
+            return
+        y = np.array([True] * n_pos + [False] * n_neg)
+        folds = stratified_folds(y, n_folds, np.random.default_rng(seed))
+        joined = np.concatenate(folds)
+        assert joined.size == y.size
+        assert np.array_equal(np.sort(joined), np.arange(y.size))
+
+
+class TestCrossValidate:
+    def test_separable_data_scores_high(self):
+        X, y = _blobs()
+        result = cross_validate(lambda: SVC(), X, y, n_folds=4)
+        assert result.mean_accuracy > 0.95
+        assert len(result.fold_accuracies) == 4
+        assert result.std_accuracy < 0.2
+
+    def test_works_with_baselines(self):
+        X, y = _blobs(seed=3)
+        result = cross_validate(NearestCentroid, X, y, n_folds=4)
+        assert result.mean_accuracy > 0.9
+
+    def test_random_labels_score_near_chance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 4))
+        y = rng.random(100) < 0.5
+        result = cross_validate(lambda: SVC(max_iter=30), X, y, n_folds=4)
+        assert result.mean_accuracy < 0.75
+
+
+class TestGridSearchC:
+    def test_returns_scores_for_every_value(self):
+        X, y = _blobs()
+        result = grid_search_c(X, y, c_values=(0.1, 1.0, 10.0), n_folds=3)
+        assert set(result.scores) == {0.1, 1.0, 10.0}
+        assert result.best_value in result.scores
+        assert result.best_result.mean_accuracy == max(
+            r.mean_accuracy for r in result.scores.values()
+        )
+
+    def test_tie_breaks_toward_small_c(self):
+        """On perfectly separable data every C wins; the search must pick
+        the most regularized model."""
+        X, y = _blobs(gap=4.0)
+        result = grid_search_c(X, y, c_values=(0.1, 1.0, 10.0), n_folds=3)
+        perfect = [
+            c
+            for c, r in result.scores.items()
+            if r.mean_accuracy == result.best_result.mean_accuracy
+        ]
+        assert result.best_value == min(perfect)
+
+    def test_rejects_empty_grid(self):
+        X, y = _blobs()
+        with pytest.raises(ValueError):
+            grid_search_c(X, y, c_values=())
+
+    def test_on_real_sift_features(self, train_record, train_donors):
+        from repro.core.training import build_training_set
+        from repro.core.versions import DetectorVersion, make_extractor
+
+        extractor = make_extractor(DetectorVersion.REDUCED)
+        ts = build_training_set(extractor, train_record, train_donors)
+        result = grid_search_c(ts.X, ts.y, c_values=(0.3, 1.0), n_folds=3)
+        assert result.best_result.mean_accuracy > 0.7

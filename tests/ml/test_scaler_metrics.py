@@ -1,0 +1,158 @@
+"""Tests for feature standardization and the paper's metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.metrics import (
+    ClassificationCounts,
+    DetectionReport,
+    mean_report,
+    score_predictions,
+)
+from repro.ml.scaler import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        X = np.random.default_rng(0).normal(loc=5.0, scale=3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_not_scaled(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaler = StandardScaler().fit(X)
+        Z = scaler.transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+        assert np.isfinite(Z).all()
+
+    def test_inverse_roundtrip(self):
+        X = np.random.default_rng(1).normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_single_row(self):
+        X = np.random.default_rng(2).normal(size=(20, 3))
+        scaler = StandardScaler().fit(X)
+        assert scaler.transform(X[0]).shape == (1, 3)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((1, 2)))
+
+    def test_feature_count_mismatch(self):
+        scaler = StandardScaler().fit(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros((5, 4)))
+
+    def test_rejects_empty_fit(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.empty((0, 3)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        X=hnp.arrays(
+            np.float64,
+            shape=st.tuples(st.integers(2, 30), st.integers(1, 6)),
+            elements=st.floats(-1e6, 1e6),
+        )
+    )
+    def test_property_roundtrip(self, X):
+        scaler = StandardScaler().fit(X)
+        back = scaler.inverse_transform(scaler.transform(X))
+        assert np.allclose(back, X, rtol=1e-6, atol=1e-6)
+
+
+class TestScorePredictions:
+    def test_perfect_predictions(self):
+        actual = np.array([True, True, False, False])
+        report = score_predictions(actual, actual)
+        assert report.accuracy == 1.0
+        assert report.false_positive_rate == 0.0
+        assert report.false_negative_rate == 0.0
+        assert report.f1 == 1.0
+
+    def test_hand_computed_case(self):
+        predicted = np.array([True, True, True, False, False, False])
+        actual = np.array([True, False, True, True, False, False])
+        report = score_predictions(predicted, actual)
+        # TP=2 FP=1 FN=1 TN=2
+        assert report.accuracy == pytest.approx(4 / 6)
+        assert report.false_positive_rate == pytest.approx(1 / 3)
+        assert report.false_negative_rate == pytest.approx(1 / 3)
+        assert report.f1 == pytest.approx(2 / 3)
+
+    def test_all_negative_truth_fn_zero(self):
+        predicted = np.array([False, True])
+        actual = np.array([False, False])
+        report = score_predictions(predicted, actual)
+        assert report.false_negative_rate == 0.0
+        assert report.false_positive_rate == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            score_predictions(np.array([True]), np.array([True, False]))
+
+    def test_percent_row(self):
+        report = DetectionReport(0.05, 0.1, 0.925, 0.92)
+        assert report.as_percent_row() == (5.0, 10.0, 92.5, 92.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(1, 100),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_rates_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        predicted = rng.random(n) < 0.5
+        actual = rng.random(n) < 0.5
+        report = score_predictions(predicted, actual)
+        for value in (
+            report.accuracy,
+            report.false_positive_rate,
+            report.false_negative_rate,
+            report.f1,
+        ):
+            assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(1, 60), seed=st.integers(0, 10_000))
+    def test_property_accuracy_complements_errors(self, n, seed):
+        rng = np.random.default_rng(seed)
+        predicted = rng.random(n) < 0.5
+        actual = rng.random(n) < 0.5
+        report = score_predictions(predicted, actual)
+        positives = int(actual.sum())
+        negatives = n - positives
+        errors = (
+            report.false_negative_rate * positives
+            + report.false_positive_rate * negatives
+        )
+        assert report.accuracy == pytest.approx(1.0 - errors / n)
+
+
+class TestMeanReport:
+    def test_averages_fields(self):
+        a = DetectionReport(0.0, 0.2, 0.9, 0.9)
+        b = DetectionReport(0.1, 0.0, 0.95, 0.94)
+        mean = mean_report([a, b])
+        assert mean.false_positive_rate == pytest.approx(0.05)
+        assert mean.false_negative_rate == pytest.approx(0.1)
+        assert mean.accuracy == pytest.approx(0.925)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_report([])
+
+
+class TestClassificationCounts:
+    def test_total(self):
+        counts = ClassificationCounts(1, 2, 3, 4)
+        assert counts.total == 10
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ClassificationCounts(-1, 0, 0, 0)

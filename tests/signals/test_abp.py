@@ -1,0 +1,112 @@
+"""Tests for the ABP synthesizer."""
+
+import numpy as np
+import pytest
+
+from repro.signals.abp import ABPMorphology, ABPSynthesizer
+from repro.signals.cardiac import BeatTrain
+
+FS = 360.0
+
+
+@pytest.fixture()
+def beats():
+    return BeatTrain(onsets=np.arange(0.5, 9.5, 0.8), duration=10.0)
+
+
+class TestABPMorphology:
+    def test_pulse_pressure(self):
+        m = ABPMorphology(systolic=120.0, diastolic=80.0)
+        assert m.pulse_pressure == pytest.approx(40.0)
+
+    def test_rejects_inverted_pressures(self):
+        with pytest.raises(ValueError):
+            ABPMorphology(systolic=80.0, diastolic=120.0)
+
+    def test_rejects_negative_transit(self):
+        with pytest.raises(ValueError):
+            ABPMorphology(transit_time=-0.1)
+
+    def test_rejects_bad_ptt_depth(self):
+        with pytest.raises(ValueError):
+            ABPMorphology(ptt_mod_depth=1.5)
+
+    def test_transit_modulation_bounds(self):
+        m = ABPMorphology(transit_time=0.2, ptt_mod_depth=0.3)
+        t = np.linspace(0.0, 100.0, 500)
+        transit = m.transit_at(t)
+        assert np.all(transit >= 0.2 * 0.7 - 1e-12)
+        assert np.all(transit <= 0.2 * 1.3 + 1e-12)
+
+    def test_transit_constant_when_depth_zero(self):
+        m = ABPMorphology(transit_time=0.2, ptt_mod_depth=0.0)
+        assert float(m.transit_at(12.3)) == pytest.approx(0.2)
+
+
+class TestABPSynthesizer:
+    def test_output_length(self, beats):
+        abp = ABPSynthesizer().synthesize(beats, FS)
+        assert abp.size == int(10.0 * FS)
+
+    def test_pressure_range(self, beats):
+        m = ABPMorphology(systolic=120.0, diastolic=75.0, ptt_mod_depth=0.0)
+        abp = ABPSynthesizer(morphology=m).synthesize(beats, FS)
+        assert abp.min() >= 74.0
+        # Pulse overlap can overshoot slightly; dicrotic adds a little.
+        assert 110.0 <= abp.max() <= 135.0
+
+    def test_systolic_peak_times_match_waveform(self, beats):
+        synth = ABPSynthesizer(morphology=ABPMorphology(ptt_mod_depth=0.0))
+        abp = synth.synthesize(beats, FS)
+        for peak_time in synth.systolic_peak_times(beats)[1:-1]:
+            idx = int(round(peak_time * FS))
+            window = abp[idx - 10 : idx + 11]
+            assert np.max(window) == pytest.approx(abp[idx], rel=0.02)
+
+    def test_systolic_peaks_trail_r_peaks(self, beats):
+        synth = ABPSynthesizer()
+        peaks = synth.systolic_peak_times(beats)
+        lags = peaks - beats.onsets[: peaks.size]
+        assert np.all(lags > 0.05)
+        assert np.all(lags < 0.6)
+
+    def test_ptt_modulation_varies_lag(self, beats):
+        m = ABPMorphology(ptt_mod_depth=0.3, ptt_mod_freq=0.1)
+        synth = ABPSynthesizer(morphology=m)
+        lags = synth.systolic_peak_times(beats) - beats.onsets
+        assert np.ptp(lags) > 0.02
+
+    def test_noise_only_with_rng(self, beats):
+        synth = ABPSynthesizer(noise_std=1.0)
+        assert np.array_equal(
+            synth.synthesize(beats, FS), synth.synthesize(beats, FS)
+        )
+        noisy = synth.synthesize(beats, FS, np.random.default_rng(0))
+        assert not np.array_equal(noisy, synth.synthesize(beats, FS))
+
+    def test_empty_beats_flat_diastolic(self):
+        empty = BeatTrain(onsets=np.array([]), duration=2.0)
+        m = ABPMorphology(systolic=120.0, diastolic=75.0)
+        abp = ABPSynthesizer(morphology=m).synthesize(empty, FS)
+        assert np.allclose(abp, 75.0)
+
+    def test_rejects_bad_sample_rate(self, beats):
+        with pytest.raises(ValueError):
+            ABPSynthesizer().synthesize(beats, -1.0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            ABPSynthesizer(noise_std=-0.5)
+
+    def test_dicrotic_wave_visible(self, beats):
+        """A secondary bump exists between systolic peak and next foot."""
+        m = ABPMorphology(dicrotic_amp=0.25, ptt_mod_depth=0.0)
+        synth = ABPSynthesizer(morphology=m)
+        abp = synth.synthesize(beats, FS)
+        peak_time = synth.systolic_peak_times(beats)[2]
+        start = int((peak_time + 0.08) * FS)
+        stop = int((peak_time + 0.45) * FS)
+        segment = abp[start:stop]
+        interior = segment[1:-1]
+        local_max = (interior > segment[:-2]) & (interior >= segment[2:])
+        assert local_max.any()

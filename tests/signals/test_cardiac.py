@@ -1,0 +1,120 @@
+"""Tests for the cardiac beat-train generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signals.cardiac import BeatTrain, CardiacProcess
+
+
+class TestBeatTrain:
+    def test_rr_intervals_are_diffs_of_onsets(self):
+        train = BeatTrain(onsets=np.array([0.1, 0.9, 1.8]), duration=2.0)
+        assert np.allclose(train.rr_intervals, [0.8, 0.9])
+
+    def test_len_counts_beats(self):
+        train = BeatTrain(onsets=np.array([0.1, 0.9, 1.8]), duration=2.0)
+        assert len(train) == 3
+
+    def test_mean_heart_rate(self):
+        train = BeatTrain(onsets=np.arange(0.0, 10.0, 1.0), duration=10.0)
+        assert train.mean_heart_rate == pytest.approx(60.0)
+
+    def test_mean_heart_rate_empty(self):
+        assert BeatTrain(onsets=np.array([]), duration=1.0).mean_heart_rate == 0.0
+
+    def test_rejects_decreasing_onsets(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            BeatTrain(onsets=np.array([0.5, 0.4]), duration=1.0)
+
+    def test_rejects_negative_onsets(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BeatTrain(onsets=np.array([-0.1, 0.4]), duration=1.0)
+
+    def test_rejects_2d_onsets(self):
+        with pytest.raises(ValueError, match="1-D"):
+            BeatTrain(onsets=np.zeros((2, 2)), duration=1.0)
+
+    def test_slice_rebases_and_filters(self):
+        train = BeatTrain(onsets=np.array([0.2, 1.2, 2.2, 3.2]), duration=4.0)
+        sliced = train.slice(1.0, 3.0)
+        assert np.allclose(sliced.onsets, [0.2, 1.2])
+        assert sliced.duration == pytest.approx(2.0)
+
+    def test_slice_rejects_inverted_range(self):
+        train = BeatTrain(onsets=np.array([0.2]), duration=1.0)
+        with pytest.raises(ValueError):
+            train.slice(2.0, 1.0)
+
+
+class TestCardiacProcess:
+    def test_generates_expected_beat_count(self, rng):
+        process = CardiacProcess(mean_hr=60.0, jitter=0.0)
+        train = process.generate(120.0, rng)
+        # 60 bpm for 120 s -> about 120 beats (modulation shifts a few).
+        assert 110 <= len(train) <= 130
+
+    def test_all_onsets_within_duration(self, rng):
+        train = CardiacProcess().generate(30.0, rng)
+        assert np.all(train.onsets >= 0)
+        assert np.all(train.onsets < 30.0)
+
+    def test_same_seed_same_train(self):
+        process = CardiacProcess()
+        a = process.generate(20.0, np.random.default_rng(5))
+        b = process.generate(20.0, np.random.default_rng(5))
+        assert np.array_equal(a.onsets, b.onsets)
+
+    def test_different_seeds_differ(self):
+        process = CardiacProcess()
+        a = process.generate(20.0, np.random.default_rng(5))
+        b = process.generate(20.0, np.random.default_rng(6))
+        assert not np.array_equal(a.onsets, b.onsets)
+
+    def test_hrv_modulation_bounds_rr(self, rng):
+        process = CardiacProcess(
+            mean_hr=60.0, rsa_depth=0.05, mayer_depth=0.03, jitter=0.0
+        )
+        train = process.generate(300.0, rng)
+        rr = train.rr_intervals
+        assert np.all(rr > 1.0 * (1 - 0.09))
+        assert np.all(rr < 1.0 * (1 + 0.09))
+
+    def test_mean_rr(self):
+        assert CardiacProcess(mean_hr=75.0).mean_rr == pytest.approx(0.8)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mean_hr": 0.0},
+            {"mean_hr": -10.0},
+            {"rsa_depth": 0.6},
+            {"mayer_depth": -0.1},
+            {"jitter": -0.5},
+            {"rsa_frequency": 0.0},
+            {"mayer_frequency": -1.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            CardiacProcess(**kwargs)
+
+    def test_rejects_nonpositive_duration(self, rng):
+        with pytest.raises(ValueError):
+            CardiacProcess().generate(0.0, rng)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        mean_hr=st.floats(min_value=40.0, max_value=180.0),
+        duration=st.floats(min_value=5.0, max_value=60.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_property_beats_sorted_and_bounded(self, mean_hr, duration, seed):
+        process = CardiacProcess(mean_hr=mean_hr)
+        train = process.generate(duration, np.random.default_rng(seed))
+        assert np.all(np.diff(train.onsets) > 0)
+        assert np.all(train.onsets < duration)
+        # No pathological pauses: RR never exceeds twice the mean RR.
+        if train.rr_intervals.size:
+            assert np.max(train.rr_intervals) < 2.0 * process.mean_rr

@@ -1,0 +1,159 @@
+"""Tests for records, windows and the synthetic dataset."""
+
+import numpy as np
+import pytest
+
+from repro.signals.dataset import (
+    DEFAULT_SAMPLE_RATE,
+    Record,
+    SignalWindow,
+    SyntheticFantasia,
+    iter_windows,
+)
+
+
+class TestSignalWindow:
+    def test_requires_equal_lengths(self):
+        with pytest.raises(ValueError):
+            SignalWindow(
+                ecg=np.zeros(10),
+                abp=np.zeros(11),
+                r_peaks=np.array([]),
+                systolic_peaks=np.array([]),
+                sample_rate=360.0,
+            )
+
+    def test_duration(self):
+        window = SignalWindow(
+            ecg=np.zeros(1080),
+            abp=np.zeros(1080),
+            r_peaks=np.array([]),
+            systolic_peaks=np.array([]),
+            sample_rate=360.0,
+        )
+        assert window.duration == pytest.approx(3.0)
+        assert window.n_samples == 1080
+
+
+class TestRecord:
+    def test_window_extraction_rebases_peaks(self, dataset, victim):
+        record = dataset.record(victim, 30.0, purpose="extra")
+        window = record.window(360, 1080)
+        assert window.n_samples == 1080
+        assert np.all(window.r_peaks >= 0)
+        assert np.all(window.r_peaks < 1080)
+        # Every rebased peak maps back onto an original peak index.
+        for peak in window.r_peaks:
+            assert peak + 360 in record.r_peaks
+
+    def test_window_bounds_checked(self, dataset, victim):
+        record = dataset.record(victim, 10.0, purpose="extra")
+        with pytest.raises(ValueError):
+            record.window(-1, 100)
+        with pytest.raises(ValueError):
+            record.window(0, record.n_samples + 1)
+        with pytest.raises(ValueError):
+            record.window(0, 0)
+
+    def test_redetect_peaks_close_to_truth(self, dataset, victim):
+        record = dataset.record(victim, 30.0, purpose="extra")
+        redetected = record.redetect_peaks()
+        assert abs(redetected.r_peaks.size - record.r_peaks.size) <= 1
+        assert redetected.ecg is record.ecg  # signals shared, not copied
+
+    def test_mismatched_signals_rejected(self):
+        with pytest.raises(ValueError):
+            Record(
+                subject_id="x",
+                sample_rate=360.0,
+                ecg=np.zeros(100),
+                abp=np.zeros(99),
+                r_peaks=np.array([]),
+                systolic_peaks=np.array([]),
+            )
+
+
+class TestIterWindows:
+    def test_non_overlapping_count(self, dataset, victim):
+        record = dataset.record(victim, 60.0, purpose="extra")
+        windows = list(iter_windows(record, window_s=3.0))
+        assert len(windows) == 20
+
+    def test_stride_overlap(self, dataset, victim):
+        record = dataset.record(victim, 30.0, purpose="extra")
+        dense = list(iter_windows(record, window_s=3.0, stride_s=1.0))
+        sparse = list(iter_windows(record, window_s=3.0))
+        assert len(dense) == 28
+        assert len(sparse) == 10
+
+    def test_rejects_bad_args(self, dataset, victim):
+        record = dataset.record(victim, 10.0, purpose="extra")
+        with pytest.raises(ValueError):
+            list(iter_windows(record, window_s=0.0))
+        with pytest.raises(ValueError):
+            list(iter_windows(record, window_s=3.0, stride_s=-1.0))
+
+    def test_windows_carry_subject_id(self, dataset, victim):
+        record = dataset.record(victim, 10.0, purpose="extra")
+        window = next(iter_windows(record, 3.0))
+        assert window.subject_id == victim.subject_id
+        assert window.altered is None
+
+
+class TestSyntheticFantasia:
+    def test_default_shape(self):
+        data = SyntheticFantasia()
+        assert len(data) == 12
+        assert data.sample_rate == DEFAULT_SAMPLE_RATE
+
+    def test_three_second_window_is_1080_samples(self, dataset, victim):
+        """The paper's array-size constraint: 3 s -> 1080 floats."""
+        record = dataset.record(victim, 9.0, purpose="extra")
+        window = record.window(0, int(3.0 * dataset.sample_rate))
+        assert window.n_samples == 1080
+
+    def test_train_and_test_records_differ(self, dataset, victim):
+        train = dataset.record(victim, 30.0, purpose="train")
+        test = dataset.record(victim, 30.0, purpose="test")
+        assert not np.array_equal(train.ecg, test.ecg)
+
+    def test_same_purpose_reproducible(self, dataset, victim):
+        a = dataset.record(victim, 30.0, purpose="train")
+        b = dataset.record(victim, 30.0, purpose="train")
+        assert np.array_equal(a.ecg, b.ecg)
+        assert np.array_equal(a.r_peaks, b.r_peaks)
+
+    def test_unknown_purpose_rejected(self, dataset, victim):
+        with pytest.raises(ValueError):
+            dataset.record(victim, 10.0, purpose="nope")
+
+    def test_subject_lookup(self, dataset, victim):
+        assert dataset.subject(victim.subject_id) is victim
+        with pytest.raises(KeyError):
+            dataset.subject("missing")
+
+    def test_ground_truth_peaks_in_range(self, dataset, victim):
+        record = dataset.record(victim, 20.0, purpose="extra")
+        assert np.all(record.r_peaks < record.n_samples)
+        assert np.all(record.systolic_peaks < record.n_samples)
+        assert np.all(np.diff(record.r_peaks) > 0)
+
+    def test_training_and_test_defaults(self, dataset, victim):
+        assert dataset.training_record(victim, 60.0).duration == pytest.approx(
+            60.0, rel=0.01
+        )
+        assert dataset.test_record(victim, 30.0).duration == pytest.approx(
+            30.0, rel=0.01
+        )
+
+    def test_ecg_and_abp_share_beat_structure(self, dataset, victim):
+        """The substrate's core property: one cardiac process, two signals."""
+        record = dataset.record(victim, 60.0, purpose="extra")
+        lags = []
+        for r in record.r_peaks:
+            following = record.systolic_peaks[record.systolic_peaks > r]
+            if following.size:
+                lags.append(following[0] - r)
+        lags = np.array(lags) / dataset.sample_rate
+        assert np.median(lags) < 0.45  # systole follows within the beat
+        assert np.std(lags) < 0.15  # and consistently so

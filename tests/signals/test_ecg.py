@@ -1,0 +1,94 @@
+"""Tests for the ECG synthesizer."""
+
+import numpy as np
+import pytest
+
+from repro.signals.cardiac import BeatTrain, CardiacProcess
+from repro.signals.ecg import ECGMorphology, ECGSynthesizer
+
+FS = 360.0
+
+
+@pytest.fixture()
+def beats():
+    return BeatTrain(onsets=np.arange(0.5, 9.5, 0.8), duration=10.0)
+
+
+class TestECGSynthesizer:
+    def test_output_length(self, beats):
+        ecg = ECGSynthesizer().synthesize(beats, FS)
+        assert ecg.size == int(10.0 * FS)
+
+    def test_r_peak_lands_on_onset(self, beats):
+        ecg = ECGSynthesizer().synthesize(beats, FS)  # no rng -> clean
+        for onset in beats.onsets:
+            idx = int(round(onset * FS))
+            window = ecg[idx - 18 : idx + 19]
+            assert np.argmax(window) == pytest.approx(18, abs=1)
+
+    def test_r_amplitude_matches_morphology(self, beats):
+        morphology = ECGMorphology(r_amp=1.5)
+        ecg = ECGSynthesizer(morphology=morphology).synthesize(beats, FS)
+        assert np.max(ecg) == pytest.approx(1.5, rel=0.05)
+
+    def test_no_rng_is_deterministic_and_noise_free(self, beats):
+        synth = ECGSynthesizer(noise_std=0.5)
+        a = synth.synthesize(beats, FS)
+        b = synth.synthesize(beats, FS)
+        assert np.array_equal(a, b)
+
+    def test_rng_adds_noise(self, beats):
+        synth = ECGSynthesizer(noise_std=0.05)
+        clean = synth.synthesize(beats, FS)
+        noisy = synth.synthesize(beats, FS, np.random.default_rng(0))
+        residual = noisy - clean
+        assert np.std(residual) > 0.02
+
+    def test_seeded_rng_reproducible(self, beats):
+        synth = ECGSynthesizer()
+        a = synth.synthesize(beats, FS, np.random.default_rng(3))
+        b = synth.synthesize(beats, FS, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_t_wave_present_after_r(self, beats):
+        ecg = ECGSynthesizer().synthesize(beats, FS)
+        onset = beats.onsets[3]
+        rr = 0.8
+        t_idx = int(round((onset + 0.32 * rr) * FS))
+        assert ecg[t_idx] > 0.15  # default T amplitude is 0.3
+
+    def test_artifacts_increase_energy(self, beats):
+        quiet = ECGSynthesizer(artifact_rate_per_min=0.0).synthesize(
+            beats, FS, np.random.default_rng(1)
+        )
+        stormy = ECGSynthesizer(artifact_rate_per_min=30.0).synthesize(
+            beats, FS, np.random.default_rng(1)
+        )
+        assert np.sum(np.abs(stormy - quiet)) > 1.0
+
+    def test_empty_beat_train(self):
+        empty = BeatTrain(onsets=np.array([]), duration=2.0)
+        ecg = ECGSynthesizer().synthesize(empty, FS)
+        assert np.allclose(ecg, 0.0)
+
+    def test_rejects_bad_sample_rate(self, beats):
+        with pytest.raises(ValueError):
+            ECGSynthesizer().synthesize(beats, 0.0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            ECGSynthesizer(noise_std=-0.1)
+
+    def test_rejects_negative_artifact_rate(self):
+        with pytest.raises(ValueError):
+            ECGSynthesizer(artifact_rate_per_min=-1.0)
+
+    def test_varying_rr_scales_waves(self, rng):
+        """Wave offsets follow the RR interval, so no beat collides."""
+        process = CardiacProcess(mean_hr=130.0, jitter=0.02)
+        beats = process.generate(20.0, rng)
+        ecg = ECGSynthesizer().synthesize(beats, FS)
+        # Peaks remain near the onsets even at a fast rate.
+        for onset in beats.onsets[1:-1]:
+            idx = int(round(onset * FS))
+            assert ecg[idx] > 0.5

@@ -1,0 +1,101 @@
+"""Tests for premature ventricular contraction (PVC) modelling."""
+
+import numpy as np
+import pytest
+
+from repro.signals.cardiac import BeatTrain, CardiacProcess
+from repro.signals.ecg import ECGSynthesizer
+from repro.signals.abp import ABPSynthesizer
+from repro.signals.subjects import generate_cohort
+
+FS = 360.0
+
+
+class TestEctopicBeatTrain:
+    def test_rate_approximates_parameter(self, rng):
+        process = CardiacProcess(mean_hr=70.0, ectopic_rate_per_min=3.0)
+        train = process.generate(600.0, rng)
+        per_min = train.n_ectopic / 10.0
+        assert 1.5 <= per_min <= 5.0
+
+    def test_zero_rate_means_no_ectopy(self, rng):
+        train = CardiacProcess(ectopic_rate_per_min=0.0).generate(120.0, rng)
+        assert train.n_ectopic == 0
+
+    def test_pvc_timing_signature(self, rng):
+        """Early coupling interval, then a compensatory pause."""
+        process = CardiacProcess(
+            mean_hr=60.0, ectopic_rate_per_min=6.0, jitter=0.0,
+            rsa_depth=0.0, mayer_depth=0.0,
+        )
+        train = process.generate(300.0, rng)
+        assert train.n_ectopic > 5
+        rr = train.rr_intervals
+        for i in np.flatnonzero(train.ectopic[1:-1]) :
+            idx = i + 1  # position in onsets
+            coupling = train.onsets[idx] - train.onsets[idx - 1]
+            pause = train.onsets[idx + 1] - train.onsets[idx]
+            assert coupling < 0.7  # premature (sinus RR is 1.0 s)
+            assert pause > coupling  # compensatory pause follows
+
+    def test_slice_preserves_mask(self, rng):
+        process = CardiacProcess(mean_hr=60.0, ectopic_rate_per_min=8.0)
+        train = process.generate(120.0, rng)
+        sliced = train.slice(30.0, 90.0)
+        assert sliced.ectopic.shape == sliced.onsets.shape
+
+    def test_mask_shape_validated(self):
+        with pytest.raises(ValueError, match="ectopic mask"):
+            BeatTrain(
+                onsets=np.array([0.1, 0.9]),
+                duration=2.0,
+                ectopic=np.array([True]),
+            )
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            CardiacProcess(ectopic_rate_per_min=-1.0)
+
+
+class TestEctopicMorphology:
+    @pytest.fixture()
+    def trains(self, rng):
+        onsets = np.arange(0.5, 9.5, 1.0)
+        normal = BeatTrain(onsets=onsets, duration=10.0)
+        mask = np.zeros(onsets.size, dtype=bool)
+        mask[4] = True
+        ectopic = BeatTrain(onsets=onsets, duration=10.0, ectopic=mask)
+        return normal, ectopic
+
+    def test_pvc_has_wide_qrs_and_inverted_t(self, trains):
+        normal_train, ectopic_train = trains
+        synth = ECGSynthesizer()
+        normal = synth.synthesize(normal_train, FS)
+        with_pvc = synth.synthesize(ectopic_train, FS)
+        onset = ectopic_train.onsets[4]
+        # The T-wave region flips sign for the ectopic beat.
+        t_idx = int((onset + 0.32 * 1.0) * FS)
+        assert normal[t_idx] > 0.1
+        assert with_pvc[t_idx] < -0.1
+        # Other beats are untouched.
+        other = int(ectopic_train.onsets[1] * FS)
+        assert with_pvc[other] == pytest.approx(normal[other], abs=1e-9)
+
+    def test_pvc_pulse_is_weak(self, trains):
+        normal_train, ectopic_train = trains
+        synth = ABPSynthesizer()
+        normal = synth.synthesize(normal_train, FS)
+        with_pvc = synth.synthesize(ectopic_train, FS)
+        peak_time = synth.systolic_peak_times(ectopic_train)[4]
+        idx = int(peak_time * FS)
+        assert with_pvc[idx] < normal[idx] - 5.0  # mmHg
+
+
+class TestCohortEctopy:
+    def test_only_elderly_have_pvcs(self):
+        cohort = generate_cohort(n_subjects=20, seed=4)
+        for subject in cohort:
+            if subject.group == "young":
+                assert subject.ectopic_rate == 0.0
+            else:
+                assert 0.0 < subject.ectopic_rate <= 1.0

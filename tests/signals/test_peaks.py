@@ -1,0 +1,146 @@
+"""Tests for R-peak and systolic-peak detection and pairing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signals.dataset import SyntheticFantasia
+from repro.signals.peaks import (
+    detect_r_peaks,
+    detect_systolic_peaks,
+    match_peaks,
+    peak_indices_in_window,
+)
+
+FS = 360.0
+
+
+class TestDetectRPeaks:
+    def test_matches_ground_truth_on_clean_record(self, dataset, victim):
+        record = dataset.record(victim, 60.0, purpose="extra")
+        detected = detect_r_peaks(record.ecg, FS)
+        assert abs(detected.size - record.r_peaks.size) <= 1
+        errors = np.abs(detected[:, None] - record.r_peaks[None, :]).min(axis=1)
+        assert np.median(errors) <= 2
+
+    def test_respects_refractory_period(self, dataset, victim):
+        record = dataset.record(victim, 60.0, purpose="extra")
+        detected = detect_r_peaks(record.ecg, FS, refractory_s=0.25)
+        assert np.all(np.diff(detected) >= int(0.25 * FS) - int(0.06 * FS) * 2)
+
+    def test_empty_on_flat_signal(self):
+        assert detect_r_peaks(np.zeros(3600), FS).size == 0
+
+    def test_empty_on_short_signal(self):
+        assert detect_r_peaks(np.ones(10), FS).size == 0
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            detect_r_peaks(np.zeros((10, 10)), FS)
+
+    def test_rejects_bad_sample_rate(self):
+        with pytest.raises(ValueError):
+            detect_r_peaks(np.zeros(3600), 0.0)
+
+    def test_survives_baseline_wander(self):
+        t = np.arange(0, 10, 1 / FS)
+        ecg = np.zeros_like(t)
+        true_peaks = []
+        for onset in np.arange(0.5, 9.5, 0.8):
+            idx = int(onset * FS)
+            ecg += 1.0 * np.exp(-0.5 * ((t - onset) / 0.012) ** 2)
+            true_peaks.append(idx)
+        ecg += 0.8 * np.sin(2 * np.pi * 0.3 * t)  # big wander
+        detected = detect_r_peaks(ecg, FS)
+        assert abs(detected.size - len(true_peaks)) <= 1
+
+
+class TestDetectSystolicPeaks:
+    def test_matches_ground_truth(self, dataset, victim):
+        record = dataset.record(victim, 60.0, purpose="extra")
+        detected = detect_systolic_peaks(record.abp, FS)
+        assert abs(detected.size - record.systolic_peaks.size) <= 2
+        errors = np.abs(
+            detected[:, None] - record.systolic_peaks[None, :]
+        ).min(axis=1)
+        assert np.median(errors) <= 5
+
+    def test_rejects_dicrotic_wave(self):
+        """Only one peak per cardiac cycle despite the dicrotic bump."""
+        t = np.arange(0, 10, 1 / FS)
+        abp = np.full_like(t, 75.0)
+        for onset in np.arange(0.3, 9.3, 0.85):
+            abp += 45 * np.exp(-0.5 * ((t - onset) / 0.05) ** 2)
+            abp += 12 * np.exp(-0.5 * ((t - onset - 0.25) / 0.04) ** 2)
+        detected = detect_systolic_peaks(abp, FS)
+        assert detected.size == pytest.approx(11, abs=1)
+
+    def test_flat_signal(self):
+        assert detect_systolic_peaks(np.full(3600, 80.0), FS).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            detect_systolic_peaks(np.zeros((5, 5)), FS)
+
+
+class TestMatchPeaks:
+    def test_pairs_by_physiological_lag(self):
+        r = np.array([100, 400, 700])
+        s = np.array([180, 480, 780])
+        pairs = match_peaks(r, s, FS)
+        assert pairs == [(100, 180), (400, 480), (700, 780)]
+
+    def test_unmatched_r_at_edge(self):
+        r = np.array([100, 900])
+        s = np.array([180])
+        assert match_peaks(r, s, FS) == [(100, 180)]
+
+    def test_lag_limit(self):
+        r = np.array([100])
+        s = np.array([100 + int(0.7 * FS)])  # beyond the 0.6 s default
+        assert match_peaks(r, s, FS) == []
+
+    def test_takes_first_following_peak(self):
+        r = np.array([100])
+        s = np.array([150, 200])
+        assert match_peaks(r, s, FS) == [(100, 150)]
+
+    def test_empty_inputs(self):
+        assert match_peaks(np.array([]), np.array([]), FS) == []
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            match_peaks(np.array([1]), np.array([2]), 0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        r=st.lists(st.integers(0, 5000), max_size=20, unique=True),
+        s=st.lists(st.integers(0, 5000), max_size=20, unique=True),
+    )
+    def test_property_pairs_ordered_and_within_lag(self, r, s):
+        pairs = match_peaks(np.array(r, dtype=int), np.array(s, dtype=int), FS)
+        max_lag = int(0.6 * FS)
+        for r_idx, s_idx in pairs:
+            assert 0 < s_idx - r_idx <= max_lag
+        # Each R peak appears at most once.
+        r_used = [p[0] for p in pairs]
+        assert len(r_used) == len(set(r_used))
+
+
+class TestPeakIndicesInWindow:
+    def test_filters_and_rebases(self):
+        peaks = np.array([5, 50, 150, 250])
+        assert peak_indices_in_window(peaks, 40, 200).tolist() == [10, 110]
+
+    def test_empty(self):
+        assert peak_indices_in_window(np.array([]), 0, 10).size == 0
+
+    def test_boundaries_half_open(self):
+        peaks = np.array([10, 20])
+        out = peak_indices_in_window(peaks, 10, 20)
+        assert out.tolist() == [0]
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            peak_indices_in_window(np.array([1]), 10, 5)

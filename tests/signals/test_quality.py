@@ -1,0 +1,138 @@
+"""Tests for the signal-quality index."""
+
+import numpy as np
+import pytest
+
+from repro.signals.dataset import SignalWindow
+from repro.signals.quality import QualityReport, SignalQualityIndex, assess_window
+
+
+def _window(ecg, abp, r=None, s=None, fs=360.0):
+    ecg = np.asarray(ecg, dtype=np.float64)
+    n = ecg.size
+    if r is None:
+        r = np.arange(100, n - 50, 280)
+    if s is None:
+        s = np.arange(170, n - 20, 280)
+    return SignalWindow(
+        ecg=ecg,
+        abp=np.asarray(abp, dtype=np.float64),
+        r_peaks=np.asarray(r, dtype=np.intp),
+        systolic_peaks=np.asarray(s, dtype=np.intp),
+        sample_rate=fs,
+    )
+
+
+class TestCleanWindows:
+    def test_synthetic_windows_are_usable(self, labeled_stream):
+        sqi = SignalQualityIndex()
+        usable = sum(sqi.assess(w).usable for w in labeled_stream.windows)
+        assert usable >= 0.8 * len(labeled_stream.windows)
+
+    def test_report_fields_bounded(self, labeled_stream):
+        report = assess_window(labeled_stream.windows[0])
+        for value in (
+            report.sqi,
+            report.clipping_score,
+            report.burst_score,
+            report.beat_score,
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_sqi_is_minimum_of_components(self, labeled_stream):
+        report = assess_window(labeled_stream.windows[0])
+        assert report.sqi == pytest.approx(
+            min(report.clipping_score, report.burst_score, report.beat_score)
+        )
+
+
+class TestDegradedWindows:
+    def test_flatline_rejected(self):
+        window = _window(np.zeros(1080), np.full(1080, 80.0))
+        report = assess_window(window)
+        assert not report.usable
+        assert report.clipping_score == 0.0
+
+    def test_clipped_signal_penalized(self, labeled_stream):
+        base = labeled_stream.windows[0]
+        clipped = _window(
+            np.clip(base.ecg, np.percentile(base.ecg, 25), np.percentile(base.ecg, 75)),
+            base.abp,
+            r=base.r_peaks,
+            s=base.systolic_peaks,
+        )
+        assert (
+            assess_window(clipped).clipping_score
+            < assess_window(base).clipping_score
+        )
+
+    def test_burst_artifact_penalized(self, labeled_stream):
+        base = labeled_stream.windows[0]
+        corrupted = base.ecg.copy()
+        corrupted[400:460] += 50.0 * np.random.default_rng(0).standard_normal(60)
+        report_bad = assess_window(
+            _window(corrupted, base.abp, r=base.r_peaks, s=base.systolic_peaks)
+        )
+        report_good = assess_window(base)
+        assert report_bad.burst_score < report_good.burst_score
+
+    def test_implausible_beat_count_rejected(self, labeled_stream):
+        base = labeled_stream.windows[0]
+        no_beats = _window(base.ecg, base.abp, r=[], s=[])
+        report = assess_window(no_beats)
+        assert report.beat_score == 0.0
+        assert not report.usable
+
+    def test_too_many_beats_penalized(self, labeled_stream):
+        base = labeled_stream.windows[0]
+        every_sample = _window(
+            base.ecg, base.abp, r=np.arange(0, 1080, 30), s=base.systolic_peaks
+        )
+        assert assess_window(every_sample).beat_score < 1.0
+
+
+class TestConfiguration:
+    def test_threshold_changes_verdict(self, labeled_stream):
+        window = labeled_stream.windows[0]
+        lenient = SignalQualityIndex(threshold=0.05).assess(window)
+        strict = SignalQualityIndex(threshold=1.0).assess(window)
+        assert lenient.usable or not strict.usable
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SignalQualityIndex(threshold=0.0)
+        with pytest.raises(ValueError):
+            SignalQualityIndex(clipping_tolerance=-0.1)
+        with pytest.raises(ValueError):
+            SignalQualityIndex(burst_ratio_limit=0.5)
+        with pytest.raises(ValueError):
+            QualityReport(
+                sqi=1.5, usable=True, clipping_score=1.0,
+                burst_score=1.0, beat_score=1.0,
+            )
+
+
+class TestGatingReducesFalsePositives:
+    def test_gate_filters_artifact_windows(self, trained_detectors, dataset, victim):
+        """On an artifact-heavy genuine recording, gating trades coverage
+        for a lower false-positive count among the windows it passes."""
+        from dataclasses import replace as dc_replace
+
+        from repro.core.versions import DetectorVersion
+
+        noisy_subject = dc_replace(
+            victim, ecg_artifact_rate=15.0, abp_artifact_rate=8.0
+        )
+        record = dataset.record(noisy_subject, 120.0, purpose="extra")
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        sqi = SignalQualityIndex(threshold=0.5)
+        windows = [
+            record.window(i * 1080, 1080)
+            for i in range(record.n_samples // 1080)
+        ]
+        all_fp = sum(detector.classify_window(w) for w in windows)
+        passed = [w for w in windows if sqi.assess(w).usable]
+        gated_fp = sum(detector.classify_window(w) for w in passed)
+        assert len(passed) <= len(windows)
+        # The gate never *creates* false positives.
+        assert gated_fp <= all_fp

@@ -1,0 +1,110 @@
+"""Tests for cohort generation."""
+
+import numpy as np
+import pytest
+
+from repro.signals.subjects import SubjectParameters, generate_cohort
+
+
+class TestGenerateCohort:
+    def test_default_matches_paper_cohort(self):
+        cohort = generate_cohort()
+        assert len(cohort) == 12
+        groups = [s.group for s in cohort]
+        assert groups.count("young") == 6
+        assert groups.count("elderly") == 6
+
+    def test_reproducible(self):
+        a = generate_cohort(seed=11)
+        b = generate_cohort(seed=11)
+        assert [s.subject_id for s in a] == [s.subject_id for s in b]
+        assert [s.mean_hr for s in a] == [s.mean_hr for s in b]
+
+    def test_seed_changes_cohort(self):
+        a = generate_cohort(seed=11)
+        b = generate_cohort(seed=12)
+        assert [s.mean_hr for s in a] != [s.mean_hr for s in b]
+
+    def test_age_ranges_per_group(self):
+        for subject in generate_cohort(n_subjects=20, seed=3):
+            if subject.group == "young":
+                assert 21 <= subject.age <= 34
+            else:
+                assert 68 <= subject.age <= 85
+
+    def test_young_fraction(self):
+        cohort = generate_cohort(n_subjects=10, young_fraction=0.2, seed=1)
+        assert sum(s.group == "young" for s in cohort) == 2
+
+    def test_unique_ids(self):
+        ids = [s.subject_id for s in generate_cohort(n_subjects=30, seed=0)]
+        assert len(set(ids)) == 30
+
+    def test_elderly_have_less_rsa(self):
+        cohort = generate_cohort(n_subjects=40, seed=5)
+        young = np.mean([s.rsa_depth for s in cohort if s.group == "young"])
+        elderly = np.mean([s.rsa_depth for s in cohort if s.group == "elderly"])
+        assert young > elderly
+
+    def test_elderly_have_wider_pulse_pressure(self):
+        cohort = generate_cohort(n_subjects=40, seed=5)
+        young = np.mean(
+            [s.abp.pulse_pressure for s in cohort if s.group == "young"]
+        )
+        elderly = np.mean(
+            [s.abp.pulse_pressure for s in cohort if s.group == "elderly"]
+        )
+        assert elderly > young
+
+    def test_rejects_zero_subjects(self):
+        with pytest.raises(ValueError):
+            generate_cohort(n_subjects=0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            generate_cohort(young_fraction=1.5)
+
+
+class TestSubjectParameters:
+    def test_factories_use_subject_fields(self):
+        subject = generate_cohort(seed=2)[0]
+        assert subject.cardiac_process().mean_hr == subject.mean_hr
+        assert subject.ecg_synthesizer().morphology is subject.ecg
+        assert subject.abp_synthesizer().morphology is subject.abp
+
+    def test_with_noise_copies(self):
+        subject = generate_cohort(seed=2)[0]
+        quiet = subject.with_noise(ecg_noise_std=0.0, abp_noise_std=0.0)
+        assert quiet.ecg_noise_std == 0.0
+        assert quiet.subject_id == subject.subject_id
+        assert subject.ecg_noise_std > 0.0  # original untouched
+
+    def test_rejects_unknown_group(self):
+        subject = generate_cohort(seed=2)[0]
+        with pytest.raises(ValueError, match="group"):
+            SubjectParameters(
+                subject_id="x",
+                age=30,
+                group="child",
+                mean_hr=70.0,
+                rsa_depth=0.05,
+                mayer_depth=0.02,
+                rr_jitter=0.01,
+                ecg=subject.ecg,
+                abp=subject.abp,
+            )
+
+    def test_rejects_bad_heart_rate(self):
+        subject = generate_cohort(seed=2)[0]
+        with pytest.raises(ValueError, match="mean_hr"):
+            SubjectParameters(
+                subject_id="x",
+                age=30,
+                group="young",
+                mean_hr=0.0,
+                rsa_depth=0.05,
+                mayer_depth=0.02,
+                rr_jitter=0.01,
+                ecg=subject.ecg,
+                abp=subject.abp,
+            )

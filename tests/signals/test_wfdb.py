@@ -1,0 +1,153 @@
+"""Tests for the WFDB reader (round-trip against a written fixture)."""
+
+import numpy as np
+import pytest
+
+from repro.signals.wfdb import load_record, read_header, read_signals
+
+
+def _encode_212(samples: np.ndarray) -> bytes:
+    """Inverse of the reader's format-212 decoder (test fixture writer)."""
+    samples = np.asarray(samples, dtype=np.int32)
+    if samples.size % 2:
+        samples = np.append(samples, 0)
+    twos = np.where(samples < 0, samples + 4096, samples).astype(np.uint32)
+    first, second = twos[0::2], twos[1::2]
+    out = np.empty(3 * first.size, dtype=np.uint8)
+    out[0::3] = first & 0xFF
+    out[1::3] = ((first >> 8) & 0x0F) | (((second >> 8) & 0x0F) << 4)
+    out[2::3] = second & 0xFF
+    return out.tobytes()
+
+
+@pytest.fixture()
+def wfdb_record_dir(tmp_path, dataset, victim):
+    """A synthetic recording written out as a Fantasia-style WFDB record."""
+    record = dataset.record(victim, 30.0, purpose="extra")
+    fs = record.sample_rate
+    n = record.n_samples
+
+    ecg_gain, ecg_base = 500.0, 0
+    abp_gain, abp_base = 10.0, -800
+    ecg_adc = np.round(record.ecg * ecg_gain + ecg_base).astype(np.int32)
+    abp_adc = np.round(record.abp * abp_gain + abp_base).astype(np.int32)
+    assert ecg_adc.max() < 2048 and ecg_adc.min() >= -2048
+    assert abp_adc.max() < 2048 and abp_adc.min() >= -2048
+
+    interleaved = np.empty(2 * n, dtype=np.int32)
+    interleaved[0::2] = ecg_adc
+    interleaved[1::2] = abp_adc
+    (tmp_path / "f1y01.dat").write_bytes(_encode_212(interleaved))
+    (tmp_path / "f1y01.hea").write_text(
+        f"f1y01 2 {fs:g} {n}\n"
+        f"f1y01.dat 212 {ecg_gain:g}({ecg_base})/mV 12 0 0 0 0 ECG\n"
+        f"f1y01.dat 212 {abp_gain:g}({abp_base})/mmHg 12 0 0 0 0 BP\n"
+        "# synthetic fixture\n"
+    )
+    return tmp_path, record
+
+
+class TestHeaderParsing:
+    def test_fields(self, wfdb_record_dir):
+        directory, record = wfdb_record_dir
+        header = read_header(directory / "f1y01.hea")
+        assert header.record_name == "f1y01"
+        assert header.n_signals == 2
+        assert header.sample_rate == record.sample_rate
+        assert header.n_samples == record.n_samples
+        assert header.signals[0].gain == 500.0
+        assert header.signals[1].baseline == -800
+        assert header.signals[1].units == "mmHg"
+
+    def test_signal_index_by_keyword(self, wfdb_record_dir):
+        directory, _ = wfdb_record_dir
+        header = read_header(directory / "f1y01.hea")
+        assert header.signal_index("ecg") == 0
+        assert header.signal_index("bp") == 1
+        with pytest.raises(KeyError):
+            header.signal_index("eeg")
+
+    def test_rejects_malformed(self, tmp_path):
+        bad = tmp_path / "bad.hea"
+        bad.write_text("just_a_name\n")
+        with pytest.raises(ValueError, match="malformed record line"):
+            read_header(bad)
+
+    def test_rejects_unsupported_format(self, tmp_path):
+        hea = tmp_path / "x.hea"
+        hea.write_text("x 1 250 100\nx.dat 80 200/mV 12 0 0 0 0 ECG\n")
+        with pytest.raises(ValueError, match="unsupported WFDB format"):
+            read_header(hea)
+
+    def test_rejects_missing_signal_lines(self, tmp_path):
+        hea = tmp_path / "x.hea"
+        hea.write_text("x 2 250 100\nx.dat 212 200/mV 12 0 0 0 0 ECG\n")
+        with pytest.raises(ValueError, match="signal lines"):
+            read_header(hea)
+
+    def test_counter_frequency_stripped(self, tmp_path):
+        hea = tmp_path / "x.hea"
+        hea.write_text("x 1 250/1000 100\nx.dat 212 200/mV 12 0 0 0 0 ECG\n")
+        assert read_header(hea).sample_rate == 250.0
+
+
+class TestSignalRoundTrip:
+    def test_physical_units_recovered(self, wfdb_record_dir):
+        directory, record = wfdb_record_dir
+        header = read_header(directory / "f1y01.hea")
+        signals = read_signals(header, directory)
+        # Quantization error bounded by half an ADC step / gain.
+        assert np.max(np.abs(signals[:, 0] - record.ecg)) <= 0.5 / 500.0 + 1e-9
+        assert np.max(np.abs(signals[:, 1] - record.abp)) <= 0.5 / 10.0 + 1e-9
+
+    def test_negative_values_round_trip(self, tmp_path):
+        values = np.array([-2048, -1, 0, 1, 2047, -100], dtype=np.int32)
+        (tmp_path / "n.dat").write_bytes(_encode_212(values))
+        (tmp_path / "n.hea").write_text(
+            "n 1 100 6\nn.dat 212 1(0)/adu 12 0 0 0 0 RAW\n"
+        )
+        header = read_header(tmp_path / "n.hea")
+        signals = read_signals(header, tmp_path)
+        assert np.array_equal(signals[:, 0], values.astype(float))
+
+    def test_format_16(self, tmp_path):
+        values = np.array([-30000, -1, 0, 1, 30000], dtype="<i2")
+        (tmp_path / "s.dat").write_bytes(values.tobytes())
+        (tmp_path / "s.hea").write_text(
+            "s 1 100 5\ns.dat 16 100(0)/mV 16 0 0 0 0 ECG\n"
+        )
+        header = read_header(tmp_path / "s.hea")
+        signals = read_signals(header, tmp_path)
+        assert np.allclose(signals[:, 0], values / 100.0)
+
+    def test_truncated_dat_rejected(self, wfdb_record_dir):
+        directory, _ = wfdb_record_dir
+        dat = directory / "f1y01.dat"
+        dat.write_bytes(dat.read_bytes()[: len(dat.read_bytes()) // 2])
+        header = read_header(directory / "f1y01.hea")
+        with pytest.raises(ValueError, match="expected"):
+            read_signals(header, directory)
+
+
+class TestLoadRecord:
+    def test_full_pipeline_compatibility(self, wfdb_record_dir):
+        """A WFDB record loads into the same Record API and its detected
+        peaks line up with the synthetic ground truth."""
+        directory, original = wfdb_record_dir
+        record = load_record(directory / "f1y01.hea")
+        assert record.subject_id == "f1y01"
+        assert record.n_samples == original.n_samples
+        assert abs(record.r_peaks.size - original.r_peaks.size) <= 1
+        errors = np.abs(
+            record.r_peaks[:, None] - original.r_peaks[None, :]
+        ).min(axis=1)
+        assert np.median(errors) <= 2
+
+    def test_loaded_record_trains_a_detector(self, wfdb_record_dir, train_donors):
+        from repro.core import SIFTDetector
+
+        directory, _ = wfdb_record_dir
+        record = load_record(directory / "f1y01.hea")
+        detector = SIFTDetector(version="reduced").fit(record, train_donors)
+        window = record.window(0, 1080)
+        assert detector.classify_window(window) in (True, False)

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.version == "simplified"
+        assert args.seed == 42
+
+    def test_version_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--version", "huge"])
+
+    def test_export_rejects_original(self):
+        """Original deploys a float model, not fixed-point C."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export", "--version", "original"])
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--version", "reduced"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "FP" in out
+
+    def test_profile_runs(self, capsys):
+        assert main(["profile", "--version", "reduced"]) == 0
+        out = capsys.readouterr().out
+        assert "FRAM layout" in out
+        assert "battery-life slider" in out
+
+    def test_export_writes_artifacts(self, tmp_path, capsys):
+        stem = tmp_path / "model"
+        assert main(["export", "--version", "reduced", "--out", str(stem)]) == 0
+        json_text = (tmp_path / "model.json").read_text()
+        c_text = (tmp_path / "model.c").read_text()
+        assert '"version": "reduced"' in json_text
+        assert "sift_classify" in c_text
+
+    def test_exported_model_loads(self, tmp_path):
+        from repro.core.serialization import load_detector
+
+        stem = tmp_path / "model"
+        main(["export", "--version", "simplified", "--out", str(stem)])
+        detector = load_detector(tmp_path / "model.json")
+        assert detector.version.value == "simplified"

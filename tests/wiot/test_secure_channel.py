@@ -1,0 +1,140 @@
+"""Tests for the authenticated channel -- and its architectural limit."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.replacement import ReplacementAttack
+from repro.core.versions import DetectorVersion
+from repro.wiot.secure_channel import (
+    AuthenticatedPacket,
+    PacketAuthenticator,
+    PacketVerifier,
+)
+from repro.wiot.sensor import BodySensor, CompromisedSensor
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+@pytest.fixture()
+def packets(test_record):
+    return list(BodySensor("ecg-0", "ecg", test_record).packets())
+
+
+class TestAuthentication:
+    def test_honest_packets_verify(self, packets):
+        signer = PacketAuthenticator(KEY)
+        verifier = PacketVerifier(KEY)
+        for packet in packets:
+            assert verifier.verify(signer.sign(packet)) is packet
+        assert verifier.accepted == len(packets)
+        assert verifier.rejected_bad_tag == 0
+
+    def test_tampered_samples_rejected(self, packets):
+        signer = PacketAuthenticator(KEY)
+        verifier = PacketVerifier(KEY)
+        signed = signer.sign(packets[0])
+        tampered_packet = BodySensor.__new__(BodySensor)  # noqa: F841 (clarity)
+        forged = AuthenticatedPacket(
+            packet=type(packets[0])(
+                sensor_id=packets[0].sensor_id,
+                channel=packets[0].channel,
+                sequence=packets[0].sequence,
+                start_time_s=packets[0].start_time_s,
+                samples=packets[0].samples + 1.0,  # injected offset
+                peak_indexes=packets[0].peak_indexes,
+                sample_rate=packets[0].sample_rate,
+            ),
+            counter=signed.counter,
+            tag=signed.tag,
+        )
+        assert verifier.verify(forged) is None
+        assert verifier.rejected_bad_tag == 1
+
+    def test_wrong_key_rejected(self, packets):
+        signer = PacketAuthenticator(b"x" * 32)
+        verifier = PacketVerifier(KEY)
+        assert verifier.verify(signer.sign(packets[0])) is None
+        assert verifier.rejected_bad_tag == 1
+
+    def test_replayed_packet_rejected(self, packets):
+        signer = PacketAuthenticator(KEY)
+        verifier = PacketVerifier(KEY)
+        signed = signer.sign(packets[0])
+        assert verifier.verify(signed) is not None
+        assert verifier.verify(signed) is None  # replay
+        assert verifier.rejected_replay == 1
+
+    def test_out_of_order_counter_rejected(self, packets):
+        signer = PacketAuthenticator(KEY)
+        verifier = PacketVerifier(KEY)
+        first = signer.sign(packets[0])
+        second = signer.sign(packets[1])
+        assert verifier.verify(second) is not None
+        assert verifier.verify(first) is None  # older counter
+        assert verifier.rejected_replay == 1
+
+    def test_validation(self, packets):
+        with pytest.raises(ValueError):
+            PacketAuthenticator(b"short")
+        with pytest.raises(ValueError):
+            PacketVerifier(b"short")
+        with pytest.raises(ValueError):
+            AuthenticatedPacket(packet=packets[0], counter=-1, tag=b"\0" * 32)
+        with pytest.raises(ValueError):
+            AuthenticatedPacket(packet=packets[0], counter=0, tag=b"\0" * 8)
+
+
+class TestWhySIFTIsNeeded:
+    """The paper's motivation, demonstrated: a hijacked sensor defeats a
+    perfectly working authenticated channel, and only the data-driven
+    detector catches it."""
+
+    def test_hijacked_sensor_passes_authentication(
+        self, test_record, test_donor_records, trained_detectors, rng
+    ):
+        hijacked = CompromisedSensor(
+            BodySensor("ecg-0", "ecg", test_record),
+            ReplacementAttack(test_donor_records),
+            abp_record=test_record,
+            active_after_s=0.0,
+            rng=rng,
+        )
+        signer = PacketAuthenticator(KEY)  # the sensor's own key
+        verifier = PacketVerifier(KEY)
+
+        accepted = []
+        for packet in hijacked.packets():
+            verified = verifier.verify(signer.sign(packet))
+            assert verified is not None, "authentication cannot see hijacking"
+            accepted.append(verified)
+        assert verifier.rejected_bad_tag == 0
+        assert verifier.rejected_replay == 0
+
+        # ...but SIFT, pairing the accepted ECG with the trusted ABP,
+        # flags the forged stream.
+        from repro.sift_app.payload import DeviceWindow
+
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        abp_packets = list(BodySensor("abp-0", "abp", test_record).packets())
+        flagged = 0
+        for ecg_packet, abp_packet in zip(accepted, abp_packets):
+            window = DeviceWindow(
+                ecg=ecg_packet.samples.astype(np.float32),
+                abp=abp_packet.samples.astype(np.float32),
+                r_peaks=np.asarray(ecg_packet.peak_indexes, dtype=np.intp),
+                systolic_peaks=np.asarray(abp_packet.peak_indexes, dtype=np.intp),
+                sample_rate=ecg_packet.sample_rate,
+            )
+            # Use the reference classifier on the same payload.
+            from repro.signals.dataset import SignalWindow
+
+            signal_window = SignalWindow(
+                ecg=window.ecg.astype(np.float64),
+                abp=window.abp.astype(np.float64),
+                r_peaks=window.r_peaks,
+                systolic_peaks=window.systolic_peaks,
+                sample_rate=window.sample_rate,
+            )
+            if detector.classify_window(signal_window):
+                flagged += 1
+        assert flagged / len(accepted) > 0.6

@@ -1,0 +1,202 @@
+"""Tests for the WIoT environment: sensors, channel, base station, sink."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.replacement import ReplacementAttack
+from repro.core.versions import DetectorVersion
+from repro.wiot.basestation import BaseStation
+from repro.wiot.channel import WirelessChannel
+from repro.wiot.environment import WIoTEnvironment
+from repro.wiot.sensor import BodySensor, CompromisedSensor
+from repro.wiot.sink import Sink
+
+
+class TestBodySensor:
+    def test_packetization(self, test_record):
+        sensor = BodySensor("ecg-0", "ecg", test_record, packet_s=3.0)
+        packets = list(sensor.packets())
+        assert len(packets) == sensor.n_packets == 20
+        assert all(p.samples.size == 1080 for p in packets)
+        assert [p.sequence for p in packets] == list(range(20))
+
+    def test_channel_selection(self, test_record):
+        ecg = next(BodySensor("e", "ecg", test_record).packets())
+        abp = next(BodySensor("a", "abp", test_record).packets())
+        assert np.array_equal(ecg.samples, test_record.ecg[:1080])
+        assert np.array_equal(abp.samples, test_record.abp[:1080])
+
+    def test_peaks_match_channel(self, test_record):
+        packet = next(BodySensor("e", "ecg", test_record).packets())
+        window = test_record.window(0, 1080)
+        assert np.array_equal(packet.peak_indexes, window.r_peaks)
+
+    def test_rejects_unknown_channel(self, test_record):
+        with pytest.raises(ValueError):
+            BodySensor("x", "emg", test_record)
+
+
+class TestCompromisedSensor:
+    def test_alters_only_after_activation(
+        self, test_record, test_donor_records, rng
+    ):
+        base = BodySensor("ecg-0", "ecg", test_record, packet_s=3.0)
+        hijacked = CompromisedSensor(
+            base,
+            ReplacementAttack(test_donor_records),
+            abp_record=test_record,
+            active_after_s=30.0,
+            rng=rng,
+        )
+        originals = list(base.packets())
+        for packet, original in zip(hijacked.packets(), originals):
+            if packet.start_time_s < 30.0:
+                assert np.array_equal(packet.samples, original.samples)
+            else:
+                assert not np.array_equal(packet.samples, original.samples)
+
+    def test_only_ecg_can_be_hijacked(self, test_record, test_donor_records):
+        abp_sensor = BodySensor("abp-0", "abp", test_record)
+        with pytest.raises(ValueError, match="ABP is trusted"):
+            CompromisedSensor(
+                abp_sensor,
+                ReplacementAttack(test_donor_records),
+                abp_record=test_record,
+            )
+
+
+class TestWirelessChannel:
+    def test_lossless_by_default(self, test_record):
+        channel = WirelessChannel()
+        sensor = BodySensor("e", "ecg", test_record)
+        delivered = [channel.transmit(p) for p in sensor.packets()]
+        assert all(d is not None for d in delivered)
+        assert channel.delivery_rate == 1.0
+
+    def test_loss_rate_approximates_probability(self, test_record):
+        channel = WirelessChannel(loss_probability=0.3, seed=1)
+        sensor = BodySensor("e", "ecg", test_record, packet_s=0.5)
+        outcomes = [channel.transmit(p) is None for p in sensor.packets()]
+        assert 0.1 < np.mean(outcomes) < 0.5
+
+    def test_latency_bounds(self, test_record):
+        channel = WirelessChannel(base_latency_s=0.05, jitter_s=0.1)
+        packet = next(BodySensor("e", "ecg", test_record).packets())
+        delivered = channel.transmit(packet)
+        lag = delivered.arrival_time_s - packet.start_time_s
+        assert 0.05 <= lag <= 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WirelessChannel(loss_probability=1.0)
+        with pytest.raises(ValueError):
+            WirelessChannel(base_latency_s=-0.1)
+
+
+class TestBaseStation:
+    def test_classifies_complete_windows(
+        self, trained_detectors, test_record
+    ):
+        station = BaseStation(trained_detectors[DetectorVersion.REDUCED])
+        channel = WirelessChannel()
+        ecg = BodySensor("e", "ecg", test_record)
+        abp = BodySensor("a", "abp", test_record)
+        for e_packet, a_packet in zip(ecg.packets(), abp.packets()):
+            station.receive(channel.transmit(e_packet))
+            station.receive(channel.transmit(a_packet))
+        assert len(station.verdicts) == 20
+        assert station.flush_incomplete() == 0
+
+    def test_skips_windows_missing_a_half(
+        self, trained_detectors, test_record
+    ):
+        station = BaseStation(trained_detectors[DetectorVersion.REDUCED])
+        ecg = BodySensor("e", "ecg", test_record)
+        abp = BodySensor("a", "abp", test_record)
+        channel = WirelessChannel()
+        for i, (e_packet, a_packet) in enumerate(zip(ecg.packets(), abp.packets())):
+            station.receive(channel.transmit(e_packet))
+            if i % 4 != 0:  # drop every 4th ABP half
+                station.receive(channel.transmit(a_packet))
+        assert len(station.verdicts) == 15
+        assert station.flush_incomplete() == 5
+        assert station.incomplete_windows == 5
+
+    def test_sink_receives_verdicts(self, trained_detectors, test_record):
+        sink = Sink()
+        station = BaseStation(trained_detectors[DetectorVersion.REDUCED], sink=sink)
+        channel = WirelessChannel()
+        ecg = BodySensor("e", "ecg", test_record)
+        abp = BodySensor("a", "abp", test_record)
+        for e_packet, a_packet in zip(ecg.packets(), abp.packets()):
+            station.receive(channel.transmit(e_packet))
+            station.receive(channel.transmit(a_packet))
+        assert sink.n_stored == 20
+
+
+class TestSink:
+    def test_queries(self):
+        from repro.wiot.basestation import WindowVerdict
+
+        sink = Sink()
+        for i in range(10):
+            sink.store_verdict(
+                WindowVerdict(
+                    sequence=i,
+                    time_s=3.0 * i,
+                    altered=(i >= 5),
+                    decision_value=0.1,
+                )
+            )
+        assert sink.alert_fraction == 0.5
+        assert sink.first_alert_time() == 15.0
+        assert len(sink.alerts_between(15.0, 24.0)) == 3
+        with pytest.raises(ValueError):
+            sink.alerts_between(5.0, 1.0)
+
+    def test_empty_sink(self):
+        sink = Sink()
+        assert sink.alert_fraction == 0.0
+        assert sink.first_alert_time() is None
+
+
+class TestWIoTEnvironment:
+    def test_benign_session_mostly_quiet(self, trained_detectors, dataset, victim):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        environment = WIoTEnvironment(detector)
+        record = dataset.record(victim, 60.0, purpose="extra")
+        summary = environment.run(record, attack=None)
+        assert summary.n_windows_classified == summary.n_windows_sent == 20
+        assert summary.report.false_positive_rate < 0.4
+        assert summary.attack_active_after_s is None
+
+    def test_attack_detected(
+        self, trained_detectors, dataset, victim, test_donor_records
+    ):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        environment = WIoTEnvironment(detector)
+        record = dataset.record(victim, 60.0, purpose="extra")
+        summary = environment.run(
+            record,
+            attack=ReplacementAttack(test_donor_records),
+            attack_after_s=30.0,
+            rng=np.random.default_rng(0),
+        )
+        assert summary.alert_count >= 5
+        assert summary.report.accuracy > 0.7
+        assert summary.detection_latency_s is not None
+
+    def test_lossy_channel_costs_windows_not_correctness(
+        self, trained_detectors, dataset, victim
+    ):
+        detector = trained_detectors[DetectorVersion.REDUCED]
+        environment = WIoTEnvironment(
+            detector, channel=WirelessChannel(loss_probability=0.2, seed=3)
+        )
+        record = dataset.record(victim, 60.0, purpose="extra")
+        summary = environment.run(record)
+        assert summary.n_windows_classified < summary.n_windows_sent
+        assert (
+            summary.n_windows_classified + summary.n_windows_lost
+            == summary.n_windows_sent
+        )
