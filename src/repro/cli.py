@@ -26,6 +26,13 @@ import numpy as np
 __all__ = ["build_parser", "main"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -43,6 +50,8 @@ def build_parser() -> argparse.ArgumentParser:
         table = sub.add_parser(name, help=f"regenerate the paper's {name}")
         table.add_argument("--quick", action="store_true",
                            help="reduced cohort, short training")
+        table.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                           help="worker processes (1 = serial, the default)")
 
     profile = sub.add_parser("profile", help="ARP-view pane for one build")
     profile.add_argument("--version", default="original",
@@ -95,21 +104,28 @@ def _cmd_demo(args) -> int:
 def _cmd_table2(args) -> int:
     from repro.experiments import format_table2, run_table2
 
-    print(format_table2(run_table2(_config(args.quick))))
+    result = run_table2(_config(args.quick), jobs=args.jobs)
+    print(format_table2(result))
+    for failure in result.failures:
+        print(
+            f"warning: subject {failure.subject_id} "
+            f"({failure.version.value}) failed: {failure.error}",
+            file=sys.stderr,
+        )
     return 0
 
 
 def _cmd_table3(args) -> int:
     from repro.experiments import format_table3, run_table3
 
-    print(format_table3(run_table3(_config(args.quick))))
+    print(format_table3(run_table3(_config(args.quick), jobs=args.jobs)))
     return 0
 
 
 def _cmd_fig3(args) -> int:
     from repro.experiments import format_fig3, run_fig3
 
-    print(format_fig3(run_fig3(_config(args.quick))))
+    print(format_fig3(run_fig3(_config(args.quick), jobs=args.jobs)))
     return 0
 
 

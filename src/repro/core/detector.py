@@ -134,30 +134,46 @@ class SIFTDetector:
         """``True`` when the window is classified as altered."""
         return self.decision_value(window) >= 0.0
 
+    def decision_values(self, stream) -> np.ndarray:
+        """Signed scores for every window of a stream, in one NumPy pass.
+
+        ``stream`` is a :class:`LabeledStream` or any sequence of windows.
+        Features are extracted via the extractor's batch path, then the
+        whole matrix is standardized and scored at once.  Because both the
+        extractors and :meth:`SVC.decision_function` are batch-size
+        invariant, each score equals the per-window
+        :meth:`decision_value` bit-for-bit.
+        """
+        self._require_fitted()
+        features = self.extractor.extract_stream(stream)
+        if features.shape[0] == 0:
+            return np.empty(0)
+        return self.svc.decision_function(self.scaler.transform(features))
+
+    def classify_stream(self, stream) -> np.ndarray:
+        """Boolean predictions for every window (``True`` = altered)."""
+        return self.decision_values(stream) >= 0.0
+
     def inspect_stream(self, stream: LabeledStream) -> tuple[np.ndarray, AlertLog]:
         """Classify every window of a stream, collecting alerts."""
-        self._require_fitted()
+        values = self.decision_values(stream)
+        predictions = values >= 0.0
         log = AlertLog()
-        predictions = np.zeros(len(stream), dtype=bool)
-        for i, window in enumerate(stream.windows):
-            value = self.decision_value(window)
-            predictions[i] = value >= 0.0
-            if predictions[i]:
-                log.raise_alert(
-                    Alert(
-                        window_index=i,
-                        time_s=i * self.window_s,
-                        subject_id=stream.subject_id,
-                        version=self.version.value,
-                        decision_value=value,
-                    )
+        for i in np.flatnonzero(predictions):
+            log.raise_alert(
+                Alert(
+                    window_index=int(i),
+                    time_s=int(i) * self.window_s,
+                    subject_id=stream.subject_id,
+                    version=self.version.value,
+                    decision_value=float(values[i]),
                 )
+            )
         return predictions, log
 
     def evaluate(self, stream: LabeledStream) -> DetectionReport:
         """Score this detector against a labelled stream."""
-        predictions, _ = self.inspect_stream(stream)
-        return score_predictions(predictions, stream.labels)
+        return score_predictions(self.classify_stream(stream), stream.labels)
 
     # ------------------------------------------------------------------
     # Deployment

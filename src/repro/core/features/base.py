@@ -49,8 +49,24 @@ class FeatureExtractor(abc.ABC):
         """Convenience: build the portrait and extract in one call."""
         return self.extract(build_portrait(window))
 
-    def extract_many(self, windows: list[SignalWindow]) -> np.ndarray:
-        """Feature matrix, one row per window."""
+    def extract_stream(self, stream) -> np.ndarray:
+        """Feature matrix for a whole stream: ``(n_windows, n_features)``.
+
+        ``stream`` is anything with a ``windows`` attribute (e.g. a
+        :class:`~repro.attacks.scenario.LabeledStream`) or a plain
+        sequence of :class:`SignalWindow`.  Subclasses override
+        :meth:`_extract_batch` to vectorize across windows; results are
+        bit-identical to calling :meth:`extract_window` per window.
+        """
+        windows = list(getattr(stream, "windows", stream))
         if not windows:
             return np.empty((0, self.n_features))
+        return self._extract_batch(windows)
+
+    def _extract_batch(self, windows: list[SignalWindow]) -> np.ndarray:
+        """Batch extraction hook; default is the per-window loop."""
         return np.vstack([self.extract_window(w) for w in windows])
+
+    def extract_many(self, windows: list[SignalWindow]) -> np.ndarray:
+        """Feature matrix, one row per window."""
+        return self.extract_stream(windows)

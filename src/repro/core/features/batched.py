@@ -1,0 +1,158 @@
+"""Vectorized portrait construction for whole window streams.
+
+The scalar detection path builds one :class:`~repro.core.portrait.Portrait`
+per window and extracts features window by window -- dozens of small NumPy
+calls per 3-second window.  This module amortizes the heavy per-window
+stages across a whole stream at once:
+
+* min-max normalization of every ECG/ABP window in two rowwise passes;
+* all occupancy matrices in a single ``np.bincount`` scatter;
+* the matrix-feature reductions (SFI, column-average statistics) as one
+  axis-reduction over the stacked matrices.
+
+Every batched operation is **bit-identical** to its scalar counterpart:
+the elementwise arithmetic is the same float64 expression, and the axis
+reductions reduce the same contiguous runs NumPy's scalar calls do.  The
+equivalence is locked down by ``tests/core/test_batch_detection.py``.
+
+Peak geometry stays per window (peak counts are ragged), but reuses the
+already-normalized coordinates, so the per-window tail is a handful of
+tiny operations instead of the full portrait pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.portrait import Portrait
+from repro.signals.dataset import SignalWindow
+from repro.signals.peaks import match_peaks
+
+__all__ = [
+    "PortraitBatch",
+    "build_portrait_batch",
+    "normalize_rows",
+    "spatial_filling_indices",
+    "stack_signals",
+]
+
+
+def stack_signals(
+    windows: list[SignalWindow],
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """``(ecg, abp)`` as ``(n_windows, n_samples)`` matrices.
+
+    Returns ``None`` when the windows have ragged lengths (the batch path
+    then falls back to the per-window loop).
+    """
+    if not windows:
+        return None
+    length = windows[0].n_samples
+    if any(w.n_samples != length for w in windows):
+        return None
+    ecg = np.stack([w.ecg for w in windows])
+    abp = np.stack([w.abp for w in windows])
+    return ecg, abp
+
+
+def normalize_rows(signals: np.ndarray) -> np.ndarray:
+    """Rowwise min-max normalization to [0, 1].
+
+    Bit-identical to :func:`~repro.core.portrait.normalize_signal` applied
+    per row: the same ``(signal - low) / (high - low)`` float64 arithmetic,
+    with constant rows mapped to all 0.5.
+    """
+    signals = np.asarray(signals, dtype=np.float64)
+    low = signals.min(axis=1, keepdims=True)
+    high = signals.max(axis=1, keepdims=True)
+    span = high - low
+    flat = (high <= low).ravel()
+    out = (signals - low) / np.where(span > 0.0, span, 1.0)
+    if flat.any():
+        out[flat] = 0.5
+    return out
+
+
+def spatial_filling_indices(matrices: np.ndarray) -> np.ndarray:
+    """Batched :func:`~repro.core.features.matrix.spatial_filling_index`.
+
+    ``matrices`` is the stacked float64 occupancy tensor ``(m, n, n)``;
+    empty matrices yield 0.0, matching the scalar function.
+    """
+    matrices = np.asarray(matrices, dtype=np.float64)
+    n = matrices.shape[1]
+    totals = matrices.sum(axis=(1, 2))
+    out = np.zeros(matrices.shape[0])
+    occupied = totals > 0
+    if occupied.any():
+        p = matrices[occupied] / totals[occupied, None, None]
+        out[occupied] = n**2 * np.sum(p**2, axis=(1, 2))
+    return out
+
+
+@dataclass(frozen=True)
+class PortraitBatch:
+    """Normalized portrait coordinates for a whole stream of windows.
+
+    ``x``/``y`` hold every window's normalized ABP/ECG as rows;
+    ``portraits`` are per-window :class:`Portrait` views into those rows
+    (peak geometry is ragged, so it stays per window).
+    """
+
+    x: np.ndarray  # (n_windows, n_samples) normalized ABP
+    y: np.ndarray  # (n_windows, n_samples) normalized ECG
+    portraits: tuple[Portrait, ...]
+
+    def __len__(self) -> int:
+        return len(self.portraits)
+
+    def occupancy_matrices(self, n: int = 50) -> np.ndarray:
+        """All windows' ``n x n`` count matrices as one ``(m, n, n)`` tensor.
+
+        A single flat ``np.bincount`` replaces the per-window
+        ``np.add.at`` scatter; counts are integers, so equality with
+        :meth:`Portrait.occupancy_matrix` is exact.
+        """
+        if n < 1:
+            raise ValueError("grid size must be >= 1")
+        m = self.x.shape[0]
+        col = np.minimum((self.y * n).astype(np.intp), n - 1)
+        row = np.minimum((self.x * n).astype(np.intp), n - 1)
+        flat = (
+            np.arange(m, dtype=np.intp)[:, None] * (n * n) + row * n + col
+        ).ravel()
+        return np.bincount(flat, minlength=m * n * n).reshape(m, n, n)
+
+
+def build_portrait_batch(
+    windows: list[SignalWindow], max_lag_s: float = 0.6
+) -> PortraitBatch | None:
+    """Vectorized :func:`~repro.core.portrait.build_portrait` over a stream.
+
+    Returns ``None`` for ragged window lengths; callers fall back to the
+    scalar loop.  Peak pairing uses the same physiological rule (and the
+    same default lag) as the scalar builder.
+    """
+    stacked = stack_signals(windows)
+    if stacked is None:
+        return None
+    ecg, abp = stacked
+    x = normalize_rows(abp)
+    y = normalize_rows(ecg)
+    portraits = tuple(
+        Portrait(
+            x=x[i],
+            y=y[i],
+            r_peaks=np.asarray(w.r_peaks, dtype=np.intp),
+            systolic_peaks=np.asarray(w.systolic_peaks, dtype=np.intp),
+            peak_pairs=tuple(
+                match_peaks(
+                    w.r_peaks, w.systolic_peaks, w.sample_rate, max_lag_s
+                )
+            ),
+        )
+        for i, w in enumerate(windows)
+    )
+    return PortraitBatch(x=x, y=y, portraits=portraits)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.features.base import FeatureExtractor
+from repro.core.features.batched import build_portrait_batch, spatial_filling_indices
 from repro.core.features.geometric import (
     average_paired_distance,
     average_peak_angle,
@@ -16,6 +17,7 @@ from repro.core.features.matrix import (
     spatial_filling_index,
 )
 from repro.core.portrait import Portrait
+from repro.signals.dataset import SignalWindow
 
 __all__ = ["OriginalFeatureExtractor"]
 
@@ -62,3 +64,26 @@ class OriginalFeatureExtractor(FeatureExtractor):
                 average_paired_distance(paired_r, paired_s),
             ]
         )
+
+    def _extract_batch(self, windows: list[SignalWindow]) -> np.ndarray:
+        batch = build_portrait_batch(windows)
+        if batch is None:  # ragged window lengths: per-window fallback
+            return super()._extract_batch(windows)
+        matrices = np.asarray(batch.occupancy_matrices(self.grid_n), dtype=np.float64)
+        # mean over axis 1 (rows) is column_averages() applied per window;
+        # all three matrix features reduce the stacked tensor in one pass.
+        col_avg = matrices.mean(axis=1)
+        out = np.empty((len(windows), self.n_features))
+        out[:, 0] = spatial_filling_indices(matrices)
+        out[:, 1] = col_avg.std(axis=1)
+        out[:, 2] = np.trapezoid(col_avg, axis=-1)
+        for i, portrait in enumerate(batch.portraits):
+            r_points = portrait.r_peak_points()
+            s_points = portrait.systolic_peak_points()
+            paired_r, paired_s = portrait.paired_peak_points()
+            out[i, 3] = average_peak_angle(r_points)
+            out[i, 4] = average_peak_angle(s_points)
+            out[i, 5] = average_peak_distance(r_points)
+            out[i, 6] = average_peak_distance(s_points)
+            out[i, 7] = average_paired_distance(paired_r, paired_s)
+        return out

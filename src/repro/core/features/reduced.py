@@ -11,12 +11,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.features.base import FeatureExtractor
+from repro.core.features.batched import build_portrait_batch
 from repro.core.features.simplified import (
     average_peak_slope,
     average_squared_paired_distance,
     average_squared_peak_distance,
 )
 from repro.core.portrait import Portrait
+from repro.signals.dataset import SignalWindow
 
 __all__ = ["ReducedFeatureExtractor"]
 
@@ -51,3 +53,21 @@ class ReducedFeatureExtractor(FeatureExtractor):
                 average_squared_paired_distance(paired_r, paired_s),
             ]
         )
+
+    def _extract_batch(self, windows: list[SignalWindow]) -> np.ndarray:
+        # No matrix features, but the batch still vectorizes the min-max
+        # normalization (the bulk of portrait construction) across windows.
+        batch = build_portrait_batch(windows)
+        if batch is None:  # ragged window lengths: per-window fallback
+            return super()._extract_batch(windows)
+        out = np.empty((len(windows), self.n_features))
+        for i, portrait in enumerate(batch.portraits):
+            r_points = portrait.r_peak_points()
+            s_points = portrait.systolic_peak_points()
+            paired_r, paired_s = portrait.paired_peak_points()
+            out[i, 0] = average_peak_slope(r_points)
+            out[i, 1] = average_peak_slope(s_points)
+            out[i, 2] = average_squared_peak_distance(r_points)
+            out[i, 3] = average_squared_peak_distance(s_points)
+            out[i, 4] = average_squared_paired_distance(paired_r, paired_s)
+        return out

@@ -19,12 +19,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.features.base import FeatureExtractor
+from repro.core.features.batched import build_portrait_batch, spatial_filling_indices
 from repro.core.features.matrix import (
     auc_composite,
     column_averages,
     spatial_filling_index,
 )
 from repro.core.portrait import Portrait
+from repro.signals.dataset import SignalWindow
 
 __all__ = [
     "SLOPE_EPSILON",
@@ -116,3 +118,25 @@ class SimplifiedFeatureExtractor(FeatureExtractor):
                 average_squared_paired_distance(paired_r, paired_s),
             ]
         )
+
+    def _extract_batch(self, windows: list[SignalWindow]) -> np.ndarray:
+        batch = build_portrait_batch(windows)
+        if batch is None:  # ragged window lengths: per-window fallback
+            return super()._extract_batch(windows)
+        matrices = np.asarray(batch.occupancy_matrices(self.grid_n), dtype=np.float64)
+        col_avg = matrices.mean(axis=1)
+        out = np.empty((len(windows), self.n_features))
+        out[:, 0] = spatial_filling_indices(matrices)
+        out[:, 1] = col_avg.var(axis=1)
+        # auc_composite per row: 0.5 * sum(f_k + f_{k+1}) along the curve.
+        out[:, 2] = 0.5 * np.sum(col_avg[:, :-1] + col_avg[:, 1:], axis=1)
+        for i, portrait in enumerate(batch.portraits):
+            r_points = portrait.r_peak_points()
+            s_points = portrait.systolic_peak_points()
+            paired_r, paired_s = portrait.paired_peak_points()
+            out[i, 3] = average_peak_slope(r_points)
+            out[i, 4] = average_peak_slope(s_points)
+            out[i, 5] = average_squared_peak_distance(r_points)
+            out[i, 6] = average_squared_peak_distance(s_points)
+            out[i, 7] = average_squared_paired_distance(paired_r, paired_s)
+        return out

@@ -51,7 +51,9 @@ def detector_to_json(detector: SIFTDetector) -> str:
         },
         "svm": {
             "coef": detector.svc.coef_.tolist(),
-            "intercept": detector.svc.intercept_,
+            # intercept_ may be a NumPy scalar (e.g. after assigning the
+            # result of a NumPy reduction); json.dumps rejects those.
+            "intercept": float(detector.svc.intercept_),
             "support_vectors": detector.svc.support_vectors_.tolist(),
             "dual_coef": detector.svc.dual_coef_.tolist(),
             "C": detector.svc.C,

@@ -47,7 +47,12 @@ class AttackEpisode:
 
 @dataclass
 class StreamingState:
-    """Mutable debouncer state (separated for inspectability)."""
+    """Mutable debouncer state (separated for inspectability).
+
+    ``recent`` holds ``(positive, decision_value)`` pairs for the voting
+    horizon; the values are needed to seed the episode peak from the
+    opening horizon's positives when an episode triggers.
+    """
 
     window_index: int = 0
     in_episode: bool = False
@@ -92,29 +97,56 @@ class StreamingDetector:
 
     def process_window(self, window: SignalWindow) -> AttackEpisode | None:
         """Feed one window; returns the episode if one just *closed*."""
+        return self._advance(self.detector.decision_value(window))
+
+    def process_stream(self, stream) -> list[AttackEpisode]:
+        """Feed a whole stream through the debouncer in one batch pass.
+
+        Window scores come from :meth:`SIFTDetector.decision_values`, so
+        the episodes are identical to feeding each window through
+        :meth:`process_window` -- only faster.  Returns the episodes that
+        *closed* during this stream (an episode still open at the end
+        stays open; call :meth:`finish` to flush it).
+        """
+        closed: list[AttackEpisode] = []
+        for value in self.detector.decision_values(stream):
+            episode = self._advance(float(value))
+            if episode is not None:
+                closed.append(episode)
+        return closed
+
+    def _advance(self, value: float) -> AttackEpisode | None:
+        """Advance the debouncer by one window's decision value."""
         state = self.state
-        value = self.detector.decision_value(window)
         positive = value >= 0.0
-        state.recent.append(positive)
+        state.recent.append((positive, value))
         if len(state.recent) > self.vote_window:
             state.recent.popleft()
 
         closed: AttackEpisode | None = None
-        votes = sum(state.recent)
+        votes = sum(vote for vote, _ in state.recent)
         if not state.in_episode and votes >= self.votes_needed:
             state.in_episode = True
-            # The episode starts at the earliest positive in the horizon.
+            # The episode starts at the earliest positive in the horizon,
+            # and its peak is seeded from *all* positives in the horizon
+            # (an earlier positive may outscore the triggering window).
             offset = next(
-                i for i, vote in enumerate(state.recent) if vote
+                i for i, (vote, _) in enumerate(state.recent) if vote
             )
             state.episode_start = state.window_index - (
                 len(state.recent) - 1 - offset
             )
-            state.episode_peak = value
+            state.episode_peak = max(
+                v for vote, v in state.recent if vote
+            )
         elif state.in_episode:
-            state.episode_peak = max(state.episode_peak, value)
             if votes == 0:
+                # The current window sits *outside* the episode
+                # (end_index = window_index - 1), so its value must not
+                # contribute to the episode peak.
                 closed = self._close_episode(end_index=state.window_index - 1)
+            else:
+                state.episode_peak = max(state.episode_peak, value)
 
         state.window_index += 1
         return closed

@@ -23,6 +23,7 @@ from repro.experiments.ablations import (
     training_duration_ablation,
     window_size_ablation,
 )
+from repro.experiments.cache import EXPERIMENT_CACHE, ExperimentCache, cache_disabled
 from repro.experiments.fig3 import Fig3Result, format_fig3, run_fig3
 from repro.experiments.pipeline import (
     ExperimentConfig,
@@ -31,6 +32,11 @@ from repro.experiments.pipeline import (
     run_subject,
 )
 from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    CohortOutcome,
+    CohortRunner,
+    effective_workers,
+)
 from repro.experiments.robustness import (
     artifact_load_study,
     channel_loss_study,
@@ -49,6 +55,10 @@ from repro.experiments.table2 import (
 from repro.experiments.table3 import Table3Result, format_table3, run_table3
 
 __all__ = [
+    "CohortOutcome",
+    "CohortRunner",
+    "EXPERIMENT_CACHE",
+    "ExperimentCache",
     "ExperimentConfig",
     "Fig3Result",
     "SubjectRunResult",
@@ -57,9 +67,11 @@ __all__ = [
     "UniversalStudyResult",
     "artifact_load_study",
     "attack_type_ablation",
+    "cache_disabled",
     "channel_loss_study",
     "classifier_ablation",
     "debounce_study",
+    "effective_workers",
     "feature_class_ablation",
     "fixed_point_ablation",
     "format_fig3",

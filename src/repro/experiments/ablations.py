@@ -35,7 +35,6 @@ from repro.experiments.pipeline import (
     ExperimentConfig,
     build_stream,
     make_dataset,
-    run_subject,
     train_detector,
 )
 from repro.ml.baselines import KNearestNeighbors, LogisticRegression, NearestCentroid
@@ -58,15 +57,16 @@ __all__ = [
 
 
 def _mean_accuracy(
-    config: ExperimentConfig, version: DetectorVersion | str = "simplified"
+    config: ExperimentConfig,
+    version: DetectorVersion | str = "simplified",
+    jobs: int = 1,
 ) -> dict[str, float]:
     """Reference-pipeline average metrics over the configured cohort."""
-    dataset = make_dataset(config)
-    reports = [
-        run_subject(dataset, subject, version, config, with_device=False)
-        .reference_report
-        for subject in dataset.subjects
-    ]
+    from repro.experiments.runner import CohortRunner
+
+    with CohortRunner(config=config, jobs=jobs, with_device=False) as runner:
+        outcomes = runner.run_version(version)
+    reports = [o.result.reference_report for o in outcomes if o.ok]
     mean = mean_report(reports)
     return {
         "accuracy": mean.accuracy,

@@ -1,0 +1,73 @@
+"""Content-keyed caching of experiment intermediates.
+
+Every experiment module re-derives the same intermediates over and over:
+table2, table3, fig3 and the ablations all synthesize the same cohort
+``Record`` objects and re-train identical per-(config, subject, version)
+detectors.  Both derivations are *deterministic* -- records come from a
+fresh RNG keyed on (dataset seed, subject, purpose) and training re-seeds
+its RNGs from the config -- so caching them is purely an optimization:
+cached and uncached runs produce bit-identical results.
+
+Keys are content keys: every knob that influences the value is part of
+the key (``ExperimentConfig`` is a frozen dataclass, hence hashable).
+The cache is process-local; parallel :class:`~repro.experiments.runner.
+CohortRunner` workers each maintain their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+__all__ = ["EXPERIMENT_CACHE", "ExperimentCache", "cache_disabled"]
+
+
+@dataclass
+class ExperimentCache:
+    """A dict-backed memo table with hit/miss accounting."""
+
+    enabled: bool = True
+    _store: dict[Hashable, Any] = field(default_factory=dict)
+    _hits: int = 0
+    _misses: int = 0
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """The cached value for ``key``, creating it via ``factory``."""
+        if not self.enabled:
+            return factory()
+        try:
+            value = self._store[key]
+        except KeyError:
+            self._misses += 1
+            value = self._store[key] = factory()
+        else:
+            self._hits += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop all cached values (keeps the enabled flag and counters)."""
+        self._store.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/size counters, for tests and diagnostics."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._store),
+        }
+
+
+#: The process-wide cache the pipeline helpers consult.
+EXPERIMENT_CACHE = ExperimentCache()
+
+
+class cache_disabled:
+    """Context manager: run a block with the experiment cache bypassed."""
+
+    def __enter__(self) -> ExperimentCache:
+        self._was_enabled = EXPERIMENT_CACHE.enabled
+        EXPERIMENT_CACHE.enabled = False
+        return EXPERIMENT_CACHE
+
+    def __exit__(self, *exc_info) -> None:
+        EXPERIMENT_CACHE.enabled = self._was_enabled

@@ -53,8 +53,16 @@ def run_fig3(
     config: ExperimentConfig | None = None,
     version: DetectorVersion = DetectorVersion.ORIGINAL,
     periods: tuple[float, ...] = DEFAULT_PERIOD_SWEEP,
+    jobs: int = 1,
 ) -> Fig3Result:
-    """Profile one build and sweep the detection-period slider."""
+    """Profile one build and sweep the detection-period slider.
+
+    ``jobs`` is accepted for CLI symmetry with table2/table3: the figure
+    profiles a single build (the period sweep is a closed-form rescale of
+    one profile), so there is nothing to fan out.  The run still benefits
+    from the experiment cache shared with other experiments.
+    """
+    del jobs  # single-build experiment; see docstring
     config = config or ExperimentConfig()
     dataset = make_dataset(config)
     subject = dataset.subjects[0]
@@ -68,10 +76,46 @@ def run_fig3(
     return Fig3Result(version=version, profile=profile, period_sweep=sweep)
 
 
+def _grid_sweep_task(
+    config: ExperimentConfig, grid_n: int, version_name: str
+) -> dict[str, float]:
+    """Top-level (picklable) single-grid profiling task."""
+    from repro.amulet.firmware import StaticCheckError
+
+    dataset = make_dataset(config)
+    subject = dataset.subjects[0]
+    swept = replace(config, grid_n=int(grid_n))
+    detector = train_detector(dataset, subject, version_name, swept)
+    try:
+        runner = AmuletSIFTRunner(detector, frac_bits=swept.frac_bits)
+    except StaticCheckError:
+        # The toolchain's Insight #1 array limit rejects big grids:
+        # an n x n uint8 matrix beyond the cap simply cannot deploy.
+        return {
+            "grid_n": float(grid_n),
+            "deployable": 0.0,
+            "detector_fram_kb": float("nan"),
+            "detector_sram_bytes": float("nan"),
+            "mcycles_per_window": float("nan"),
+            "lifetime_days": float("nan"),
+        }
+    runner.run_stream(build_stream(dataset, subject, swept))
+    profile = runner.profile(period_s=swept.window_s)
+    return {
+        "grid_n": float(grid_n),
+        "deployable": 1.0,
+        "detector_fram_kb": profile.app_fram_kb,
+        "detector_sram_bytes": float(profile.app_sram_bytes),
+        "mcycles_per_window": profile.cycles_per_event / 1e6,
+        "lifetime_days": profile.lifetime_days,
+    }
+
+
 def run_grid_resource_sweep(
     config: ExperimentConfig | None = None,
     grids: tuple[int, ...] = (10, 25, 50, 100),
     version: DetectorVersion = DetectorVersion.SIMPLIFIED,
+    jobs: int = 1,
 ) -> list[dict[str, float]]:
     """The other ARP-view slider: resource cost of the grid size n.
 
@@ -79,46 +123,25 @@ def run_grid_resource_sweep(
     :func:`repro.experiments.ablations.grid_size_ablation`; this sweep
     supplies the resource side -- detector FRAM (the n x n matrix) and
     battery lifetime (the per-window passes over it) -- so the two
-    together answer "what does n = 50 cost?".
+    together answer "what does n = 50 cost?".  ``jobs > 1`` profiles the
+    grid sizes in parallel worker processes; rows keep ``grids`` order.
     """
-    from repro.amulet.firmware import StaticCheckError
-
     config = config or ExperimentConfig()
-    dataset = make_dataset(config)
-    subject = dataset.subjects[0]
-    rows = []
-    for grid_n in grids:
-        swept = replace(config, grid_n=int(grid_n))
-        detector = train_detector(dataset, subject, version, swept)
-        try:
-            runner = AmuletSIFTRunner(detector, frac_bits=swept.frac_bits)
-        except StaticCheckError:
-            # The toolchain's Insight #1 array limit rejects big grids:
-            # an n x n uint8 matrix beyond the cap simply cannot deploy.
-            rows.append(
-                {
-                    "grid_n": float(grid_n),
-                    "deployable": 0.0,
-                    "detector_fram_kb": float("nan"),
-                    "detector_sram_bytes": float("nan"),
-                    "mcycles_per_window": float("nan"),
-                    "lifetime_days": float("nan"),
-                }
-            )
-            continue
-        runner.run_stream(build_stream(dataset, subject, swept))
-        profile = runner.profile(period_s=swept.window_s)
-        rows.append(
-            {
-                "grid_n": float(grid_n),
-                "deployable": 1.0,
-                "detector_fram_kb": profile.app_fram_kb,
-                "detector_sram_bytes": float(profile.app_sram_bytes),
-                "mcycles_per_window": profile.cycles_per_event / 1e6,
-                "lifetime_days": profile.lifetime_days,
-            }
-        )
-    return rows
+    if jobs > 1 and len(grids) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.experiments.runner import effective_workers
+
+        workers = min(effective_workers(jobs), len(grids))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_grid_sweep_task, config, int(grid_n), version.value)
+                for grid_n in grids
+            ]
+            return [future.result() for future in futures]
+    return [
+        _grid_sweep_task(config, int(grid_n), version.value) for grid_n in grids
+    ]
 
 
 def format_fig3(result: Fig3Result) -> str:

@@ -18,6 +18,7 @@ from repro.attacks.replacement import ReplacementAttack
 from repro.attacks.scenario import AttackScenario, LabeledStream
 from repro.core.detector import SIFTDetector
 from repro.core.versions import DetectorVersion
+from repro.experiments.cache import EXPERIMENT_CACHE
 from repro.ml.metrics import DetectionReport
 from repro.signals.dataset import Record, SyntheticFantasia
 from repro.signals.subjects import SubjectParameters
@@ -108,11 +109,30 @@ def _record(
     purpose: str,
     config: ExperimentConfig,
 ) -> Record:
-    """A recording with peak indexes per the configured peak source."""
-    record = dataset.record(subject, duration, purpose=purpose)
-    if config.peak_source == "detected":
-        return record.redetect_peaks()
-    return record
+    """A recording with peak indexes per the configured peak source.
+
+    Synthesis (and peak re-detection) is deterministic in the key below,
+    so the result is cached: every experiment sharing a config reuses the
+    same cohort recordings instead of re-synthesizing them.
+    """
+    key = (
+        "record",
+        config.n_subjects,
+        config.seed,
+        config.sample_rate,
+        config.peak_source,
+        subject.subject_id,
+        float(duration),
+        purpose,
+    )
+
+    def build() -> Record:
+        record = dataset.record(subject, duration, purpose=purpose)
+        if config.peak_source == "detected":
+            return record.redetect_peaks()
+        return record
+
+    return EXPERIMENT_CACHE.get_or_create(key, build)
 
 
 def _donor_split(
@@ -139,24 +159,34 @@ def build_stream(
     subject: SubjectParameters,
     config: ExperimentConfig,
 ) -> LabeledStream:
-    """The subject's labelled 2-minute evaluation stream."""
-    _, test_donors = _donor_split(dataset, subject, config)
-    test_record = _record(
-        dataset, subject, config.test_duration_s, "test", config
-    )
-    donor_records = [
-        _record(dataset, donor, config.donor_duration_s, "test", config)
-        for donor in test_donors
-    ]
-    scenario = AttackScenario(
-        ReplacementAttack(donor_records),
-        window_s=config.window_s,
-        altered_fraction=config.altered_fraction,
-    )
-    rng = np.random.default_rng(
-        [config.scenario_seed, dataset.subjects.index(subject)]
-    )
-    return scenario.build(test_record, rng)
+    """The subject's labelled 2-minute evaluation stream.
+
+    Cached per (config, subject): stream construction seeds a fresh RNG
+    from the config, so rebuilding is deterministic and every version's
+    evaluation can share one stream object.
+    """
+
+    def build() -> LabeledStream:
+        _, test_donors = _donor_split(dataset, subject, config)
+        test_record = _record(
+            dataset, subject, config.test_duration_s, "test", config
+        )
+        donor_records = [
+            _record(dataset, donor, config.donor_duration_s, "test", config)
+            for donor in test_donors
+        ]
+        scenario = AttackScenario(
+            ReplacementAttack(donor_records),
+            window_s=config.window_s,
+            altered_fraction=config.altered_fraction,
+        )
+        rng = np.random.default_rng(
+            [config.scenario_seed, dataset.subjects.index(subject)]
+        )
+        return scenario.build(test_record, rng)
+
+    key = ("stream", config, subject.subject_id)
+    return EXPERIMENT_CACHE.get_or_create(key, build)
 
 
 def train_detector(
@@ -165,27 +195,41 @@ def train_detector(
     version: DetectorVersion | str,
     config: ExperimentConfig,
 ) -> SIFTDetector:
-    """Train one user-specific detector per the paper's protocol."""
-    train_donors, _ = _donor_split(dataset, subject, config)
-    training_record = _record(
-        dataset, subject, config.train_duration_s, "train", config
-    )
-    donor_records = [
-        _record(dataset, donor, config.donor_duration_s, "train", config)
-        for donor in train_donors
-    ]
-    detector = SIFTDetector(
-        version=version,
-        window_s=config.window_s,
-        grid_n=config.grid_n,
-        C=config.svm_c,
-        kernel=config.kernel,
-    )
-    rng = np.random.default_rng([config.seed, dataset.subjects.index(subject), 99])
-    detector.fit(
-        training_record, donor_records, stride_s=config.train_stride_s, rng=rng
-    )
-    return detector
+    """Train one user-specific detector per the paper's protocol.
+
+    Cached per (config, subject, version): training re-seeds every RNG
+    from the config, so identical keys would train identical models --
+    table2/table3/fig3 and the ablations share them instead.
+    """
+    if isinstance(version, str):
+        version = DetectorVersion.from_name(version)
+
+    def build() -> SIFTDetector:
+        train_donors, _ = _donor_split(dataset, subject, config)
+        training_record = _record(
+            dataset, subject, config.train_duration_s, "train", config
+        )
+        donor_records = [
+            _record(dataset, donor, config.donor_duration_s, "train", config)
+            for donor in train_donors
+        ]
+        detector = SIFTDetector(
+            version=version,
+            window_s=config.window_s,
+            grid_n=config.grid_n,
+            C=config.svm_c,
+            kernel=config.kernel,
+        )
+        rng = np.random.default_rng(
+            [config.seed, dataset.subjects.index(subject), 99]
+        )
+        detector.fit(
+            training_record, donor_records, stride_s=config.train_stride_s, rng=rng
+        )
+        return detector
+
+    key = ("detector", config, subject.subject_id, version.value)
+    return EXPERIMENT_CACHE.get_or_create(key, build)
 
 
 def run_subject(

@@ -1,0 +1,265 @@
+"""Parallel cohort execution.
+
+The paper's protocol is embarrassingly parallel across subjects: each
+:func:`~repro.experiments.pipeline.run_subject` call trains and evaluates
+one (subject, version) pair independently.  :class:`CohortRunner` fans
+those calls out over a ``ProcessPoolExecutor`` while keeping the serial
+path (``jobs=1``) bit-identical to calling ``run_subject`` in a loop:
+
+* **Deterministic ordering** -- results always come back in cohort order
+  regardless of which worker finishes first.
+* **Per-subject error capture** -- one failing subject yields a
+  :class:`CohortOutcome` with ``error`` set instead of killing the whole
+  cohort.
+* **Per-worker caching** -- each worker process keeps its dataset and the
+  process-local :data:`~repro.experiments.cache.EXPERIMENT_CACHE`, so a
+  worker that handles several versions of the same subject trains from
+  cached records.
+
+The parallel path strips the non-picklable ``runner`` handle (the live
+simulated-Amulet harness) from results before they cross the process
+boundary; the reports it produced travel fine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+
+from repro.core.versions import DetectorVersion
+from repro.experiments.cache import EXPERIMENT_CACHE
+from repro.experiments.pipeline import (
+    ExperimentConfig,
+    SubjectRunResult,
+    make_dataset,
+    run_subject,
+)
+from repro.signals.dataset import SyntheticFantasia
+
+__all__ = ["CohortOutcome", "CohortRunner", "effective_workers"]
+
+
+def effective_workers(jobs: int) -> int:
+    """Clamp a requested worker count to the CPUs actually available.
+
+    The cohort tasks are CPU-bound; oversubscribing a small container
+    only adds scheduling churn and duplicates worker-local caches across
+    processes that then time-slice one core.
+    """
+    available = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    return max(1, min(int(jobs), available))
+
+
+@dataclass(frozen=True)
+class CohortOutcome:
+    """One (subject, version) cell of a cohort run.
+
+    Exactly one of ``result`` / ``error`` is set; ``error`` holds the
+    worker-side exception rendered as ``"TypeName: message"``.
+    """
+
+    subject_id: str
+    version: DetectorVersion
+    result: SubjectRunResult | None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+#: Per-worker-process dataset cache, keyed by the dataset knobs of the
+#: config.  Re-synthesizing cohort parameters per task would be cheap but
+#: pointless; records themselves are cached by the pipeline layer.
+_WORKER_DATASETS: dict[tuple, SyntheticFantasia] = {}
+
+
+def _worker_dataset(config: ExperimentConfig) -> SyntheticFantasia:
+    key = (config.n_subjects, config.seed, config.sample_rate)
+    dataset = _WORKER_DATASETS.get(key)
+    if dataset is None:
+        dataset = _WORKER_DATASETS[key] = make_dataset(config)
+    return dataset
+
+
+def _run_subject_task(
+    config: ExperimentConfig,
+    subject_index: int,
+    version_name: str,
+    with_device: bool,
+) -> tuple[SubjectRunResult | None, str | None]:
+    """Top-level (picklable) per-subject task with error capture."""
+    try:
+        dataset = _worker_dataset(config)
+        result = run_subject(
+            dataset,
+            dataset.subjects[subject_index],
+            version_name,
+            config,
+            with_device=with_device,
+        )
+        # The live Amulet harness does not pickle; its reports already do.
+        return replace(result, runner=None), None
+    except Exception as exc:  # noqa: BLE001 -- the whole point is capture
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+class CohortRunner:
+    """Fan a cohort of ``run_subject`` calls over worker processes.
+
+    Parameters
+    ----------
+    config:
+        The protocol configuration; defaults to the paper's.
+    jobs:
+        Worker process count.  ``jobs=1`` runs serially in-process and is
+        bit-identical to a plain ``run_subject`` loop (it also keeps the
+        live ``runner`` handle on each result, which parallel runs must
+        strip for pickling).
+    with_device:
+        Forwarded to ``run_subject``: also deploy on the simulated Amulet.
+
+    A parallel runner keeps its worker pool alive across ``run_version``
+    calls (pool start-up costs more than a quick cohort); use it as a
+    context manager, or call :meth:`close`, to release the workers.  On
+    platforms with ``fork`` the workers inherit the parent's already-built
+    dataset instead of re-synthesizing it.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        jobs: int = 1,
+        with_device: bool = True,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.config = config or ExperimentConfig()
+        self.jobs = int(jobs)
+        self.with_device = bool(with_device)
+        self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def dataset(self) -> SyntheticFantasia:
+        # Goes through the worker memo on purpose: fork-started workers
+        # inherit the already-built dataset instead of rebuilding it.
+        return _worker_dataset(self.config)
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op when none was started)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "CohortRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """One pool reused across run_version calls (pools are expensive)."""
+        if self._pool is None:
+            context = (
+                multiprocessing.get_context("fork")
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=effective_workers(self.jobs), mp_context=context
+            )
+        return self._pool
+
+    def run_version(
+        self,
+        version: DetectorVersion | str,
+        subjects: list[int] | None = None,
+    ) -> list[CohortOutcome]:
+        """Run one detector version over the cohort (or a subject subset)."""
+        if isinstance(version, str):
+            version = DetectorVersion.from_name(version)
+        indices = (
+            list(range(len(self.dataset.subjects)))
+            if subjects is None
+            else list(subjects)
+        )
+        tasks = [(index, version) for index in indices]
+        return self._run_tasks(tasks)
+
+    def run(
+        self,
+        versions: tuple[DetectorVersion | str, ...] = tuple(DetectorVersion),
+        subjects: list[int] | None = None,
+    ) -> list[CohortOutcome]:
+        """Run several versions; outcomes ordered version-major."""
+        outcomes: list[CohortOutcome] = []
+        for version in versions:
+            outcomes.extend(self.run_version(version, subjects=subjects))
+        return outcomes
+
+    # ------------------------------------------------------------------
+
+    def _run_tasks(
+        self, tasks: list[tuple[int, DetectorVersion]]
+    ) -> list[CohortOutcome]:
+        if self.jobs == 1 or len(tasks) <= 1:
+            pairs = [
+                _run_subject_serial(
+                    self.dataset, self.config, index, version, self.with_device
+                )
+                for index, version in tasks
+            ]
+        else:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(
+                    _run_subject_task,
+                    self.config,
+                    index,
+                    version.value,
+                    self.with_device,
+                )
+                for index, version in tasks
+            ]
+            # Collect in submission order: deterministic regardless of
+            # worker completion order.
+            pairs = [future.result() for future in futures]
+        return [
+            CohortOutcome(
+                subject_id=self.dataset.subjects[index].subject_id,
+                version=version,
+                result=result,
+                error=error,
+            )
+            for (index, version), (result, error) in zip(tasks, pairs)
+        ]
+
+
+def _run_subject_serial(
+    dataset: SyntheticFantasia,
+    config: ExperimentConfig,
+    subject_index: int,
+    version: DetectorVersion,
+    with_device: bool,
+) -> tuple[SubjectRunResult | None, str | None]:
+    """In-process twin of :func:`_run_subject_task` (keeps the runner)."""
+    try:
+        result = run_subject(
+            dataset,
+            dataset.subjects[subject_index],
+            version,
+            config,
+            with_device=with_device,
+        )
+        return result, None
+    except Exception as exc:  # noqa: BLE001
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+def clear_experiment_cache() -> None:
+    """Convenience re-export: drop the process-local experiment cache."""
+    EXPERIMENT_CACHE.clear()

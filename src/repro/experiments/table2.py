@@ -11,13 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.versions import DetectorVersion
-from repro.experiments.pipeline import (
-    ExperimentConfig,
-    SubjectRunResult,
-    make_dataset,
-    run_subject,
-)
+from repro.experiments.pipeline import ExperimentConfig, SubjectRunResult
 from repro.experiments.reporting import format_table
+from repro.experiments.runner import CohortOutcome, CohortRunner
 from repro.ml.metrics import DetectionReport, mean_report
 
 __all__ = ["Table2Result", "Table2Row", "format_table2", "run_table2"]
@@ -55,6 +51,8 @@ class Table2Result:
     rows: tuple[Table2Row, ...]
     per_subject: tuple[SubjectRunResult, ...]
     config: ExperimentConfig
+    #: Outcomes of subjects that errored (empty on a clean run).
+    failures: tuple[CohortOutcome, ...] = ()
 
     def row(self, version: DetectorVersion, platform: str) -> Table2Row:
         """Look up one (version, platform) row (KeyError if absent)."""
@@ -67,36 +65,45 @@ class Table2Result:
 def run_table2(
     config: ExperimentConfig | None = None,
     versions: tuple[DetectorVersion, ...] = tuple(DetectorVersion),
+    jobs: int = 1,
 ) -> Table2Result:
-    """Run the full Table II protocol."""
+    """Run the full Table II protocol.
+
+    ``jobs > 1`` fans the per-subject runs over worker processes; the
+    averages are identical to the serial run (failing subjects, if any,
+    are excluded from the means and reported in ``failures``).
+    """
     config = config or ExperimentConfig()
-    dataset = make_dataset(config)
     per_subject: list[SubjectRunResult] = []
+    failures: list[CohortOutcome] = []
     rows: list[Table2Row] = []
-    for version in versions:
-        results = [
-            run_subject(dataset, subject, version, config, with_device=True)
-            for subject in dataset.subjects
-        ]
-        per_subject.extend(results)
-        rows.append(
-            Table2Row(
-                version=version,
-                platform="amulet",
-                report=mean_report(
-                    r.device_report for r in results if r.device_report
-                ),
+    with CohortRunner(config=config, jobs=jobs, with_device=True) as runner:
+        for version in versions:
+            outcomes = runner.run_version(version)
+            failures.extend(o for o in outcomes if not o.ok)
+            results = [o.result for o in outcomes if o.ok]
+            per_subject.extend(results)
+            rows.append(
+                Table2Row(
+                    version=version,
+                    platform="amulet",
+                    report=mean_report(
+                        r.device_report for r in results if r.device_report
+                    ),
+                )
             )
-        )
-        rows.append(
-            Table2Row(
-                version=version,
-                platform="reference",
-                report=mean_report(r.reference_report for r in results),
+            rows.append(
+                Table2Row(
+                    version=version,
+                    platform="reference",
+                    report=mean_report(r.reference_report for r in results),
+                )
             )
-        )
     return Table2Result(
-        rows=tuple(rows), per_subject=tuple(per_subject), config=config
+        rows=tuple(rows),
+        per_subject=tuple(per_subject),
+        config=config,
+        failures=tuple(failures),
     )
 
 

@@ -54,21 +54,49 @@ class Table3Result:
         )
 
 
-def run_table3(
-    config: ExperimentConfig | None = None,
-    versions: tuple[DetectorVersion, ...] = tuple(DetectorVersion),
-) -> Table3Result:
-    """Run the Table III protocol (one subject is enough)."""
-    config = config or ExperimentConfig()
+def _profile_version_task(
+    config: ExperimentConfig, version_name: str
+) -> tuple[str, ResourceProfile]:
+    """Top-level (picklable) per-version profiling task."""
     dataset = make_dataset(config)
     subject = dataset.subjects[0]
     stream = build_stream(dataset, subject, config)
+    detector = train_detector(dataset, subject, version_name, config)
+    runner = AmuletSIFTRunner(detector, frac_bits=config.frac_bits)
+    runner.run_stream(stream)
+    return version_name, runner.profile(period_s=config.window_s)
+
+
+def run_table3(
+    config: ExperimentConfig | None = None,
+    versions: tuple[DetectorVersion, ...] = tuple(DetectorVersion),
+    jobs: int = 1,
+) -> Table3Result:
+    """Run the Table III protocol (one subject is enough).
+
+    ``jobs > 1`` profiles the versions in parallel worker processes
+    (there are only three, so more than three workers is never useful).
+    """
+    config = config or ExperimentConfig()
     profiles: dict[DetectorVersion, ResourceProfile] = {}
-    for version in versions:
-        detector = train_detector(dataset, subject, version, config)
-        runner = AmuletSIFTRunner(detector, frac_bits=config.frac_bits)
-        runner.run_stream(stream)
-        profiles[version] = runner.profile(period_s=config.window_s)
+    if jobs > 1 and len(versions) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.experiments.runner import effective_workers
+
+        workers = min(effective_workers(jobs), len(versions))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_profile_version_task, config, version.value)
+                for version in versions
+            ]
+            for future in futures:
+                name, profile = future.result()
+                profiles[DetectorVersion.from_name(name)] = profile
+    else:
+        for version in versions:
+            name, profile = _profile_version_task(config, version.value)
+            profiles[DetectorVersion.from_name(name)] = profile
     return Table3Result(profiles=profiles, config=config)
 
 

@@ -43,9 +43,12 @@ class RBFKernel(Kernel):
     def __call__(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         z = np.asarray(z, dtype=np.float64)
+        # einsum keeps each row's cross term batch-size invariant (BLAS
+        # gemm/gemv pick different kernels per shape), so scoring one row
+        # at a time matches scoring a whole stream bit-for-bit.
         sq = (
             np.sum(x**2, axis=1)[:, None]
-            - 2.0 * (x @ z.T)
+            - 2.0 * np.einsum("ik,jk->ij", x, z)
             + np.sum(z**2, axis=1)[None, :]
         )
         return np.exp(-self.gamma * np.maximum(sq, 0.0))

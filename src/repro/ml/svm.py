@@ -174,13 +174,26 @@ class SVC:
     # ------------------------------------------------------------------
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
-        """Signed distance-like score; positive means the positive class."""
+        """Signed distance-like score; positive means the positive class.
+
+        Scoring is *batch-size invariant*: each row's score is computed
+        with the same reduction regardless of how many rows are scored at
+        once (``np.einsum`` rather than BLAS, whose kernel choice -- and
+        hence rounding -- depends on the matrix shape).  This is what lets
+        ``SIFTDetector.decision_values`` score a whole stream in one pass
+        and still agree bit-for-bit with the per-window scalar path.
+        """
         if self.support_vectors_ is None or self.dual_coef_ is None:
             raise RuntimeError("SVC is not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
         if self.coef_ is not None:
-            return X @ self.coef_ + self.intercept_
-        return self.kernel(X, self.support_vectors_) @ self.dual_coef_ + self.intercept_
+            return np.einsum("ij,j->i", X, self.coef_) + self.intercept_
+        return (
+            np.einsum(
+                "ij,j->i", self.kernel(X, self.support_vectors_), self.dual_coef_
+            )
+            + self.intercept_
+        )
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predicted labels in {-1, +1}."""

@@ -1,0 +1,202 @@
+"""The batch detection path must match the scalar path bit-for-bit.
+
+The batch path (``extract_stream`` -> one ``scaler.transform`` -> one
+``decision_function``) exists purely for throughput; every score it
+produces must equal the per-window scalar path *exactly* -- the scalar
+path is the on-device reference, and the committed benchmark tables were
+produced window by window.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import SIFTDetector
+from repro.core.features.batched import (
+    build_portrait_batch,
+    normalize_rows,
+    spatial_filling_indices,
+    stack_signals,
+)
+from repro.core.features.matrix import spatial_filling_index
+from repro.core.portrait import build_portrait, normalize_signal
+from repro.core.streaming import StreamingDetector
+from repro.core.versions import DetectorVersion
+
+
+class TestBatchedPrimitives:
+    def test_normalize_rows_matches_normalize_signal(self, labeled_stream):
+        signals = np.stack([w.ecg for w in labeled_stream.windows])
+        batched = normalize_rows(signals)
+        for i, window in enumerate(labeled_stream.windows):
+            assert np.array_equal(batched[i], normalize_signal(window.ecg))
+
+    def test_normalize_rows_flat_row(self):
+        signals = np.array([[1.0, 2.0, 3.0], [5.0, 5.0, 5.0]])
+        batched = normalize_rows(signals)
+        assert np.array_equal(batched[1], np.full(3, 0.5))
+        assert np.array_equal(batched[0], np.array([0.0, 0.5, 1.0]))
+
+    def test_occupancy_matrices_match_scalar(self, labeled_stream):
+        windows = labeled_stream.windows[:6]
+        batch = build_portrait_batch(windows)
+        matrices = batch.occupancy_matrices(50)
+        for i, window in enumerate(windows):
+            scalar = build_portrait(window).occupancy_matrix(50)
+            assert np.array_equal(matrices[i], scalar)
+
+    def test_spatial_filling_indices_match_scalar(self, labeled_stream):
+        windows = labeled_stream.windows[:6]
+        matrices = build_portrait_batch(windows).occupancy_matrices(50)
+        batched = spatial_filling_indices(np.asarray(matrices, dtype=np.float64))
+        for i in range(len(windows)):
+            assert batched[i] == spatial_filling_index(matrices[i])
+
+    def test_spatial_filling_indices_empty_matrix(self):
+        matrices = np.zeros((2, 4, 4))
+        matrices[1, 0, 0] = 8.0
+        out = spatial_filling_indices(matrices)
+        assert out[0] == 0.0
+        assert out[1] == 16.0  # all mass in one cell -> n^2
+
+    def test_stack_signals_ragged_returns_none(self, labeled_stream):
+        windows = list(labeled_stream.windows[:3])
+        short = windows[0].__class__(
+            ecg=windows[0].ecg[:-7],
+            abp=windows[0].abp[:-7],
+            sample_rate=windows[0].sample_rate,
+            r_peaks=np.array([], dtype=np.intp),
+            systolic_peaks=np.array([], dtype=np.intp),
+            altered=False,
+        )
+        assert stack_signals(windows + [short]) is None
+        assert build_portrait_batch(windows + [short]) is None
+
+    def test_portrait_batch_coordinates_match(self, labeled_stream):
+        windows = labeled_stream.windows[:4]
+        batch = build_portrait_batch(windows)
+        for i, window in enumerate(windows):
+            scalar = build_portrait(window)
+            assert np.array_equal(batch.portraits[i].x, scalar.x)
+            assert np.array_equal(batch.portraits[i].y, scalar.y)
+            assert batch.portraits[i].peak_pairs == scalar.peak_pairs
+
+
+class TestExtractStreamEquivalence:
+    @pytest.mark.parametrize("version", list(DetectorVersion))
+    def test_features_match_per_window_exactly(
+        self, trained_detectors, labeled_stream, version
+    ):
+        extractor = trained_detectors[version].extractor
+        batched = extractor.extract_stream(labeled_stream)
+        assert batched.shape == (len(labeled_stream), extractor.n_features)
+        for i, window in enumerate(labeled_stream.windows):
+            assert np.array_equal(batched[i], extractor.extract_window(window))
+
+    def test_extract_many_is_extract_stream(self, trained_detectors, labeled_stream):
+        extractor = trained_detectors[DetectorVersion.SIMPLIFIED].extractor
+        assert np.array_equal(
+            extractor.extract_many(labeled_stream.windows),
+            extractor.extract_stream(labeled_stream),
+        )
+
+    def test_empty_stream(self, trained_detectors):
+        extractor = trained_detectors[DetectorVersion.REDUCED].extractor
+        out = extractor.extract_stream([])
+        assert out.shape == (0, extractor.n_features)
+
+    def test_ragged_windows_fall_back(self, trained_detectors, labeled_stream):
+        """Unequal window lengths route through the per-window loop."""
+        extractor = trained_detectors[DetectorVersion.SIMPLIFIED].extractor
+        full = labeled_stream.windows[0]
+        record_like = full.__class__(
+            ecg=full.ecg[:-11],
+            abp=full.abp[:-11],
+            sample_rate=full.sample_rate,
+            r_peaks=full.r_peaks[full.r_peaks < full.ecg.size - 11],
+            systolic_peaks=full.systolic_peaks[
+                full.systolic_peaks < full.ecg.size - 11
+            ],
+            altered=False,
+        )
+        windows = [full, record_like]
+        batched = extractor.extract_stream(windows)
+        for i, window in enumerate(windows):
+            assert np.array_equal(batched[i], extractor.extract_window(window))
+
+
+class TestDecisionValuesEquivalence:
+    @pytest.mark.parametrize("version", list(DetectorVersion))
+    def test_scores_match_scalar_exactly(
+        self, trained_detectors, labeled_stream, version
+    ):
+        """The acceptance criterion: exact float equality, all versions."""
+        detector = trained_detectors[version]
+        batched = detector.decision_values(labeled_stream)
+        scalar = np.array(
+            [detector.decision_value(w) for w in labeled_stream.windows]
+        )
+        assert np.array_equal(batched, scalar)
+
+    def test_rbf_kernel_scores_match(self, train_record, train_donors, labeled_stream):
+        detector = SIFTDetector(version="reduced", kernel="rbf")
+        detector.fit(train_record, train_donors)
+        batched = detector.decision_values(labeled_stream)
+        scalar = np.array(
+            [detector.decision_value(w) for w in labeled_stream.windows]
+        )
+        assert np.array_equal(batched, scalar)
+
+    def test_classify_stream_thresholds_scores(
+        self, trained_detectors, labeled_stream
+    ):
+        detector = trained_detectors[DetectorVersion.ORIGINAL]
+        assert np.array_equal(
+            detector.classify_stream(labeled_stream),
+            detector.decision_values(labeled_stream) >= 0.0,
+        )
+
+    def test_inspect_stream_alerts_carry_batch_values(
+        self, trained_detectors, labeled_stream
+    ):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        predictions, log = detector.inspect_stream(labeled_stream)
+        values = detector.decision_values(labeled_stream)
+        assert np.array_equal(predictions, values >= 0.0)
+        assert len(log) == int(predictions.sum())
+        for alert in log.alerts:
+            assert alert.decision_value == values[alert.window_index]
+            assert alert.decision_value >= 0.0
+
+    def test_evaluate_matches_per_window_path(
+        self, trained_detectors, labeled_stream
+    ):
+        detector = trained_detectors[DetectorVersion.REDUCED]
+        report = detector.evaluate(labeled_stream)
+        scalar_pred = np.array(
+            [detector.classify_window(w) for w in labeled_stream.windows]
+        )
+        from repro.ml.metrics import score_predictions
+
+        scalar_report = score_predictions(scalar_pred, labeled_stream.labels)
+        assert report == scalar_report
+
+    def test_empty_stream_scores(self, trained_detectors):
+        detector = trained_detectors[DetectorVersion.REDUCED]
+        assert detector.decision_values([]).shape == (0,)
+
+
+class TestProcessStreamEquivalence:
+    def test_episodes_match_per_window_loop(
+        self, trained_detectors, labeled_stream
+    ):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        serial = StreamingDetector(detector, votes_needed=2, vote_window=3)
+        for window in labeled_stream.windows:
+            serial.process_window(window)
+        serial.finish()
+
+        batched = StreamingDetector(detector, votes_needed=2, vote_window=3)
+        batched.process_stream(labeled_stream)
+        batched.finish()
+
+        assert batched.episodes == serial.episodes

@@ -140,6 +140,106 @@ class TestStreamingDetector:
             )
 
 
+class _ScriptedDetector:
+    """Duck-typed stand-in whose decision values follow a fixed script.
+
+    Windows are plain integer indexes into the script, which makes every
+    debouncer boundary condition reproducible without training a model.
+    """
+
+    window_s = 3.0
+
+    def __init__(self, values):
+        self.values = [float(v) for v in values]
+
+    def decision_value(self, window):
+        return self.values[window]
+
+    def decision_values(self, stream):
+        return np.array([self.values[w] for w in stream])
+
+
+class TestDebouncerEpisodeBoundaries:
+    """Regression tests for the episode peak / boundary bugfixes."""
+
+    def _run(self, values, votes_needed, vote_window):
+        detector = StreamingDetector(
+            _ScriptedDetector(values),
+            votes_needed=votes_needed,
+            vote_window=vote_window,
+        )
+        for index in range(len(values)):
+            detector.process_window(index)
+        detector.finish()
+        return detector.episodes
+
+    def test_peak_seeded_from_opening_horizon(self):
+        """An earlier horizon positive can outscore the triggering window.
+
+        Script: 0.9 (positive), -1.0, 0.2 (positive) with k=2, n=3.  The
+        episode opens at window 2; its peak must be 0.9 -- the horizon's
+        best positive -- not the triggering window's 0.2.
+        """
+        episodes = self._run([0.9, -1.0, 0.2], votes_needed=2, vote_window=3)
+        assert len(episodes) == 1
+        assert episodes[0].start_index == 0
+        assert episodes[0].peak_decision_value == 0.9
+
+    def test_peak_excludes_closing_window(self):
+        """The window whose zero-vote horizon closes an episode lies at
+        end_index + 1, outside the episode -- its value must not count."""
+        episodes = self._run([0.5, -0.3], votes_needed=1, vote_window=1)
+        assert len(episodes) == 1
+        assert episodes[0].start_index == 0
+        assert episodes[0].end_index == 0
+        assert episodes[0].peak_decision_value == 0.5
+
+    def test_k_of_n_opening_index(self):
+        """The episode starts at the earliest positive inside the horizon
+        that triggered it, not at the triggering window."""
+        episodes = self._run(
+            [-1.0, 0.3, -1.0, 0.4], votes_needed=2, vote_window=3
+        )
+        assert len(episodes) == 1
+        assert episodes[0].start_index == 1
+        assert episodes[0].peak_decision_value == 0.4
+
+    def test_finish_closes_open_episode(self):
+        episodes = self._run([0.5, 0.6], votes_needed=1, vote_window=1)
+        assert len(episodes) == 1
+        assert episodes[0].start_index == 0
+        assert episodes[0].end_index == 1
+        assert episodes[0].peak_decision_value == 0.6
+
+    def test_peak_tracks_maximum_inside_episode(self):
+        episodes = self._run(
+            [0.2, 0.8, 0.4, -0.1, -0.2, -0.3],
+            votes_needed=2,
+            vote_window=3,
+        )
+        assert len(episodes) == 1
+        assert episodes[0].peak_decision_value == 0.8
+
+    def test_process_stream_matches_window_loop(self):
+        values = [0.2, 0.8, -0.4, -0.1, 0.5, 0.6, -1.0, -1.0, -1.0, 0.3]
+        serial = StreamingDetector(
+            _ScriptedDetector(values), votes_needed=2, vote_window=3
+        )
+        for index in range(len(values)):
+            serial.process_window(index)
+        serial.finish()
+
+        batched = StreamingDetector(
+            _ScriptedDetector(values), votes_needed=2, vote_window=3
+        )
+        closed = batched.process_stream(range(len(values)))
+        # process_stream returns exactly the episodes closed mid-stream...
+        assert closed == batched.episodes
+        batched.finish()
+        # ...and after finish() the histories agree completely.
+        assert batched.episodes == serial.episodes
+
+
 class TestSerialization:
     def test_round_trip_preserves_decisions(
         self, trained_detectors, labeled_stream
@@ -194,3 +294,21 @@ class TestSerialization:
         text = detector_to_json(trained_detectors[DetectorVersion.SIMPLIFIED])
         assert '"version": "simplified"' in text
         assert '"grid_n": 50' in text
+
+    def test_numpy_scalar_intercept_serializes(
+        self, trained_detectors, labeled_stream
+    ):
+        """Regression: a np.float64 intercept_ must not break json.dumps,
+        and the round-tripped model must score windows identically."""
+        import copy
+
+        detector = copy.deepcopy(trained_detectors[DetectorVersion.SIMPLIFIED])
+        detector.svc.intercept_ = np.float64(detector.svc.intercept_)
+        text = detector_to_json(detector)  # raised TypeError before the fix
+        restored = detector_from_json(text)
+        batched = restored.decision_values(labeled_stream)
+        assert np.array_equal(batched, detector.decision_values(labeled_stream))
+        for window in labeled_stream.windows[:5]:
+            assert restored.decision_value(window) == detector.decision_value(
+                window
+            )

@@ -1,0 +1,206 @@
+"""Tests for the parallel cohort runner and the experiment cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.versions import DetectorVersion
+from repro.experiments.cache import EXPERIMENT_CACHE, ExperimentCache, cache_disabled
+from repro.experiments.pipeline import (
+    ExperimentConfig,
+    make_dataset,
+    run_subject,
+)
+from repro.experiments.runner import (
+    CohortOutcome,
+    CohortRunner,
+    effective_workers,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig.quick()
+
+
+def _reports(outcomes):
+    return [o.result.reference_report for o in outcomes]
+
+
+class TestCohortRunnerSerial:
+    def test_matches_direct_run_subject(self, config):
+        """jobs=1 is the plain run_subject loop, result for result."""
+        runner = CohortRunner(config=config, jobs=1, with_device=False)
+        outcomes = runner.run_version("reduced")
+        dataset = make_dataset(config)
+        assert len(outcomes) == config.n_subjects
+        for outcome, subject in zip(outcomes, dataset.subjects):
+            assert outcome.ok
+            assert outcome.subject_id == subject.subject_id
+            direct = run_subject(
+                dataset, subject, "reduced", config, with_device=False
+            )
+            assert outcome.result.reference_report == direct.reference_report
+            assert outcome.result.n_test_windows == direct.n_test_windows
+
+    def test_serial_keeps_runner_handle(self, config):
+        runner = CohortRunner(config=config, jobs=1, with_device=True)
+        outcomes = runner.run_version("reduced", subjects=[0])
+        assert outcomes[0].ok
+        assert outcomes[0].result.runner is not None
+        assert outcomes[0].result.device_report is not None
+
+    def test_subject_subset(self, config):
+        runner = CohortRunner(config=config, jobs=1, with_device=False)
+        outcomes = runner.run_version("reduced", subjects=[2, 0])
+        dataset = make_dataset(config)
+        assert [o.subject_id for o in outcomes] == [
+            dataset.subjects[2].subject_id,
+            dataset.subjects[0].subject_id,
+        ]
+
+    def test_run_multiple_versions_version_major(self, config):
+        runner = CohortRunner(config=config, jobs=1, with_device=False)
+        outcomes = runner.run(
+            versions=("reduced", "simplified"), subjects=[0, 1]
+        )
+        assert [o.version for o in outcomes] == [
+            DetectorVersion.REDUCED,
+            DetectorVersion.REDUCED,
+            DetectorVersion.SIMPLIFIED,
+            DetectorVersion.SIMPLIFIED,
+        ]
+
+    def test_error_capture(self, config, monkeypatch):
+        """One failing subject surfaces as an outcome, not an exception."""
+        import repro.experiments.runner as runner_module
+
+        real = runner_module.run_subject
+
+        def failing(dataset, subject, version, cfg, with_device):
+            if subject is dataset.subjects[1]:
+                raise RuntimeError("synthetic failure")
+            return real(dataset, subject, version, cfg, with_device=with_device)
+
+        monkeypatch.setattr(runner_module, "run_subject", failing)
+        runner = CohortRunner(config=config, jobs=1, with_device=False)
+        outcomes = runner.run_version("reduced", subjects=[0, 1, 2])
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[1].error == "RuntimeError: synthetic failure"
+        assert outcomes[1].result is None
+
+    def test_jobs_validation(self, config):
+        with pytest.raises(ValueError):
+            CohortRunner(config=config, jobs=0)
+
+
+class TestCohortRunnerParallel:
+    def test_parallel_matches_serial(self, config):
+        """jobs=2 must reproduce the serial reports exactly."""
+        serial = CohortRunner(config=config, jobs=1, with_device=False)
+        serial_outcomes = serial.run_version("reduced", subjects=[0, 1, 2])
+        with CohortRunner(config=config, jobs=2, with_device=False) as parallel:
+            parallel_outcomes = parallel.run_version(
+                "reduced", subjects=[0, 1, 2]
+            )
+        assert [o.subject_id for o in parallel_outcomes] == [
+            o.subject_id for o in serial_outcomes
+        ]
+        assert _reports(parallel_outcomes) == _reports(serial_outcomes)
+        # The live Amulet harness never crosses the process boundary.
+        for outcome in parallel_outcomes:
+            assert outcome.result.runner is None
+
+
+class TestExperimentCache:
+    def test_get_or_create_hits(self):
+        cache = ExperimentCache()
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_create("k", factory) == "value"
+        assert cache.get_or_create("k", factory) == "value"
+        assert len(calls) == 1
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_disabled_bypasses(self):
+        cache = ExperimentCache(enabled=False)
+        calls = []
+        cache.get_or_create("k", lambda: calls.append(1))
+        cache.get_or_create("k", lambda: calls.append(1))
+        assert len(calls) == 2
+        assert cache.stats()["size"] == 0
+
+    def test_clear(self):
+        cache = ExperimentCache()
+        cache.get_or_create("k", lambda: 1)
+        cache.clear()
+        assert cache.stats()["size"] == 0
+
+    def test_cache_disabled_context(self):
+        was_enabled = EXPERIMENT_CACHE.enabled
+        with cache_disabled():
+            assert not EXPERIMENT_CACHE.enabled
+        assert EXPERIMENT_CACHE.enabled == was_enabled
+
+    def test_cached_run_matches_uncached(self, config):
+        """Caching is invisible: identical reports with and without it."""
+        dataset = make_dataset(config)
+        subject = dataset.subjects[0]
+        cached = run_subject(dataset, subject, "reduced", config, with_device=False)
+        with cache_disabled():
+            uncached = run_subject(
+                dataset, subject, "reduced", config, with_device=False
+            )
+        assert cached.reference_report == uncached.reference_report
+
+    def test_detector_reused_across_calls(self, config):
+        """Identical (config, subject, version) keys train once."""
+        from repro.experiments.pipeline import train_detector
+
+        dataset = make_dataset(config)
+        subject = dataset.subjects[0]
+        first = train_detector(dataset, subject, "reduced", config)
+        second = train_detector(dataset, subject, "reduced", config)
+        assert first is second
+        with cache_disabled():
+            fresh = train_detector(dataset, subject, "reduced", config)
+        assert fresh is not first
+        assert np.array_equal(fresh.svc.coef_, first.svc.coef_)
+        assert fresh.svc.intercept_ == first.svc.intercept_
+
+
+class TestTable2Jobs:
+    def test_quick_table2_parallel_matches_serial(self, config):
+        from repro.experiments.table2 import run_table2
+
+        versions = (DetectorVersion.REDUCED,)
+        serial = run_table2(config, versions=versions, jobs=1)
+        parallel = run_table2(config, versions=versions, jobs=2)
+        assert serial.failures == ()
+        assert parallel.failures == ()
+        for s_row, p_row in zip(serial.rows, parallel.rows):
+            assert s_row.report == p_row.report
+
+
+def test_effective_workers_clamps_to_cpus():
+    import os
+
+    available = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else (os.cpu_count() or 1)
+    )
+    assert effective_workers(1) == 1
+    assert effective_workers(10_000) == available
+    assert 1 <= effective_workers(2) <= 2
+
+
+def test_cohort_outcome_ok():
+    outcome = CohortOutcome(
+        subject_id="s", version=DetectorVersion.REDUCED, result=None, error="E: x"
+    )
+    assert not outcome.ok
