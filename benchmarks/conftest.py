@@ -15,6 +15,22 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink benchmark workloads for CI smoke runs "
+        "(shorter streams, looser-but-still-meaningful assertions)",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    """True when the run is a CI smoke pass (``--quick``)."""
+    return bool(request.config.getoption("--quick"))
+
+
 @pytest.fixture(scope="session")
 def save_result():
     """Persist a rendered experiment table under benchmarks/results/."""

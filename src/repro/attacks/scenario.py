@@ -43,6 +43,16 @@ class LabeledStream:
     def n_altered(self) -> int:
         return int(self.labels.sum())
 
+    @property
+    def nbytes(self) -> int:
+        """Summed resident size of the stream's windows, in bytes.
+
+        Prices the stream for the experiment cache's LRU budget (altered
+        windows own fresh arrays; unaltered ones view the source record,
+        so this over-counts shared storage -- deliberately conservative).
+        """
+        return int(sum(w.nbytes for w in self.windows))
+
 
 class AttackScenario:
     """Build labelled evaluation streams from a clean test record.

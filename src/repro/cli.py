@@ -52,6 +52,17 @@ def build_parser() -> argparse.ArgumentParser:
                            help="reduced cohort, short training")
         table.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                            help="worker processes (1 = serial, the default)")
+        table.add_argument("--cache-budget-mb", type=_positive_int, default=None,
+                           metavar="MB",
+                           help="LRU byte budget of the experiment cache, per "
+                           "process (default: 128 MB; results are identical "
+                           "at any budget)")
+        if name == "table2":
+            table.add_argument("--chunk-size", type=_positive_int, default=None,
+                               metavar="W",
+                               help="windows scored per chunk in the reference "
+                               "evaluation (default: 256; scores are "
+                               "bit-identical at any chunk size)")
 
     profile = sub.add_parser("profile", help="ARP-view pane for one build")
     profile.add_argument("--version", default="original",
@@ -69,6 +80,30 @@ def _config(quick: bool):
     from repro.experiments import ExperimentConfig
 
     return ExperimentConfig.quick() if quick else ExperimentConfig()
+
+
+def _cache_bytes(args) -> int | None:
+    """The --cache-budget-mb flag in bytes (None = keep the default)."""
+    mb = getattr(args, "cache_budget_mb", None)
+    return None if mb is None else mb * 1024 * 1024
+
+
+def _print_cache_stats() -> None:
+    """One stderr line of experiment-cache accounting after a run."""
+    from repro.experiments import EXPERIMENT_CACHE
+
+    stats = EXPERIMENT_CACHE.stats()
+    if stats["max_bytes"] < 0:
+        budget = "unbounded"
+    else:
+        budget = f"{stats['max_bytes'] / 2**20:.0f} MiB"
+    print(
+        f"experiment cache: {stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['evictions']} evictions, "
+        f"{stats['resident_bytes'] / 2**20:.1f} MiB resident "
+        f"(budget {budget})",
+        file=sys.stderr,
+    )
 
 
 def _train_demo_detector(version: str):
@@ -104,7 +139,12 @@ def _cmd_demo(args) -> int:
 def _cmd_table2(args) -> int:
     from repro.experiments import format_table2, run_table2
 
-    result = run_table2(_config(args.quick), jobs=args.jobs)
+    result = run_table2(
+        _config(args.quick),
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        cache_bytes=_cache_bytes(args),
+    )
     print(format_table2(result))
     for failure in result.failures:
         print(
@@ -112,20 +152,27 @@ def _cmd_table2(args) -> int:
             f"({failure.version.value}) failed: {failure.error}",
             file=sys.stderr,
         )
+    _print_cache_stats()
     return 0
 
 
 def _cmd_table3(args) -> int:
     from repro.experiments import format_table3, run_table3
 
-    print(format_table3(run_table3(_config(args.quick), jobs=args.jobs)))
+    print(format_table3(run_table3(
+        _config(args.quick), jobs=args.jobs, cache_bytes=_cache_bytes(args)
+    )))
+    _print_cache_stats()
     return 0
 
 
 def _cmd_fig3(args) -> int:
     from repro.experiments import format_fig3, run_fig3
 
-    print(format_fig3(run_fig3(_config(args.quick), jobs=args.jobs)))
+    print(format_fig3(run_fig3(
+        _config(args.quick), jobs=args.jobs, cache_bytes=_cache_bytes(args)
+    )))
+    _print_cache_stats()
     return 0
 
 

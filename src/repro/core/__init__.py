@@ -20,7 +20,7 @@ Pipeline (paper Fig. 2):
 """
 
 from repro.core.alerts import Alert, AlertLog
-from repro.core.detector import SIFTDetector
+from repro.core.detector import DEFAULT_CHUNK_SIZE, SIFTDetector
 from repro.core.features import (
     FeatureExtractor,
     OriginalFeatureExtractor,
@@ -42,6 +42,7 @@ __all__ = [
     "Alert",
     "AlertLog",
     "AttackEpisode",
+    "DEFAULT_CHUNK_SIZE",
     "DetectorVersion",
     "FeatureExtractor",
     "OriginalFeatureExtractor",

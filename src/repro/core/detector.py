@@ -8,11 +8,14 @@ exports the fixed-point model that the simulated Amulet app executes.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from repro.attacks.scenario import LabeledStream
 from repro.core.alerts import Alert, AlertLog
 from repro.core.features.base import FeatureExtractor
+from repro.core.features.batched import iter_window_chunks
 from repro.core.training import TrainingSet, build_training_set
 from repro.core.versions import DetectorVersion, make_extractor
 from repro.ml.kernels import make_kernel
@@ -22,7 +25,13 @@ from repro.ml.scaler import StandardScaler
 from repro.ml.svm import SVC
 from repro.signals.dataset import Record, SignalWindow
 
-__all__ = ["SIFTDetector"]
+__all__ = ["DEFAULT_CHUNK_SIZE", "SIFTDetector"]
+
+#: Windows scored per chunk by the bounded-memory stream entry points.
+#: 256 three-second windows are ~12.8 minutes of signal; the transient
+#: feature-pipeline tensors for a chunk stay in the ten-megabyte range
+#: regardless of how long the input stream is.
+DEFAULT_CHUNK_SIZE = 256
 
 
 class SIFTDetector:
@@ -143,37 +152,112 @@ class SIFTDetector:
         extractors and :meth:`SVC.decision_function` are batch-size
         invariant, each score equals the per-window
         :meth:`decision_value` bit-for-bit.
+
+        Peak memory is O(stream); long or unbounded streams should use
+        :meth:`iter_decision_values` instead.
         """
         self._require_fitted()
         features = self.extractor.extract_stream(stream)
         if features.shape[0] == 0:
-            return np.empty(0)
+            return np.empty(0, dtype=np.float64)
         return self.svc.decision_function(self.scaler.transform(features))
 
-    def classify_stream(self, stream) -> np.ndarray:
-        """Boolean predictions for every window (``True`` = altered)."""
-        return self.decision_values(stream) >= 0.0
+    def iter_decision_values(
+        self, stream, chunk_size: int | None = None
+    ) -> Iterator[np.ndarray]:
+        """Signed scores for a stream, one fixed-size chunk at a time.
 
-    def inspect_stream(self, stream: LabeledStream) -> tuple[np.ndarray, AlertLog]:
-        """Classify every window of a stream, collecting alerts."""
-        values = self.decision_values(stream)
-        predictions = values >= 0.0
+        Yields one float64 array of up to ``chunk_size`` scores per chunk
+        (``None`` = :data:`DEFAULT_CHUNK_SIZE`).  Each chunk runs through
+        the same batch extractor, standardization and einsum decision as
+        :meth:`decision_values`, and both are batch-size invariant, so the
+        concatenated chunks are **bit-identical** to the one-shot scores.
+        The feature-pipeline intermediates (normalized coordinates,
+        occupancy tensors, feature matrix) only ever exist for one chunk,
+        so peak memory is O(chunk_size) instead of O(stream) -- the same
+        discipline that lets the paper's detector score 3-second windows
+        in 2 KB of SRAM.
+
+        ``stream`` may be a :class:`LabeledStream`, a sequence of windows
+        or a lazy iterator of windows (which is never materialized in
+        full).  Empty streams yield nothing.
+        """
+        self._require_fitted()
+        if chunk_size is None:
+            chunk_size = DEFAULT_CHUNK_SIZE
+        for chunk in iter_window_chunks(stream, chunk_size):
+            features = self.extractor.extract_stream(chunk)
+            yield self.svc.decision_function(self.scaler.transform(features))
+
+    def classify_stream(self, stream, chunk_size: int | None = None) -> np.ndarray:
+        """Boolean predictions for every window (``True`` = altered).
+
+        Scores ride the chunked path (:meth:`iter_decision_values`), so
+        transient memory is bounded by ``chunk_size`` windows; the result
+        equals ``decision_values(stream) >= 0.0`` bit-for-bit.
+        """
+        chunks = [
+            values >= 0.0
+            for values in self.iter_decision_values(stream, chunk_size)
+        ]
+        if not chunks:
+            return np.zeros(0, dtype=bool)
+        return np.concatenate(chunks)
+
+    def inspect_stream(
+        self, stream: LabeledStream, chunk_size: int | None = None
+    ) -> tuple[np.ndarray, AlertLog]:
+        """Classify every window of a stream, collecting alerts.
+
+        Scoring is chunked (bounded memory); alert indexes and decision
+        values match the one-shot path exactly.
+        """
         log = AlertLog()
-        for i in np.flatnonzero(predictions):
-            log.raise_alert(
-                Alert(
-                    window_index=int(i),
-                    time_s=int(i) * self.window_s,
-                    subject_id=stream.subject_id,
-                    version=self.version.value,
-                    decision_value=float(values[i]),
+        prediction_chunks: list[np.ndarray] = []
+        offset = 0
+        for values in self.iter_decision_values(stream, chunk_size):
+            predictions = values >= 0.0
+            prediction_chunks.append(predictions)
+            for i in np.flatnonzero(predictions):
+                index = offset + int(i)
+                log.raise_alert(
+                    Alert(
+                        window_index=index,
+                        time_s=index * self.window_s,
+                        subject_id=stream.subject_id,
+                        version=self.version.value,
+                        decision_value=float(values[i]),
+                    )
                 )
-            )
-        return predictions, log
+            offset += values.size
+        if not prediction_chunks:
+            return np.zeros(0, dtype=bool), log
+        return np.concatenate(prediction_chunks), log
 
-    def evaluate(self, stream: LabeledStream) -> DetectionReport:
-        """Score this detector against a labelled stream."""
-        return score_predictions(self.classify_stream(stream), stream.labels)
+    def evaluate(
+        self, stream: LabeledStream, chunk_size: int | None = None
+    ) -> DetectionReport:
+        """Score this detector against a labelled stream (chunked)."""
+        return score_predictions(
+            self.classify_stream(stream, chunk_size), stream.labels
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident size of the fitted model, in bytes.
+
+        Counts the NumPy payload (support vectors, dual/primal
+        coefficients, scaler statistics); used by the experiment cache's
+        LRU budget to price cached detectors.
+        """
+        arrays = (
+            self.svc.support_vectors_,
+            self.svc.dual_coef_,
+            self.svc.coef_,
+            self.scaler.mean_,
+            self.scaler.scale_,
+        )
+        return int(sum(a.nbytes for a in arrays if a is not None))
 
     # ------------------------------------------------------------------
     # Deployment

@@ -22,7 +22,9 @@ tiny operations instead of the full portrait pipeline.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -33,10 +35,33 @@ from repro.signals.peaks import match_peaks
 __all__ = [
     "PortraitBatch",
     "build_portrait_batch",
+    "iter_window_chunks",
     "normalize_rows",
     "spatial_filling_indices",
     "stack_signals",
 ]
+
+
+def iter_window_chunks(
+    stream, chunk_size: int
+) -> Iterator[list[SignalWindow]]:
+    """Cut a stream into lists of at most ``chunk_size`` windows.
+
+    ``stream`` is anything with a ``windows`` attribute (e.g. a
+    :class:`~repro.attacks.scenario.LabeledStream`), a sequence of
+    windows, or a lazy iterator.  Consumption is incremental: at most one
+    chunk of windows is pulled from a lazy source at a time, so chunked
+    scoring over a generator never materializes the whole stream.  An
+    empty stream yields no chunks (not an empty list).
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    windows = iter(getattr(stream, "windows", stream))
+    while True:
+        chunk = list(itertools.islice(windows, chunk_size))
+        if not chunk:
+            return
+        yield chunk
 
 
 def stack_signals(

@@ -99,18 +99,36 @@ class StreamingDetector:
         """Feed one window; returns the episode if one just *closed*."""
         return self._advance(self.detector.decision_value(window))
 
-    def process_stream(self, stream) -> list[AttackEpisode]:
-        """Feed a whole stream through the debouncer in one batch pass.
+    def process_stream(
+        self,
+        stream,
+        chunk_size: int | None = None,
+        flush: bool = False,
+    ) -> list[AttackEpisode]:
+        """Feed a whole stream through the debouncer in bounded memory.
 
-        Window scores come from :meth:`SIFTDetector.decision_values`, so
-        the episodes are identical to feeding each window through
-        :meth:`process_window` -- only faster.  Returns the episodes that
-        *closed* during this stream (an episode still open at the end
-        stays open; call :meth:`finish` to flush it).
+        Window scores come from
+        :meth:`SIFTDetector.iter_decision_values`, which scores
+        ``chunk_size`` windows at a time through the batch path, so the
+        episodes are identical to feeding each window through
+        :meth:`process_window` -- only faster, and with peak memory
+        bounded by the chunk size rather than the stream length.
+
+        Returns the episodes that *closed* during this stream.  By
+        default an episode still open at the end stays open (the stream
+        may continue); pass ``flush=True`` when the stream is finite to
+        also close and return the trailing open episode -- callers
+        historically forgot the matching :meth:`finish` call and silently
+        dropped attacks still in progress at end-of-stream.
         """
         closed: list[AttackEpisode] = []
-        for value in self.detector.decision_values(stream):
-            episode = self._advance(float(value))
+        for values in self.detector.iter_decision_values(stream, chunk_size):
+            for value in values:
+                episode = self._advance(float(value))
+                if episode is not None:
+                    closed.append(episode)
+        if flush:
+            episode = self.finish()
             if episode is not None:
                 closed.append(episode)
         return closed

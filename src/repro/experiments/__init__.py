@@ -23,7 +23,14 @@ from repro.experiments.ablations import (
     training_duration_ablation,
     window_size_ablation,
 )
-from repro.experiments.cache import EXPERIMENT_CACHE, ExperimentCache, cache_disabled
+from repro.experiments.cache import (
+    DEFAULT_CACHE_BYTES,
+    EXPERIMENT_CACHE,
+    ExperimentCache,
+    cache_disabled,
+    entry_cost,
+    set_cache_budget,
+)
 from repro.experiments.fig3 import Fig3Result, format_fig3, run_fig3
 from repro.experiments.pipeline import (
     ExperimentConfig,
@@ -35,6 +42,7 @@ from repro.experiments.reporting import format_table
 from repro.experiments.runner import (
     CohortOutcome,
     CohortRunner,
+    clear_experiment_cache,
     effective_workers,
 )
 from repro.experiments.robustness import (
@@ -57,6 +65,7 @@ from repro.experiments.table3 import Table3Result, format_table3, run_table3
 __all__ = [
     "CohortOutcome",
     "CohortRunner",
+    "DEFAULT_CACHE_BYTES",
     "EXPERIMENT_CACHE",
     "ExperimentCache",
     "ExperimentConfig",
@@ -70,8 +79,10 @@ __all__ = [
     "cache_disabled",
     "channel_loss_study",
     "classifier_ablation",
+    "clear_experiment_cache",
     "debounce_study",
     "effective_workers",
+    "entry_cost",
     "feature_class_ablation",
     "fixed_point_ablation",
     "format_fig3",
@@ -87,6 +98,7 @@ __all__ = [
     "run_table2",
     "run_table3",
     "run_universal_study",
+    "set_cache_budget",
     "training_duration_ablation",
     "window_size_ablation",
 ]

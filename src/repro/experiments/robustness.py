@@ -159,9 +159,9 @@ def debounce_study(
             streaming = StreamingDetector(
                 detector, votes_needed=votes_needed, vote_window=vote_window
             )
-            for window in genuine + altered:
-                streaming.process_window(window)
-            streaming.finish()
+            # Chunked batch scoring (bit-identical to the per-window loop);
+            # flush=True closes an attack still in progress at end-of-stream.
+            streaming.process_stream(genuine + altered, flush=True)
 
             boundary = len(genuine)
             false_episodes.append(

@@ -29,7 +29,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 
 from repro.core.versions import DetectorVersion
-from repro.experiments.cache import EXPERIMENT_CACHE
+from repro.experiments.cache import EXPERIMENT_CACHE, set_cache_budget
 from repro.experiments.pipeline import (
     ExperimentConfig,
     SubjectRunResult,
@@ -91,9 +91,17 @@ def _run_subject_task(
     subject_index: int,
     version_name: str,
     with_device: bool,
+    chunk_size: int | None = None,
+    cache_bytes: int | None = None,
 ) -> tuple[SubjectRunResult | None, str | None]:
-    """Top-level (picklable) per-subject task with error capture."""
+    """Top-level (picklable) per-subject task with error capture.
+
+    ``cache_bytes`` (when given) rebudgets the worker process's local
+    experiment cache before the run -- each worker holds its own LRU.
+    """
     try:
+        if cache_bytes is not None:
+            set_cache_budget(cache_bytes)
         dataset = _worker_dataset(config)
         result = run_subject(
             dataset,
@@ -101,6 +109,7 @@ def _run_subject_task(
             version_name,
             config,
             with_device=with_device,
+            chunk_size=chunk_size,
         )
         # The live Amulet harness does not pickle; its reports already do.
         return replace(result, runner=None), None
@@ -122,6 +131,15 @@ class CohortRunner:
         strip for pickling).
     with_device:
         Forwarded to ``run_subject``: also deploy on the simulated Amulet.
+    chunk_size:
+        Windows scored per chunk by the reference evaluation (``None`` =
+        the detector default).  Bit-identical results at any size; only
+        each worker's peak memory changes.
+    cache_bytes:
+        LRU budget for the experiment cache, in bytes.  ``None`` leaves
+        the process-wide default untouched; a value is applied in the
+        parent *and* in every worker process (workers keep process-local
+        caches).
 
     A parallel runner keeps its worker pool alive across ``run_version``
     calls (pool start-up costs more than a quick cohort); use it as a
@@ -135,12 +153,20 @@ class CohortRunner:
         config: ExperimentConfig | None = None,
         jobs: int = 1,
         with_device: bool = True,
+        chunk_size: int | None = None,
+        cache_bytes: int | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if cache_bytes is not None and cache_bytes < 0:
+            raise ValueError("cache_bytes must be >= 0")
         self.config = config or ExperimentConfig()
         self.jobs = int(jobs)
         self.with_device = bool(with_device)
+        self.chunk_size = None if chunk_size is None else int(chunk_size)
+        self.cache_bytes = None if cache_bytes is None else int(cache_bytes)
         self._pool: ProcessPoolExecutor | None = None
 
     @property
@@ -206,10 +232,17 @@ class CohortRunner:
     def _run_tasks(
         self, tasks: list[tuple[int, DetectorVersion]]
     ) -> list[CohortOutcome]:
+        if self.cache_bytes is not None:
+            set_cache_budget(self.cache_bytes)
         if self.jobs == 1 or len(tasks) <= 1:
             pairs = [
                 _run_subject_serial(
-                    self.dataset, self.config, index, version, self.with_device
+                    self.dataset,
+                    self.config,
+                    index,
+                    version,
+                    self.with_device,
+                    self.chunk_size,
                 )
                 for index, version in tasks
             ]
@@ -222,6 +255,8 @@ class CohortRunner:
                     index,
                     version.value,
                     self.with_device,
+                    self.chunk_size,
+                    self.cache_bytes,
                 )
                 for index, version in tasks
             ]
@@ -245,6 +280,7 @@ def _run_subject_serial(
     subject_index: int,
     version: DetectorVersion,
     with_device: bool,
+    chunk_size: int | None = None,
 ) -> tuple[SubjectRunResult | None, str | None]:
     """In-process twin of :func:`_run_subject_task` (keeps the runner)."""
     try:
@@ -254,6 +290,7 @@ def _run_subject_serial(
             version,
             config,
             with_device=with_device,
+            chunk_size=chunk_size,
         )
         return result, None
     except Exception as exc:  # noqa: BLE001
@@ -261,5 +298,5 @@ def _run_subject_serial(
 
 
 def clear_experiment_cache() -> None:
-    """Convenience re-export: drop the process-local experiment cache."""
+    """Drop the process-local experiment cache (counters reset too)."""
     EXPERIMENT_CACHE.clear()

@@ -66,18 +66,29 @@ def run_table2(
     config: ExperimentConfig | None = None,
     versions: tuple[DetectorVersion, ...] = tuple(DetectorVersion),
     jobs: int = 1,
+    chunk_size: int | None = None,
+    cache_bytes: int | None = None,
 ) -> Table2Result:
     """Run the full Table II protocol.
 
     ``jobs > 1`` fans the per-subject runs over worker processes; the
     averages are identical to the serial run (failing subjects, if any,
     are excluded from the means and reported in ``failures``).
+    ``chunk_size`` bounds the reference evaluation's scoring memory and
+    ``cache_bytes`` the experiment cache's LRU budget (both per worker);
+    neither changes a single reported number.
     """
     config = config or ExperimentConfig()
     per_subject: list[SubjectRunResult] = []
     failures: list[CohortOutcome] = []
     rows: list[Table2Row] = []
-    with CohortRunner(config=config, jobs=jobs, with_device=True) as runner:
+    with CohortRunner(
+        config=config,
+        jobs=jobs,
+        with_device=True,
+        chunk_size=chunk_size,
+        cache_bytes=cache_bytes,
+    ) as runner:
         for version in versions:
             outcomes = runner.run_version(version)
             failures.extend(o for o in outcomes if not o.ok)

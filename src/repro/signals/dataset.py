@@ -66,6 +66,22 @@ class SignalWindow:
     def duration(self) -> float:
         return self.n_samples / self.sample_rate
 
+    @property
+    def nbytes(self) -> int:
+        """Resident size of the window's NumPy payload, in bytes.
+
+        Prices the window for the experiment cache's LRU budget.  Windows
+        cut from a record are views, so per-window costs can double-count
+        the backing record; the estimate is a budget heuristic, not heap
+        accounting.
+        """
+        return int(
+            self.ecg.nbytes
+            + self.abp.nbytes
+            + self.r_peaks.nbytes
+            + self.systolic_peaks.nbytes
+        )
+
 
 @dataclass(frozen=True)
 class Record:
@@ -93,6 +109,21 @@ class Record:
     @property
     def duration(self) -> float:
         return self.n_samples / self.sample_rate
+
+    @property
+    def nbytes(self) -> int:
+        """Resident size of the record's NumPy payload, in bytes.
+
+        Both signal traces plus the pre-stored peak indexes -- what the
+        experiment cache charges against its LRU budget for a cached
+        record.
+        """
+        return int(
+            self.ecg.nbytes
+            + self.abp.nbytes
+            + self.r_peaks.nbytes
+            + self.systolic_peaks.nbytes
+        )
 
     def window(self, start: int, length: int, altered: bool | None = None) -> SignalWindow:
         """Extract the window ``[start, start + length)`` with re-based peaks."""

@@ -1,0 +1,219 @@
+"""Tests for bounded-memory chunked scoring.
+
+``iter_decision_values`` must be *bit-identical* to the one-shot batch
+path at every chunk size -- including sizes that straddle the stream
+length unevenly -- and every stream entry point built on it
+(``classify_stream``, ``inspect_stream``, ``evaluate``,
+``StreamingDetector.process_stream``) must inherit that equivalence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DEFAULT_CHUNK_SIZE, SIFTDetector
+from repro.core.features.batched import iter_window_chunks
+from repro.core.streaming import StreamingDetector
+from repro.core.versions import DetectorVersion
+
+CHUNK_SIZES = (1, 7, 256)
+
+
+class TestIterWindowChunks:
+    def test_chunks_cover_stream_in_order(self, labeled_stream):
+        chunks = list(iter_window_chunks(labeled_stream, 7))
+        assert [len(c) for c in chunks] == [7, 7, 6]
+        flattened = [w for chunk in chunks for w in chunk]
+        assert flattened == list(labeled_stream.windows)
+
+    def test_lazy_source_not_materialized(self, labeled_stream):
+        pulled = []
+
+        def source():
+            for window in labeled_stream.windows:
+                pulled.append(window)
+                yield window
+
+        chunks = iter_window_chunks(source(), 5)
+        first = next(chunks)
+        assert len(first) == 5
+        assert len(pulled) == 5  # only one chunk pulled so far
+
+    def test_empty_stream_yields_nothing(self):
+        assert list(iter_window_chunks([], 4)) == []
+
+    def test_rejects_bad_chunk_size(self, labeled_stream):
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(iter_window_chunks(labeled_stream, 0))
+
+
+class TestChunkedDecisionValues:
+    @pytest.mark.parametrize("version", list(DetectorVersion))
+    def test_bit_identical_to_one_shot(
+        self, trained_detectors, labeled_stream, version
+    ):
+        """Acceptance: every version, awkward chunk sizes included."""
+        detector = trained_detectors[version]
+        one_shot = detector.decision_values(labeled_stream)
+        for chunk_size in CHUNK_SIZES + (len(labeled_stream),):
+            chunks = list(
+                detector.iter_decision_values(labeled_stream, chunk_size)
+            )
+            assert all(c.dtype == np.float64 for c in chunks)
+            assert all(len(c) <= chunk_size for c in chunks)
+            assert np.array_equal(np.concatenate(chunks), one_shot), (
+                f"{version.value} diverges at chunk_size={chunk_size}"
+            )
+
+    def test_default_chunk_size(self, trained_detectors, labeled_stream):
+        detector = trained_detectors[DetectorVersion.REDUCED]
+        chunks = list(detector.iter_decision_values(labeled_stream))
+        # The test stream is far below DEFAULT_CHUNK_SIZE: one chunk.
+        assert len(labeled_stream) < DEFAULT_CHUNK_SIZE
+        assert len(chunks) == 1
+
+    def test_accepts_lazy_window_iterator(
+        self, trained_detectors, labeled_stream
+    ):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        chunked = np.concatenate(
+            list(
+                detector.iter_decision_values(
+                    iter(labeled_stream.windows), chunk_size=7
+                )
+            )
+        )
+        assert np.array_equal(chunked, detector.decision_values(labeled_stream))
+
+    def test_empty_stream_yields_nothing(self, trained_detectors):
+        detector = trained_detectors[DetectorVersion.REDUCED]
+        assert list(detector.iter_decision_values([])) == []
+
+    def test_one_shot_empty_stream_dtype_pinned(self, trained_detectors):
+        """Regression: np.empty(0) used to leak an implicit dtype."""
+        detector = trained_detectors[DetectorVersion.REDUCED]
+        values = detector.decision_values([])
+        assert values.shape == (0,)
+        assert values.dtype == np.float64
+
+    def test_rejects_bad_chunk_size(self, trained_detectors, labeled_stream):
+        detector = trained_detectors[DetectorVersion.REDUCED]
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(detector.iter_decision_values(labeled_stream, 0))
+
+    def test_requires_fit(self, labeled_stream):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            next(SIFTDetector().iter_decision_values(labeled_stream))
+
+
+class TestChunkedEntryPoints:
+    def test_classify_stream_matches_one_shot(
+        self, trained_detectors, labeled_stream
+    ):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        expected = detector.decision_values(labeled_stream) >= 0.0
+        for chunk_size in CHUNK_SIZES:
+            assert np.array_equal(
+                detector.classify_stream(labeled_stream, chunk_size), expected
+            )
+
+    def test_classify_empty_stream(self, trained_detectors):
+        predictions = trained_detectors[DetectorVersion.REDUCED].classify_stream([])
+        assert predictions.shape == (0,)
+        assert predictions.dtype == bool
+
+    def test_inspect_stream_matches_one_shot(
+        self, trained_detectors, labeled_stream
+    ):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        values = detector.decision_values(labeled_stream)
+        predictions, log = detector.inspect_stream(labeled_stream, chunk_size=7)
+        assert np.array_equal(predictions, values >= 0.0)
+        positives = np.flatnonzero(values >= 0.0)
+        assert [a.window_index for a in log.alerts] == positives.tolist()
+        for alert in log.alerts:
+            assert alert.decision_value == values[alert.window_index]
+            assert alert.time_s == alert.window_index * detector.window_s
+
+    def test_evaluate_chunk_size_invariant(
+        self, trained_detectors, labeled_stream
+    ):
+        detector = trained_detectors[DetectorVersion.ORIGINAL]
+        baseline = detector.evaluate(labeled_stream)
+        for chunk_size in CHUNK_SIZES:
+            assert detector.evaluate(labeled_stream, chunk_size) == baseline
+
+
+class TestChunkedStreamingDetector:
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_process_stream_matches_window_loop(
+        self, trained_detectors, labeled_stream, chunk_size
+    ):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        reference = StreamingDetector(detector, votes_needed=2, vote_window=3)
+        for window in labeled_stream.windows:
+            reference.process_window(window)
+        reference.finish()
+
+        chunked = StreamingDetector(detector, votes_needed=2, vote_window=3)
+        chunked.process_stream(labeled_stream, chunk_size, flush=True)
+        assert chunked.episodes == reference.episodes
+        assert reference.episodes  # the 50%-altered stream must trigger
+
+
+class _ScriptedDetector:
+    """Stand-in detector yielding pre-scripted decision values."""
+
+    window_s = 3.0
+
+    def __init__(self, values, chunk_size=2):
+        self._values = np.asarray(values, dtype=np.float64)
+        self._chunk_size = chunk_size
+
+    def iter_decision_values(self, stream, chunk_size=None):
+        del stream, chunk_size
+        for start in range(0, len(self._values), self._chunk_size):
+            yield self._values[start : start + self._chunk_size]
+
+
+class TestProcessStreamFlush:
+    """Regression: a trailing open episode used to be silently dropped."""
+
+    def test_without_flush_trailing_episode_stays_open(self):
+        streaming = StreamingDetector(
+            _ScriptedDetector([-1.0, 1.0, 1.0, 1.0]), votes_needed=2, vote_window=3
+        )
+        closed = streaming.process_stream(object())
+        assert closed == []
+        assert streaming.under_attack()
+        assert streaming.episodes == []
+
+    def test_flush_closes_trailing_episode(self):
+        streaming = StreamingDetector(
+            _ScriptedDetector([-1.0, 1.0, 1.0, 1.0]), votes_needed=2, vote_window=3
+        )
+        closed = streaming.process_stream(object(), flush=True)
+        assert len(closed) == 1
+        assert not streaming.under_attack()
+        episode = closed[0]
+        assert (episode.start_index, episode.end_index) == (1, 3)
+        assert episode.peak_decision_value == 1.0
+
+    def test_flush_on_clean_stream_is_a_noop(self):
+        streaming = StreamingDetector(
+            _ScriptedDetector([-1.0, -2.0, -0.5]), votes_needed=2, vote_window=3
+        )
+        assert streaming.process_stream(object(), flush=True) == []
+        assert streaming.episodes == []
+
+    def test_closed_and_trailing_episodes_both_returned(self):
+        streaming = StreamingDetector(
+            _ScriptedDetector([1.0, 1.0, -1.0, -1.0, -1.0, 2.0, 2.0]),
+            votes_needed=2,
+            vote_window=3,
+        )
+        closed = streaming.process_stream(object(), flush=True)
+        # The first episode closes when votes drop to zero (at window 4),
+        # so it ends at window 3; the second is still open at the end and
+        # only flush=True surfaces it.
+        assert [(e.start_index, e.end_index) for e in closed] == [(0, 3), (5, 6)]
+        assert closed == streaming.episodes

@@ -158,6 +158,12 @@ class _ScriptedDetector:
     def decision_values(self, stream):
         return np.array([self.values[w] for w in stream])
 
+    def iter_decision_values(self, stream, chunk_size=None):
+        indexes = list(stream)
+        chunk_size = chunk_size or 4  # small default: exercise chunking
+        for start in range(0, len(indexes), chunk_size):
+            yield self.decision_values(indexes[start : start + chunk_size])
+
 
 class TestDebouncerEpisodeBoundaries:
     """Regression tests for the episode peak / boundary bugfixes."""

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core.versions import DetectorVersion
-from repro.experiments.cache import EXPERIMENT_CACHE, ExperimentCache, cache_disabled
+from repro.experiments.cache import (
+    EXPERIMENT_CACHE,
+    ExperimentCache,
+    cache_disabled,
+    entry_cost,
+    set_cache_budget,
+)
 from repro.experiments.pipeline import (
     ExperimentConfig,
     make_dataset,
@@ -76,10 +82,17 @@ class TestCohortRunnerSerial:
 
         real = runner_module.run_subject
 
-        def failing(dataset, subject, version, cfg, with_device):
+        def failing(dataset, subject, version, cfg, with_device, chunk_size=None):
             if subject is dataset.subjects[1]:
                 raise RuntimeError("synthetic failure")
-            return real(dataset, subject, version, cfg, with_device=with_device)
+            return real(
+                dataset,
+                subject,
+                version,
+                cfg,
+                with_device=with_device,
+                chunk_size=chunk_size,
+            )
 
         monkeypatch.setattr(runner_module, "run_subject", failing)
         runner = CohortRunner(config=config, jobs=1, with_device=False)
@@ -91,6 +104,22 @@ class TestCohortRunnerSerial:
     def test_jobs_validation(self, config):
         with pytest.raises(ValueError):
             CohortRunner(config=config, jobs=0)
+
+    def test_chunk_size_and_budget_validation(self, config):
+        with pytest.raises(ValueError, match="chunk_size"):
+            CohortRunner(config=config, chunk_size=0)
+        with pytest.raises(ValueError, match="cache_bytes"):
+            CohortRunner(config=config, cache_bytes=-1)
+
+    def test_chunk_size_does_not_change_results(self, config):
+        """Chunked evaluation is bit-identical at any chunk size."""
+        default = CohortRunner(config=config, jobs=1, with_device=False)
+        tiny_chunks = CohortRunner(
+            config=config, jobs=1, with_device=False, chunk_size=3
+        )
+        assert _reports(
+            tiny_chunks.run_version("reduced", subjects=[0, 1])
+        ) == _reports(default.run_version("reduced", subjects=[0, 1]))
 
 
 class TestCohortRunnerParallel:
@@ -140,6 +169,28 @@ class TestExperimentCache:
         cache.clear()
         assert cache.stats()["size"] == 0
 
+    def test_clear_resets_counters(self):
+        """Regression: hit/miss counters used to survive clear()."""
+        cache = ExperimentCache()
+        cache.get_or_create("k", lambda: 1)
+        cache.get_or_create("k", lambda: 1)
+        assert cache.stats()["hits"] == 1
+        cache.clear()
+        stats = cache.stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+        assert stats["evictions"] == 0
+        assert stats["resident_bytes"] == 0
+
+    def test_reset_stats_keeps_entries(self):
+        cache = ExperimentCache()
+        cache.get_or_create("k", lambda: 1)
+        cache.reset_stats()
+        assert cache.stats()["misses"] == 0
+        assert cache.stats()["size"] == 1
+        cache.get_or_create("k", lambda: 2)  # still a hit: value survived
+        assert cache.stats()["hits"] == 1
+
     def test_cache_disabled_context(self):
         was_enabled = EXPERIMENT_CACHE.enabled
         with cache_disabled():
@@ -171,6 +222,128 @@ class TestExperimentCache:
         assert fresh is not first
         assert np.array_equal(fresh.svc.coef_, first.svc.coef_)
         assert fresh.svc.intercept_ == first.svc.intercept_
+
+
+def _array_kb(fill: float) -> np.ndarray:
+    """A float64 array costing exactly 1024 bytes."""
+    return np.full(128, fill)
+
+
+class TestCacheEviction:
+    def test_lru_eviction_order(self):
+        cache = ExperimentCache(max_bytes=2048)
+        cache.get_or_create("a", lambda: _array_kb(1.0))
+        cache.get_or_create("b", lambda: _array_kb(2.0))
+        cache.get_or_create("c", lambda: _array_kb(3.0))  # evicts "a"
+        stats = cache.stats()
+        assert stats["size"] == 2
+        assert stats["evictions"] == 1
+        assert stats["resident_bytes"] == 2048
+        rebuilt = []
+        cache.get_or_create("a", lambda: rebuilt.append(1) or _array_kb(1.0))
+        assert rebuilt == [1]  # "a" was gone; recreated deterministically
+
+    def test_hit_refreshes_recency(self):
+        cache = ExperimentCache(max_bytes=2048)
+        cache.get_or_create("a", lambda: _array_kb(1.0))
+        cache.get_or_create("b", lambda: _array_kb(2.0))
+        cache.get_or_create("a", lambda: _array_kb(0.0))  # hit: "a" now MRU
+        cache.get_or_create("c", lambda: _array_kb(3.0))  # evicts "b", not "a"
+        hits_before = cache.stats()["hits"]
+        cache.get_or_create("a", lambda: _array_kb(0.0))
+        assert cache.stats()["hits"] == hits_before + 1
+
+    def test_oversized_entry_returned_then_dropped(self):
+        cache = ExperimentCache(max_bytes=100)
+        value = cache.get_or_create("big", lambda: _array_kb(1.0))
+        assert value.nbytes == 1024  # the caller still gets the value
+        stats = cache.stats()
+        assert stats["size"] == 0
+        assert stats["evictions"] == 1
+        assert stats["resident_bytes"] == 0
+
+    def test_unbounded_budget_never_evicts(self):
+        cache = ExperimentCache(max_bytes=None)
+        for i in range(50):
+            cache.get_or_create(i, lambda: _array_kb(0.0))
+        stats = cache.stats()
+        assert stats["size"] == 50
+        assert stats["evictions"] == 0
+        assert stats["max_bytes"] == -1
+
+    def test_entry_cost_prefers_nbytes(self):
+        assert entry_cost(np.zeros(10)) == 80
+        assert entry_cost("text") >= 1
+        assert entry_cost(0) >= 1  # never bills below one byte
+
+    def test_set_cache_budget_roundtrip(self):
+        original = EXPERIMENT_CACHE.max_bytes
+        try:
+            previous = set_cache_budget(42)
+            assert previous == original
+            assert EXPERIMENT_CACHE.max_bytes == 42
+        finally:
+            set_cache_budget(original)
+
+    def test_shrinking_budget_evicts_immediately(self):
+        original = EXPERIMENT_CACHE.max_bytes
+        EXPERIMENT_CACHE.clear()
+        try:
+            set_cache_budget(None)
+            EXPERIMENT_CACHE.get_or_create(
+                ("eviction-test", 1), lambda: _array_kb(1.0)
+            )
+            set_cache_budget(100)
+            assert EXPERIMENT_CACHE.stats()["size"] == 0
+        finally:
+            set_cache_budget(original)
+            EXPERIMENT_CACHE.clear()
+
+    def test_tiny_budget_run_bit_identical(self, config):
+        """Acceptance: evictions change memory use, never results."""
+        dataset = make_dataset(config)
+        subject = dataset.subjects[0]
+        baseline = run_subject(dataset, subject, "reduced", config, with_device=False)
+        original = EXPERIMENT_CACHE.max_bytes
+        EXPERIMENT_CACHE.clear()
+        try:
+            set_cache_budget(1)  # every record/detector is oversized
+            starved = run_subject(
+                dataset, subject, "reduced", config, with_device=False
+            )
+            assert EXPERIMENT_CACHE.stats()["evictions"] > 0
+            assert EXPERIMENT_CACHE.stats()["size"] == 0
+        finally:
+            set_cache_budget(original)
+            EXPERIMENT_CACHE.clear()
+        assert starved.reference_report == baseline.reference_report
+
+
+class TestNbytesCosting:
+    """The duck-typed costs the cache budget is priced in."""
+
+    def test_record_nbytes(self, config):
+        dataset = make_dataset(config)
+        record = dataset.record(dataset.subjects[0], 10.0, purpose="test")
+        expected = (
+            record.ecg.nbytes
+            + record.abp.nbytes
+            + record.r_peaks.nbytes
+            + record.systolic_peaks.nbytes
+        )
+        assert record.nbytes == expected
+        assert entry_cost(record) == expected
+
+    def test_stream_nbytes_sums_windows(self, labeled_stream):
+        assert labeled_stream.nbytes == sum(
+            w.nbytes for w in labeled_stream.windows
+        )
+        assert labeled_stream.nbytes > 0
+
+    def test_detector_nbytes(self, trained_detectors):
+        for detector in trained_detectors.values():
+            assert detector.nbytes > 0
+            assert entry_cost(detector) == detector.nbytes
 
 
 class TestTable2Jobs:

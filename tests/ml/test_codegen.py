@@ -6,6 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ml.model_codegen import (
+    _INT32_MAX,
+    _INT32_MIN,
     FixedPointLinearModel,
     export_fixed_point,
 )
@@ -135,3 +137,97 @@ class TestFixedPointLinearModel:
         values = np.array(values)
         error = np.abs(model.dequantize(model.quantize(values)) - values)
         assert np.all(error <= 0.5 / (1 << frac_bits) + 1e-12)
+
+
+def _c_like_decision(model: FixedPointLinearModel, features_q) -> int:
+    """Emulate the emitted C accumulation with explicit int64 machine ops.
+
+    ``to_c_source`` emits ``((int64_t)w * x) >> frac_bits``: a 64-bit
+    product and an *arithmetic* right shift (the MSP430/GCC behaviour on
+    signed values, i.e. floor division by ``2**frac_bits``).  Here the
+    product lives in an ``np.int64`` and the shift is
+    ``np.right_shift`` -- NumPy's arithmetic shift on signed integers --
+    so any truncation-vs-floor mismatch in the Python reference would
+    show up as a parity break on negative products.
+    """
+    acc = np.int64(int(model.bias_q))
+    for w, x in zip(model.weights_q.tolist(), np.asarray(features_q).tolist()):
+        product = np.int64(w) * np.int64(x)
+        term = np.right_shift(product, np.int64(model.frac_bits))
+        acc = np.int64(np.clip(int(acc) + int(term), _INT32_MIN, _INT32_MAX))
+    return int(acc)
+
+
+class TestFixedPointCParity:
+    """``decision_fixed`` must floor like the emitted C, not truncate.
+
+    Python's ``>>`` on negative ints is arithmetic (floor division), the
+    same semantics as the C target; truncation toward zero -- what
+    ``int(w * x / 2**n)`` would compute -- differs by one on every
+    negative product that is not an exact multiple of ``2**frac_bits``.
+    These vectors are built to hit exactly those products.
+    """
+
+    @pytest.mark.parametrize("frac_bits", [8, 14, 30])
+    def test_adversarial_negative_products(self, frac_bits):
+        # Odd-magnitude weights/features so w*x never divides 2**frac_bits;
+        # signs arranged to produce negative products in every position.
+        weights = np.array([-3, 5, -(2**frac_bits) - 1, 7, -1], dtype=np.int64)
+        features = np.array([1, -(2**frac_bits // 2 + 1), 3, -5, 2**frac_bits + 3],
+                            dtype=np.int64)
+        assert all(int(w) * int(x) < 0 for w, x in zip(weights, features))
+        assert all(
+            (int(w) * int(x)) % (1 << frac_bits) != 0
+            for w, x in zip(weights, features)
+        )
+        model = FixedPointLinearModel(
+            weights_q=weights, bias_q=11, frac_bits=frac_bits
+        )
+        assert model.decision_fixed(features) == _c_like_decision(model, features)
+
+    @pytest.mark.parametrize("frac_bits", [8, 14, 30])
+    def test_floor_not_truncation(self, frac_bits):
+        """The one-feature case where floor and truncation disagree."""
+        model = FixedPointLinearModel(
+            weights_q=np.array([-3]), bias_q=0, frac_bits=frac_bits
+        )
+        value = model.decision_fixed(np.array([1]))
+        assert value == -1  # floor(-3 / 2**n); truncation would give 0
+        assert value == _c_like_decision(model, np.array([1]))
+
+    def test_saturation_matches_c_clamp(self):
+        """Large same-sign products drive both paths into the int32 rails."""
+        model = FixedPointLinearModel(
+            weights_q=np.array([_INT32_MAX, _INT32_MAX]), bias_q=0, frac_bits=8
+        )
+        features = np.array([_INT32_MAX, _INT32_MAX], dtype=np.int64)
+        assert model.decision_fixed(features) == _INT32_MAX
+        assert _c_like_decision(model, features) == _INT32_MAX
+        negated = -features
+        assert model.decision_fixed(negated) == _INT32_MIN
+        assert _c_like_decision(model, negated) == _INT32_MIN
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        frac_bits=st.sampled_from([8, 14, 30]),
+        weights=st.lists(
+            st.integers(_INT32_MIN, _INT32_MAX), min_size=1, max_size=6
+        ),
+        data=st.data(),
+    )
+    def test_property_parity_on_int32_range(self, frac_bits, weights, data):
+        features = data.draw(
+            st.lists(
+                st.integers(_INT32_MIN, _INT32_MAX),
+                min_size=len(weights),
+                max_size=len(weights),
+            )
+        )
+        bias = data.draw(st.integers(_INT32_MIN, _INT32_MAX))
+        model = FixedPointLinearModel(
+            weights_q=np.array(weights, dtype=np.int64),
+            bias_q=bias,
+            frac_bits=frac_bits,
+        )
+        features = np.array(features, dtype=np.int64)
+        assert model.decision_fixed(features) == _c_like_decision(model, features)
