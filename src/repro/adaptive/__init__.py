@@ -23,6 +23,7 @@ from repro.adaptive.constraints import (
     StaticConstraints,
     detect_static_constraints,
 )
+from repro.adaptive.degradation import DegradationController, TierSwitch
 from repro.adaptive.engine import AdaptiveTimeline, DecisionEngine, TimelinePoint
 from repro.adaptive.hysteresis import HysteresisPolicy
 from repro.adaptive.policy import (
@@ -36,12 +37,14 @@ __all__ = [
     "AccuracyFirstPolicy",
     "AdaptiveTimeline",
     "DecisionEngine",
+    "DegradationController",
     "DynamicConstraints",
     "HysteresisPolicy",
     "LifetimeTargetPolicy",
     "SocThresholdPolicy",
     "StaticConstraints",
     "SwitchingPolicy",
+    "TierSwitch",
     "TimelinePoint",
     "detect_static_constraints",
 ]

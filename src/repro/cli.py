@@ -7,6 +7,9 @@ Commands
 ``table2`` / ``table3`` / ``fig3``
     Regenerate the paper's tables and figure (``--quick`` for a reduced
     cohort).
+``fault-matrix``
+    Sweep named sensor/channel faults across severities and report
+    accuracy, coverage and abstain rate per cell.
 ``profile``
     Build one detector version, deploy it on the simulated Amulet and
     print the ARP-view pane.
@@ -31,6 +34,34 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError("must be a positive integer")
     return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be a positive number")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be a non-negative integer")
+    return value
+
+
+def _unit_float(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError("must be in [0, 1]")
+    return value
+
+
+def _csv_list(text: str) -> list[str]:
+    items = [item.strip() for item in text.split(",") if item.strip()]
+    if not items:
+        raise argparse.ArgumentTypeError("expected a comma-separated list")
+    return items
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +94,40 @@ def build_parser() -> argparse.ArgumentParser:
                                help="windows scored per chunk in the reference "
                                "evaluation (default: 256; scores are "
                                "bit-identical at any chunk size)")
+            table.add_argument("--task-timeout", type=_positive_float,
+                               default=None, metavar="S",
+                               help="seconds before a hung per-subject task is "
+                               "terminated (default: wait forever)")
+            table.add_argument("--retries", type=_nonnegative_int, default=0,
+                               metavar="N",
+                               help="retries per failed per-subject task "
+                               "(default: 0 = fail fast)")
+            table.add_argument("--retry-backoff", type=_positive_float,
+                               default=0.5, metavar="S",
+                               help="base of the exponential backoff between "
+                               "retries (default: 0.5 s)")
+
+    matrix = sub.add_parser(
+        "fault-matrix",
+        help="fault x severity robustness grid (accuracy/coverage/abstain)",
+    )
+    matrix.add_argument("--quick", action="store_true",
+                        help="reduced cohort, short training")
+    matrix.add_argument("--faults", type=_csv_list, default=None,
+                        metavar="A,B,...",
+                        help="comma-separated fault names (default: all; see "
+                        "repro.faults.fault_names)")
+    matrix.add_argument("--severities", type=_csv_list, default=None,
+                        metavar="X,Y,...",
+                        help="comma-separated severities in [0, 1] "
+                        "(default: 0,0.25,0.5,1)")
+    matrix.add_argument("--subjects", type=_positive_int, default=None,
+                        metavar="N",
+                        help="evaluate only the first N subjects")
+    matrix.add_argument("--sqi-threshold", type=_unit_float, default=0.6,
+                        metavar="Q",
+                        help="signal-quality score below which the base "
+                        "station abstains (default: 0.6)")
 
     profile = sub.add_parser("profile", help="ARP-view pane for one build")
     profile.add_argument("--version", default="original",
@@ -144,14 +209,40 @@ def _cmd_table2(args) -> int:
         jobs=args.jobs,
         chunk_size=args.chunk_size,
         cache_bytes=_cache_bytes(args),
+        task_timeout_s=args.task_timeout,
+        max_retries=args.retries,
+        retry_backoff_s=args.retry_backoff,
     )
     print(format_table2(result))
     for failure in result.failures:
+        detail = (
+            failure.fault.describe() if failure.fault else failure.error
+        )
         print(
             f"warning: subject {failure.subject_id} "
-            f"({failure.version.value}) failed: {failure.error}",
+            f"({failure.version.value}) failed: {detail}",
             file=sys.stderr,
         )
+    _print_cache_stats()
+    return 0
+
+
+def _cmd_fault_matrix(args) -> int:
+    from repro.experiments import fault_matrix_study, format_fault_matrix
+
+    severities = (
+        [_unit_float(s) for s in args.severities]
+        if args.severities is not None
+        else (0.0, 0.25, 0.5, 1.0)
+    )
+    rows = fault_matrix_study(
+        _config(args.quick),
+        faults=args.faults,
+        severities=severities,
+        subjects=args.subjects,
+        quality_threshold=args.sqi_threshold,
+    )
+    print(format_fault_matrix(rows))
     _print_cache_stats()
     return 0
 
@@ -210,6 +301,7 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "table3": _cmd_table3,
     "fig3": _cmd_fig3,
+    "fault-matrix": _cmd_fault_matrix,
     "profile": _cmd_profile,
     "export": _cmd_export,
 }

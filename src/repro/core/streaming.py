@@ -9,15 +9,29 @@ voting debouncer: an *attack episode* starts when at least ``k`` of the
 last ``n`` windows are positive and ends when the window votes drop to
 zero, trading per-window errors for episode-level precision and a bounded
 detection latency of at most ``k`` windows.
+
+Graceful degradation: an optional
+:class:`~repro.signals.quality.SignalQualityIndex` gate makes the
+detector *abstain* on unusable windows (tracked coverage loss, not a
+silent skip), and an optional degradation controller (see
+:class:`~repro.adaptive.degradation.DegradationController`) falls back to
+lighter detector tiers under sustained degradation, recovering with
+hysteresis.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.detector import SIFTDetector
+from repro.core.versions import DetectorVersion
 from repro.signals.dataset import SignalWindow
+from repro.signals.quality import SignalQualityIndex
+
+if TYPE_CHECKING:
+    from repro.adaptive.degradation import DegradationController
 
 __all__ = ["AttackEpisode", "StreamingDetector", "StreamingState"]
 
@@ -73,31 +87,96 @@ class StreamingDetector:
         episode.
     vote_window:
         ``n``: the voting horizon, in windows.
+    quality_gate:
+        Optional SQI gate.  Windows it judges unusable are *abstained*:
+        counted in :attr:`abstained_indexes`, advancing the stream index,
+        casting no vote (an episode neither opens, extends nor closes on
+        evidence that never existed).  ``None`` (the default) keeps the
+        historical classify-everything behaviour bit-identical.
+    fallbacks:
+        Fitted detectors for lighter tiers, keyed by version; consulted
+        when the degradation controller steps down.  The primary
+        ``detector`` serves its own version automatically.
+    degradation:
+        A quality-driven tier controller (duck-typed:
+        ``observe(report) -> DetectorVersion`` plus ``active``), e.g.
+        :class:`~repro.adaptive.degradation.DegradationController`.
+        Requires ``quality_gate``.
     """
 
     def __init__(
-        self, detector: SIFTDetector, votes_needed: int = 2, vote_window: int = 3
+        self,
+        detector: SIFTDetector,
+        votes_needed: int = 2,
+        vote_window: int = 3,
+        quality_gate: SignalQualityIndex | None = None,
+        fallbacks: Mapping[DetectorVersion, SIFTDetector] | None = None,
+        degradation: "DegradationController | None" = None,
     ) -> None:
         if vote_window < 1:
             raise ValueError("vote_window must be >= 1")
         if not 1 <= votes_needed <= vote_window:
             raise ValueError("need 1 <= votes_needed <= vote_window")
+        if degradation is not None and quality_gate is None:
+            raise ValueError("degradation requires a quality_gate")
         self.detector = detector
         self.votes_needed = int(votes_needed)
         self.vote_window = int(vote_window)
+        self.quality_gate = quality_gate
+        self.fallbacks = dict(fallbacks) if fallbacks else {}
+        self.degradation = degradation
         self.state = StreamingState()
         self.episodes: list[AttackEpisode] = []
+        self.abstained_indexes: list[int] = []
 
     @property
     def window_s(self) -> float:
         return self.detector.window_s
 
+    @property
+    def abstain_count(self) -> int:
+        return len(self.abstained_indexes)
+
+    @property
+    def abstain_rate(self) -> float:
+        """Fraction of observed windows withheld by the quality gate."""
+        if self.state.window_index == 0:
+            return 0.0
+        return len(self.abstained_indexes) / self.state.window_index
+
     def _time_of(self, index: int) -> float:
         return index * self.window_s
 
+    def _active_detector(self) -> SIFTDetector:
+        """The detector for the tier currently in force."""
+        if self.degradation is None:
+            return self.detector
+        version = self.degradation.active
+        if version is self.detector.version:
+            return self.detector
+        try:
+            return self.fallbacks[version]
+        except KeyError:
+            raise KeyError(
+                f"degradation selected {version.value!r} but no fitted "
+                "fallback detector was provided for that tier"
+            ) from None
+
+    def _abstain(self) -> None:
+        """Record an abstained window: it advances time, casts no vote."""
+        self.abstained_indexes.append(self.state.window_index)
+        self.state.window_index += 1
+
     def process_window(self, window: SignalWindow) -> AttackEpisode | None:
         """Feed one window; returns the episode if one just *closed*."""
-        return self._advance(self.detector.decision_value(window))
+        if self.quality_gate is not None:
+            report = self.quality_gate.assess(window)
+            if self.degradation is not None:
+                self.degradation.observe(report)
+            if not report.usable:
+                self._abstain()
+                return None
+        return self._advance(self._active_detector().decision_value(window))
 
     def process_stream(
         self,
@@ -122,11 +201,19 @@ class StreamingDetector:
         dropped attacks still in progress at end-of-stream.
         """
         closed: list[AttackEpisode] = []
-        for values in self.detector.iter_decision_values(stream, chunk_size):
-            for value in values:
-                episode = self._advance(float(value))
+        if self.quality_gate is not None:
+            # The gated path is inherently per-window: each window must be
+            # assessed (and may switch tiers) before it can be scored.
+            for window in stream:
+                episode = self.process_window(window)
                 if episode is not None:
                     closed.append(episode)
+        else:
+            for values in self.detector.iter_decision_values(stream, chunk_size):
+                for value in values:
+                    episode = self._advance(float(value))
+                    if episode is not None:
+                        closed.append(episode)
         if flush:
             episode = self.finish()
             if episode is not None:
@@ -197,3 +284,6 @@ class StreamingDetector:
         """Clear state and history (e.g. after re-synchronization)."""
         self.state = StreamingState()
         self.episodes = []
+        self.abstained_indexes = []
+        if self.degradation is not None:
+            self.degradation.reset()

@@ -42,6 +42,7 @@ from repro.experiments.reporting import format_table
 from repro.experiments.runner import (
     CohortOutcome,
     CohortRunner,
+    TaskFaultReport,
     clear_experiment_cache,
     effective_workers,
 )
@@ -49,6 +50,8 @@ from repro.experiments.robustness import (
     artifact_load_study,
     channel_loss_study,
     debounce_study,
+    fault_matrix_study,
+    format_fault_matrix,
 )
 from repro.experiments.universal import (
     UniversalStudyResult,
@@ -73,6 +76,7 @@ __all__ = [
     "SubjectRunResult",
     "Table2Result",
     "Table3Result",
+    "TaskFaultReport",
     "UniversalStudyResult",
     "artifact_load_study",
     "attack_type_ablation",
@@ -83,8 +87,10 @@ __all__ = [
     "debounce_study",
     "effective_workers",
     "entry_cost",
+    "fault_matrix_study",
     "feature_class_ablation",
     "fixed_point_ablation",
+    "format_fault_matrix",
     "format_fig3",
     "format_table",
     "format_table2",

@@ -9,6 +9,8 @@ Three operational questions a deployment would ask next:
   wearable signal quality, move the FP/FN balance?
 * **Alert debouncing** -- how much episode-level precision does the k-of-n
   streaming debouncer buy over the paper's per-window alerting?
+* **Fault matrix** -- how do accuracy, coverage and abstain rate move as
+  each named sensor/channel fault is injected at increasing severity?
 """
 
 from __future__ import annotations
@@ -27,7 +29,11 @@ from repro.experiments.pipeline import (
     make_dataset,
     train_detector,
 )
+from repro.faults import build_fault_cell, fault_names
 from repro.ml.metrics import mean_report, score_predictions
+from repro.signals.dataset import Record, SyntheticFantasia
+from repro.signals.quality import SignalQualityIndex
+from repro.signals.subjects import SubjectParameters
 from repro.wiot.channel import WirelessChannel
 from repro.wiot.environment import WIoTEnvironment
 
@@ -35,53 +41,175 @@ __all__ = [
     "artifact_load_study",
     "channel_loss_study",
     "debounce_study",
+    "fault_matrix_study",
+    "format_fault_matrix",
 ]
+
+
+def _test_materials(
+    dataset: SyntheticFantasia,
+    subject: SubjectParameters,
+    config: ExperimentConfig,
+) -> tuple[Record, list[Record]]:
+    """The subject's test recording plus the attack donor pool."""
+    others = [s for s in dataset.subjects if s is not subject]
+    donors = [
+        dataset.record(d, config.donor_duration_s, purpose="test")
+        for d in others[: config.n_test_donors]
+    ]
+    record = dataset.record(subject, config.test_duration_s, purpose="test")
+    return record, donors
 
 
 def channel_loss_study(
     config: ExperimentConfig,
     loss_values: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.4),
 ) -> list[dict[str, Any]]:
-    """Sweep the wireless loss probability through the full environment."""
+    """Sweep the wireless loss probability through the full environment.
+
+    Subject-major iteration: each subject's detector is trained (or pulled
+    from the experiment cache) and its test materials built exactly once,
+    then reused across the whole loss sweep -- the channel is the only
+    thing that varies between sweep points, so it is the only thing reset.
+    The per-(subject, loss) RNG streams match the historical loss-major
+    iteration, so the numbers are unchanged.
+    """
     dataset = make_dataset(config)
-    rows = []
-    for loss in loss_values:
-        coverages, accuracies = [], []
-        for index, subject in enumerate(dataset.subjects):
-            detector = train_detector(dataset, subject, "simplified", config)
-            others = [s for s in dataset.subjects if s is not subject]
-            donors = [
-                dataset.record(d, config.donor_duration_s, purpose="test")
-                for d in others[: config.n_test_donors]
-            ]
-            record = dataset.record(
-                subject, config.test_duration_s, purpose="test"
-            )
-            environment = WIoTEnvironment(
-                detector,
-                channel=WirelessChannel(
-                    loss_probability=float(loss), seed=1000 + index
-                ),
-            )
+    loss_values = [float(loss) for loss in loss_values]
+    coverages: dict[float, list[float]] = {loss: [] for loss in loss_values}
+    accuracies: dict[float, list[float]] = {loss: [] for loss in loss_values}
+    for index, subject in enumerate(dataset.subjects):
+        detector = train_detector(dataset, subject, "simplified", config)
+        record, donors = _test_materials(dataset, subject, config)
+        channel = WirelessChannel(seed=1000 + index)
+        for loss in loss_values:
+            channel.reset(loss_probability=loss)
+            environment = WIoTEnvironment(detector, channel=channel)
             summary = environment.run(
                 record,
                 attack=ReplacementAttack(donors),
                 attack_after_s=config.test_duration_s / 2,
                 rng=np.random.default_rng([7, index]),
             )
-            coverages.append(
-                summary.n_windows_classified / summary.n_windows_sent
-            )
+            coverages[loss].append(summary.coverage)
             if summary.report is not None:
-                accuracies.append(summary.report.accuracy)
-        rows.append(
-            {
-                "loss_probability": float(loss),
-                "window_coverage": float(np.mean(coverages)),
-                "accuracy_on_classified": float(np.mean(accuracies)),
-            }
-        )
+                accuracies[loss].append(summary.report.accuracy)
+    return [
+        {
+            "loss_probability": loss,
+            "window_coverage": float(np.mean(coverages[loss])),
+            "accuracy_on_classified": float(np.mean(accuracies[loss])),
+        }
+        for loss in loss_values
+    ]
+
+
+def fault_matrix_study(
+    config: ExperimentConfig,
+    faults: Sequence[str] | None = None,
+    severities: Sequence[float] = (0.0, 0.25, 0.5, 1.0),
+    subjects: int | None = None,
+    quality_threshold: float = 0.6,
+) -> list[dict[str, Any]]:
+    """Sweep every named fault across severities through the environment.
+
+    Each (fault, severity) cell deploys a fresh, seeded
+    :class:`~repro.faults.FaultCell` -- the sensor-side injector and/or
+    faulty channel -- around each subject's attacked test stream, with an
+    SQI gate on the base station so unusable windows become *abstentions*:
+    counted coverage loss, never silent skips.  Per cell the study reports
+
+    - ``accuracy_on_decided`` -- accuracy over the windows the detector
+      actually decided (NaN when the fault starved it of every window);
+    - ``coverage`` -- decided windows / sent windows (loss + abstention);
+    - ``abstain_rate`` -- the quality gate's share of the coverage loss;
+    - ``delivery_rate`` and the corrupted/duplicated packet counts.
+
+    Detectors are trained once per subject (the experiment cache makes the
+    repeated ``train_detector`` calls free) and reused across all cells.
+    """
+    if not 0.0 <= quality_threshold <= 1.0:
+        raise ValueError("quality_threshold must be in [0, 1]")
+    names = tuple(faults) if faults is not None else fault_names()
+    dataset = make_dataset(config)
+    cohort = list(enumerate(dataset.subjects))
+    if subjects is not None:
+        if subjects < 1:
+            raise ValueError("subjects must be >= 1")
+        cohort = cohort[:subjects]
+
+    materials = []
+    for index, subject in cohort:
+        detector = train_detector(dataset, subject, "simplified", config)
+        record, donors = _test_materials(dataset, subject, config)
+        materials.append((index, detector, record, donors))
+
+    rows = []
+    for name in names:
+        for severity in severities:
+            accs: list[float] = []
+            covs: list[float] = []
+            abst: list[float] = []
+            deliv: list[float] = []
+            corrupted = duplicated = 0
+            for index, detector, record, donors in materials:
+                cell = build_fault_cell(
+                    name, float(severity), seed=1000 + index
+                )
+                environment = WIoTEnvironment(
+                    detector,
+                    channel=cell.channel,
+                    quality_gate=SignalQualityIndex(
+                        threshold=quality_threshold
+                    ),
+                )
+                summary = environment.run(
+                    record,
+                    attack=ReplacementAttack(donors),
+                    attack_after_s=config.test_duration_s / 2,
+                    rng=np.random.default_rng([7, index]),
+                    sensor_faults=cell.injector,
+                )
+                covs.append(summary.coverage)
+                abst.append(summary.abstain_rate)
+                deliv.append(summary.channel_delivery_rate)
+                corrupted += summary.n_packets_corrupted
+                duplicated += summary.n_packets_duplicated
+                if summary.report is not None:
+                    accs.append(summary.report.accuracy)
+            rows.append(
+                {
+                    "fault": name,
+                    "severity": float(severity),
+                    "accuracy_on_decided": (
+                        float(np.mean(accs)) if accs else float("nan")
+                    ),
+                    "coverage": float(np.mean(covs)),
+                    "abstain_rate": float(np.mean(abst)),
+                    "delivery_rate": float(np.mean(deliv)),
+                    "n_packets_corrupted": int(corrupted),
+                    "n_packets_duplicated": int(duplicated),
+                }
+            )
     return rows
+
+
+def format_fault_matrix(rows: Sequence[dict[str, Any]]) -> str:
+    """Render fault-matrix rows as an aligned text table."""
+    header = (
+        f"{'fault':<16} {'sev':>5} {'accuracy':>9} {'coverage':>9} "
+        f"{'abstain':>8} {'deliver':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        accuracy = row["accuracy_on_decided"]
+        accuracy_text = "--" if np.isnan(accuracy) else f"{accuracy:.3f}"
+        lines.append(
+            f"{row['fault']:<16} {row['severity']:>5.2f} "
+            f"{accuracy_text:>9} {row['coverage']:>9.3f} "
+            f"{row['abstain_rate']:>8.3f} {row['delivery_rate']:>8.3f}"
+        )
+    return "\n".join(lines)
 
 
 def artifact_load_study(

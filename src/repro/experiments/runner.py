@@ -1,4 +1,4 @@
-"""Parallel cohort execution.
+"""Parallel cohort execution, hardened against worker faults.
 
 The paper's protocol is embarrassingly parallel across subjects: each
 :func:`~repro.experiments.pipeline.run_subject` call trains and evaluates
@@ -9,12 +9,27 @@ path (``jobs=1``) bit-identical to calling ``run_subject`` in a loop:
 * **Deterministic ordering** -- results always come back in cohort order
   regardless of which worker finishes first.
 * **Per-subject error capture** -- one failing subject yields a
-  :class:`CohortOutcome` with ``error`` set instead of killing the whole
-  cohort.
+  :class:`CohortOutcome` with a structured :class:`TaskFaultReport`
+  instead of killing the whole cohort.
 * **Per-worker caching** -- each worker process keeps its dataset and the
   process-local :data:`~repro.experiments.cache.EXPERIMENT_CACHE`, so a
   worker that handles several versions of the same subject trains from
   cached records.
+
+Hardening (deployment-grade behaviour under faulty workers):
+
+* **Per-task timeouts** -- ``task_timeout_s`` bounds how long the runner
+  waits for any one result; a hung worker is terminated rather than
+  wedging the cohort.  Timeouts are terminal for the task that hung
+  (deterministic tasks that hang once hang again), but never for its
+  innocent pool-mates, which are requeued.
+* **Bounded retry with exponential backoff** -- ``max_retries`` re-runs
+  failed tasks, sleeping ``retry_backoff_s * 2**(attempt-1)`` between
+  attempts.
+* **Broken-pool recovery** -- a crashed worker (``BrokenProcessPool``)
+  kills the pool; the runner rebuilds it once and requeues the undone
+  tasks.  If the rebuilt pool breaks too, the remaining tasks fall back
+  to plain in-process execution.
 
 The parallel path strips the non-picklable ``runner`` handle (the live
 simulated-Amulet harness) from results before they cross the process
@@ -25,7 +40,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, replace
 
 from repro.core.versions import DetectorVersion
@@ -38,7 +55,12 @@ from repro.experiments.pipeline import (
 )
 from repro.signals.dataset import SyntheticFantasia
 
-__all__ = ["CohortOutcome", "CohortRunner", "effective_workers"]
+__all__ = [
+    "CohortOutcome",
+    "CohortRunner",
+    "TaskFaultReport",
+    "effective_workers",
+]
 
 
 def effective_workers(jobs: int) -> int:
@@ -55,21 +77,60 @@ def effective_workers(jobs: int) -> int:
 
 
 @dataclass(frozen=True)
+class TaskFaultReport:
+    """Structured account of why one (subject, version) task failed.
+
+    ``kind`` distinguishes the failure avenue:
+
+    - ``"exception"`` -- the task ran and raised (captured in-worker);
+    - ``"timeout"`` -- no result within ``task_timeout_s``; the pool was
+      terminated to unwedge the cohort;
+    - ``"broken-pool"`` -- the worker process died (crash, OOM-kill)
+      before returning a result.
+
+    ``attempts`` counts every submission of the task, including the
+    failing one.
+    """
+
+    kind: str  # "exception" | "timeout" | "broken-pool"
+    error_type: str
+    message: str
+    attempts: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("exception", "timeout", "broken-pool"):
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+
+    @property
+    def error(self) -> str:
+        """The legacy ``"TypeName: message"`` rendering."""
+        return f"{self.error_type}: {self.message}"
+
+    def describe(self) -> str:
+        """One human-readable line for logs and CLI warnings."""
+        return (
+            f"[{self.kind}] {self.error_type}: {self.message} "
+            f"(after {self.attempts} attempt{'s' if self.attempts != 1 else ''})"
+        )
+
+
+@dataclass(frozen=True)
 class CohortOutcome:
     """One (subject, version) cell of a cohort run.
 
-    Exactly one of ``result`` / ``error`` is set; ``error`` holds the
-    worker-side exception rendered as ``"TypeName: message"``.
+    Exactly one of ``result`` / ``fault`` is set; ``error`` keeps the
+    historical ``"TypeName: message"`` string rendering of the fault.
     """
 
     subject_id: str
     version: DetectorVersion
     result: SubjectRunResult | None
     error: str | None = None
+    fault: TaskFaultReport | None = None
 
     @property
     def ok(self) -> bool:
-        return self.error is None
+        return self.fault is None and self.error is None
 
 
 #: Per-worker-process dataset cache, keyed by the dataset knobs of the
@@ -93,11 +154,13 @@ def _run_subject_task(
     with_device: bool,
     chunk_size: int | None = None,
     cache_bytes: int | None = None,
-) -> tuple[SubjectRunResult | None, str | None]:
+) -> tuple[SubjectRunResult | None, tuple[str, str] | None]:
     """Top-level (picklable) per-subject task with error capture.
 
     ``cache_bytes`` (when given) rebudgets the worker process's local
     experiment cache before the run -- each worker holds its own LRU.
+    Errors come back as ``(type_name, message)`` so the parent can build
+    a structured fault report.
     """
     try:
         if cache_bytes is not None:
@@ -114,7 +177,7 @@ def _run_subject_task(
         # The live Amulet harness does not pickle; its reports already do.
         return replace(result, runner=None), None
     except Exception as exc:  # noqa: BLE001 -- the whole point is capture
-        return None, f"{type(exc).__name__}: {exc}"
+        return None, (type(exc).__name__, str(exc))
 
 
 class CohortRunner:
@@ -140,6 +203,20 @@ class CohortRunner:
         the process-wide default untouched; a value is applied in the
         parent *and* in every worker process (workers keep process-local
         caches).
+    task_timeout_s:
+        Maximum seconds to wait for any one task's result (``None`` =
+        wait forever, the historical behaviour).  On expiry the pool is
+        terminated (a hung worker never unwedges on its own), the timed
+        out task gets a ``"timeout"`` fault, and undone pool-mates are
+        requeued on a fresh pool.
+    max_retries:
+        Re-submissions allowed per task after a failed attempt
+        (exceptions and broken pools; timeouts are terminal).  0 disables
+        retries -- with retries disabled and no timeout the runner is
+        behaviourally identical to the unhardened one.
+    retry_backoff_s:
+        Base of the exponential backoff slept before each retry
+        (``retry_backoff_s * 2**(attempt-1)``, capped at 30 s).
 
     A parallel runner keeps its worker pool alive across ``run_version``
     calls (pool start-up costs more than a quick cohort); use it as a
@@ -148,6 +225,13 @@ class CohortRunner:
     dataset instead of re-synthesizing it.
     """
 
+    #: Pool rebuilds allowed per ``run_version`` before the runner stops
+    #: trusting process pools and finishes the cohort in-process.
+    max_pool_rebuilds = 1
+
+    #: Upper bound on any single backoff sleep, in seconds.
+    max_backoff_s = 30.0
+
     def __init__(
         self,
         config: ExperimentConfig | None = None,
@@ -155,6 +239,9 @@ class CohortRunner:
         with_device: bool = True,
         chunk_size: int | None = None,
         cache_bytes: int | None = None,
+        task_timeout_s: float | None = None,
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.5,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -162,18 +249,35 @@ class CohortRunner:
             raise ValueError("chunk_size must be >= 1")
         if cache_bytes is not None and cache_bytes < 0:
             raise ValueError("cache_bytes must be >= 0")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
         self.config = config or ExperimentConfig()
         self.jobs = int(jobs)
         self.with_device = bool(with_device)
         self.chunk_size = None if chunk_size is None else int(chunk_size)
         self.cache_bytes = None if cache_bytes is None else int(cache_bytes)
+        self.task_timeout_s = (
+            None if task_timeout_s is None else float(task_timeout_s)
+        )
+        self.max_retries = int(max_retries)
+        self.retry_backoff_s = float(retry_backoff_s)
         self._pool: ProcessPoolExecutor | None = None
+        self._pool_rebuilds = 0
 
     @property
     def dataset(self) -> SyntheticFantasia:
         # Goes through the worker memo on purpose: fork-started workers
         # inherit the already-built dataset instead of rebuilding it.
         return _worker_dataset(self.config)
+
+    @property
+    def pool_rebuilds(self) -> int:
+        """Pools rebuilt after hangs/crashes during the last run."""
+        return self._pool_rebuilds
 
     def close(self) -> None:
         """Shut down the worker pool (no-op when none was started)."""
@@ -199,6 +303,27 @@ class CohortRunner:
                 max_workers=effective_workers(self.jobs), mp_context=context
             )
         return self._pool
+
+    def _kill_pool(self) -> None:
+        """Terminate the pool's workers (hung or crashed) and forget it.
+
+        A plain ``shutdown`` would *join* a hung worker and wedge forever;
+        terminating first guarantees the join returns.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for process in list(getattr(pool, "_processes", {}).values()):
+            process.terminate()
+        pool.shutdown(wait=True, cancel_futures=True)
+
+    def _backoff_sleep(self, attempt: int) -> None:
+        """Exponential backoff before retry number ``attempt``."""
+        if self.retry_backoff_s <= 0:
+            return
+        time.sleep(
+            min(self.max_backoff_s, self.retry_backoff_s * 2 ** (attempt - 1))
+        )
 
     def run_version(
         self,
@@ -228,50 +353,270 @@ class CohortRunner:
         return outcomes
 
     # ------------------------------------------------------------------
+    # Task execution
+    # ------------------------------------------------------------------
 
     def _run_tasks(
         self, tasks: list[tuple[int, DetectorVersion]]
     ) -> list[CohortOutcome]:
         if self.cache_bytes is not None:
             set_cache_budget(self.cache_bytes)
+        self._pool_rebuilds = 0
         if self.jobs == 1 or len(tasks) <= 1:
             pairs = [
-                _run_subject_serial(
-                    self.dataset,
-                    self.config,
-                    index,
-                    version,
-                    self.with_device,
-                    self.chunk_size,
-                )
+                self._run_serial_with_retries(index, version)
                 for index, version in tasks
             ]
         else:
-            pool = self._ensure_pool()
-            futures = [
-                pool.submit(
-                    _run_subject_task,
-                    self.config,
-                    index,
-                    version.value,
-                    self.with_device,
-                    self.chunk_size,
-                    self.cache_bytes,
-                )
-                for index, version in tasks
-            ]
-            # Collect in submission order: deterministic regardless of
-            # worker completion order.
-            pairs = [future.result() for future in futures]
+            pairs = self._run_parallel(tasks)
         return [
             CohortOutcome(
                 subject_id=self.dataset.subjects[index].subject_id,
                 version=version,
                 result=result,
-                error=error,
+                error=None if fault is None else fault.error,
+                fault=fault,
             )
-            for (index, version), (result, error) in zip(tasks, pairs)
+            for (index, version), (result, fault) in zip(tasks, pairs)
         ]
+
+    def _submit(self, pool: ProcessPoolExecutor, task):
+        index, version = task
+        return pool.submit(
+            _run_subject_task,
+            self.config,
+            index,
+            version.value,
+            self.with_device,
+            self.chunk_size,
+            self.cache_bytes,
+        )
+
+    def _run_serial_with_retries(
+        self, subject_index: int, version: DetectorVersion
+    ) -> tuple[SubjectRunResult | None, TaskFaultReport | None]:
+        """In-process execution with the same retry budget as workers.
+
+        Keeps the live ``runner`` handle on results (nothing crosses a
+        process boundary).  Timeouts are not enforceable in-process.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                result = run_subject(
+                    self.dataset,
+                    self.dataset.subjects[subject_index],
+                    version,
+                    self.config,
+                    with_device=self.with_device,
+                    chunk_size=self.chunk_size,
+                )
+                return result, None
+            except Exception as exc:  # noqa: BLE001 -- capture is the point
+                if attempts <= self.max_retries:
+                    self._backoff_sleep(attempts)
+                    continue
+                return None, TaskFaultReport(
+                    kind="exception",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    attempts=attempts,
+                )
+
+    def _finish_in_process(
+        self, task, attempts_so_far: int
+    ) -> tuple[SubjectRunResult | None, TaskFaultReport | None]:
+        """Last-resort avenue once process pools have proven unreliable.
+
+        Runs the task in the parent, stripping the runner handle for
+        parity with pool results.  Always grants at least one attempt,
+        then honours whatever retry budget remains.
+        """
+        index, version = task
+        attempts = attempts_so_far
+        while True:
+            attempts += 1
+            result, error = _run_subject_task(
+                self.config,
+                index,
+                version.value,
+                self.with_device,
+                self.chunk_size,
+                self.cache_bytes,
+            )
+            if error is None:
+                return result, None
+            if attempts <= self.max_retries:
+                self._backoff_sleep(attempts)
+                continue
+            return None, TaskFaultReport(
+                kind="exception",
+                error_type=error[0],
+                message=error[1],
+                attempts=attempts,
+            )
+
+    def _run_parallel(
+        self, tasks: list[tuple[int, DetectorVersion]]
+    ) -> list[tuple[SubjectRunResult | None, TaskFaultReport | None]]:
+        n = len(tasks)
+        out: list = [None] * n
+        attempts = [0] * n
+        pending = list(range(n))
+
+        while pending:
+            if self._pool_rebuilds > self.max_pool_rebuilds:
+                # Pools have failed twice; stop trusting them.
+                for i in pending:
+                    out[i] = self._finish_in_process(tasks[i], attempts[i])
+                break
+
+            pool = self._ensure_pool()
+            futures = {}
+            for i in pending:
+                attempts[i] += 1
+                futures[i] = self._submit(pool, tasks[i])
+
+            next_pending: list[int] = []
+            kill_reason: str | None = None  # "timeout" | "broken"
+
+            def settle(i: int, result, error) -> None:
+                """Record a worker's return: success, retry queue, or fault."""
+                if error is None:
+                    out[i] = (result, None)
+                elif attempts[i] <= self.max_retries:
+                    next_pending.append(i)
+                else:
+                    out[i] = (
+                        None,
+                        TaskFaultReport(
+                            kind="exception",
+                            error_type=error[0],
+                            message=error[1],
+                            attempts=attempts[i],
+                        ),
+                    )
+
+            def requeue_refund(i: int) -> None:
+                """Requeue a casualty of a runner-initiated pool kill.
+
+                The runner terminated the pool to unwedge a *different*
+                task; this one never failed, so its submission is refunded
+                rather than charged against its retry budget.
+                """
+                attempts[i] -= 1
+                next_pending.append(i)
+
+            def charge_or_fault(i: int, message: str) -> None:
+                """Dispose of a task whose worker pool broke under it.
+
+                With a crashed worker the culprit is unidentifiable, so
+                every undone task is charged one attempt: retried within
+                the ``max_retries`` budget, faulted as ``broken-pool``
+                beyond it.  Run with ``max_retries >= 1`` to tolerate
+                worker crashes without losing innocent pool-mates.
+                """
+                if attempts[i] <= self.max_retries:
+                    next_pending.append(i)
+                else:
+                    out[i] = (
+                        None,
+                        TaskFaultReport(
+                            kind="broken-pool",
+                            error_type="BrokenProcessPool",
+                            message=message,
+                            attempts=attempts[i],
+                        ),
+                    )
+
+            def timeout_fault(i: int) -> None:
+                """Terminal fault for the task the runner timed out on."""
+                out[i] = (
+                    None,
+                    TaskFaultReport(
+                        kind="timeout",
+                        error_type="TimeoutError",
+                        message=(
+                            f"no result within {self.task_timeout_s:g}s; "
+                            "worker terminated"
+                        ),
+                        attempts=attempts[i],
+                    ),
+                )
+
+            def dispose_casualty(i: int) -> None:
+                """Requeue or fault a task orphaned by the pool's death."""
+                if kill_reason == "timeout":
+                    requeue_refund(i)
+                else:
+                    charge_or_fault(
+                        i, "worker pool broke before the task completed"
+                    )
+
+            for i in pending:
+                future = futures[i]
+                if kill_reason is not None:
+                    # The pool died collecting an earlier task.  Harvest
+                    # results that finished before it died; requeue or
+                    # fault the rest (never resubmit to the dead pool --
+                    # retryable failures go to next round's fresh pool).
+                    if future.done() and not future.cancelled():
+                        try:
+                            result, error = future.result(timeout=0)
+                        except Exception:  # noqa: BLE001 -- died with pool
+                            dispose_casualty(i)
+                        else:
+                            settle(i, result, error)
+                    else:
+                        dispose_casualty(i)
+                    continue
+
+                try:
+                    result, error = future.result(timeout=self.task_timeout_s)
+                except FutureTimeoutError:
+                    kill_reason = "timeout"
+                    self._kill_pool()
+                    timeout_fault(i)
+                    continue
+                except BrokenExecutor as exc:
+                    kill_reason = "broken"
+                    self._kill_pool()
+                    charge_or_fault(
+                        i, str(exc) or "worker process died abruptly"
+                    )
+                    continue
+
+                # The worker returned.  Retry captured exceptions inline on
+                # the same pool (it is healthy -- the task itself failed).
+                while error is not None and attempts[i] <= self.max_retries:
+                    self._backoff_sleep(attempts[i])
+                    attempts[i] += 1
+                    retry_future = self._submit(pool, tasks[i])
+                    try:
+                        result, error = retry_future.result(
+                            timeout=self.task_timeout_s
+                        )
+                    except FutureTimeoutError:
+                        kill_reason = "timeout"
+                        self._kill_pool()
+                        timeout_fault(i)
+                        break
+                    except BrokenExecutor as exc:
+                        kill_reason = "broken"
+                        self._kill_pool()
+                        charge_or_fault(
+                            i, str(exc) or "worker process died abruptly"
+                        )
+                        break
+                else:
+                    settle(i, result, error)
+
+            if kill_reason is not None:
+                self._pool_rebuilds += 1
+            pending = next_pending
+
+        return out
 
 
 def _run_subject_serial(

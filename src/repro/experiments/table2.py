@@ -68,6 +68,9 @@ def run_table2(
     jobs: int = 1,
     chunk_size: int | None = None,
     cache_bytes: int | None = None,
+    task_timeout_s: float | None = None,
+    max_retries: int = 0,
+    retry_backoff_s: float = 0.5,
 ) -> Table2Result:
     """Run the full Table II protocol.
 
@@ -76,7 +79,10 @@ def run_table2(
     are excluded from the means and reported in ``failures``).
     ``chunk_size`` bounds the reference evaluation's scoring memory and
     ``cache_bytes`` the experiment cache's LRU budget (both per worker);
-    neither changes a single reported number.
+    neither changes a single reported number.  ``task_timeout_s``,
+    ``max_retries`` and ``retry_backoff_s`` are the hardened runner's
+    fault-tolerance knobs (see :class:`CohortRunner`); the defaults keep
+    the historical fail-fast behaviour.
     """
     config = config or ExperimentConfig()
     per_subject: list[SubjectRunResult] = []
@@ -88,6 +94,9 @@ def run_table2(
         with_device=True,
         chunk_size=chunk_size,
         cache_bytes=cache_bytes,
+        task_timeout_s=task_timeout_s,
+        max_retries=max_retries,
+        retry_backoff_s=retry_backoff_s,
     ) as runner:
         for version in versions:
             outcomes = runner.run_version(version)

@@ -1,0 +1,46 @@
+"""Fault injection for the wearable deployment.
+
+The paper's enemies in the field are rarely adversaries: body-area links
+fade in bursts, electrodes saturate or fall off, clocks drift apart, and
+payloads arrive bit-flipped.  This subpackage models those failure modes
+as *composable* faults so the robustness experiments can sweep a
+``fault type x severity`` grid through the full WIoT environment:
+
+- :mod:`~repro.faults.base` -- the :class:`SensorFault` contract and the
+  :class:`FaultInjector` that applies a fault stack to a packet stream;
+- :mod:`~repro.faults.sensor` -- sensor-side faults (flatline/lead-off,
+  ADC saturation, baseline wander, burst noise, ECG<->ABP clock drift);
+- :mod:`~repro.faults.channel` -- channel-side faults (Gilbert-Elliott
+  bursty loss, duplication/reordering, CRC-detected bit corruption);
+- :mod:`~repro.faults.catalog` -- the named registry the fault-matrix
+  study and the CLI sweep over.
+
+Every fault honours the *zero-severity contract*: at ``severity == 0`` the
+faulty pipeline is bit-identical to the clean one (enforced by tests).
+"""
+
+from repro.faults.base import FaultInjector, SensorFault
+from repro.faults.catalog import FaultCell, build_fault_cell, fault_names
+from repro.faults.channel import FaultyChannel, GilbertElliottChannel
+from repro.faults.sensor import (
+    BaselineWanderFault,
+    BurstNoiseFault,
+    ClockDriftFault,
+    FlatlineFault,
+    SaturationFault,
+)
+
+__all__ = [
+    "BaselineWanderFault",
+    "BurstNoiseFault",
+    "ClockDriftFault",
+    "FaultCell",
+    "FaultInjector",
+    "FaultyChannel",
+    "FlatlineFault",
+    "GilbertElliottChannel",
+    "SaturationFault",
+    "SensorFault",
+    "build_fault_cell",
+    "fault_names",
+]

@@ -1,0 +1,96 @@
+"""The fault contract and the composable injector.
+
+A :class:`SensorFault` rewrites one :class:`~repro.wiot.sensor.SensorPacket`
+at a time; a :class:`FaultInjector` owns the RNG and applies an ordered
+stack of faults to a packet stream.  Faults advertise a ``severity`` in
+``[0, 1]`` and must be the identity at severity 0 -- the injector enforces
+this structurally by skipping zero-severity faults entirely, so a
+zero-severity sweep point is bit-identical to the clean pipeline (it does
+not even consume RNG draws).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.wiot.sensor import SensorPacket
+
+__all__ = ["FaultInjector", "SensorFault"]
+
+
+class SensorFault(abc.ABC):
+    """One sensor-side failure mode, parameterized by severity.
+
+    Parameters
+    ----------
+    severity:
+        Fault intensity in ``[0, 1]``; 0 must be a no-op (the injector
+        skips the fault entirely) and 1 the worst modelled case.
+    """
+
+    def __init__(self, severity: float) -> None:
+        if not 0.0 <= severity <= 1.0:
+            raise ValueError(f"severity must be in [0, 1], got {severity}")
+        self.severity = float(severity)
+
+    @abc.abstractmethod
+    def apply(
+        self, packet: SensorPacket, rng: np.random.Generator
+    ) -> SensorPacket:
+        """Return the (possibly rewritten) packet."""
+
+    def reset(self) -> None:
+        """Clear any cross-packet state (stateless faults: no-op)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(severity={self.severity})"
+
+
+class FaultInjector:
+    """Apply an ordered stack of sensor faults to packet streams.
+
+    One injector is shared by every sensor of a deployment (the ECG and
+    ABP streams of :class:`~repro.wiot.environment.WIoTEnvironment` both
+    pass through it), so per-channel faults such as clock drift can
+    desynchronize the two streams from a single place.
+
+    Parameters
+    ----------
+    faults:
+        Faults applied in order to every packet.
+    seed:
+        Seed of the injector-owned RNG; :meth:`reset` restores it so one
+        injector can be reused across sweep points deterministically.
+    """
+
+    def __init__(self, faults: Sequence[SensorFault], seed: int = 0) -> None:
+        self.faults = tuple(faults)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+        self.packets_faulted = 0
+
+    def reset(self) -> None:
+        """Reseed the RNG and clear all per-fault state and counters."""
+        self._rng = np.random.default_rng(self.seed)
+        self.packets_faulted = 0
+        for fault in self.faults:
+            fault.reset()
+
+    def apply(self, packet: SensorPacket) -> SensorPacket:
+        """Run one packet through the fault stack."""
+        original = packet
+        for fault in self.faults:
+            if fault.severity <= 0.0:
+                continue  # the zero-severity contract: not even an RNG draw
+            packet = fault.apply(packet, self._rng)
+        if packet is not original:
+            self.packets_faulted += 1
+        return packet
+
+    def stream(self, packets: Iterable[SensorPacket]) -> Iterator[SensorPacket]:
+        """Lazily apply the fault stack to a packet stream."""
+        for packet in packets:
+            yield self.apply(packet)

@@ -1,0 +1,119 @@
+"""The named fault registry behind the fault-matrix study and CLI.
+
+Each entry maps a fault name to a builder that, given a severity and a
+seed, produces one :class:`FaultCell`: the sensor-side injector (if any)
+plus the channel to deploy.  Sensor faults run over a lossless channel so
+the matrix isolates one failure mode per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.base import FaultInjector
+from repro.faults.channel import FaultyChannel, GilbertElliottChannel
+from repro.faults.sensor import (
+    BaselineWanderFault,
+    BurstNoiseFault,
+    ClockDriftFault,
+    FlatlineFault,
+    SaturationFault,
+)
+from repro.wiot.channel import WirelessChannel
+
+__all__ = ["FaultCell", "build_fault_cell", "fault_names"]
+
+
+@dataclass(frozen=True)
+class FaultCell:
+    """One (fault, severity) cell of the robustness matrix."""
+
+    name: str
+    severity: float
+    injector: FaultInjector | None
+    channel: object  # anything with transmit() or deliver()
+
+
+def _sensor_cell(fault_cls):
+    def build(severity: float, seed: int) -> FaultCell:
+        return FaultCell(
+            name="",
+            severity=severity,
+            injector=FaultInjector([fault_cls(severity)], seed=seed),
+            channel=WirelessChannel(seed=seed),
+        )
+
+    return build
+
+
+def _bursty_loss_cell(severity: float, seed: int) -> FaultCell:
+    return FaultCell(
+        name="",
+        severity=severity,
+        injector=None,
+        channel=GilbertElliottChannel.from_severity(severity, seed=seed),
+    )
+
+
+def _corruption_cell(severity: float, seed: int) -> FaultCell:
+    return FaultCell(
+        name="",
+        severity=severity,
+        injector=None,
+        channel=FaultyChannel(
+            WirelessChannel(seed=seed),
+            corrupt_probability=severity,
+            seed=seed + 1,
+        ),
+    )
+
+
+def _duplication_cell(severity: float, seed: int) -> FaultCell:
+    return FaultCell(
+        name="",
+        severity=severity,
+        injector=None,
+        channel=FaultyChannel(
+            WirelessChannel(seed=seed),
+            duplicate_probability=severity,
+            reorder_probability=severity / 2.0,
+            seed=seed + 1,
+        ),
+    )
+
+
+_CATALOG = {
+    "flatline": _sensor_cell(FlatlineFault),
+    "saturation": _sensor_cell(SaturationFault),
+    "baseline_wander": _sensor_cell(BaselineWanderFault),
+    "burst_noise": _sensor_cell(BurstNoiseFault),
+    "clock_drift": _sensor_cell(ClockDriftFault),
+    "bursty_loss": _bursty_loss_cell,
+    "corruption": _corruption_cell,
+    "duplication": _duplication_cell,
+}
+
+
+def fault_names() -> tuple[str, ...]:
+    """Every fault the matrix knows, in catalog order."""
+    return tuple(_CATALOG)
+
+
+def build_fault_cell(name: str, severity: float, seed: int = 0) -> FaultCell:
+    """Instantiate one (fault, severity) cell from the registry."""
+    try:
+        builder = _CATALOG[name]
+    except KeyError:
+        valid = ", ".join(_CATALOG)
+        raise ValueError(
+            f"unknown fault {name!r}; expected one of: {valid}"
+        ) from None
+    if not 0.0 <= severity <= 1.0:
+        raise ValueError("severity must be in [0, 1]")
+    cell = builder(float(severity), int(seed))
+    return FaultCell(
+        name=name,
+        severity=cell.severity,
+        injector=cell.injector,
+        channel=cell.channel,
+    )

@@ -1,0 +1,253 @@
+"""Channel-side fault models.
+
+Two pieces:
+
+* :class:`GilbertElliottChannel` -- the classic two-state Markov burst
+  loss model, a drop-in alternative to the independent-loss
+  :class:`~repro.wiot.channel.WirelessChannel` (body-area links fade in
+  bursts when the wearer turns away from the base station, they do not
+  flip coins per packet);
+* :class:`FaultyChannel` -- a wrapper adding packet duplication,
+  reordering and payload bit-flip corruption on top of any loss model,
+  with a sender-side CRC stamped on every delivery so the base station
+  can *detect* corruption instead of classifying garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.wiot.channel import DeliveredPacket, WirelessChannel
+from repro.wiot.sensor import SensorPacket
+
+__all__ = ["FaultyChannel", "GilbertElliottChannel"]
+
+
+@dataclass
+class GilbertElliottChannel:
+    """Two-state Markov (Gilbert-Elliott) bursty-loss wireless link.
+
+    The channel is in a *good* or *bad* state; each transmission first
+    makes a state transition, then drops the packet with the state's
+    loss probability.  Mean burst length is ``1 / p_bad_to_good``.
+
+    Parameters
+    ----------
+    good_loss / bad_loss:
+        Drop probability in the good / bad state.
+    p_good_to_bad / p_bad_to_good:
+        Per-packet transition probabilities.
+    base_latency_s / jitter_s:
+        Same latency model as :class:`WirelessChannel`.
+    seed:
+        Seed of the channel's own RNG; :meth:`reset` restores it.
+    """
+
+    good_loss: float = 0.0
+    bad_loss: float = 0.8
+    p_good_to_bad: float = 0.05
+    p_bad_to_good: float = 0.3
+    base_latency_s: float = 0.05
+    jitter_s: float = 0.05
+    seed: int = 7
+    packets_sent: int = field(default=0, init=False)
+    packets_dropped: int = field(default=0, init=False)
+    _bad: bool = field(default=False, init=False, repr=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        for name in ("good_loss", "bad_loss"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        for name in ("p_good_to_bad", "p_bad_to_good"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.base_latency_s < 0 or self.jitter_s < 0:
+            raise ValueError("latencies must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    @classmethod
+    def from_severity(cls, severity: float, seed: int = 7) -> "GilbertElliottChannel":
+        """Map a ``[0, 1]`` severity onto a plausible burst-loss regime.
+
+        Severity 0 never enters (and never drops in) the bad state, so
+        the channel is loss-free and equivalent to a clean link; severity
+        1 spends long stretches in a state that drops ~90 % of packets.
+        """
+        if not 0.0 <= severity <= 1.0:
+            raise ValueError("severity must be in [0, 1]")
+        return cls(
+            good_loss=0.0,
+            bad_loss=0.9 * severity,
+            p_good_to_bad=0.08 * severity,
+            p_bad_to_good=max(0.05, 0.4 - 0.3 * severity),
+            seed=seed,
+        )
+
+    def reset(self) -> None:
+        """Restore counters, the Markov state and the RNG stream."""
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self._bad = False
+        self._rng = np.random.default_rng(self.seed)
+
+    def transmit(self, packet: SensorPacket) -> DeliveredPacket | None:
+        """Send one packet; ``None`` means the channel dropped it."""
+        self.packets_sent += 1
+        flip = self.p_bad_to_good if self._bad else self.p_good_to_bad
+        if flip > 0.0 and self._rng.random() < flip:
+            self._bad = not self._bad
+        loss = self.bad_loss if self._bad else self.good_loss
+        if loss > 0.0 and self._rng.random() < loss:
+            self.packets_dropped += 1
+            return None
+        latency = self.base_latency_s + self._rng.uniform(0.0, self.jitter_s)
+        return DeliveredPacket(
+            packet=packet, arrival_time_s=packet.start_time_s + latency
+        )
+
+    @property
+    def delivery_rate(self) -> float:
+        if self.packets_sent == 0:
+            return 1.0
+        return 1.0 - self.packets_dropped / self.packets_sent
+
+
+class FaultyChannel:
+    """Duplication, reordering and bit-flip corruption over any link.
+
+    Wraps an inner loss model (anything with ``transmit``) and exposes
+    :meth:`deliver`, which may return zero, one or several packets per
+    send -- the environment drains the list in order.  Every delivery is
+    stamped with the sender-side payload CRC *before* corruption, so the
+    receiver can detect (and refuse to classify) corrupted payloads.
+
+    Parameters
+    ----------
+    inner:
+        The underlying loss/latency model.
+    duplicate_probability:
+        Chance a delivered packet arrives twice.
+    reorder_probability:
+        Chance a delivered packet is held back and swapped with the next
+        delivery.
+    corrupt_probability:
+        Chance the payload suffers ``corrupt_bits`` random bit flips.
+    corrupt_bits:
+        Bits flipped per corruption event.
+    seed:
+        Seed of the wrapper's own RNG; :meth:`reset` restores it (and
+        resets the inner channel when it supports ``reset``).
+    """
+
+    def __init__(
+        self,
+        inner: WirelessChannel | GilbertElliottChannel | None = None,
+        *,
+        duplicate_probability: float = 0.0,
+        reorder_probability: float = 0.0,
+        corrupt_probability: float = 0.0,
+        corrupt_bits: int = 8,
+        seed: int = 99,
+    ) -> None:
+        for name, value in (
+            ("duplicate_probability", duplicate_probability),
+            ("reorder_probability", reorder_probability),
+            ("corrupt_probability", corrupt_probability),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if corrupt_bits < 1:
+            raise ValueError("corrupt_bits must be >= 1")
+        self.inner = inner if inner is not None else WirelessChannel()
+        self.duplicate_probability = float(duplicate_probability)
+        self.reorder_probability = float(reorder_probability)
+        self.corrupt_probability = float(corrupt_probability)
+        self.corrupt_bits = int(corrupt_bits)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+        self._held: DeliveredPacket | None = None
+        self.packets_duplicated = 0
+        self.packets_reordered = 0
+        self.packets_corrupted = 0
+
+    # -- counters proxy the inner loss model --------------------------------
+
+    @property
+    def packets_sent(self) -> int:
+        return self.inner.packets_sent
+
+    @property
+    def packets_dropped(self) -> int:
+        return self.inner.packets_dropped
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.inner.delivery_rate
+
+    def reset(self) -> None:
+        """Restore the wrapper (and inner channel) to its initial state."""
+        if hasattr(self.inner, "reset"):
+            self.inner.reset()
+        self._rng = np.random.default_rng(self.seed)
+        self._held = None
+        self.packets_duplicated = 0
+        self.packets_reordered = 0
+        self.packets_corrupted = 0
+
+    def _corrupt(self, delivered: DeliveredPacket) -> DeliveredPacket:
+        """Flip random payload bits, keeping the pre-flight CRC stamp."""
+        samples = delivered.packet.samples
+        raw = bytearray(np.ascontiguousarray(samples).tobytes())
+        for _ in range(self.corrupt_bits):
+            position = int(self._rng.integers(0, len(raw)))
+            raw[position] ^= 1 << int(self._rng.integers(0, 8))
+        corrupted = np.frombuffer(bytes(raw), dtype=samples.dtype)
+        self.packets_corrupted += 1
+        return replace(
+            delivered, packet=replace(delivered.packet, samples=corrupted)
+        )
+
+    def deliver(self, packet: SensorPacket) -> list[DeliveredPacket]:
+        """Send one packet; returns everything that arrives *now*."""
+        delivered = self.inner.transmit(packet)
+        arriving: list[DeliveredPacket] = []
+        if delivered is not None:
+            delivered = replace(delivered, crc32=delivered.packet.payload_crc32())
+            if (
+                self.corrupt_probability > 0.0
+                and self._rng.random() < self.corrupt_probability
+            ):
+                delivered = self._corrupt(delivered)
+            arriving.append(delivered)
+            if (
+                self.duplicate_probability > 0.0
+                and self._rng.random() < self.duplicate_probability
+            ):
+                self.packets_duplicated += 1
+                arriving.append(delivered)
+        out: list[DeliveredPacket] = []
+        for item in arriving:
+            if self._held is not None:
+                # The newer packet overtakes the held one.
+                out.append(item)
+                out.append(self._held)
+                self._held = None
+                self.packets_reordered += 1
+            elif (
+                self.reorder_probability > 0.0
+                and self._rng.random() < self.reorder_probability
+            ):
+                self._held = item
+            else:
+                out.append(item)
+        return out
+
+    def drain(self) -> list[DeliveredPacket]:
+        """Release any packet still held back for reordering."""
+        if self._held is None:
+            return []
+        held, self._held = self._held, None
+        return [held]

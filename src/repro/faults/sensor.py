@@ -1,0 +1,167 @@
+"""Sensor-side fault models.
+
+Each fault rewrites the *samples* (and, where physical, the peak
+metadata) of individual packets, mimicking what a wearable front end
+actually emits under the failure: a lead-off electrode flatlines, a
+saturated ADC clips, motion adds impulsive bursts, respiration and cable
+sway add baseline wander, and free-running sensor clocks drift the two
+channels apart.  All faults return a *new* packet (packets are frozen);
+an untouched packet is returned as-is so identity checks stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.faults.base import SensorFault
+from repro.wiot.sensor import SensorPacket
+
+__all__ = [
+    "BaselineWanderFault",
+    "BurstNoiseFault",
+    "ClockDriftFault",
+    "FlatlineFault",
+    "SaturationFault",
+]
+
+
+class FlatlineFault(SensorFault):
+    """Lead-off / disconnected electrode: a segment pins to one value.
+
+    With probability ``severity`` a packet gets a contiguous flat segment
+    covering ``severity`` of its span, held at the signal value where the
+    dropout began.  Peaks inside the dead segment are removed -- a real
+    peak detector finds no beats on a flat trace.
+    """
+
+    def apply(
+        self, packet: SensorPacket, rng: np.random.Generator
+    ) -> SensorPacket:
+        if rng.random() >= self.severity:
+            return packet
+        n = packet.samples.size
+        length = max(1, int(round(self.severity * n)))
+        start = int(rng.integers(0, max(1, n - length + 1)))
+        samples = packet.samples.copy()
+        samples[start : start + length] = samples[start]
+        peaks = np.asarray(packet.peak_indexes)
+        keep = (peaks < start) | (peaks >= start + length)
+        return replace(packet, samples=samples, peak_indexes=peaks[keep])
+
+
+class SaturationFault(SensorFault):
+    """ADC saturation: the dynamic range collapses and extremes clip.
+
+    Severity shrinks the usable range symmetrically: the packet is
+    clipped to its ``[45 * s, 100 - 45 * s]`` percentile band, so
+    severity 1 squashes everything into the inter-decile core.
+    Deterministic (no RNG) -- saturation hits every packet alike.
+    """
+
+    def apply(
+        self, packet: SensorPacket, rng: np.random.Generator
+    ) -> SensorPacket:
+        q = 45.0 * self.severity
+        lo, hi = np.percentile(packet.samples, [q, 100.0 - q])
+        if lo >= hi:
+            hi = lo
+        return replace(packet, samples=np.clip(packet.samples, lo, hi))
+
+
+class BaselineWanderFault(SensorFault):
+    """Low-frequency baseline drift (respiration, cable sway).
+
+    Adds a sinusoid at ``frequency_hz`` with a random per-packet phase
+    and an amplitude of ``severity/2`` of the packet's peak-to-peak span.
+    """
+
+    def __init__(self, severity: float, frequency_hz: float = 0.3) -> None:
+        super().__init__(severity)
+        if frequency_hz <= 0:
+            raise ValueError("frequency_hz must be positive")
+        self.frequency_hz = float(frequency_hz)
+
+    def apply(
+        self, packet: SensorPacket, rng: np.random.Generator
+    ) -> SensorPacket:
+        samples = packet.samples
+        span = float(np.max(samples) - np.min(samples))
+        amplitude = 0.5 * self.severity * span
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        t = np.arange(samples.size) / packet.sample_rate
+        wander = amplitude * np.sin(2.0 * np.pi * self.frequency_hz * t + phase)
+        return replace(packet, samples=samples + wander)
+
+
+class BurstNoiseFault(SensorFault):
+    """Impulsive additive noise bursts (motion artifacts, EMG pickup).
+
+    With probability ``severity`` a packet receives one Gaussian burst
+    covering ~5 % of the window, scaled to ``4 * severity`` of the
+    packet's standard deviation -- impulsive enough to trip the SQI's
+    burst-energy check at high severity.
+    """
+
+    def apply(
+        self, packet: SensorPacket, rng: np.random.Generator
+    ) -> SensorPacket:
+        if rng.random() >= self.severity:
+            return packet
+        samples = packet.samples.copy()
+        n = samples.size
+        length = max(1, n // 20)
+        start = int(rng.integers(0, max(1, n - length + 1)))
+        scale = 4.0 * self.severity * float(np.std(samples))
+        samples[start : start + length] += scale * rng.standard_normal(length)
+        return replace(packet, samples=samples)
+
+
+class ClockDriftFault(SensorFault):
+    """ECG<->ABP desynchronization from free-running sensor clocks.
+
+    The affected channels accumulate ``severity * max_drift_s_per_packet``
+    of skew per packet; each packet is circularly shifted by the
+    accumulated drift (peak indexes shift with it), so the two channels
+    silently slide apart over the stream.  Stateful: :meth:`reset` clears
+    the accumulated skew.
+    """
+
+    def __init__(
+        self,
+        severity: float,
+        channels: tuple[str, ...] = ("abp",),
+        max_drift_s_per_packet: float = 0.05,
+    ) -> None:
+        super().__init__(severity)
+        if not channels:
+            raise ValueError("need at least one channel to drift")
+        for channel in channels:
+            if channel not in ("ecg", "abp"):
+                raise ValueError(f"unknown channel: {channel!r}")
+        if max_drift_s_per_packet <= 0:
+            raise ValueError("max_drift_s_per_packet must be positive")
+        self.channels = tuple(channels)
+        self.max_drift_s_per_packet = float(max_drift_s_per_packet)
+        self._drift_s: dict[str, float] = {}
+
+    def reset(self) -> None:
+        self._drift_s = {}
+
+    def apply(
+        self, packet: SensorPacket, rng: np.random.Generator
+    ) -> SensorPacket:
+        if packet.channel not in self.channels:
+            return packet
+        drift = self._drift_s.get(packet.channel, 0.0)
+        drift += self.severity * self.max_drift_s_per_packet
+        self._drift_s[packet.channel] = drift
+        shift = int(round(drift * packet.sample_rate))
+        if shift == 0:
+            return packet
+        n = packet.samples.size
+        shift %= n
+        samples = np.roll(packet.samples, shift)
+        peaks = np.sort((np.asarray(packet.peak_indexes) + shift) % n)
+        return replace(packet, samples=samples, peak_indexes=peaks)

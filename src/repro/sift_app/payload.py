@@ -40,6 +40,22 @@ class DeviceWindow:
     def n_samples(self) -> int:
         return int(self.ecg.size)
 
+    def as_signal_window(self, subject_id: str = "") -> SignalWindow:
+        """View the device payload as a simulation window.
+
+        Used by the base station's quality gate: the SQI is assessed on
+        exactly the float32 payload the detector would see, so the gate
+        and the classifier agree about the data under judgement.
+        """
+        return SignalWindow(
+            ecg=self.ecg,
+            abp=self.abp,
+            r_peaks=self.r_peaks,
+            systolic_peaks=self.systolic_peaks,
+            sample_rate=self.sample_rate,
+            subject_id=subject_id,
+        )
+
     @classmethod
     def from_signal_window(cls, window: SignalWindow) -> "DeviceWindow":
         """Convert a simulation window to the device format.

@@ -5,6 +5,12 @@ windows, hands each complete window to the SIFT app running on its
 simulated Amulet, and forwards the window verdicts downstream to the sink.
 Windows whose ECG or ABP half was lost in the channel are counted and
 skipped -- a safety-critical detector must not classify half a window.
+
+Graceful degradation: an optional integrity layer (CRC stamped by the
+channel) rejects corrupted packets on arrival, and an optional
+:class:`~repro.signals.quality.SignalQualityIndex` gate converts
+low-quality windows into explicit *abstain* verdicts -- tracked coverage
+loss, never a silent skip and never a classification of garbage.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.detector import SIFTDetector
+from repro.signals.quality import SignalQualityIndex
 from repro.sift_app.harness import AmuletSIFTRunner
 from repro.sift_app.payload import DeviceWindow
 from repro.wiot.channel import DeliveredPacket
@@ -24,12 +31,20 @@ __all__ = ["BaseStation", "WindowVerdict"]
 
 @dataclass(frozen=True)
 class WindowVerdict:
-    """The base station's decision about one assembled window."""
+    """The base station's decision about one assembled window.
+
+    ``abstained`` marks a window the quality gate refused to classify;
+    its ``decision_value`` is NaN and ``altered`` is False (an abstain is
+    neither an alert nor a clean bill -- scoring must exclude it).
+    ``sqi`` carries the gate's quality index when a gate was consulted.
+    """
 
     sequence: int
     time_s: float
     altered: bool
     decision_value: float
+    abstained: bool = False
+    sqi: float | None = None
 
 
 class BaseStation:
@@ -41,14 +56,28 @@ class BaseStation:
         A fitted reference detector to deploy on the simulated Amulet.
     sink:
         Downstream sink receiving verdicts (optional).
+    quality_gate:
+        Optional SQI gate; windows scoring below its threshold yield an
+        abstain verdict instead of a classification.  ``None`` (the
+        default) keeps the historical classify-everything behaviour.
     """
 
-    def __init__(self, detector: SIFTDetector, sink: Sink | None = None) -> None:
+    def __init__(
+        self,
+        detector: SIFTDetector,
+        sink: Sink | None = None,
+        quality_gate: SignalQualityIndex | None = None,
+    ) -> None:
         self.runner = AmuletSIFTRunner(detector)
         self.sink = sink
+        self.quality_gate = quality_gate
         self.verdicts: list[WindowVerdict] = []
         self.incomplete_windows = 0
+        self.abstained_windows = 0
+        self.corrupted_packets = 0
+        self.duplicate_packets = 0
         self._pending: dict[int, dict[str, DeliveredPacket]] = {}
+        self._completed: set[int] = set()
 
     @property
     def app(self):
@@ -63,7 +92,22 @@ class BaseStation:
         if delivered is None:
             return None
         packet = delivered.packet
+        if (
+            delivered.crc32 is not None
+            and packet.payload_crc32() != delivered.crc32
+        ):
+            # In-flight corruption: refuse the payload at the door.  The
+            # window will surface as incomplete (coverage loss), which is
+            # the honest outcome -- its data never arrived intact.
+            self.corrupted_packets += 1
+            return None
+        if packet.sequence in self._completed:
+            self.duplicate_packets += 1
+            return None
         slot = self._pending.setdefault(packet.sequence, {})
+        if packet.channel in slot:
+            self.duplicate_packets += 1
+            return None
         slot[packet.channel] = delivered
         if "ecg" not in slot or "abp" not in slot:
             return None
@@ -76,12 +120,19 @@ class BaseStation:
         self._pending.clear()
         return lost
 
+    def _assess_quality(self, window: DeviceWindow):
+        """Run the SQI gate over an assembled window (None = no gate)."""
+        if self.quality_gate is None:
+            return None
+        return self.quality_gate.assess(window.as_signal_window())
+
     def _classify(
         self, sequence: int, slot: dict[str, DeliveredPacket]
     ) -> WindowVerdict:
         ecg = slot["ecg"].packet
         abp = slot["abp"].packet
         del self._pending[sequence]
+        self._completed.add(sequence)
         if ecg.samples.size != abp.samples.size:
             raise ValueError(
                 f"window {sequence}: ECG and ABP packet lengths differ "
@@ -94,6 +145,21 @@ class BaseStation:
             systolic_peaks=np.asarray(abp.peak_indexes, dtype=np.intp),
             sample_rate=ecg.sample_rate,
         )
+        quality = self._assess_quality(window)
+        if quality is not None and not quality.usable:
+            self.abstained_windows += 1
+            verdict = WindowVerdict(
+                sequence=sequence,
+                time_s=ecg.start_time_s,
+                altered=False,
+                decision_value=float("nan"),
+                abstained=True,
+                sqi=quality.sqi,
+            )
+            self.verdicts.append(verdict)
+            if self.sink is not None:
+                self.sink.store_verdict(verdict)
+            return verdict
         app = self.runner.app
         before = len(app.predictions)
         self.runner.os.deliver_sensor_window(app.name, window)
@@ -107,6 +173,7 @@ class BaseStation:
                 time_s=ecg.start_time_s,
                 altered=True,  # fail-safe: unverifiable data is suspect
                 decision_value=float("nan"),
+                sqi=None if quality is None else quality.sqi,
             )
         else:
             verdict = WindowVerdict(
@@ -114,6 +181,7 @@ class BaseStation:
                 time_s=ecg.start_time_s,
                 altered=app.predictions[-1],
                 decision_value=app.decision_values[-1],
+                sqi=None if quality is None else quality.sqi,
             )
         self.verdicts.append(verdict)
         if self.sink is not None:
@@ -121,5 +189,10 @@ class BaseStation:
         return verdict
 
     @property
+    def decided_verdicts(self) -> list[WindowVerdict]:
+        """Verdicts the detector actually issued (abstains excluded)."""
+        return [v for v in self.verdicts if not v.abstained]
+
+    @property
     def alert_count(self) -> int:
-        return sum(1 for v in self.verdicts if v.altered)
+        return sum(1 for v in self.verdicts if v.altered and not v.abstained)

@@ -20,10 +20,17 @@ __all__ = ["DeliveredPacket", "WirelessChannel"]
 
 @dataclass(frozen=True)
 class DeliveredPacket:
-    """A packet as it arrives at the base station."""
+    """A packet as it arrives at the base station.
+
+    ``crc32`` is the sender-side checksum of the payload, stamped by
+    integrity-aware channels (e.g. :class:`repro.faults.FaultyChannel`);
+    ``None`` means the link carries no integrity layer.  The base station
+    recomputes the CRC on arrival and discards mismatching packets.
+    """
 
     packet: SensorPacket
     arrival_time_s: float
+    crc32: int | None = None
 
 
 @dataclass
@@ -54,6 +61,21 @@ class WirelessChannel:
             raise ValueError("loss_probability must be in [0, 1)")
         if self.base_latency_s < 0 or self.jitter_s < 0:
             raise ValueError("latencies must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def reset(self, loss_probability: float | None = None) -> None:
+        """Restore counters and reseed the RNG (optionally re-dialling loss).
+
+        A sweep can reuse one channel instance across sweep points and
+        still get the exact drop sequence a freshly constructed channel
+        would produce -- counters no longer leak across studies.
+        """
+        if loss_probability is not None:
+            if not 0.0 <= loss_probability < 1.0:
+                raise ValueError("loss_probability must be in [0, 1)")
+            self.loss_probability = float(loss_probability)
+        self.packets_sent = 0
+        self.packets_dropped = 0
         self._rng = np.random.default_rng(self.seed)
 
     def transmit(self, packet: SensorPacket) -> DeliveredPacket | None:

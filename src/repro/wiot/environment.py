@@ -3,14 +3,16 @@
 ``WIoTEnvironment.run`` streams a subject's recording through the ECG and
 ABP sensors, across the lossy wireless channel, into the base station's
 Amulet-hosted detector, and down to the sink -- optionally with the ECG
-sensor compromised partway through.  The returned summary carries
-everything an experiment needs: verdicts, ground truth, loss statistics
-and detection latency.
+sensor compromised partway through, a fault stack rewriting the sensor
+packets, and an SQI gate abstaining on unusable windows.  The returned
+summary carries everything an experiment needs: verdicts, ground truth,
+loss/abstain statistics and detection latency.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -18,17 +20,29 @@ from repro.attacks.base import SensorHijackingAttack
 from repro.core.detector import SIFTDetector
 from repro.ml.metrics import DetectionReport, score_predictions
 from repro.signals.dataset import Record
+from repro.signals.quality import SignalQualityIndex
 from repro.wiot.basestation import BaseStation
 from repro.wiot.channel import WirelessChannel
 from repro.wiot.sensor import BodySensor, CompromisedSensor
 from repro.wiot.sink import Sink
+
+if TYPE_CHECKING:
+    from repro.faults.base import FaultInjector
 
 __all__ = ["WIoTEnvironment", "WIoTRunSummary"]
 
 
 @dataclass(frozen=True)
 class WIoTRunSummary:
-    """Outcome of one environment run."""
+    """Outcome of one environment run.
+
+    ``n_windows_classified`` counts windows the detector actually decided;
+    abstained windows are reported separately (they reached the detector
+    but the quality gate withheld judgement).  Coverage therefore is
+    ``n_windows_classified / n_windows_sent`` and the abstain rate
+    ``n_windows_abstained / n_windows_sent`` -- both forms of coverage
+    loss, never silently dropped.
+    """
 
     n_windows_sent: int
     n_windows_classified: int
@@ -38,6 +52,9 @@ class WIoTRunSummary:
     attack_active_after_s: float | None
     channel_delivery_rate: float
     report: DetectionReport | None
+    n_windows_abstained: int = 0
+    n_packets_corrupted: int = 0
+    n_packets_duplicated: int = 0
 
     @property
     def detection_latency_s(self) -> float | None:
@@ -45,6 +62,20 @@ class WIoTRunSummary:
         if self.attack_active_after_s is None or self.first_alert_time_s is None:
             return None
         return max(0.0, self.first_alert_time_s - self.attack_active_after_s)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of sent windows that received a real decision."""
+        if self.n_windows_sent == 0:
+            return 1.0
+        return self.n_windows_classified / self.n_windows_sent
+
+    @property
+    def abstain_rate(self) -> float:
+        """Fraction of sent windows the quality gate abstained on."""
+        if self.n_windows_sent == 0:
+            return 0.0
+        return self.n_windows_abstained / self.n_windows_sent
 
 
 class WIoTEnvironment:
@@ -56,15 +87,33 @@ class WIoTEnvironment:
         Fitted reference detector to deploy on the base station.
     channel:
         Wireless model shared by both sensors (defaults to lossless).
+        Accepts anything with ``transmit(packet)`` (one delivery or
+        ``None``) or ``deliver(packet)`` (a list of deliveries, e.g.
+        :class:`repro.faults.FaultyChannel` with duplication/reordering).
+    quality_gate:
+        Optional SQI gate forwarded to the base station; low-quality
+        windows yield abstain verdicts instead of classifications.
     """
 
     def __init__(
-        self, detector: SIFTDetector, channel: WirelessChannel | None = None
+        self,
+        detector: SIFTDetector,
+        channel: WirelessChannel | None = None,
+        quality_gate: SignalQualityIndex | None = None,
     ) -> None:
         self.detector = detector
-        self.channel = channel or WirelessChannel()
+        self.channel = channel if channel is not None else WirelessChannel()
         self.sink = Sink()
-        self.base_station = BaseStation(detector, sink=self.sink)
+        self.base_station = BaseStation(
+            detector, sink=self.sink, quality_gate=quality_gate
+        )
+
+    def _deliveries(self, packet) -> list:
+        """Normalize single- and multi-delivery channels to a list."""
+        if hasattr(self.channel, "deliver"):
+            return self.channel.deliver(packet)
+        delivered = self.channel.transmit(packet)
+        return [] if delivered is None else [delivered]
 
     def run(
         self,
@@ -73,6 +122,7 @@ class WIoTEnvironment:
         attack_after_s: float = 0.0,
         rng: np.random.Generator | None = None,
         window_s: float = 3.0,
+        sensor_faults: "FaultInjector | None" = None,
     ) -> WIoTRunSummary:
         """Stream one recording through the environment.
 
@@ -88,6 +138,10 @@ class WIoTEnvironment:
             Randomness for the attack; defaults to a fixed seed.
         window_s:
             Packetization / detection window size.
+        sensor_faults:
+            Optional fault stack applied to every sensor packet before
+            transmission (both channels share the injector, so drift
+            faults can desynchronize them).
         """
         rng = rng if rng is not None else np.random.default_rng(0)
         ecg_sensor: BodySensor | CompromisedSensor = BodySensor(
@@ -105,28 +159,47 @@ class WIoTEnvironment:
 
         truth: dict[int, bool] = {}
         n_sent = 0
-        for ecg_packet, abp_packet in zip(ecg_sensor.packets(), abp_sensor.packets()):
+        ecg_packets = ecg_sensor.packets()
+        abp_packets = abp_sensor.packets()
+        if sensor_faults is not None:
+            ecg_packets = sensor_faults.stream(ecg_packets)
+            abp_packets = sensor_faults.stream(abp_packets)
+        for ecg_packet, abp_packet in zip(ecg_packets, abp_packets):
             n_sent += 1
             truth[ecg_packet.sequence] = (
                 attack is not None and ecg_packet.start_time_s >= attack_after_s
             )
-            self.base_station.receive(self.channel.transmit(ecg_packet))
-            self.base_station.receive(self.channel.transmit(abp_packet))
-        lost = self.base_station.flush_incomplete()
+            for delivered in self._deliveries(ecg_packet):
+                self.base_station.receive(delivered)
+            for delivered in self._deliveries(abp_packet):
+                self.base_station.receive(delivered)
+        if hasattr(self.channel, "drain"):
+            for delivered in self.channel.drain():
+                self.base_station.receive(delivered)
+        self.base_station.flush_incomplete()
 
         verdicts = self.base_station.verdicts
+        decided = self.base_station.decided_verdicts
+        # A window is lost when it never produced a verdict, whatever the
+        # avenue: a half dropped by the channel, both halves dropped, or
+        # packets rejected at the door (CRC mismatch).  Counting pending
+        # slots alone would miss the latter two.
+        lost = n_sent - len(verdicts)
         report = None
-        if verdicts:
-            predicted = np.array([v.altered for v in verdicts])
-            actual = np.array([truth[v.sequence] for v in verdicts])
+        if decided:
+            predicted = np.array([v.altered for v in decided])
+            actual = np.array([truth[v.sequence] for v in decided])
             report = score_predictions(predicted, actual)
         return WIoTRunSummary(
             n_windows_sent=n_sent,
-            n_windows_classified=len(verdicts),
+            n_windows_classified=len(decided),
             n_windows_lost=lost,
             alert_count=self.base_station.alert_count,
             first_alert_time_s=self.sink.first_alert_time(),
             attack_active_after_s=attack_after_s if attack is not None else None,
             channel_delivery_rate=self.channel.delivery_rate,
             report=report,
+            n_windows_abstained=len(verdicts) - len(decided),
+            n_packets_corrupted=self.base_station.corrupted_packets,
+            n_packets_duplicated=self.base_station.duplicate_packets,
         )

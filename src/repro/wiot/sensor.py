@@ -11,6 +11,7 @@ sensory channel, physical).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -44,6 +45,18 @@ class SensorPacket:
     @property
     def duration_s(self) -> float:
         return self.samples.size / self.sample_rate
+
+    def payload_crc32(self) -> int:
+        """Checksum over the payload an integrity layer must protect.
+
+        Covers the samples, the peak indexes and the routing header
+        (channel + sequence), so in-flight bit flips in any of them are
+        detectable by the receiver.
+        """
+        crc = zlib.crc32(f"{self.channel}:{self.sequence}".encode())
+        crc = zlib.crc32(np.ascontiguousarray(self.samples).tobytes(), crc)
+        peaks = np.ascontiguousarray(self.peak_indexes, dtype=np.int64)
+        return zlib.crc32(peaks.tobytes(), crc)
 
 
 class BodySensor:

@@ -1,0 +1,175 @@
+"""Hysteretic tier fallback under sustained signal degradation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import DegradationController, TierSwitch
+from repro.core.streaming import StreamingDetector
+from repro.core.versions import DetectorVersion
+from repro.signals.quality import QualityReport, SignalQualityIndex
+
+
+def _report(sqi: float, usable: bool | None = None) -> QualityReport:
+    return QualityReport(
+        sqi=sqi,
+        usable=sqi >= 0.5 if usable is None else usable,
+        clipping_score=sqi,
+        burst_score=sqi,
+        beat_score=sqi,
+    )
+
+
+GOOD = _report(0.9)
+BAD = _report(0.1)
+
+
+class TestLadder:
+    def test_starts_at_the_heaviest_tier(self):
+        controller = DegradationController()
+        assert controller.active is DetectorVersion.ORIGINAL
+        assert controller.switches == []
+
+    def test_steps_down_after_consecutive_degraded_windows(self):
+        controller = DegradationController(degrade_after=3, recover_after=5)
+        for _ in range(2):
+            assert controller.observe(BAD) is DetectorVersion.ORIGINAL
+        assert controller.observe(BAD) is DetectorVersion.SIMPLIFIED
+        assert controller.switches == [
+            TierSwitch(2, DetectorVersion.SIMPLIFIED, "down")
+        ]
+
+    def test_descends_the_whole_ladder_and_stops_at_the_bottom(self):
+        controller = DegradationController(degrade_after=2, recover_after=4)
+        for _ in range(20):
+            controller.observe(BAD)
+        assert controller.active is DetectorVersion.REDUCED
+        downs = [s for s in controller.switches if s.direction == "down"]
+        assert [s.version for s in downs] == [
+            DetectorVersion.SIMPLIFIED,
+            DetectorVersion.REDUCED,
+        ]
+
+    def test_interleaved_good_window_resets_the_bad_streak(self):
+        controller = DegradationController(degrade_after=3, recover_after=50)
+        for _ in range(2):
+            controller.observe(BAD)
+        controller.observe(GOOD)
+        for _ in range(2):
+            controller.observe(BAD)
+        assert controller.active is DetectorVersion.ORIGINAL
+        assert controller.switches == []
+
+
+class TestHysteresis:
+    def test_recovery_lags_degradation(self):
+        controller = DegradationController(degrade_after=2, recover_after=6)
+        for _ in range(2):
+            controller.observe(BAD)
+        assert controller.active is DetectorVersion.SIMPLIFIED
+        # Five clean windows are not enough to earn the way back up.
+        for _ in range(5):
+            controller.observe(GOOD)
+        assert controller.active is DetectorVersion.SIMPLIFIED
+        controller.observe(GOOD)
+        assert controller.active is DetectorVersion.ORIGINAL
+        assert controller.switches[-1].direction == "up"
+
+    def test_boundary_noise_does_not_thrash(self):
+        controller = DegradationController(degrade_after=3, recover_after=8)
+        # Alternating good/bad never sustains either streak.
+        for i in range(100):
+            controller.observe(BAD if i % 2 else GOOD)
+        assert controller.switches == []
+        assert controller.n_observed == 100
+
+    def test_sqi_floor_overrides_the_usable_verdict(self):
+        controller = DegradationController(
+            degrade_after=1, recover_after=2, sqi_floor=0.95
+        )
+        # usable=True but below the stricter floor: still degraded.
+        controller.observe(_report(0.9, usable=True))
+        assert controller.active is DetectorVersion.SIMPLIFIED
+
+    def test_reset_returns_to_the_top(self):
+        controller = DegradationController(degrade_after=1, recover_after=1)
+        controller.observe(BAD)
+        assert controller.active is DetectorVersion.SIMPLIFIED
+        controller.reset()
+        assert controller.active is DetectorVersion.ORIGINAL
+        assert controller.switches == []
+        assert controller.n_observed == 0
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="tier"):
+            DegradationController(tiers=())
+        with pytest.raises(ValueError, match="distinct"):
+            DegradationController(
+                tiers=(DetectorVersion.ORIGINAL, DetectorVersion.ORIGINAL)
+            )
+        with pytest.raises(ValueError, match="degrade_after"):
+            DegradationController(degrade_after=0)
+        with pytest.raises(ValueError, match="sqi_floor"):
+            DegradationController(sqi_floor=1.5)
+
+
+class TestStreamingIntegration:
+    def test_degradation_requires_a_gate(self, trained_detectors):
+        with pytest.raises(ValueError, match="quality_gate"):
+            StreamingDetector(
+                trained_detectors[DetectorVersion.ORIGINAL],
+                degradation=DegradationController(),
+            )
+
+    def test_missing_fallback_is_a_loud_error(
+        self, trained_detectors, labeled_stream
+    ):
+        controller = DegradationController(degrade_after=1, recover_after=2)
+        streaming = StreamingDetector(
+            trained_detectors[DetectorVersion.ORIGINAL],
+            quality_gate=SignalQualityIndex(threshold=0.5),
+            degradation=controller,
+        )
+        # Force the controller down a tier with no fallback registered;
+        # the next *usable* window must fail loudly, not silently reuse
+        # the heavy detector.
+        controller.observe(BAD)
+        assert controller.active is DetectorVersion.SIMPLIFIED
+        usable = next(
+            w
+            for w in labeled_stream.windows
+            if SignalQualityIndex(threshold=0.5).assess(w).usable
+        )
+        with pytest.raises(KeyError, match="simplified"):
+            streaming.process_window(usable)
+
+    def test_fallback_tier_serves_usable_windows(
+        self, trained_detectors, labeled_stream
+    ):
+        controller = DegradationController(degrade_after=1, recover_after=100)
+        streaming = StreamingDetector(
+            trained_detectors[DetectorVersion.ORIGINAL],
+            quality_gate=SignalQualityIndex(threshold=0.5),
+            fallbacks={
+                DetectorVersion.SIMPLIFIED: trained_detectors[
+                    DetectorVersion.SIMPLIFIED
+                ],
+                DetectorVersion.REDUCED: trained_detectors[
+                    DetectorVersion.REDUCED
+                ],
+            },
+            degradation=controller,
+        )
+        controller.observe(BAD)
+        assert controller.active is DetectorVersion.SIMPLIFIED
+        usable = next(
+            w
+            for w in labeled_stream.windows
+            if SignalQualityIndex(threshold=0.5).assess(w).usable
+        )
+        streaming.process_window(usable)
+        # The window was scored (not abstained) by the fallback tier.
+        assert streaming.abstain_count == 0
+        assert streaming.state.window_index == 1

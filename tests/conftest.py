@@ -2,9 +2,17 @@
 
 Expensive artifacts (recordings, trained models) are session-scoped; tests
 must treat them as immutable.
+
+Also hosts a SIGALRM-based per-test timeout (``--test-timeout``, default
+180 s): the hardened-runner tests deliberately inject hangs and worker
+crashes, and a bug there must fail the suite, not wedge it.  Implemented
+in-tree because the execution environment has no pytest-timeout plugin.
 """
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import numpy as np
 import pytest
@@ -14,6 +22,46 @@ from repro.core import SIFTDetector
 from repro.core.versions import DetectorVersion
 from repro.experiments import ExperimentConfig
 from repro.signals import SyntheticFantasia
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--test-timeout",
+        type=float,
+        default=180.0,
+        metavar="S",
+        help="per-test wall-clock limit in seconds (0 disables; "
+        "default: 180)",
+    )
+
+
+def _timeout_supported() -> bool:
+    # SIGALRM only exists on POSIX and only fires in the main thread;
+    # anywhere else the guard silently disables itself.
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    limit = item.config.getoption("--test-timeout")
+    if not limit or not _timeout_supported():
+        return (yield)
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the --test-timeout limit of {limit:g}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

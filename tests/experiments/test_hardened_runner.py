@@ -1,0 +1,205 @@
+"""Fault tolerance of the hardened cohort runner.
+
+Worker crashes and hangs are injected by monkeypatching
+``repro.experiments.runner.run_subject`` *before* the pool starts: the
+runner's pools fork, so the children inherit the patched module.  Each
+test asserts the survivors' outcomes arrive complete, in cohort order,
+with structured fault reports for the casualties.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.experiments.runner import CohortRunner, TaskFaultReport
+
+
+@pytest.fixture(scope="module")
+def config(quick_config):
+    return quick_config
+
+
+def _passthrough(real):
+    def call(dataset, subject, version, cfg, with_device, chunk_size=None):
+        return real(
+            dataset,
+            subject,
+            version,
+            cfg,
+            with_device=with_device,
+            chunk_size=chunk_size,
+        )
+
+    return call
+
+
+class TestFaultReport:
+    def test_error_string_keeps_legacy_format(self):
+        report = TaskFaultReport(
+            kind="exception", error_type="RuntimeError", message="boom", attempts=2
+        )
+        assert report.error == "RuntimeError: boom"
+        assert "[exception]" in report.describe()
+        assert "2 attempts" in report.describe()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            TaskFaultReport(
+                kind="cosmic-ray", error_type="X", message="m", attempts=1
+            )
+
+    def test_knob_validation(self, config):
+        with pytest.raises(ValueError, match="task_timeout_s"):
+            CohortRunner(config=config, task_timeout_s=0.0)
+        with pytest.raises(ValueError, match="max_retries"):
+            CohortRunner(config=config, max_retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff_s"):
+            CohortRunner(config=config, retry_backoff_s=-0.5)
+
+
+class TestSerialRetries:
+    def test_transient_failure_recovers(self, config, monkeypatch):
+        real = runner_module.run_subject
+        calls = {"n": 0}
+
+        def flaky(dataset, subject, version, cfg, with_device, chunk_size=None):
+            if subject is dataset.subjects[0]:
+                calls["n"] += 1
+                if calls["n"] <= 2:
+                    raise RuntimeError("transient")
+            return _passthrough(real)(
+                dataset, subject, version, cfg, with_device, chunk_size
+            )
+
+        monkeypatch.setattr(runner_module, "run_subject", flaky)
+        runner = CohortRunner(
+            config=config,
+            jobs=1,
+            with_device=False,
+            max_retries=2,
+            retry_backoff_s=0.0,
+        )
+        outcomes = runner.run_version("reduced", subjects=[0])
+        assert outcomes[0].ok
+        assert calls["n"] == 3
+
+    def test_persistent_failure_reports_attempts(self, config, monkeypatch):
+        def doomed(dataset, subject, version, cfg, with_device, chunk_size=None):
+            raise RuntimeError("always broken")
+
+        monkeypatch.setattr(runner_module, "run_subject", doomed)
+        runner = CohortRunner(
+            config=config,
+            jobs=1,
+            with_device=False,
+            max_retries=2,
+            retry_backoff_s=0.0,
+        )
+        outcomes = runner.run_version("reduced", subjects=[0])
+        assert not outcomes[0].ok
+        assert outcomes[0].error == "RuntimeError: always broken"
+        fault = outcomes[0].fault
+        assert fault.kind == "exception"
+        assert fault.attempts == 3  # the first try plus two retries
+
+
+class TestWorkerCrash:
+    def test_pool_rebuild_recovers_the_cohort(
+        self, config, monkeypatch, tmp_path
+    ):
+        """A worker hard-crash (os._exit) breaks the pool once; the runner
+        rebuilds it and every subject still completes, in cohort order."""
+        sentinel = tmp_path / "crashed-once"
+        real = runner_module.run_subject
+
+        def crash_once(dataset, subject, version, cfg, with_device, chunk_size=None):
+            if subject is dataset.subjects[1] and not sentinel.exists():
+                sentinel.write_text("crashed")
+                os._exit(17)
+            return _passthrough(real)(
+                dataset, subject, version, cfg, with_device, chunk_size
+            )
+
+        monkeypatch.setattr(runner_module, "run_subject", crash_once)
+        with CohortRunner(
+            config=config,
+            jobs=2,
+            with_device=False,
+            max_retries=1,
+            retry_backoff_s=0.0,
+        ) as runner:
+            outcomes = runner.run_version("reduced", subjects=[0, 1, 2])
+        assert sentinel.exists()
+        assert [o.ok for o in outcomes] == [True, True, True]
+        assert runner.pool_rebuilds == 1
+        expected = [runner.dataset.subjects[i].subject_id for i in (0, 1, 2)]
+        assert [o.subject_id for o in outcomes] == expected
+
+    def test_crash_without_retries_faults_as_broken_pool(
+        self, config, monkeypatch, tmp_path
+    ):
+        """With retries disabled a broken pool costs its tasks their only
+        attempt: the undone ones surface as structured broken-pool faults,
+        and the parent survives."""
+        sentinel = tmp_path / "crashed-once"
+        real = runner_module.run_subject
+
+        def crash_once(dataset, subject, version, cfg, with_device, chunk_size=None):
+            if subject is dataset.subjects[0] and not sentinel.exists():
+                sentinel.write_text("crashed")
+                os._exit(17)
+            return _passthrough(real)(
+                dataset, subject, version, cfg, with_device, chunk_size
+            )
+
+        monkeypatch.setattr(runner_module, "run_subject", crash_once)
+        with CohortRunner(
+            config=config, jobs=2, with_device=False, max_retries=0
+        ) as runner:
+            outcomes = runner.run_version("reduced", subjects=[0, 1])
+        faulted = [o for o in outcomes if not o.ok]
+        assert faulted  # at least the crashed subject is reported
+        for outcome in faulted:
+            assert outcome.fault.kind == "broken-pool"
+            assert outcome.error.startswith("BrokenProcessPool")
+            assert outcome.result is None
+
+
+class TestTaskHang:
+    def test_hang_times_out_and_pool_mates_survive(self, config, monkeypatch):
+        """A hung worker is terminated after task_timeout_s; the hung task
+        gets a terminal timeout fault while its innocent pool-mates are
+        requeued (attempt refunded) and complete on the rebuilt pool."""
+        real = runner_module.run_subject
+
+        def hang_first(dataset, subject, version, cfg, with_device, chunk_size=None):
+            if subject is dataset.subjects[0]:
+                time.sleep(600)
+            return _passthrough(real)(
+                dataset, subject, version, cfg, with_device, chunk_size
+            )
+
+        monkeypatch.setattr(runner_module, "run_subject", hang_first)
+        with CohortRunner(
+            config=config,
+            jobs=2,
+            with_device=False,
+            task_timeout_s=15.0,
+            max_retries=0,
+            retry_backoff_s=0.0,
+        ) as runner:
+            started = time.monotonic()
+            outcomes = runner.run_version("reduced", subjects=[0, 1, 2])
+            elapsed = time.monotonic() - started
+        assert elapsed < 120.0  # the hang was cut short, not waited out
+        assert not outcomes[0].ok
+        assert outcomes[0].fault.kind == "timeout"
+        assert outcomes[0].error.startswith("TimeoutError")
+        # Innocent pool-mates complete even with retries disabled.
+        assert outcomes[1].ok
+        assert outcomes[2].ok
+        assert runner.pool_rebuilds >= 1

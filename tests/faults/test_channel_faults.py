@@ -1,0 +1,173 @@
+"""Channel-side faults: bursty loss, corruption, duplication, reordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultyChannel,
+    GilbertElliottChannel,
+    build_fault_cell,
+    fault_names,
+)
+from repro.wiot.channel import WirelessChannel
+from tests.faults.test_sensor_faults import make_packet
+
+
+class TestGilbertElliott:
+    def test_zero_severity_never_drops(self):
+        channel = GilbertElliottChannel.from_severity(0.0)
+        for i in range(200):
+            assert channel.transmit(make_packet(sequence=i)) is not None
+        assert channel.delivery_rate == 1.0
+
+    def test_high_severity_drops_in_bursts(self):
+        channel = GilbertElliottChannel.from_severity(1.0, seed=3)
+        outcomes = [
+            channel.transmit(make_packet(sequence=i)) is None
+            for i in range(500)
+        ]
+        assert channel.packets_dropped > 0
+        assert channel.delivery_rate < 1.0
+        # Bursty: at least one run of >= 3 consecutive drops.
+        run = best = 0
+        for lost in outcomes:
+            run = run + 1 if lost else 0
+            best = max(best, run)
+        assert best >= 3
+
+    def test_reset_restores_the_exact_loss_pattern(self):
+        channel = GilbertElliottChannel.from_severity(0.8, seed=5)
+        first = [
+            channel.transmit(make_packet(sequence=i)) is None for i in range(100)
+        ]
+        channel.reset()
+        second = [
+            channel.transmit(make_packet(sequence=i)) is None for i in range(100)
+        ]
+        assert first == second
+        assert channel.packets_sent == 100
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError, match="bad_loss"):
+            GilbertElliottChannel(bad_loss=1.5)
+        with pytest.raises(ValueError, match="severity"):
+            GilbertElliottChannel.from_severity(2.0)
+
+
+class TestFaultyChannel:
+    def test_stamps_preflight_crc(self):
+        channel = FaultyChannel(WirelessChannel())
+        packet = make_packet()
+        (delivered,) = channel.deliver(packet)
+        assert delivered.crc32 == packet.payload_crc32()
+        assert delivered.packet.payload_crc32() == delivered.crc32
+
+    def test_corruption_breaks_the_crc(self):
+        channel = FaultyChannel(WirelessChannel(), corrupt_probability=1.0)
+        packet = make_packet()
+        (delivered,) = channel.deliver(packet)
+        assert channel.packets_corrupted == 1
+        # The stamp still matches the *sent* payload, not the corrupted one.
+        assert delivered.crc32 == packet.payload_crc32()
+        assert delivered.packet.payload_crc32() != delivered.crc32
+
+    def test_duplication_delivers_twice(self):
+        channel = FaultyChannel(WirelessChannel(), duplicate_probability=1.0)
+        deliveries = channel.deliver(make_packet())
+        assert len(deliveries) == 2
+        assert channel.packets_duplicated == 1
+
+    def test_reordering_holds_and_swaps(self):
+        channel = FaultyChannel(WirelessChannel(), reorder_probability=1.0)
+        assert channel.deliver(make_packet(sequence=0)) == []
+        swapped = channel.deliver(make_packet(sequence=1))
+        assert [d.packet.sequence for d in swapped] == [1, 0]
+        assert channel.packets_reordered == 1
+
+    def test_drain_releases_the_held_packet(self):
+        channel = FaultyChannel(WirelessChannel(), reorder_probability=1.0)
+        channel.deliver(make_packet(sequence=0))
+        (held,) = channel.drain()
+        assert held.packet.sequence == 0
+        assert channel.drain() == []
+
+    def test_reset_clears_wrapper_and_inner(self):
+        inner = WirelessChannel(loss_probability=0.5, seed=2)
+        channel = FaultyChannel(
+            inner, duplicate_probability=0.5, reorder_probability=1.0, seed=4
+        )
+        for i in range(20):
+            channel.deliver(make_packet(sequence=i))
+        channel.reset()
+        assert channel.packets_sent == 0
+        assert channel.packets_duplicated == 0
+        assert channel.packets_reordered == 0
+        assert channel.drain() == []
+
+    def test_rejects_invalid_probabilities(self):
+        with pytest.raises(ValueError, match="corrupt_probability"):
+            FaultyChannel(corrupt_probability=-0.1)
+        with pytest.raises(ValueError, match="corrupt_bits"):
+            FaultyChannel(corrupt_bits=0)
+
+
+class TestCatalog:
+    def test_every_fault_builds_at_any_severity(self):
+        for name in fault_names():
+            for severity in (0.0, 0.5, 1.0):
+                cell = build_fault_cell(name, severity, seed=1)
+                assert cell.name == name
+                assert cell.severity == severity
+                assert hasattr(cell.channel, "transmit") or hasattr(
+                    cell.channel, "deliver"
+                )
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault"):
+            build_fault_cell("gremlins", 0.5)
+
+    def test_out_of_range_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            build_fault_cell("flatline", 1.5)
+
+
+class TestWirelessChannelReset:
+    def test_reset_restores_counters_and_rng(self):
+        channel = WirelessChannel(loss_probability=0.3, seed=9)
+        first = [
+            channel.transmit(make_packet(sequence=i)) is None for i in range(50)
+        ]
+        assert channel.packets_sent == 50
+        channel.reset()
+        assert channel.packets_sent == 0
+        assert channel.packets_dropped == 0
+        second = [
+            channel.transmit(make_packet(sequence=i)) is None for i in range(50)
+        ]
+        assert first == second
+
+    def test_reset_can_change_the_loss_probability(self):
+        channel = WirelessChannel(loss_probability=0.0, seed=9)
+        channel.reset(loss_probability=0.5)
+        assert channel.loss_probability == 0.5
+        # The redialled channel matches a freshly constructed one exactly.
+        fresh = WirelessChannel(loss_probability=0.5, seed=9)
+        for i in range(50):
+            assert (channel.transmit(make_packet(sequence=i)) is None) == (
+                fresh.transmit(make_packet(sequence=i)) is None
+            )
+        with pytest.raises(ValueError, match="loss_probability"):
+            channel.reset(loss_probability=1.5)
+
+
+def test_np_seed_isolation():
+    """Channel RNGs are self-owned: global numpy seeding has no effect."""
+    np.random.seed(0)
+    a = GilbertElliottChannel.from_severity(0.9, seed=1)
+    np.random.seed(123)
+    b = GilbertElliottChannel.from_severity(0.9, seed=1)
+    pattern_a = [a.transmit(make_packet(sequence=i)) is None for i in range(50)]
+    pattern_b = [b.transmit(make_packet(sequence=i)) is None for i in range(50)]
+    assert pattern_a == pattern_b

@@ -1,0 +1,166 @@
+"""Sensor-side fault models: each failure mode leaves its signature."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    BaselineWanderFault,
+    BurstNoiseFault,
+    ClockDriftFault,
+    FaultInjector,
+    FlatlineFault,
+    SaturationFault,
+)
+from repro.wiot.sensor import SensorPacket
+
+
+def make_packet(
+    channel: str = "ecg", sequence: int = 0, n: int = 1080, fs: float = 360.0
+) -> SensorPacket:
+    rng = np.random.default_rng(5 + sequence)
+    t = np.arange(n) / fs
+    samples = np.sin(2 * np.pi * 1.2 * t) + 0.05 * rng.standard_normal(n)
+    return SensorPacket(
+        sensor_id="s0",
+        channel=channel,
+        sequence=sequence,
+        start_time_s=sequence * (n / fs),
+        samples=samples,
+        peak_indexes=np.arange(50, n, 300),
+        sample_rate=fs,
+    )
+
+
+class TestSeverityContract:
+    @pytest.mark.parametrize("severity", (-0.1, 1.5))
+    def test_severity_out_of_range_rejected(self, severity):
+        with pytest.raises(ValueError, match="severity"):
+            FlatlineFault(severity)
+
+    def test_zero_severity_fault_is_skipped_entirely(self):
+        packet = make_packet()
+        injector = FaultInjector([FlatlineFault(0.0), BurstNoiseFault(0.0)])
+        state_before = injector._rng.bit_generator.state
+        assert injector.apply(packet) is packet
+        # Not even an RNG draw: the stream stays untouched for later faults.
+        assert injector._rng.bit_generator.state == state_before
+        assert injector.packets_faulted == 0
+
+
+class TestFlatline:
+    def test_full_severity_flattens_and_drops_peaks(self):
+        packet = make_packet()
+        out = FlatlineFault(1.0).apply(packet, np.random.default_rng(0))
+        assert np.ptp(out.samples) == 0.0
+        assert out.peak_indexes.size == 0
+
+    def test_partial_severity_keeps_outside_peaks(self):
+        packet = make_packet()
+        rng = np.random.default_rng(3)
+        out = None
+        while out is None or out is packet:  # the fault gates on severity
+            out = FlatlineFault(0.5).apply(packet, rng)
+        assert out.samples.size == packet.samples.size
+        assert out.peak_indexes.size <= packet.peak_indexes.size
+        assert set(out.peak_indexes) <= set(packet.peak_indexes)
+
+
+class TestSaturation:
+    def test_is_deterministic(self):
+        packet = make_packet()
+        a = SaturationFault(0.7).apply(packet, np.random.default_rng(0))
+        b = SaturationFault(0.7).apply(packet, np.random.default_rng(99))
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+    def test_range_shrinks_with_severity(self):
+        packet = make_packet()
+        spans = [
+            np.ptp(
+                SaturationFault(s).apply(packet, np.random.default_rng(0)).samples
+            )
+            for s in (0.2, 0.6, 1.0)
+        ]
+        assert spans[0] > spans[1] > spans[2]
+
+
+class TestBaselineWander:
+    def test_adds_low_frequency_component(self):
+        packet = make_packet()
+        out = BaselineWanderFault(1.0).apply(packet, np.random.default_rng(1))
+        assert out.samples.size == packet.samples.size
+        # The wander is additive and large at severity 1.
+        assert np.max(np.abs(out.samples - packet.samples)) > 0.5
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError, match="frequency_hz"):
+            BaselineWanderFault(0.5, frequency_hz=0.0)
+
+
+class TestBurstNoise:
+    def test_full_severity_adds_local_burst(self):
+        packet = make_packet()
+        out = BurstNoiseFault(1.0).apply(packet, np.random.default_rng(2))
+        delta = out.samples - packet.samples
+        assert np.any(delta != 0.0)
+        # A burst is local: most of the window is untouched.
+        assert np.mean(delta != 0.0) < 0.2
+
+
+class TestClockDrift:
+    def test_only_configured_channels_drift(self):
+        fault = ClockDriftFault(1.0, channels=("abp",))
+        rng = np.random.default_rng(0)
+        ecg = make_packet(channel="ecg")
+        assert fault.apply(ecg, rng) is ecg
+
+    def test_drift_accumulates_across_packets(self):
+        fault = ClockDriftFault(1.0, channels=("abp",), max_drift_s_per_packet=0.05)
+        rng = np.random.default_rng(0)
+        first = fault.apply(make_packet(channel="abp", sequence=0), rng)
+        second = fault.apply(make_packet(channel="abp", sequence=1), rng)
+        fs = 360.0
+        shift1 = int(round(0.05 * fs))
+        shift2 = int(round(0.10 * fs))
+        np.testing.assert_array_equal(
+            first.samples,
+            np.roll(make_packet(channel="abp", sequence=0).samples, shift1),
+        )
+        np.testing.assert_array_equal(
+            second.samples,
+            np.roll(make_packet(channel="abp", sequence=1).samples, shift2),
+        )
+        assert np.all(np.diff(second.peak_indexes) > 0)
+
+    def test_reset_clears_accumulated_skew(self):
+        fault = ClockDriftFault(1.0, channels=("abp",))
+        rng = np.random.default_rng(0)
+        packet = make_packet(channel="abp")
+        first = fault.apply(packet, rng)
+        fault.reset()
+        again = fault.apply(packet, rng)
+        np.testing.assert_array_equal(first.samples, again.samples)
+
+    def test_rejects_unknown_channel(self):
+        with pytest.raises(ValueError, match="unknown channel"):
+            ClockDriftFault(0.5, channels=("ppg",))
+
+
+class TestFaultInjector:
+    def test_counts_faulted_packets(self):
+        injector = FaultInjector([SaturationFault(1.0)])
+        injector.apply(make_packet())
+        injector.apply(make_packet(sequence=1))
+        assert injector.packets_faulted == 2
+
+    def test_reset_reproduces_the_stream(self):
+        packets = [make_packet(sequence=i) for i in range(8)]
+        injector = FaultInjector(
+            [FlatlineFault(0.4), BurstNoiseFault(0.6)], seed=11
+        )
+        first = [p.samples.copy() for p in injector.stream(packets)]
+        injector.reset()
+        second = [p.samples.copy() for p in injector.stream(packets)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)

@@ -112,6 +112,54 @@ class TestConfiguration:
             )
 
 
+class TestComponentEdgeCases:
+    """Degenerate inputs every component score must survive."""
+
+    def test_constant_signal_scores_zero_everywhere(self):
+        window = _window(np.full(1080, 3.3), np.full(1080, 3.3))
+        report = assess_window(window)
+        assert report.clipping_score == 0.0  # span collapses: flatline
+        assert report.burst_score == 0.0  # zero first-difference energy
+        assert report.sqi == 0.0
+        assert not report.usable
+
+    def test_all_clipped_square_wave_rejected(self):
+        # Every sample sits at one of the two extremes: 100 % pinned.
+        square = np.where(np.arange(1080) % 360 < 180, -1.0, 1.0)
+        report = assess_window(_window(square, np.abs(square) * 80.0))
+        assert report.clipping_score == 0.0
+        assert not report.usable
+
+    def test_empty_peak_lists_score_zero_beats(self):
+        t = np.arange(1080) / 360.0
+        ecg = np.sin(2 * np.pi * 1.2 * t)
+        report = assess_window(_window(ecg, 80.0 + 20.0 * ecg, r=[], s=[]))
+        assert report.beat_score == 0.0
+        assert report.sqi == 0.0
+        assert not report.usable
+
+    def test_one_empty_channel_is_enough_to_reject(self):
+        t = np.arange(1080) / 360.0
+        ecg = np.sin(2 * np.pi * 1.2 * t)
+        # ECG peaks are plausible; only the ABP peak list is empty.
+        report = assess_window(_window(ecg, 80.0 + 20.0 * ecg, s=[]))
+        assert report.beat_score == 0.0
+
+    def test_sqi_exactly_at_threshold_is_usable(self, labeled_stream):
+        """The gate contract is ``usable = sqi >= threshold``, inclusive."""
+        window = labeled_stream.windows[0]
+        sqi = assess_window(window).sqi
+        assert 0.0 < sqi <= 1.0
+        at_boundary = SignalQualityIndex(threshold=sqi).assess(window)
+        assert at_boundary.sqi == sqi
+        assert at_boundary.usable
+        if sqi < 1.0:
+            nudged = SignalQualityIndex(
+                threshold=min(1.0, float(np.nextafter(sqi, 2.0)))
+            ).assess(window)
+            assert not nudged.usable
+
+
 class TestGatingReducesFalsePositives:
     def test_gate_filters_artifact_windows(self, trained_detectors, dataset, victim):
         """On an artifact-heavy genuine recording, gating trades coverage
