@@ -47,6 +47,7 @@ from repro.amulet.hardware import MSP430FR5989, AmuletHardware, Peripheral
 from repro.amulet.profiler import AmuletResourceProfiler, ResourceProfile
 from repro.amulet.qm import Event, QMApp, State, StateMachine
 from repro.amulet.restricted import (
+    LIBM_OPERATIONS,
     CycleCostModel,
     OpCounter,
     RestrictedEnvironmentError,
@@ -70,6 +71,7 @@ __all__ = [
     "FlashManager",
     "FlashOperation",
     "InternalSensor",
+    "LIBM_OPERATIONS",
     "LightSensor",
     "MSP430FR5989",
     "OSServices",

@@ -24,16 +24,35 @@ element*, the way the real run-to-completion C loops would.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
 
 import numpy as np
 
 __all__ = [
     "CycleCostModel",
+    "LIBM_OPERATIONS",
     "OpCounter",
     "RestrictedEnvironmentError",
     "RestrictedMath",
 ]
+
+#: The canonical libm gate table: every transcendental the restricted
+#: environment exposes, mapped to the cycle-cost category it bills.  This
+#: is the single source of truth consumed by three views of the same
+#: contract: :meth:`RestrictedMath._require_libm` (the runtime gate), the
+#: DEV001 static rule in :mod:`repro.analysis.device_rules` (the
+#: source-level gate) and the C-codegen checker in
+#: :mod:`repro.analysis.c_checker` (the artifact-level gate).
+LIBM_OPERATIONS: Mapping[str, str] = MappingProxyType(
+    {
+        "sqrt": "libm_sqrt",
+        "atan2": "libm_atan",
+        "exp": "libm_exp",
+    }
+)
 
 
 class RestrictedEnvironmentError(RuntimeError):
@@ -99,28 +118,16 @@ class CycleCostModel:
     mem_access: int = 3  # FRAM/SRAM read or write
     branch: int = 2
 
-    _OP_FIELDS = (
-        "int_op",
-        "int_mul",
-        "int_div",
-        "float_add",
-        "float_mul",
-        "float_div",
-        "double_add",
-        "double_mul",
-        "double_div",
-        "libm_sqrt",
-        "libm_atan",
-        "libm_exp",
-        "mem_access",
-        "branch",
-    )
+    def operation_names(self) -> frozenset[str]:
+        """Every operation category this model prices (the field names)."""
+        return frozenset(f.name for f in dataclasses.fields(self))
 
     def cycles_for(self, counter: OpCounter) -> int:
         """Total CPU cycles implied by an operation tally."""
+        known = self.operation_names()
         total = 0
         for op, n in counter.counts.items():
-            if op not in self._OP_FIELDS:
+            if op not in known:
                 raise KeyError(f"no cycle cost defined for operation {op!r}")
             total += getattr(self, op) * n
         return total
@@ -167,6 +174,11 @@ class RestrictedMath:
     # -- libm gate ----------------------------------------------------------
 
     def _require_libm(self, function: str) -> None:
+        if function not in LIBM_OPERATIONS:
+            raise KeyError(
+                f"{function!r} is not a known libm operation; "
+                f"the gate table lists: {', '.join(sorted(LIBM_OPERATIONS))}"
+            )
         if not self.allow_libm:
             raise RestrictedEnvironmentError(
                 f"{function}() requires the C math library, which this build "
@@ -255,21 +267,21 @@ class RestrictedMath:
         """Square root (libm-gated)."""
         self._require_libm("sqrt")
         a = self._real(a)
-        self.counter.charge("libm_sqrt", a.size)
+        self.counter.charge(LIBM_OPERATIONS["sqrt"], a.size)
         return np.sqrt(a).astype(self._dtype)
 
     def atan2(self, y: np.ndarray | float, x: np.ndarray | float) -> np.ndarray:
         """Two-argument arctangent (libm-gated)."""
         self._require_libm("atan2")
         out = np.arctan2(self._real(y), self._real(x))
-        self.counter.charge("libm_atan", out.size)
+        self.counter.charge(LIBM_OPERATIONS["atan2"], out.size)
         return out.astype(self._dtype)
 
     def exp(self, a: np.ndarray | float) -> np.ndarray:
         """Exponential (libm-gated)."""
         self._require_libm("exp")
         a = self._real(a)
-        self.counter.charge("libm_exp", a.size)
+        self.counter.charge(LIBM_OPERATIONS["exp"], a.size)
         return np.exp(a).astype(self._dtype)
 
     # -- integer / structural helpers ----------------------------------------------

@@ -98,7 +98,9 @@ class Accelerometer(InternalSensor):
             phase = rng.uniform(0.0, 1.0 / self.cadence_hz)
             step_times = np.arange(phase, duration_s, 1.0 / self.cadence_hz)
             for step_time in step_times:
-                impulse = self.step_amplitude_g * np.exp(
+                # Synthesizes the physical acceleration waveform the ADXL362
+                # digitizes -- nature's side of the simulation, not app code.
+                impulse = self.step_amplitude_g * np.exp(  # lint: allow DEV001 -- physical stimulus model, runs host-side
                     -((t - step_time) ** 2) / (2 * 0.03**2)
                 )
                 samples[:, 2] += impulse
@@ -143,7 +145,8 @@ class TemperatureSensor(InternalSensor):
         self, start_time_s: float, duration_s: float, rng: np.random.Generator
     ) -> SensorBatch:
         n = max(1, int(round(duration_s * self.sample_rate)))
-        samples = self.mean_c + 0.05 * np.cumsum(rng.standard_normal(n)) / np.sqrt(
+        # Physical skin-temperature process the TMP20 samples, not app code.
+        samples = self.mean_c + 0.05 * np.cumsum(rng.standard_normal(n)) / np.sqrt(  # lint: allow DEV001 -- physical stimulus model, runs host-side
             np.arange(1, n + 1)
         )
         return self._batch(start_time_s, samples)

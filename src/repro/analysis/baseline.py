@@ -1,0 +1,83 @@
+"""Baseline files: grandfathering pre-existing findings.
+
+A baseline is a JSON snapshot of accepted findings.  Each finding is
+fingerprinted by *content* (module-or-path, rule code, stripped source
+line) rather than by line number, so unrelated edits that shift code
+around do not resurrect grandfathered findings; the fingerprint carries a
+count so two identical violations on different lines occupy two baseline
+slots.  ``lint --write-baseline`` regenerates the file; the CI gate then
+fails only on findings that are *new* relative to it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "fingerprint"]
+
+_FORMAT_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Content hash of a finding (path + code + offending line text)."""
+    payload = "\x1f".join((finding.path, finding.code, finding.source_line))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, counts: Counter[str] | None = None) -> None:
+        self._counts: Counter[str] = Counter(counts or {})
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(Counter(fingerprint(f) for f in findings))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text())
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        counts = data.get("findings", {})
+        if not all(
+            isinstance(k, str) and isinstance(v, int) and v > 0
+            for k, v in counts.items()
+        ):
+            raise ValueError(f"malformed baseline file {path}")
+        return cls(Counter(counts))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "findings": dict(sorted(self._counts.items())),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def filter_new(self, findings: Sequence[Finding]) -> list[Finding]:
+        """Findings not covered by the baseline (stable order preserved).
+
+        Each baseline slot absorbs at most one matching finding, so adding
+        a *second* identical violation to an already-baselined line still
+        fails the gate.
+        """
+        remaining = Counter(self._counts)
+        fresh: list[Finding] = []
+        for finding in findings:
+            key = fingerprint(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+            else:
+                fresh.append(finding)
+        return fresh

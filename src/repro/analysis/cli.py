@@ -1,0 +1,165 @@
+"""Implementation of ``python -m repro lint``.
+
+Kept separate from :mod:`repro.cli` so the argparse surface there stays a
+thin dispatcher.  The exit code contract is what CI keys off: 0 when the
+tree is clean (or every finding is baselined), 1 when new findings exist,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO
+
+import repro
+from repro.analysis.baseline import Baseline
+from repro.analysis.c_checker import check_c_source
+from repro.analysis.engine import Analyzer
+from repro.analysis.findings import Finding
+from repro.analysis.rules import all_rules, rules_for_codes
+
+__all__ = ["add_lint_arguments", "default_lint_root", "run_lint"]
+
+
+def default_lint_root() -> Path:
+    """The installed ``repro`` package tree (what CI lints)."""
+    return Path(repro.__file__).resolve().parent
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` flags to an (sub)parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json emits one object with a findings array)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="CODE,CODE",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="baseline JSON of grandfathered findings to subtract",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--check-c",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also run the C-codegen checker over an emitted .c file",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def _render_text(findings: Sequence[Finding], stream: TextIO) -> None:
+    for finding in findings:
+        print(finding.render(), file=stream)
+        if finding.source_line:
+            print(f"    {finding.source_line}", file=stream)
+
+
+def _render_json(
+    findings: Sequence[Finding], baselined: int, stream: TextIO
+) -> None:
+    payload = {
+        "version": 1,
+        "tool": "repro-lint",
+        "findings": [finding.as_dict() for finding in findings],
+        "count": len(findings),
+        "baselined": baselined,
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+def run_lint(args: argparse.Namespace, stream: TextIO | None = None) -> int:
+    """Execute the lint command; returns the process exit code."""
+    stream = stream if stream is not None else sys.stdout
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}: {rule.description}", file=stream)
+        return 0
+
+    if args.rules is not None:
+        try:
+            rules = rules_for_codes(
+                code.strip() for code in args.rules.split(",") if code.strip()
+            )
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        rules = all_rules()
+
+    paths = [Path(p) for p in args.paths] if args.paths else [default_lint_root()]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such path: {path}", file=sys.stderr)
+        return 2
+
+    analyzer = Analyzer(rules)
+    findings = analyzer.lint_paths(paths)
+
+    if args.check_c is not None:
+        if not args.check_c.exists():
+            print(f"error: no such path: {args.check_c}", file=sys.stderr)
+            return 2
+        findings.extend(
+            check_c_source(args.check_c.read_text(), path=str(args.check_c))
+        )
+
+    if args.write_baseline:
+        if args.baseline is None:
+            print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
+            return 2
+        Baseline.from_findings(findings).save(args.baseline)
+        print(
+            f"wrote baseline with {len(findings)} finding(s) to {args.baseline}",
+            file=stream,
+        )
+        return 0
+
+    baselined = 0
+    if args.baseline is not None and args.baseline.exists():
+        baseline = Baseline.load(args.baseline)
+        fresh = baseline.filter_new(findings)
+        baselined = len(findings) - len(fresh)
+        findings = fresh
+
+    if args.format == "json":
+        _render_json(findings, baselined, stream)
+    else:
+        _render_text(findings, stream)
+        suffix = f" ({baselined} baselined)" if baselined else ""
+        print(
+            f"repro-lint: {len(findings)} finding(s) in "
+            f"{len(paths)} path(s){suffix}",
+            file=stream,
+        )
+    return 1 if findings else 0

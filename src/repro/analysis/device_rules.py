@@ -1,0 +1,301 @@
+"""Device-contract rules: the libm gate (DEV001) and the float ban (DEV002).
+
+DEV001 is the static twin of :class:`repro.amulet.restricted.RestrictedMath`'s
+runtime gate.  Device-tier modules (everything under ``repro.sift_app`` and
+``repro.amulet``) model C code compiled for the MSP430, so they may not
+call the host's ``math`` module or NumPy's transcendental ufuncs directly
+-- every operation must flow through ``RestrictedMath``, which bills
+cycles and enforces the per-build libm link.  Even *through*
+``RestrictedMath``, the gated transcendentals (the canonical
+:data:`~repro.amulet.restricted.LIBM_OPERATIONS` table) are only legal in
+functions that belong to the Original tier: ``device_extract_original``
+may take ``sqrt``/``atan2``, the Simplified/Reduced paths may not -- the
+paper's Simplified build "did not utilize the standard C math library".
+
+DEV002 guards the fixed-point paths of :mod:`repro.ml.model_codegen`:
+functions that model integer-only MSP430 code (``decision_fixed`` and
+friends) must not touch floats -- no float literals, no ``float()``
+casts, no true division, no ``np.float*`` dtypes.  A float sneaking into
+one of those functions means the simulation computes something the
+generated C cannot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.amulet.restricted import LIBM_OPERATIONS
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import LintContext, register_rule
+
+__all__ = [
+    "DEVICE_PACKAGES",
+    "FIXED_POINT_MODULES",
+    "GATE_MODULES",
+    "NUMPY_TRANSCENDENTALS",
+    "ORIGINAL_TIER_FUNCTIONS",
+    "DeviceFloatBanRule",
+    "DeviceLibmRule",
+]
+
+#: Packages whose modules model code running on the device.
+DEVICE_PACKAGES: tuple[str, ...] = ("repro.sift_app", "repro.amulet")
+
+#: Modules exempt from DEV001 because they *implement* the gate: the
+#: NumPy calls inside ``RestrictedMath``'s own methods sit behind
+#: ``_require_libm`` and are the mechanism, not a bypass.
+GATE_MODULES: frozenset[str] = frozenset({"repro.amulet.restricted"})
+
+#: Functions allowed to invoke the libm-gated RestrictedMath operations
+#: (the Original tier links libm; nested helpers inherit the allowance).
+ORIGINAL_TIER_FUNCTIONS: frozenset[str] = frozenset({"device_extract_original"})
+
+#: NumPy ufuncs that lower to libm transcendentals on a C target.
+NUMPY_TRANSCENDENTALS: frozenset[str] = frozenset(
+    {
+        "sqrt",
+        "cbrt",
+        "exp",
+        "exp2",
+        "expm1",
+        "log",
+        "log2",
+        "log10",
+        "log1p",
+        "sin",
+        "cos",
+        "tan",
+        "arcsin",
+        "arccos",
+        "arctan",
+        "arctan2",
+        "sinh",
+        "cosh",
+        "tanh",
+        "arcsinh",
+        "arccosh",
+        "arctanh",
+        "hypot",
+        "power",
+        "float_power",
+        "logaddexp",
+        "logaddexp2",
+    }
+)
+
+#: Modules whose ``*_fixed`` / ``fixed_*`` functions model integer-only C.
+FIXED_POINT_MODULES: tuple[str, ...] = (
+    "repro.ml.model_codegen",
+    "repro.amulet.restricted",
+)
+
+#: NumPy attributes that name floating-point dtypes.
+_NUMPY_FLOAT_DTYPES: frozenset[str] = frozenset(
+    {"float16", "float32", "float64", "float128", "float_", "double", "single", "half"}
+)
+
+#: math-module attributes that are plain data, not libm entry points.
+_MATH_CONSTANTS: frozenset[str] = frozenset({"pi", "e", "tau", "inf", "nan"})
+
+
+def _in_packages(module: str | None, packages: Iterable[str]) -> bool:
+    if module is None:
+        return False
+    return any(module == p or module.startswith(p + ".") for p in packages)
+
+
+class _ImportTable:
+    """Names bound to the math/numpy modules and their members."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.math_modules: set[str] = set()  # import math [as m] / cmath
+        self.math_members: set[str] = set()  # from math import sqrt [as s]
+        self.numpy_modules: set[str] = set()  # import numpy [as np]
+        self.numpy_members: dict[str, str] = {}  # local name -> numpy attr
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name in ("math", "cmath"):
+                        self.math_modules.add(local)
+                    elif alias.name == "numpy":
+                        self.numpy_modules.add(local)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module in ("math", "cmath"):
+                    for alias in node.names:
+                        self.math_members.add(alias.asname or alias.name)
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        self.numpy_members[alias.asname or alias.name] = alias.name
+
+
+@register_rule
+class DeviceLibmRule:
+    """DEV001: device-tier code must route libm through RestrictedMath."""
+
+    code = "DEV001"
+    description = (
+        "device-tier modules (repro.sift_app.*, repro.amulet.*) may not call "
+        "math.* or transcendental NumPy ufuncs directly, and RestrictedMath's "
+        "libm-gated operations are only legal in Original-tier functions"
+    )
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        if not _in_packages(context.module, DEVICE_PACKAGES):
+            return
+        if context.module in GATE_MODULES:
+            return
+        imports = _ImportTable(context.tree)
+        yield from self._walk(context, imports, context.tree, tier_allows_libm=False)
+
+    def _walk(
+        self,
+        context: LintContext,
+        imports: _ImportTable,
+        node: ast.AST,
+        tier_allows_libm: bool,
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                allows = tier_allows_libm or child.name in ORIGINAL_TIER_FUNCTIONS
+                yield from self._walk(context, imports, child, allows)
+                continue
+            yield from self._check_node(context, imports, child, tier_allows_libm)
+            yield from self._walk(context, imports, child, tier_allows_libm)
+
+    def _check_node(
+        self,
+        context: LintContext,
+        imports: _ImportTable,
+        node: ast.AST,
+        tier_allows_libm: bool,
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            owner = node.value.id
+            if owner in imports.math_modules and node.attr not in _MATH_CONSTANTS:
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"direct call into the C math library: math.{node.attr} -- "
+                    "device-tier code must go through RestrictedMath, whose "
+                    "libm gate bills cycles and enforces the per-build link",
+                )
+                return
+            if owner in imports.numpy_modules and node.attr in NUMPY_TRANSCENDENTALS:
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"transcendental NumPy ufunc {owner}.{node.attr} in "
+                    "device-tier code -- on the MSP430 this is a libm call; "
+                    "use the RestrictedMath environment instead",
+                )
+                return
+            if owner not in imports.numpy_modules and node.attr in LIBM_OPERATIONS:
+                # A method call spelled like RestrictedMath's gated surface
+                # (m.sqrt / m.atan2 / m.exp): legal only in Original-tier
+                # functions, which are the ones that link libm.
+                if not tier_allows_libm and _is_called(node):
+                    yield context.finding(
+                        node,
+                        self.code,
+                        f"libm-gated operation .{node.attr}() outside an "
+                        "Original-tier function -- the Simplified/Reduced "
+                        "builds do not link the C math library "
+                        f"(allowed only in: {', '.join(sorted(ORIGINAL_TIER_FUNCTIONS))})",
+                    )
+                return
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name in imports.math_members:
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"call to {name}() imported from the math module -- "
+                    "device-tier code must go through RestrictedMath",
+                )
+            elif imports.numpy_members.get(name) in NUMPY_TRANSCENDENTALS:
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"call to NumPy transcendental {name}() in device-tier "
+                    "code -- on the MSP430 this is a libm call; use the "
+                    "RestrictedMath environment instead",
+                )
+
+
+def _is_called(attribute: ast.Attribute) -> bool:
+    """Heuristic: attribute nodes we flag are the func of some call.
+
+    The visitor sees the Attribute before knowing its parent, so gated
+    method detection re-checks at the Call level would double-report;
+    instead we accept any load of ``.sqrt``/``.atan2``/``.exp`` on a
+    non-module receiver as a (potential) gated call site.
+    """
+    return isinstance(attribute.ctx, ast.Load)
+
+
+def _function_is_fixed_point(name: str) -> bool:
+    return name.endswith("_fixed") or name.startswith("fixed_")
+
+
+@register_rule
+class DeviceFloatBanRule:
+    """DEV002: fixed-point functions must stay in integer arithmetic."""
+
+    code = "DEV002"
+    description = (
+        "fixed-point paths of repro.ml.model_codegen (functions named "
+        "*_fixed / fixed_*) may not use float literals, float() casts, "
+        "true division or floating NumPy dtypes"
+    )
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        if context.module not in FIXED_POINT_MODULES:
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _function_is_fixed_point(node.name):
+                    yield from self._check_function(context, node)
+
+    def _check_function(
+        self, context: LintContext, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        where = f"fixed-point function {function.name}()"
+        for node in ast.walk(function):
+            if isinstance(node, ast.Constant) and isinstance(node.value, float):
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"float literal {node.value!r} in {where} -- the MSP430 "
+                    "build of this path has no floating-point arithmetic",
+                )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id == "float":
+                    yield context.finding(
+                        node,
+                        self.code,
+                        f"float() cast in {where} -- integer arithmetic only",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"true division in {where} -- use shifts (>>) or integer "
+                    "division, as the generated C does",
+                )
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Div):
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"true division in {where} -- use shifts (>>) or integer "
+                    "division, as the generated C does",
+                )
+            elif isinstance(node, ast.Attribute) and node.attr in _NUMPY_FLOAT_DTYPES:
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"floating-point dtype .{node.attr} in {where} -- "
+                    "quantized tensors must stay integral",
+                    severity=Severity.ERROR,
+                )

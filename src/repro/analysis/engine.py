@@ -1,0 +1,114 @@
+"""The analysis engine: walk files, run rules, apply suppressions.
+
+The engine is deliberately small: rules do the thinking, the engine does
+the plumbing (file discovery, module-name inference, pragma filtering,
+stable ordering).  Baseline filtering happens one level up, in the CLI,
+so programmatic users always see the unfiltered truth.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import LintContext, Rule, all_rules
+
+__all__ = ["Analyzer", "module_name_for_path"]
+
+
+def module_name_for_path(path: Path) -> str | None:
+    """Infer the dotted module name of a file inside a package tree.
+
+    Walks up from the file collecting package directories (those with an
+    ``__init__.py``); returns ``None`` for files outside any package.
+    """
+    resolved = path.resolve()
+    parts = [resolved.stem] if resolved.stem != "__init__" else []
+    parent = resolved.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    if not parts or parts[0] != "repro" and "repro" not in parts:
+        # Outside the repro tree we still report a best-effort dotted name
+        # when the file sits in *some* package; otherwise None.
+        return ".".join(parts) if parts and len(parts) > 1 else None
+    return ".".join(parts)
+
+
+class Analyzer:
+    """Run a set of rules over files, sources or whole trees."""
+
+    def __init__(self, rules: Sequence[Rule] | None = None) -> None:
+        self.rules: tuple[Rule, ...] = tuple(rules) if rules is not None else all_rules()
+
+    # -- single-source entry points ------------------------------------------
+
+    def lint_context(self, context: LintContext) -> list[Finding]:
+        """Run every rule over one parsed file, honouring pragmas."""
+        findings: list[Finding] = []
+        for rule in self.rules:
+            for finding in rule.check(context):
+                if not context.is_suppressed(finding.line, finding.code):
+                    findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        return findings
+
+    def lint_source(
+        self, source: str, path: str = "<string>", module: str | None = None
+    ) -> list[Finding]:
+        """Lint source text under an explicit path/module identity."""
+        return self.lint_context(LintContext.from_source(source, path, module))
+
+    def lint_file(self, path: Path, display_root: Path | None = None) -> list[Finding]:
+        """Lint one file; syntax errors surface as a single SYN000 finding."""
+        display = _display_path(path, display_root)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            return [
+                Finding(
+                    path=display,
+                    line=error.lineno or 1,
+                    col=(error.offset or 1) - 1,
+                    code="SYN000",
+                    message=f"file does not parse: {error.msg}",
+                    severity=Severity.ERROR,
+                )
+            ]
+        context = LintContext(
+            path=display,
+            module=module_name_for_path(path),
+            source=source,
+            tree=tree,
+        )
+        return self.lint_context(context)
+
+    # -- tree walking -----------------------------------------------------------
+
+    def lint_paths(
+        self, paths: Iterable[Path], display_root: Path | None = None
+    ) -> list[Finding]:
+        """Lint files and/or directories (recursing into ``*.py``)."""
+        findings: list[Finding] = []
+        for path in paths:
+            if path.is_dir():
+                for file in sorted(path.rglob("*.py")):
+                    findings.extend(self.lint_file(file, display_root))
+            else:
+                findings.extend(self.lint_file(path, display_root))
+        return findings
+
+
+def _display_path(path: Path, root: Path | None) -> str:
+    resolved = path.resolve()
+    for base in (root, Path.cwd()):
+        if base is None:
+            continue
+        try:
+            return resolved.relative_to(base.resolve()).as_posix()
+        except ValueError:
+            continue
+    return resolved.as_posix()

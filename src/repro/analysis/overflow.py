@@ -1,0 +1,293 @@
+"""OVF001: fixed-point interval analysis of the quantized accumulator.
+
+``FixedPointLinearModel.decision_fixed`` computes
+``acc = sat32(acc + ((w_i * x_i) >> n))`` one feature at a time.  The
+saturation is a safety net, not a feature: the generated C is only
+faithful to the trained model while the clamp never engages.  This module
+proves that statically by exact interval propagation:
+
+* each quantized feature ``x_i`` is bounded by its (quantized) range;
+* the product interval of ``w_i * x_i`` is computed exactly (both are
+  integers), then shifted with Python's floor semantics -- identical to
+  the arithmetic ``>>`` the runtime and the generated C perform;
+* the running accumulator interval is tracked across **every prefix**,
+  because a transient excursion past int32 would be clamped mid-sum and
+  change the final value even if the full sum lands back in range.
+
+The report carries the worst-case bit-width (two's-complement bits the
+accumulator would need), so a failing model tells you exactly how many
+guard bits the format is short.
+
+The companion AST rule fires on literal ``FixedPointLinearModel(...)``
+constructions, honouring an optional ``# ovf-range: LO..HI`` annotation
+for the real-valued feature range (default: the full int32 quantized
+range, the most conservative assumption).
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import LintContext, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.ml.model_codegen import FixedPointLinearModel
+
+__all__ = [
+    "OverflowReport",
+    "accumulator_interval",
+    "analyze_model",
+    "quantize_range",
+    "FixedPointOverflowRule",
+]
+
+_INT32_MIN = -(2**31)
+_INT32_MAX = 2**31 - 1
+
+#: ``# ovf-range: -4.0..4.0`` -- real-valued feature range annotation.
+_RANGE_PRAGMA = re.compile(
+    r"#\s*ovf-range:\s*(?P<lo>-?\d+(?:\.\d+)?)\s*\.\.\s*(?P<hi>-?\d+(?:\.\d+)?)"
+)
+
+
+@dataclass(frozen=True)
+class OverflowReport:
+    """Result of the accumulator interval analysis.
+
+    Attributes
+    ----------
+    lo / hi:
+        Exact bounds of the final (unsaturated) accumulator.
+    worst_bits:
+        Two's-complement bit-width the accumulator needs at its widest
+        point across *all prefixes* of the feature loop.
+    saturation_reachable:
+        Whether any prefix interval escapes the int32 range -- i.e. the
+        runtime clamp (and the C code's) could engage and distort the
+        decision value.
+    """
+
+    lo: int
+    hi: int
+    worst_bits: int
+    saturation_reachable: bool
+    n_features: int
+    frac_bits: int
+
+    @property
+    def proven_safe(self) -> bool:
+        return not self.saturation_reachable
+
+
+def _bits_for(value: int) -> int:
+    """Two's-complement bits needed to hold ``value``."""
+    if value >= 0:
+        return value.bit_length() + 1
+    return (-value - 1).bit_length() + 1
+
+
+def _interval_bits(lo: int, hi: int) -> int:
+    return max(_bits_for(lo), _bits_for(hi))
+
+
+def quantize_range(lo: float, hi: float, frac_bits: int) -> tuple[int, int]:
+    """Quantized (saturated) bounds of a real-valued feature range.
+
+    Mirrors ``FixedPointLinearModel.quantize`` conservatively: the lower
+    bound floors and the upper bound ceils, which dominates ``np.round``'s
+    half-to-even behaviour, so the interval stays sound for any input the
+    quantizer can actually produce.
+    """
+    if hi < lo:
+        raise ValueError("feature range must satisfy lo <= hi")
+    scale = 1 << frac_bits
+    # floor for the lower bound, ceil for the upper: sound for any rounding.
+    qlo = math.floor(lo * scale)
+    qhi = math.ceil(hi * scale)
+    return (
+        max(_INT32_MIN, min(_INT32_MAX, qlo)),
+        max(_INT32_MIN, min(_INT32_MAX, qhi)),
+    )
+
+
+def accumulator_interval(
+    weights_q: Sequence[int],
+    bias_q: int,
+    frac_bits: int,
+    feature_bounds_q: Sequence[tuple[int, int]],
+) -> OverflowReport:
+    """Exact interval of the ``decision_fixed`` accumulator.
+
+    ``feature_bounds_q`` gives the inclusive quantized bounds of each
+    feature.  The propagation is exact (integer endpoints, monotone
+    shift), so the returned interval is the tightest sound bound and the
+    property ``analyzer bound >= any runtime value`` holds by
+    construction.
+    """
+    if not 1 <= int(frac_bits) <= 30:
+        raise ValueError("frac_bits must be in [1, 30]")
+    if len(feature_bounds_q) != len(weights_q):
+        raise ValueError(
+            f"expected {len(weights_q)} feature bounds, got {len(feature_bounds_q)}"
+        )
+    lo = hi = int(bias_q)
+    worst = _interval_bits(lo, hi)
+    reachable = not (_INT32_MIN <= lo and hi <= _INT32_MAX)
+    for weight, (flo, fhi) in zip(weights_q, feature_bounds_q):
+        w = int(weight)
+        flo, fhi = int(flo), int(fhi)
+        if fhi < flo:
+            raise ValueError("feature bounds must satisfy lo <= hi")
+        products = (w * flo, w * fhi)
+        term_lo = min(products) >> frac_bits
+        term_hi = max(products) >> frac_bits
+        lo += term_lo
+        hi += term_hi
+        worst = max(worst, _interval_bits(lo, hi))
+        if lo < _INT32_MIN or hi > _INT32_MAX:
+            reachable = True
+    return OverflowReport(
+        lo=lo,
+        hi=hi,
+        worst_bits=worst,
+        saturation_reachable=reachable,
+        n_features=len(weights_q),
+        frac_bits=int(frac_bits),
+    )
+
+
+def analyze_model(
+    model: "FixedPointLinearModel",
+    feature_ranges: Sequence[tuple[float, float]] | tuple[float, float] | None = None,
+) -> OverflowReport:
+    """Run the interval analysis on a built model.
+
+    ``feature_ranges`` is either one real-valued ``(lo, hi)`` applied to
+    every feature, a per-feature sequence, or ``None`` for the most
+    conservative assumption (any int32-representable quantized input --
+    what ``quantize``'s saturation admits).
+    """
+    n = model.n_features
+    if feature_ranges is None:
+        bounds = [(_INT32_MIN, _INT32_MAX)] * n
+    else:
+        ranges = _normalize_ranges(feature_ranges, n)
+        if len(ranges) != n:
+            raise ValueError(f"expected {n} feature ranges, got {len(ranges)}")
+        bounds = [quantize_range(lo, hi, model.frac_bits) for lo, hi in ranges]
+    return accumulator_interval(
+        model.weights_q.tolist(), model.bias_q, model.frac_bits, bounds
+    )
+
+
+def _normalize_ranges(
+    feature_ranges: Sequence[tuple[float, float]] | tuple[float, float], n: int
+) -> list[tuple[float, float]]:
+    """One shared ``(lo, hi)`` pair broadcasts to every feature."""
+    items = list(feature_ranges)
+    if len(items) == 2 and all(isinstance(v, (int, float)) for v in items):
+        lo, hi = float(items[0]), float(items[1])  # type: ignore[arg-type]
+        return [(lo, hi)] * n
+    return [(float(lo), float(hi)) for lo, hi in items]
+
+
+# ----------------------------------------------------------------------
+# The AST rule: literal constructions are analyzed in place.
+# ----------------------------------------------------------------------
+
+
+def _literal_int(node: ast.expr) -> int | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return int(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_int(node.operand)
+        return -inner if inner is not None else None
+    return None
+
+
+def _literal_int_list(node: ast.expr) -> list[int] | None:
+    # Dig through np.array([...]) / np.asarray([...]) wrappers.
+    if isinstance(node, ast.Call) and node.args:
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        if name in ("array", "asarray"):
+            return _literal_int_list(node.args[0])
+    if isinstance(node, (ast.List, ast.Tuple)):
+        values = [_literal_int(element) for element in node.elts]
+        if all(v is not None for v in values):
+            return [v for v in values if v is not None]
+    return None
+
+
+@register_rule
+class FixedPointOverflowRule:
+    """OVF001: literal fixed-point models must be provably clamp-free."""
+
+    code = "OVF001"
+    description = (
+        "interval analysis of literal FixedPointLinearModel constructions: "
+        "the int32 accumulator must be unable to saturate for the declared "
+        "feature range (# ovf-range: LO..HI; default: any int32 input)"
+    )
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+            if name != "FixedPointLinearModel":
+                continue
+            extracted = self._extract_arguments(node)
+            if extracted is None:
+                continue  # non-literal construction: not statically analyzable
+            weights, bias, frac = extracted
+            bounds = self._declared_bounds(context, node, frac, len(weights))
+            try:
+                report = accumulator_interval(weights, bias, frac, bounds)
+            except ValueError:
+                continue
+            if report.saturation_reachable:
+                yield context.finding(
+                    node,
+                    self.code,
+                    "fixed-point accumulator can saturate: worst case needs "
+                    f"{report.worst_bits} bits (int32 holds 32); final "
+                    f"interval [{report.lo}, {report.hi}] for "
+                    f"Q{31 - frac}.{frac} -- lower frac_bits, shrink the "
+                    "declared # ovf-range, or rescale the features",
+                )
+
+    def _extract_arguments(
+        self, call: ast.Call
+    ) -> tuple[list[int], int, int] | None:
+        values: dict[str, ast.expr] = {}
+        for position, arg in enumerate(call.args[:3]):
+            values[("weights_q", "bias_q", "frac_bits")[position]] = arg
+        for keyword in call.keywords:
+            if keyword.arg:
+                values[keyword.arg] = keyword.value
+        if not {"weights_q", "bias_q", "frac_bits"} <= values.keys():
+            return None
+        weights = _literal_int_list(values["weights_q"])
+        bias = _literal_int(values["bias_q"])
+        frac = _literal_int(values["frac_bits"])
+        if weights is None or bias is None or frac is None or not 1 <= frac <= 30:
+            return None
+        return weights, bias, frac
+
+    def _declared_bounds(
+        self, context: LintContext, call: ast.Call, frac_bits: int, n: int
+    ) -> list[tuple[int, int]]:
+        for line in (call.lineno, call.lineno - 1):
+            match = _RANGE_PRAGMA.search(context.line_text(line))
+            if match:
+                lo, hi = float(match.group("lo")), float(match.group("hi"))
+                if hi >= lo:
+                    return [quantize_range(lo, hi, frac_bits)] * n
+        return [(_INT32_MIN, _INT32_MAX)] * n

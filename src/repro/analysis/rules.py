@@ -1,0 +1,162 @@
+"""The rule protocol, the rule registry and inline suppression pragmas.
+
+A rule is any object with a ``code``, a ``description`` and a ``check``
+method that maps a :class:`LintContext` (one parsed file) to findings.
+Rules register themselves at import time through :func:`register_rule`,
+so adding a rule is one module with one decorator -- the engine, the CLI
+and the baseline machinery pick it up automatically.
+
+Suppression works the way the Amulet firmware toolchain's own pragmas do:
+a trailing ``# lint: allow CODE[,CODE...] -- reason`` comment silences
+those codes on that line only.  The reason is not optional by convention
+-- the repo-clean test keeps the repo at zero unexplained suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.analysis.findings import Finding, Severity
+
+__all__ = [
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "register_rule",
+    "rules_for_codes",
+]
+
+#: ``# lint: allow DEV001,DET001 -- models the physical sensor``
+_PRAGMA = re.compile(r"#\s*lint:\s*allow\s+(?P<codes>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)")
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect about one file.
+
+    Attributes
+    ----------
+    path:
+        Display path for findings (repo-relative when possible).
+    module:
+        Dotted module name (``repro.sift_app.device_features``) or ``None``
+        when the file is outside the package tree.  Scope-sensitive rules
+        (DEV001, DEV002) key off this, which also lets tests lint fixture
+        source under a pretended module name.
+    source:
+        Full text of the file.
+    tree:
+        Parsed AST of ``source``.
+    """
+
+    path: str
+    module: str | None
+    source: str
+    tree: ast.Module
+    _lines: list[str] = field(init=False, repr=False)
+    _allowed: dict[int, frozenset[str]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._lines = self.source.splitlines()
+        self._allowed = _collect_pragmas(self._lines)
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: str = "<string>", module: str | None = None
+    ) -> "LintContext":
+        """Parse source text into a ready-to-lint context."""
+        return cls(path=path, module=module, source=source, tree=ast.parse(source))
+
+    def line_text(self, line: int) -> str:
+        """The stripped text of a 1-based source line ('' out of range)."""
+        if 1 <= line <= len(self._lines):
+            return self._lines[line - 1].strip()
+        return ""
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """Whether a pragma on ``line`` allows ``code``."""
+        return code in self._allowed.get(line, frozenset())
+
+    def finding(
+        self,
+        node: ast.AST | int,
+        code: str,
+        message: str,
+        severity: Severity = Severity.ERROR,
+    ) -> Finding:
+        """Build a finding anchored at an AST node (or a bare line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.path,
+            line=line,
+            col=col,
+            code=code,
+            message=message,
+            severity=severity,
+            source_line=self.line_text(line),
+        )
+
+
+def _collect_pragmas(lines: list[str]) -> dict[int, frozenset[str]]:
+    allowed: dict[int, frozenset[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        if "lint:" not in text:
+            continue
+        match = _PRAGMA.search(text)
+        if match:
+            codes = frozenset(
+                code.strip() for code in match.group("codes").split(",")
+            )
+            allowed[number] = codes
+    return allowed
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """The contract every analysis rule implements."""
+
+    #: Stable diagnostic code, e.g. ``DEV001``.
+    code: str
+    #: One-line description shown by ``lint --list-rules``.
+    description: str
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        """Yield findings for one parsed file."""
+        ...
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(rule_class: type) -> type:
+    """Class decorator: instantiate and register a rule by its code."""
+    rule = rule_class()
+    if not isinstance(rule, Rule):
+        raise TypeError(f"{rule_class.__name__} does not implement the Rule protocol")
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code!r}")
+    _REGISTRY[rule.code] = rule
+    return rule_class
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by code."""
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def rules_for_codes(codes: Iterable[str]) -> tuple[Rule, ...]:
+    """Resolve rule codes, raising on unknown ones."""
+    selected = []
+    for code in codes:
+        if code not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise KeyError(f"unknown rule code {code!r}; known rules: {known}")
+        selected.append(_REGISTRY[code])
+    return tuple(selected)

@@ -15,7 +15,12 @@ Commands
     print the ARP-view pane.
 ``export``
     Train a detector and write its deployable artifacts: the JSON model
-    and the generated C decision function.
+    and the generated C decision function (checked by the C-codegen
+    contract linter before it is written).
+``lint``
+    Static analysis of the device contracts: the libm gate (DEV001),
+    the fixed-point float ban (DEV002), determinism (DET001), the
+    accumulator overflow proof (OVF001) and the C-codegen checker.
 """
 
 from __future__ import annotations
@@ -138,6 +143,17 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("simplified", "reduced"))
     export.add_argument("--out", type=Path, default=Path("sift_model"),
                         help="output path stem (.json and .c are appended)")
+    export.add_argument("--skip-c-check", action="store_true",
+                        help="write the generated C even if the codegen "
+                        "contract checker rejects it")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis of the device contracts (DEV/DET/OVF/CGEN)",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -285,15 +301,37 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_export(args) -> int:
+    from repro.analysis.c_checker import check_c_source
     from repro.core.serialization import save_detector
 
     _, victim, _, detector = _train_demo_detector(args.version)
     json_path = args.out.with_suffix(".json")
     c_path = args.out.with_suffix(".c")
+    c_source = detector.deploy().to_c_source()
+    findings = check_c_source(c_source, path=str(c_path))
+    if findings and not args.skip_c_check:
+        for finding in findings:
+            print(finding.render(), file=sys.stderr)
+        print(
+            "error: generated C violates the device contract; artifacts "
+            "not written (--skip-c-check to force)",
+            file=sys.stderr,
+        )
+        return 1
     save_detector(detector, json_path)
-    c_path.write_text(detector.deploy().to_c_source())
-    print(f"wrote {json_path} (model for {victim.subject_id}) and {c_path}")
+    c_path.write_text(c_source)
+    checked = "unchecked" if args.skip_c_check else "contract-checked"
+    print(
+        f"wrote {json_path} (model for {victim.subject_id}) and "
+        f"{c_path} ({checked})"
+    )
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
 
 
 _COMMANDS = {
@@ -304,6 +342,7 @@ _COMMANDS = {
     "fault-matrix": _cmd_fault_matrix,
     "profile": _cmd_profile,
     "export": _cmd_export,
+    "lint": _cmd_lint,
 }
 
 

@@ -21,6 +21,7 @@ error rather than a float model relabelled.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -158,7 +159,10 @@ class FixedPointLinearModel:
 
 
 def export_fixed_point(
-    svc: SVC, scaler: StandardScaler, frac_bits: int = 14
+    svc: SVC,
+    scaler: StandardScaler,
+    frac_bits: int = 14,
+    feature_ranges: Sequence[tuple[float, float]] | tuple[float, float] | None = None,
 ) -> FixedPointLinearModel:
     """Fold a scaler into a trained linear SVC and quantize.
 
@@ -166,11 +170,19 @@ def export_fixed_point(
     ``f(z) = w . z + b``, the deployed function over raw features is
     ``f(x) = (w / sigma) . x + (b - w . (mu / sigma))``.
 
+    When ``feature_ranges`` is given (one real-valued ``(lo, hi)`` pair,
+    or one per feature), the OVF001 interval analysis from
+    :mod:`repro.analysis.overflow` must *prove* that the int32
+    accumulator cannot saturate for inputs in that range -- the static
+    counterpart of the saturation guard in :meth:`decision_fixed`.
+
     Raises
     ------
     ValueError
         If the SVC was trained with a non-linear kernel (no primal
-        weights), or if the folded weights overflow the chosen format.
+        weights), if the folded weights overflow the chosen format, or
+        if the overflow analysis cannot prove the accumulator safe for
+        the declared feature ranges.
     """
     if svc.coef_ is None:
         raise ValueError(
@@ -193,8 +205,22 @@ def export_fixed_point(
             f"model does not fit Q{31 - frac_bits}.{frac_bits}; "
             "reduce frac_bits or rescale features"
         )
-    return FixedPointLinearModel(
+    model = FixedPointLinearModel(
         weights_q=weights_q.astype(np.int64),
         bias_q=int(bias_q),
         frac_bits=int(frac_bits),
     )
+    if feature_ranges is not None:
+        # Imported lazily: repro.analysis.overflow type-references this
+        # module, and the export path must stay importable without it.
+        from repro.analysis.overflow import analyze_model
+
+        report = analyze_model(model, feature_ranges)
+        if report.saturation_reachable:
+            raise ValueError(
+                "OVF001: accumulator can saturate for the declared feature "
+                f"ranges (worst case {report.worst_bits} bits, interval "
+                f"[{report.lo}, {report.hi}]); reduce frac_bits or narrow "
+                "the ranges"
+            )
+    return model

@@ -1,0 +1,135 @@
+"""DET001 determinism rule tests."""
+
+import textwrap
+
+from repro.analysis import Analyzer
+from repro.analysis.determinism import DeterminismRule
+
+
+def lint(source, module="repro.experiments.fixture"):
+    analyzer = Analyzer([DeterminismRule()])
+    return analyzer.lint_source(textwrap.dedent(source), module=module)
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+class TestDet001Positive:
+    def test_unseeded_default_rng(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def sample():
+                return np.random.default_rng().normal()
+            """
+        )
+        assert codes(findings) == ["DET001"]
+
+    def test_none_seed(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng(None)
+            """
+        )
+        assert codes(findings) == ["DET001"]
+
+    def test_time_derived_seed(self):
+        findings = lint(
+            """
+            import time
+            import numpy as np
+
+            rng = np.random.default_rng(int(time.time()))
+            """
+        )
+        assert codes(findings) == ["DET001"]
+
+    def test_legacy_global_numpy_random(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def noise(n):
+                np.random.seed(0)
+                return np.random.randn(n)
+            """
+        )
+        assert codes(findings) == ["DET001", "DET001"]
+
+    def test_module_level_stdlib_random(self):
+        findings = lint(
+            """
+            import random
+
+            JITTER = random.random()
+            """
+        )
+        assert codes(findings) == ["DET001"]
+
+    def test_unseeded_stdlib_random_instance(self):
+        findings = lint(
+            """
+            import random
+
+            rng = random.Random()
+            """
+        )
+        assert codes(findings) == ["DET001"]
+
+
+class TestDet001Negative:
+    def test_seeded_default_rng(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def sample(seed):
+                return np.random.default_rng(seed).normal()
+            """
+        )
+        assert findings == []
+
+    def test_literal_seed(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng(1234)
+            """
+        )
+        assert findings == []
+
+    def test_seeded_stdlib_random(self):
+        findings = lint(
+            """
+            import random
+
+            rng = random.Random(99)
+            """
+        )
+        assert findings == []
+
+    def test_pragma_suppression(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            np.random.seed(0)  # lint: allow DET001 -- proves RNG isolation
+            """
+        )
+        assert findings == []
+
+    def test_non_random_calls_untouched(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def mean(x):
+                return np.mean(np.asarray(x))
+            """
+        )
+        assert findings == []

@@ -1,0 +1,227 @@
+"""DEV001 (libm gate) and DEV002 (fixed-point float ban) rule tests."""
+
+import textwrap
+
+from repro.analysis import Analyzer
+from repro.analysis.device_rules import DeviceFloatBanRule, DeviceLibmRule
+
+
+def lint(source, module):
+    analyzer = Analyzer([DeviceLibmRule(), DeviceFloatBanRule()])
+    return analyzer.lint_source(textwrap.dedent(source), module=module)
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+class TestDev001Positive:
+    def test_stdlib_math_call(self):
+        findings = lint(
+            """
+            import math
+
+            def device_extract_simplified(m, w):
+                return math.sqrt(2.0)
+            """,
+            module="repro.sift_app.fixture",
+        )
+        assert codes(findings) == ["DEV001"]
+        assert "math.sqrt" in findings[0].message
+
+    def test_math_member_import(self):
+        findings = lint(
+            """
+            from math import atan2 as arctangent
+
+            def helper():
+                return arctangent(1.0, 2.0)
+            """,
+            module="repro.amulet.fixture",
+        )
+        assert codes(findings) == ["DEV001"]
+
+    def test_numpy_transcendental_attribute(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def helper(x):
+                return np.exp(x) + np.arctan2(x, x)
+            """,
+            module="repro.sift_app.fixture",
+        )
+        assert codes(findings) == ["DEV001", "DEV001"]
+
+    def test_numpy_member_import(self):
+        findings = lint(
+            """
+            from numpy import sqrt
+
+            def helper(x):
+                return sqrt(x)
+            """,
+            module="repro.amulet.fixture",
+        )
+        assert codes(findings) == ["DEV001"]
+
+    def test_gated_method_outside_original_tier(self):
+        findings = lint(
+            """
+            def device_extract_reduced(m, w):
+                return m.sqrt(w)
+            """,
+            module="repro.sift_app.fixture",
+        )
+        assert codes(findings) == ["DEV001"]
+        assert "Original-tier" in findings[0].message
+
+
+class TestDev001Allowances:
+    def test_original_tier_may_use_gated_ops(self):
+        findings = lint(
+            """
+            def device_extract_original(m, w):
+                def nested(v):
+                    return m.atan2(v, v)
+                return m.sqrt(nested(w))
+            """,
+            module="repro.sift_app.fixture",
+        )
+        assert findings == []
+
+    def test_non_device_modules_unconstrained(self):
+        findings = lint(
+            """
+            import math
+            import numpy as np
+
+            def reference(x):
+                return math.sqrt(x) + np.exp(x)
+            """,
+            module="repro.core.features.fixture",
+        )
+        assert findings == []
+
+    def test_gate_module_exempt(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def sqrt_impl(a):
+                return np.sqrt(a)
+            """,
+            module="repro.amulet.restricted",
+        )
+        assert findings == []
+
+    def test_math_constants_are_data(self):
+        findings = lint(
+            """
+            import math
+
+            HALF_TURN = math.pi
+            """,
+            module="repro.sift_app.fixture",
+        )
+        assert findings == []
+
+    def test_pragma_suppression(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def stimulus(t):
+                return np.exp(-t)  # lint: allow DEV001 -- physical model
+            """,
+            module="repro.amulet.fixture",
+        )
+        assert findings == []
+
+    def test_nontranscendental_numpy_is_fine(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def helper(x):
+                return np.maximum(np.asarray(x), 0.0)
+            """,
+            module="repro.sift_app.fixture",
+        )
+        assert findings == []
+
+
+class TestDev002:
+    def test_float_literal_cast_and_division(self):
+        findings = lint(
+            """
+            def decision_fixed(self, q):
+                acc = float(self.bias_q)
+                acc = acc + 0.5
+                acc = acc / 2
+                return acc
+            """,
+            module="repro.ml.model_codegen",
+        )
+        assert codes(findings) == ["DEV002", "DEV002", "DEV002"]
+
+    def test_float_dtype(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def fixed_mac(self, w, x):
+                return np.asarray(w, dtype=np.float32) @ x
+            """,
+            module="repro.amulet.restricted",
+        )
+        assert codes(findings) == ["DEV002"]
+
+    def test_integer_code_passes(self):
+        findings = lint(
+            """
+            def decision_fixed(self, q):
+                acc = int(self.bias_q)
+                for w, x in zip(self.weights, q):
+                    acc += (w * x) >> self.frac_bits
+                return acc
+            """,
+            module="repro.ml.model_codegen",
+        )
+        assert findings == []
+
+    def test_non_fixed_functions_unconstrained(self):
+        findings = lint(
+            """
+            def dequantize(self, q):
+                return q / self.scale
+            """,
+            module="repro.ml.model_codegen",
+        )
+        assert findings == []
+
+    def test_other_modules_unconstrained(self):
+        findings = lint(
+            """
+            def decision_fixed(q):
+                return q / 2.0
+            """,
+            module="repro.experiments.fixture",
+        )
+        assert findings == []
+
+
+class TestRealModulesAreClean:
+    def test_device_features_module(self):
+        import repro.sift_app.device_features as mod
+        from pathlib import Path
+
+        analyzer = Analyzer([DeviceLibmRule(), DeviceFloatBanRule()])
+        assert analyzer.lint_file(Path(mod.__file__)) == []
+
+    def test_model_codegen_module(self):
+        import repro.ml.model_codegen as mod
+        from pathlib import Path
+
+        analyzer = Analyzer([DeviceLibmRule(), DeviceFloatBanRule()])
+        assert analyzer.lint_file(Path(mod.__file__)) == []

@@ -1,0 +1,180 @@
+"""Engine plumbing: registry, pragmas, module inference, baseline workflow."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, Baseline, all_rules, fingerprint
+from repro.analysis.engine import module_name_for_path
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import LintContext, rules_for_codes
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src"
+
+
+class TestRegistry:
+    def test_all_rules_sorted_and_complete(self):
+        codes = [rule.code for rule in all_rules()]
+        assert codes == sorted(codes)
+        assert {"DEV001", "DEV002", "DET001", "OVF001"} <= set(codes)
+
+    def test_rules_for_codes_selects(self):
+        rules = rules_for_codes(["DET001"])
+        assert [rule.code for rule in rules] == ["DET001"]
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(KeyError):
+            rules_for_codes(["NOPE999"])
+
+
+class TestModuleInference:
+    def test_package_file(self):
+        path = SRC_ROOT / "repro" / "ml" / "model_codegen.py"
+        assert module_name_for_path(path) == "repro.ml.model_codegen"
+
+    def test_package_init(self):
+        path = SRC_ROOT / "repro" / "amulet" / "__init__.py"
+        assert module_name_for_path(path) == "repro.amulet"
+
+    def test_loose_file(self, tmp_path):
+        loose = tmp_path / "scratch.py"
+        loose.write_text("x = 1\n")
+        assert module_name_for_path(loose) is None
+
+
+class TestPragmas:
+    def test_suppression_is_per_code(self):
+        context = LintContext.from_source(
+            "import math\n"
+            "y = math.sqrt(2)  # lint: allow DET001 -- wrong code\n",
+            path="<t>",
+            module="repro.sift_app.fixture",
+        )
+        assert context.is_suppressed(2, "DET001")
+        assert not context.is_suppressed(2, "DEV001")
+
+    def test_multiple_codes(self):
+        context = LintContext.from_source(
+            "x = 1  # lint: allow DEV001, DET001 -- both\n", path="<t>"
+        )
+        assert context.is_suppressed(1, "DEV001")
+        assert context.is_suppressed(1, "DET001")
+
+
+class TestLintFile:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        findings = Analyzer().lint_file(bad)
+        assert [f.code for f in findings] == ["SYN000"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_lint_paths_recurses(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "clean.py").write_text("x = 1\n")
+        (package / "noisy.py").write_text(
+            "import random\nJITTER = random.random()\n"
+        )
+        findings = Analyzer().lint_paths([tmp_path])
+        assert [f.code for f in findings] == ["DET001"]
+
+
+class TestFinding:
+    def test_render_format(self):
+        finding = Finding(
+            path="src/x.py", line=3, col=4, code="DEV001",
+            message="no", severity=Severity.ERROR, source_line="math.sqrt(2)",
+        )
+        assert finding.render() == "src/x.py:3:5: DEV001 error: no"
+
+    def test_ordering_by_location(self):
+        a = Finding(path="a.py", line=1, col=0, code="DET001", message="m")
+        b = Finding(path="a.py", line=2, col=0, code="DET001", message="m")
+        assert a < b
+
+    def test_as_dict_round_trips_fields(self):
+        finding = Finding(
+            path="p.py", line=1, col=0, code="OVF001",
+            message="m", severity=Severity.WARNING,
+        )
+        data = finding.as_dict()
+        assert data["code"] == "OVF001"
+        assert data["severity"] == "warning"
+
+
+class TestBaseline:
+    def _finding(self, line, source_line="np.random.seed(0)"):
+        return Finding(
+            path="tests/fixture.py", line=line, col=0, code="DET001",
+            message="unseeded", severity=Severity.ERROR,
+            source_line=source_line,
+        )
+
+    def test_fingerprint_ignores_line_number(self):
+        assert fingerprint(self._finding(3)) == fingerprint(self._finding(99))
+
+    def test_fingerprint_sees_content(self):
+        assert fingerprint(self._finding(3)) != fingerprint(
+            self._finding(3, source_line="np.random.seed(1)")
+        )
+
+    def test_filter_new_absorbs_once(self):
+        baseline = Baseline.from_findings([self._finding(3)])
+        # Two identical findings against a one-slot baseline: one is new.
+        fresh = baseline.filter_new([self._finding(3), self._finding(80)])
+        assert len(fresh) == 1
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        baseline = Baseline.from_findings([self._finding(3), self._finding(4)])
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 2
+        assert loaded.filter_new([self._finding(1)]) == []
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": {}}')
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestRepoIsClean:
+    """The acceptance gate: the shipped tree lints clean with all rules."""
+
+    def test_src_repro_has_no_findings(self):
+        findings = Analyzer().lint_paths([SRC_ROOT / "repro"])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestPlantedViolations:
+    """End-to-end: one fixture tree with one violation per rule family."""
+
+    def test_each_rule_fires_with_its_own_code(self, tmp_path):
+        package = tmp_path / "repro" / "sift_app"
+        package.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (package / "__init__.py").write_text("")
+        (package / "planted.py").write_text(
+            textwrap.dedent(
+                """
+                import math
+                import random
+
+                from repro.ml.model_codegen import FixedPointLinearModel
+
+                JITTER = random.random()
+
+                def device_extract_simplified(m, window):
+                    return math.sqrt(window[0])
+
+                MODEL = FixedPointLinearModel(
+                    weights_q=[2000000000, 2000000000], bias_q=100, frac_bits=2
+                )
+                """
+            )
+        )
+        findings = Analyzer().lint_paths([tmp_path])
+        assert sorted(f.code for f in findings) == ["DET001", "DEV001", "OVF001"]

@@ -1,0 +1,250 @@
+"""OVF001 interval analysis: unit, AST-rule, and hypothesis property tests."""
+
+import textwrap
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Analyzer, accumulator_interval, analyze_model, quantize_range
+from repro.analysis.overflow import FixedPointOverflowRule, OverflowReport
+from repro.ml.model_codegen import FixedPointLinearModel
+
+INT32_MIN = -(2**31)
+INT32_MAX = 2**31 - 1
+
+
+class TestAccumulatorInterval:
+    def test_tiny_model_is_safe(self):
+        report = accumulator_interval(
+            weights_q=[100, -200], bias_q=50, frac_bits=8,
+            feature_bounds_q=[(-1000, 1000), (-1000, 1000)],
+        )
+        assert report.proven_safe
+        assert report.lo <= report.hi
+        assert report.worst_bits <= 32
+
+    def test_saturating_model_detected(self):
+        report = accumulator_interval(
+            weights_q=[2_000_000_000, 2_000_000_000], bias_q=100, frac_bits=2,
+            feature_bounds_q=[(INT32_MIN, INT32_MAX)] * 2,
+        )
+        assert report.saturation_reachable
+        assert report.worst_bits > 32
+
+    def test_transient_excursion_counts(self):
+        # Prefix after feature 0 escapes int32; feature 1 pulls the final
+        # sum back in range.  Per-step saturation means the clamp engages
+        # mid-sum, so this must be flagged even though the final interval
+        # fits.
+        big = (INT32_MAX // 2) << 4
+        report = accumulator_interval(
+            weights_q=[16, -16], bias_q=0, frac_bits=4,
+            feature_bounds_q=[(big, big), (big, big)],
+        )
+        assert report.lo == 0 and report.hi == 0
+        assert report.saturation_reachable
+
+    def test_bias_alone_can_overflow(self):
+        report = accumulator_interval(
+            weights_q=[], bias_q=INT32_MAX + 1, frac_bits=4, feature_bounds_q=[]
+        )
+        assert report.saturation_reachable
+
+    def test_mismatched_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            accumulator_interval([1, 2], 0, 4, [(0, 1)])
+
+    def test_bad_frac_bits_rejected(self):
+        with pytest.raises(ValueError):
+            accumulator_interval([1], 0, 0, [(0, 1)])
+
+
+class TestQuantizeRange:
+    def test_brackets_np_round(self):
+        frac = 10
+        lo, hi = quantize_range(-3.37, 2.91, frac)
+        scale = 1 << frac
+        for x in np.linspace(-3.37, 2.91, 997):
+            q = int(np.round(x * scale))
+            assert lo <= q <= hi
+
+    def test_saturates_to_int32(self):
+        lo, hi = quantize_range(-1e12, 1e12, 20)
+        assert (lo, hi) == (INT32_MIN, INT32_MAX)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            quantize_range(1.0, 0.0, 8)
+
+
+class TestAnalyzeModel:
+    def _model(self, weights, bias, frac_bits):
+        return FixedPointLinearModel(
+            weights_q=np.asarray(weights, dtype=np.int64),
+            bias_q=int(bias),
+            frac_bits=frac_bits,
+        )
+
+    def test_shared_range_broadcasts(self):
+        model = self._model([1000, -2000, 1500], 250, 12)
+        report = analyze_model(model, feature_ranges=(-4.0, 4.0))
+        assert isinstance(report, OverflowReport)
+        assert report.n_features == 3
+        assert report.proven_safe
+
+    def test_per_feature_ranges(self):
+        model = self._model([1000, -2000], 250, 12)
+        report = analyze_model(model, feature_ranges=[(-1.0, 1.0), (0.0, 8.0)])
+        assert report.proven_safe
+
+    def test_default_is_conservative(self):
+        # With no declared range the analyzer assumes any int32 input, so
+        # even modest weights can saturate.
+        model = self._model([1 << 14, 1 << 14], 0, 14)
+        report = analyze_model(model)
+        assert report.saturation_reachable
+
+    def test_wrong_range_count_rejected(self):
+        model = self._model([1, 2], 0, 8)
+        with pytest.raises(ValueError):
+            analyze_model(model, feature_ranges=[(-1.0, 1.0)] * 3)
+
+
+class TestOverflowAstRule:
+    def lint(self, source):
+        analyzer = Analyzer([FixedPointOverflowRule()])
+        return analyzer.lint_source(
+            textwrap.dedent(source), module="repro.experiments.fixture"
+        )
+
+    def test_planted_violation_detected(self):
+        findings = self.lint(
+            """
+            from repro.ml.model_codegen import FixedPointLinearModel
+
+            model = FixedPointLinearModel(
+                weights_q=[2000000000, 2000000000], bias_q=100, frac_bits=2
+            )
+            """
+        )
+        assert [finding.code for finding in findings] == ["OVF001"]
+        assert "saturate" in findings[0].message
+
+    def test_declared_range_proves_safety(self):
+        findings = self.lint(
+            """
+            from repro.ml.model_codegen import FixedPointLinearModel
+
+            # ovf-range: -4.0..4.0
+            model = FixedPointLinearModel(
+                weights_q=[16384, -16384], bias_q=250, frac_bits=14
+            )
+            """
+        )
+        assert findings == []
+
+    def test_declared_range_can_still_fail(self):
+        findings = self.lint(
+            """
+            from repro.ml.model_codegen import FixedPointLinearModel
+
+            # ovf-range: -100000.0..100000.0
+            model = FixedPointLinearModel(
+                weights_q=[2000000000], bias_q=0, frac_bits=4
+            )
+            """
+        )
+        assert [finding.code for finding in findings] == ["OVF001"]
+
+    def test_np_array_wrapper_unwrapped(self):
+        findings = self.lint(
+            """
+            import numpy as np
+            from repro.ml.model_codegen import FixedPointLinearModel
+
+            model = FixedPointLinearModel(
+                weights_q=np.array([2000000000, 2000000000]),
+                bias_q=100,
+                frac_bits=2,
+            )
+            """
+        )
+        assert [finding.code for finding in findings] == ["OVF001"]
+
+    def test_non_literal_construction_skipped(self):
+        findings = self.lint(
+            """
+            from repro.ml.model_codegen import FixedPointLinearModel
+
+            def build(weights, bias, frac):
+                return FixedPointLinearModel(
+                    weights_q=weights, bias_q=bias, frac_bits=frac
+                )
+            """
+        )
+        assert findings == []
+
+
+@st.composite
+def model_and_inputs(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    frac = draw(st.integers(min_value=4, max_value=20))
+    weights = draw(
+        st.lists(
+            st.integers(min_value=-(1 << 24), max_value=1 << 24),
+            min_size=n, max_size=n,
+        )
+    )
+    bias = draw(st.integers(min_value=-(1 << 28), max_value=1 << 28))
+    lo = draw(st.floats(min_value=-64.0, max_value=63.0, allow_nan=False))
+    width = draw(st.floats(min_value=0.0, max_value=32.0, allow_nan=False))
+    hi = lo + width
+    samples = draw(
+        st.lists(
+            st.lists(
+                st.floats(min_value=lo, max_value=hi, allow_nan=False),
+                min_size=n, max_size=n,
+            ),
+            min_size=1, max_size=8,
+        )
+    )
+    return n, frac, weights, bias, (lo, hi), samples
+
+
+class TestOverflowProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(model_and_inputs())
+    def test_analyzer_bound_dominates_runtime(self, case):
+        """Soundness: the static interval contains every runtime prefix sum."""
+        n, frac, weights, bias, (lo, hi), samples = case
+        scale = 1 << frac
+        bounds = [quantize_range(lo, hi, frac)] * n
+        report = accumulator_interval(weights, bias, frac, bounds)
+
+        # Track the prefix-wise envelope the analyzer promises.
+        prefix_bounds = [(bias, bias)]
+        plo = phi = bias
+        for w, (flo, fhi) in zip(weights, bounds):
+            products = (w * flo, w * fhi)
+            plo += min(products) >> frac
+            phi += max(products) >> frac
+            prefix_bounds.append((plo, phi))
+        assert (plo, phi) == (report.lo, report.hi)
+
+        for raw in samples:
+            # Replay decision_fixed's arithmetic without the saturation
+            # clamp (the analysis characterizes the unsaturated sum).
+            quantized = [
+                max(INT32_MIN, min(INT32_MAX, int(np.round(x * scale))))
+                for x in raw
+            ]
+            acc = bias
+            for step, (w, q) in enumerate(zip(weights, quantized), start=1):
+                acc += (w * q) >> frac
+                step_lo, step_hi = prefix_bounds[step]
+                assert step_lo <= acc <= step_hi
+            assert report.lo <= acc <= report.hi
+            if not (INT32_MIN <= acc <= INT32_MAX):
+                assert report.saturation_reachable
