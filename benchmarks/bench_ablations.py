@@ -3,6 +3,10 @@
 Each test sweeps one knob on a mid-size cohort (7 subjects -- enough for
 stable averages, small enough to keep the suite's runtime reasonable),
 saves the sweep table and asserts the qualitative finding.
+
+The cohort-mean sweeps honour ``--jobs N``: each setting's per-subject
+runs fan over a worker pool fed by the zero-copy dataset plane, cutting
+the sweep's wall-clock without changing a single number.
 """
 
 import pytest
@@ -42,8 +46,8 @@ def _table(rows, columns):
     )
 
 
-def test_window_size(benchmark, config, save_result):
-    rows = run_once(benchmark, lambda: window_size_ablation(config))
+def test_window_size(benchmark, config, save_result, jobs):
+    rows = run_once(benchmark, lambda: window_size_ablation(config, jobs=jobs))
     save_result(
         "ablation_window_size",
         _table(rows, ["window_s", "accuracy", "fp_rate", "fn_rate", "f1"]),
@@ -55,8 +59,8 @@ def test_window_size(benchmark, config, save_result):
     assert min(by_window.values()) > 0.6
 
 
-def test_grid_size(benchmark, config, save_result):
-    rows = run_once(benchmark, lambda: grid_size_ablation(config))
+def test_grid_size(benchmark, config, save_result, jobs):
+    rows = run_once(benchmark, lambda: grid_size_ablation(config, jobs=jobs))
     save_result(
         "ablation_grid_size",
         _table(rows, ["grid_n", "accuracy", "fp_rate", "fn_rate", "f1"]),
@@ -66,8 +70,8 @@ def test_grid_size(benchmark, config, save_result):
     assert by_grid[50] >= max(by_grid.values()) - 0.05
 
 
-def test_training_duration(benchmark, config, save_result):
-    rows = run_once(benchmark, lambda: training_duration_ablation(config))
+def test_training_duration(benchmark, config, save_result, jobs):
+    rows = run_once(benchmark, lambda: training_duration_ablation(config, jobs=jobs))
     save_result(
         "ablation_training_duration",
         _table(rows, ["train_duration_s", "accuracy", "fp_rate", "fn_rate", "f1"]),
@@ -79,8 +83,8 @@ def test_training_duration(benchmark, config, save_result):
     assert accuracies[-1] >= accuracies[0] - 0.02
 
 
-def test_feature_classes(benchmark, config, save_result):
-    rows = run_once(benchmark, lambda: feature_class_ablation(config))
+def test_feature_classes(benchmark, config, save_result, jobs):
+    rows = run_once(benchmark, lambda: feature_class_ablation(config, jobs=jobs))
     save_result(
         "ablation_feature_classes",
         _table(rows, ["features", "n_features", "accuracy", "f1"]),

@@ -23,12 +23,29 @@ def pytest_addoption(parser):
         help="shrink benchmark workloads for CI smoke runs "
         "(shorter streams, looser-but-still-meaningful assertions)",
     )
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the cohort sweeps (1 = serial; "
+        "results are identical at any value, only wall-clock changes)",
+    )
 
 
 @pytest.fixture(scope="session")
 def quick(request) -> bool:
     """True when the run is a CI smoke pass (``--quick``)."""
     return bool(request.config.getoption("--quick"))
+
+
+@pytest.fixture(scope="session")
+def jobs(request) -> int:
+    """Worker count for the cohort-fanning benchmarks (``--jobs``)."""
+    value = int(request.config.getoption("--jobs"))
+    if value < 1:
+        raise pytest.UsageError("--jobs must be >= 1")
+    return value
 
 
 @pytest.fixture(scope="session")

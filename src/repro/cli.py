@@ -111,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
                                default=0.5, metavar="S",
                                help="base of the exponential backoff between "
                                "retries (default: 0.5 s)")
+            table.add_argument("--no-shared-dataset", action="store_true",
+                               help="disable the zero-copy dataset plane: "
+                               "workers re-synthesize the cohort instead of "
+                               "attaching the parent's shared-memory copy "
+                               "(results are identical; diagnostic only)")
 
     matrix = sub.add_parser(
         "fault-matrix",
@@ -228,6 +233,7 @@ def _cmd_table2(args) -> int:
         task_timeout_s=args.task_timeout,
         max_retries=args.retries,
         retry_backoff_s=args.retry_backoff,
+        share_dataset=not args.no_shared_dataset,
     )
     print(format_table2(result))
     for failure in result.failures:

@@ -13,11 +13,21 @@ stages across a whole stream at once:
 Every batched operation is **bit-identical** to its scalar counterpart:
 the elementwise arithmetic is the same float64 expression, and the axis
 reductions reduce the same contiguous runs NumPy's scalar calls do.  The
-equivalence is locked down by ``tests/core/test_batch_detection.py``.
+equivalence is locked down by ``tests/core/test_batch_detection.py`` and
+``tests/core/test_peak_geometry_batch.py``.
 
-Peak geometry stays per window (peak counts are ragged), but reuses the
-already-normalized coordinates, so the per-window tail is a handful of
-tiny operations instead of the full portrait pipeline.
+Peak geometry is ragged -- each window has its own R-peak and
+systolic-peak count -- so it cannot stack into rectangular matrices
+directly.  :class:`PeakGeometryBatch` pads instead: peak indices land in
+``(n_windows, max_count)`` index matrices (padded positions point at
+sample 0) with boolean validity masks, the geometric quantities are
+computed elementwise on the padded matrices, and the per-window means
+accumulate the masked values column by column -- the same left-to-right
+order as :func:`~repro.core.features.geometric.sequential_mean`, which is
+what keeps the padded path bit-identical to the scalar helpers at every
+peak count (pairwise ``np.mean`` would re-associate at 8+ peaks).
+Padding contributes exact zeros to non-negative partial sums, so it
+never perturbs a mean.
 """
 
 from __future__ import annotations
@@ -33,9 +43,12 @@ from repro.signals.dataset import SignalWindow
 from repro.signals.peaks import match_peaks
 
 __all__ = [
+    "PeakGeometryBatch",
     "PortraitBatch",
+    "build_peak_geometry",
     "build_portrait_batch",
     "iter_window_chunks",
+    "masked_sequential_row_means",
     "normalize_rows",
     "spatial_filling_indices",
     "stack_signals",
@@ -181,3 +194,182 @@ def build_portrait_batch(
         for i, w in enumerate(windows)
     )
     return PortraitBatch(x=x, y=y, portraits=portraits)
+
+
+def masked_sequential_row_means(
+    values: np.ndarray, mask: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Row means over the masked entries, accumulated left to right.
+
+    ``values`` and ``mask`` are ``(m, k)``; ``counts`` holds each row's
+    number of valid entries (``mask.sum(axis=1)``, passed in because the
+    callers already know it).  Rows with no valid entries yield 0.0 --
+    the scalar helpers' empty-portrait convention.
+
+    Accumulation walks the columns in order, so each row sums exactly
+    like :func:`~repro.core.features.geometric.sequential_mean` walks its
+    array: masked-out positions contribute ``+0.0``, which is exact, and
+    the closing division is the same single float64 divide.
+    """
+    values = np.where(mask, values, 0.0)
+    total = np.zeros(values.shape[0])
+    for j in range(values.shape[1]):
+        total = total + values[:, j]
+    counts = np.asarray(counts, dtype=np.float64)
+    return np.where(counts > 0.0, total / np.where(counts > 0.0, counts, 1.0), 0.0)
+
+
+def _pad_index_matrix(
+    index_lists: "list[np.ndarray]",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Ragged index lists -> padded ``(m, k)`` matrix + mask + counts.
+
+    Padding positions index sample 0 -- a valid coordinate, so gathered
+    values stay finite and the elementwise geometry never sees NaN; the
+    mask is what excludes them from the means.
+    """
+    m = len(index_lists)
+    counts = np.fromiter((len(ix) for ix in index_lists), dtype=np.intp, count=m)
+    k = int(counts.max(initial=0))
+    indices = np.zeros((m, k), dtype=np.intp)
+    for i, ix in enumerate(index_lists):
+        if len(ix):
+            indices[i, : len(ix)] = ix
+    mask = np.arange(k, dtype=np.intp)[None, :] < counts[:, None]
+    return indices, mask, counts
+
+
+@dataclass(frozen=True)
+class PeakGeometryBatch:
+    """Padded peak coordinates for a whole stream, ready for reduction.
+
+    Three peak families, each as ``(n_windows, max_count)`` coordinate
+    matrices with a validity mask and per-window counts: the R peaks
+    (``r_*``), the systolic peaks (``s_*``) and the matched R/systolic
+    pairs (``pr_*``/``ps_*`` share ``pair_mask``/``pair_counts``).  The
+    mean-feature methods return one float64 value per window and are
+    bit-identical to the scalar helpers in
+    :mod:`~repro.core.features.geometric` and
+    :mod:`~repro.core.features.simplified` applied window by window.
+    """
+
+    r_x: np.ndarray
+    r_y: np.ndarray
+    r_mask: np.ndarray
+    r_counts: np.ndarray
+    s_x: np.ndarray
+    s_y: np.ndarray
+    s_mask: np.ndarray
+    s_counts: np.ndarray
+    pr_x: np.ndarray
+    pr_y: np.ndarray
+    ps_x: np.ndarray
+    ps_y: np.ndarray
+    pair_mask: np.ndarray
+    pair_counts: np.ndarray
+
+    def angle_means(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-window ``average_peak_angle`` for R and systolic peaks."""
+        return (
+            masked_sequential_row_means(
+                np.arctan2(self.r_y, self.r_x), self.r_mask, self.r_counts
+            ),
+            masked_sequential_row_means(
+                np.arctan2(self.s_y, self.s_x), self.s_mask, self.s_counts
+            ),
+        )
+
+    def distance_means(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-window ``average_peak_distance`` for R and systolic peaks."""
+        return (
+            masked_sequential_row_means(
+                np.sqrt(self.r_x**2 + self.r_y**2), self.r_mask, self.r_counts
+            ),
+            masked_sequential_row_means(
+                np.sqrt(self.s_x**2 + self.s_y**2), self.s_mask, self.s_counts
+            ),
+        )
+
+    def paired_distance_means(self) -> np.ndarray:
+        """Per-window ``average_paired_distance`` over the matched pairs."""
+        distances = np.sqrt(
+            (self.pr_x - self.ps_x) ** 2 + (self.pr_y - self.ps_y) ** 2
+        )
+        return masked_sequential_row_means(
+            distances, self.pair_mask, self.pair_counts
+        )
+
+    def slope_means(self, epsilon: float) -> tuple[np.ndarray, np.ndarray]:
+        """Per-window ``average_peak_slope`` at the given denominator clamp.
+
+        ``epsilon`` is the Simplified build's ``SLOPE_EPSILON``; it is a
+        parameter (not an import) because :mod:`~repro.core.features.
+        simplified` imports this module.
+        """
+        return (
+            masked_sequential_row_means(
+                self.r_y / np.maximum(self.r_x, epsilon),
+                self.r_mask,
+                self.r_counts,
+            ),
+            masked_sequential_row_means(
+                self.s_y / np.maximum(self.s_x, epsilon),
+                self.s_mask,
+                self.s_counts,
+            ),
+        )
+
+    def squared_distance_means(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-window ``average_squared_peak_distance`` for both families."""
+        return (
+            masked_sequential_row_means(
+                self.r_x**2 + self.r_y**2, self.r_mask, self.r_counts
+            ),
+            masked_sequential_row_means(
+                self.s_x**2 + self.s_y**2, self.s_mask, self.s_counts
+            ),
+        )
+
+    def paired_squared_distance_means(self) -> np.ndarray:
+        """Per-window ``average_squared_paired_distance`` over the pairs."""
+        squared = (self.pr_x - self.ps_x) ** 2 + (self.pr_y - self.ps_y) ** 2
+        return masked_sequential_row_means(
+            squared, self.pair_mask, self.pair_counts
+        )
+
+
+def build_peak_geometry(batch: PortraitBatch) -> PeakGeometryBatch:
+    """Gather a batch's ragged peak coordinates into padded matrices.
+
+    One ``take_along_axis`` gather per coordinate family replaces the
+    per-window ``r_peak_points()`` / ``systolic_peak_points()`` /
+    ``paired_peak_points()`` stacking of the scalar path.
+    """
+    portraits = batch.portraits
+    r_idx, r_mask, r_counts = _pad_index_matrix([p.r_peaks for p in portraits])
+    s_idx, s_mask, s_counts = _pad_index_matrix(
+        [p.systolic_peaks for p in portraits]
+    )
+    pair_r, pair_s = [], []
+    for p in portraits:
+        pair_r.append(np.fromiter((a for a, _ in p.peak_pairs), dtype=np.intp))
+        pair_s.append(np.fromiter((b for _, b in p.peak_pairs), dtype=np.intp))
+    pr_idx, pair_mask, pair_counts = _pad_index_matrix(pair_r)
+    ps_idx, _, _ = _pad_index_matrix(pair_s)
+    take = np.take_along_axis
+    return PeakGeometryBatch(
+        r_x=take(batch.x, r_idx, axis=1),
+        r_y=take(batch.y, r_idx, axis=1),
+        r_mask=r_mask,
+        r_counts=r_counts,
+        s_x=take(batch.x, s_idx, axis=1),
+        s_y=take(batch.y, s_idx, axis=1),
+        s_mask=s_mask,
+        s_counts=s_counts,
+        pr_x=take(batch.x, pr_idx, axis=1),
+        pr_y=take(batch.y, pr_idx, axis=1),
+        ps_x=take(batch.x, ps_idx, axis=1),
+        ps_y=take(batch.y, ps_idx, axis=1),
+        pair_mask=pair_mask,
+        pair_counts=pair_counts,
+    )

@@ -16,6 +16,15 @@ with the slope ``y / x`` (its tangent), which is why both builds share this
 interpretation.  Windows with no peaks of a kind yield 0.0 for the affected
 features: an implausibly empty portrait is itself anomalous and the
 classifier learns it as such.
+
+Averages follow the **sequential-mean contract** (:func:`sequential_mean`):
+values accumulate left to right, exactly like the device C loop, rather
+than via ``np.mean``'s pairwise summation.  The batched extractors
+(:mod:`repro.core.features.batched`) accumulate their padded value
+matrices column by column in the same order, which is what makes the
+batch path bit-identical to these scalar helpers at *every* peak count --
+pairwise summation re-associates once an array has 8+ elements, so the
+two paths would otherwise drift in the last ulp on dense windows.
 """
 
 from __future__ import annotations
@@ -26,7 +35,23 @@ __all__ = [
     "average_paired_distance",
     "average_peak_angle",
     "average_peak_distance",
+    "sequential_mean",
 ]
+
+
+def sequential_mean(values: np.ndarray) -> float:
+    """Left-to-right mean of a 1-D array (the device loop's order).
+
+    ``total = ((v0 + v1) + v2) + ...; total / n`` in float64 -- the
+    accumulation order of a C ``for`` loop, and of the batched column
+    accumulation in :mod:`repro.core.features.batched`.  Callers handle
+    the empty case; an empty array here is a contract violation.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    total = np.float64(0.0)
+    for value in values:
+        total = total + value
+    return float(total / values.size)
 
 
 def average_peak_angle(points: np.ndarray) -> float:
@@ -36,7 +61,7 @@ def average_peak_angle(points: np.ndarray) -> float:
         return 0.0
     if points.ndim != 2 or points.shape[1] != 2:
         raise ValueError("points must have shape (m, 2)")
-    return float(np.mean(np.arctan2(points[:, 1], points[:, 0])))
+    return sequential_mean(np.arctan2(points[:, 1], points[:, 0]))
 
 
 def average_peak_distance(points: np.ndarray) -> float:
@@ -46,7 +71,7 @@ def average_peak_distance(points: np.ndarray) -> float:
         return 0.0
     if points.ndim != 2 or points.shape[1] != 2:
         raise ValueError("points must have shape (m, 2)")
-    return float(np.mean(np.sqrt(points[:, 0] ** 2 + points[:, 1] ** 2)))
+    return sequential_mean(np.sqrt(points[:, 0] ** 2 + points[:, 1] ** 2))
 
 
 def average_paired_distance(r_points: np.ndarray, s_points: np.ndarray) -> float:
@@ -58,4 +83,4 @@ def average_paired_distance(r_points: np.ndarray, s_points: np.ndarray) -> float
     if r_points.size == 0:
         return 0.0
     deltas = r_points - s_points
-    return float(np.mean(np.sqrt(deltas[:, 0] ** 2 + deltas[:, 1] ** 2)))
+    return sequential_mean(np.sqrt(deltas[:, 0] ** 2 + deltas[:, 1] ** 2))

@@ -5,7 +5,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.features.base import FeatureExtractor
-from repro.core.features.batched import build_portrait_batch, spatial_filling_indices
+from repro.core.features.batched import (
+    build_peak_geometry,
+    build_portrait_batch,
+    spatial_filling_indices,
+)
 from repro.core.features.geometric import (
     average_paired_distance,
     average_peak_angle,
@@ -77,13 +81,8 @@ class OriginalFeatureExtractor(FeatureExtractor):
         out[:, 0] = spatial_filling_indices(matrices)
         out[:, 1] = col_avg.std(axis=1)
         out[:, 2] = np.trapezoid(col_avg, axis=-1)
-        for i, portrait in enumerate(batch.portraits):
-            r_points = portrait.r_peak_points()
-            s_points = portrait.systolic_peak_points()
-            paired_r, paired_s = portrait.paired_peak_points()
-            out[i, 3] = average_peak_angle(r_points)
-            out[i, 4] = average_peak_angle(s_points)
-            out[i, 5] = average_peak_distance(r_points)
-            out[i, 6] = average_peak_distance(s_points)
-            out[i, 7] = average_paired_distance(paired_r, paired_s)
+        geometry = build_peak_geometry(batch)
+        out[:, 3], out[:, 4] = geometry.angle_means()
+        out[:, 5], out[:, 6] = geometry.distance_means()
+        out[:, 7] = geometry.paired_distance_means()
         return out

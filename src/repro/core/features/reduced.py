@@ -11,8 +11,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.features.base import FeatureExtractor
-from repro.core.features.batched import build_portrait_batch
+from repro.core.features.batched import build_peak_geometry, build_portrait_batch
 from repro.core.features.simplified import (
+    SLOPE_EPSILON,
     average_peak_slope,
     average_squared_paired_distance,
     average_squared_peak_distance,
@@ -61,13 +62,8 @@ class ReducedFeatureExtractor(FeatureExtractor):
         if batch is None:  # ragged window lengths: per-window fallback
             return super()._extract_batch(windows)
         out = np.empty((len(windows), self.n_features))
-        for i, portrait in enumerate(batch.portraits):
-            r_points = portrait.r_peak_points()
-            s_points = portrait.systolic_peak_points()
-            paired_r, paired_s = portrait.paired_peak_points()
-            out[i, 0] = average_peak_slope(r_points)
-            out[i, 1] = average_peak_slope(s_points)
-            out[i, 2] = average_squared_peak_distance(r_points)
-            out[i, 3] = average_squared_peak_distance(s_points)
-            out[i, 4] = average_squared_paired_distance(paired_r, paired_s)
+        geometry = build_peak_geometry(batch)
+        out[:, 0], out[:, 1] = geometry.slope_means(SLOPE_EPSILON)
+        out[:, 2], out[:, 3] = geometry.squared_distance_means()
+        out[:, 4] = geometry.paired_squared_distance_means()
         return out

@@ -19,7 +19,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.features.base import FeatureExtractor
-from repro.core.features.batched import build_portrait_batch, spatial_filling_indices
+from repro.core.features.batched import (
+    build_peak_geometry,
+    build_portrait_batch,
+    spatial_filling_indices,
+)
+from repro.core.features.geometric import sequential_mean
 from repro.core.features.matrix import (
     auc_composite,
     column_averages,
@@ -53,7 +58,7 @@ def average_peak_slope(points: np.ndarray) -> float:
     if points.ndim != 2 or points.shape[1] != 2:
         raise ValueError("points must have shape (m, 2)")
     x = np.maximum(points[:, 0], SLOPE_EPSILON)
-    return float(np.mean(points[:, 1] / x))
+    return sequential_mean(points[:, 1] / x)
 
 
 def average_squared_peak_distance(points: np.ndarray) -> float:
@@ -63,7 +68,7 @@ def average_squared_peak_distance(points: np.ndarray) -> float:
         return 0.0
     if points.ndim != 2 or points.shape[1] != 2:
         raise ValueError("points must have shape (m, 2)")
-    return float(np.mean(points[:, 0] ** 2 + points[:, 1] ** 2))
+    return sequential_mean(points[:, 0] ** 2 + points[:, 1] ** 2)
 
 
 def average_squared_paired_distance(
@@ -77,7 +82,7 @@ def average_squared_paired_distance(
     if r_points.size == 0:
         return 0.0
     deltas = r_points - s_points
-    return float(np.mean(deltas[:, 0] ** 2 + deltas[:, 1] ** 2))
+    return sequential_mean(deltas[:, 0] ** 2 + deltas[:, 1] ** 2)
 
 
 class SimplifiedFeatureExtractor(FeatureExtractor):
@@ -130,13 +135,8 @@ class SimplifiedFeatureExtractor(FeatureExtractor):
         out[:, 1] = col_avg.var(axis=1)
         # auc_composite per row: 0.5 * sum(f_k + f_{k+1}) along the curve.
         out[:, 2] = 0.5 * np.sum(col_avg[:, :-1] + col_avg[:, 1:], axis=1)
-        for i, portrait in enumerate(batch.portraits):
-            r_points = portrait.r_peak_points()
-            s_points = portrait.systolic_peak_points()
-            paired_r, paired_s = portrait.paired_peak_points()
-            out[i, 3] = average_peak_slope(r_points)
-            out[i, 4] = average_peak_slope(s_points)
-            out[i, 5] = average_squared_peak_distance(r_points)
-            out[i, 6] = average_squared_peak_distance(s_points)
-            out[i, 7] = average_squared_paired_distance(paired_r, paired_s)
+        geometry = build_peak_geometry(batch)
+        out[:, 3], out[:, 4] = geometry.slope_means(SLOPE_EPSILON)
+        out[:, 5], out[:, 6] = geometry.squared_distance_means()
+        out[:, 7] = geometry.paired_squared_distance_means()
         return out

@@ -10,7 +10,10 @@
   and the battery-life/period slider);
 - :mod:`~repro.experiments.ablations` -- the design-choice studies
   DESIGN.md calls out (window size, grid size, training duration, feature
-  classes, classifier, fixed-point precision, attack types).
+  classes, classifier, fixed-point precision, attack types);
+- :mod:`~repro.experiments.dataplane` -- the zero-copy dataset plane:
+  cohort recordings serialized once into shared memory and attached
+  (not rebuilt) by :class:`CohortRunner` workers.
 """
 
 from repro.experiments.ablations import (
@@ -30,6 +33,12 @@ from repro.experiments.cache import (
     cache_disabled,
     entry_cost,
     set_cache_budget,
+)
+from repro.experiments.dataplane import (
+    DatasetPlane,
+    PlaneManifest,
+    leaked_segments,
+    realize_cohort_records,
 )
 from repro.experiments.fig3 import Fig3Result, format_fig3, run_fig3
 from repro.experiments.pipeline import (
@@ -69,10 +78,12 @@ __all__ = [
     "CohortOutcome",
     "CohortRunner",
     "DEFAULT_CACHE_BYTES",
+    "DatasetPlane",
     "EXPERIMENT_CACHE",
     "ExperimentCache",
     "ExperimentConfig",
     "Fig3Result",
+    "PlaneManifest",
     "SubjectRunResult",
     "Table2Result",
     "Table3Result",
@@ -97,8 +108,10 @@ __all__ = [
     "format_table2_by_subject",
     "format_table3",
     "grid_size_ablation",
+    "leaked_segments",
     "make_dataset",
     "mixed_attack_training_ablation",
+    "realize_cohort_records",
     "run_fig3",
     "run_subject",
     "run_table2",

@@ -5,6 +5,13 @@ setting (plain dicts, ready for tabulation).  All ablations run on the
 reference pipeline unless the knob itself concerns the device (fixed-point
 precision), and default to the Simplified version -- the build the paper
 positions as the sweet spot.
+
+The cohort-mean sweeps accept ``jobs``: each swept setting fans its
+per-subject runs over a :class:`~repro.experiments.runner.CohortRunner`
+worker pool (with the zero-copy dataset plane feeding the workers), so a
+sweep costs roughly one setting's wall-clock times the number of
+settings divided by the worker count.  Results are identical at any
+``jobs``.
 """
 
 from __future__ import annotations
@@ -77,37 +84,42 @@ def _mean_accuracy(
 
 
 def window_size_ablation(
-    config: ExperimentConfig, window_values: Sequence[float] = (1.5, 3.0, 6.0, 12.0)
+    config: ExperimentConfig,
+    window_values: Sequence[float] = (1.5, 3.0, 6.0, 12.0),
+    jobs: int = 1,
 ) -> list[dict[str, Any]]:
     """Sweep the detection window size w (the paper fixes w = 3 s)."""
     rows = []
     for window_s in window_values:
         swept = replace(config, window_s=float(window_s))
-        rows.append({"window_s": float(window_s), **_mean_accuracy(swept)})
+        rows.append({"window_s": float(window_s), **_mean_accuracy(swept, jobs=jobs)})
     return rows
 
 
 def grid_size_ablation(
-    config: ExperimentConfig, grid_values: Sequence[int] = (10, 25, 50, 100)
+    config: ExperimentConfig,
+    grid_values: Sequence[int] = (10, 25, 50, 100),
+    jobs: int = 1,
 ) -> list[dict[str, Any]]:
     """Sweep the occupancy-grid size n (the paper fixes n = 50)."""
     rows = []
     for grid_n in grid_values:
         swept = replace(config, grid_n=int(grid_n))
-        rows.append({"grid_n": int(grid_n), **_mean_accuracy(swept)})
+        rows.append({"grid_n": int(grid_n), **_mean_accuracy(swept, jobs=jobs)})
     return rows
 
 
 def training_duration_ablation(
     config: ExperimentConfig,
     durations_s: Sequence[float] = (120.0, 300.0, 600.0, 1200.0),
+    jobs: int = 1,
 ) -> list[dict[str, Any]]:
     """Sweep Delta, the training-data duration (paper: 20 minutes)."""
     rows = []
     for duration in durations_s:
         swept = replace(config, train_duration_s=float(duration))
         rows.append(
-            {"train_duration_s": float(duration), **_mean_accuracy(swept)}
+            {"train_duration_s": float(duration), **_mean_accuracy(swept, jobs=jobs)}
         )
     return rows
 
@@ -134,7 +146,9 @@ class _MatrixOnlyExtractor(FeatureExtractor):
         )
 
 
-def feature_class_ablation(config: ExperimentConfig) -> list[dict[str, Any]]:
+def feature_class_ablation(
+    config: ExperimentConfig, jobs: int = 1
+) -> list[dict[str, Any]]:
     """Matrix-only vs geometric-only vs both (why Reduced loses accuracy)."""
     dataset = make_dataset(config)
 
@@ -178,12 +192,18 @@ def feature_class_ablation(config: ExperimentConfig) -> list[dict[str, Any]]:
         {
             "features": "geometric_only (reduced)",
             "n_features": 5,
-            **_subset(_mean_accuracy(config, version="reduced"), ("accuracy", "f1")),
+            **_subset(
+                _mean_accuracy(config, version="reduced", jobs=jobs),
+                ("accuracy", "f1"),
+            ),
         },
         {
             "features": "both (simplified)",
             "n_features": 8,
-            **_subset(_mean_accuracy(config, version="simplified"), ("accuracy", "f1")),
+            **_subset(
+                _mean_accuracy(config, version="simplified", jobs=jobs),
+                ("accuracy", "f1"),
+            ),
         },
     ]
     return rows

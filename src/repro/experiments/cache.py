@@ -97,6 +97,26 @@ class ExperimentCache:
             self._store.move_to_end(key)
         return value
 
+    def put(self, key: Hashable, value: Any, cost: int | None = None) -> None:
+        """Insert (or refresh) an entry, optionally at an explicit cost.
+
+        The dataset plane seeds worker caches with records whose arrays
+        are views into a shared-memory segment; billing those at
+        :func:`entry_cost` (their apparent ``nbytes``) would charge every
+        worker for memory that exists once machine-wide, so callers may
+        override the cost.  Re-putting an existing key replaces its value
+        and refreshes its LRU recency.  Disabled caches ignore puts.
+        """
+        if not self.enabled:
+            return
+        existing = self._store.pop(key, None)
+        if existing is not None:
+            self._resident_bytes -= existing[1]
+        billed = entry_cost(value) if cost is None else max(1, int(cost))
+        self._store[key] = (value, billed)
+        self._resident_bytes += billed
+        self._evict_over_budget()
+
     def _insert(self, key: Hashable, value: Any) -> None:
         self._store[key] = (value, cost := entry_cost(value))
         self._resident_bytes += cost

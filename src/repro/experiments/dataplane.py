@@ -1,0 +1,430 @@
+"""Zero-copy dataset plane: realize cohort records once, attach everywhere.
+
+The cohort protocol is embarrassingly parallel, but its inputs are not
+small: every (subject, version) task needs the subject's training and
+test recordings plus a handful of donor recordings.  Before this module,
+each :class:`~repro.experiments.runner.CohortRunner` worker process
+re-synthesized every recording it touched from scratch -- the host-side
+mirror image of the paper's problem of wasting cycles on a budgeted
+device.
+
+The plane fixes that with a publish/attach split:
+
+* **Publish** (parent): realize the cohort's record working set once
+  (through the experiment cache, so nothing is synthesized twice), then
+  serialize every record's four arrays into a single
+  ``multiprocessing.shared_memory`` segment.  When shared memory is
+  unavailable (no ``/dev/shm``, exotic platforms, permission failures)
+  the plane degrades to an on-disk ``.npz`` artifact.
+* **Attach** (workers): map the segment and rebuild each :class:`Record`
+  as zero-copy NumPy views into it, then seed the worker's process-local
+  :data:`~repro.experiments.cache.EXPERIMENT_CACHE` under the exact keys
+  the pipeline's ``_record`` helper would use -- so ``run_subject``
+  finds every recording already "synthesized".  Shared views are billed
+  to the cache at a nominal cost: the bytes exist once machine-wide, not
+  once per worker.  The ``.npz`` fallback copies each array once per
+  worker at attach time (still one synthesis total instead of one per
+  worker) and is billed at its real size.
+
+Cleanup guarantees
+------------------
+
+A published segment is unlinked exactly once, whichever exit path runs
+first: explicit :meth:`DatasetPlane.unlink`/:meth:`~DatasetPlane.close`,
+the owning runner's ``close()``/context exit, an exception unwinding a
+cohort run (including ``KeyboardInterrupt``), garbage collection of the
+plane, or interpreter shutdown (``weakref.finalize`` registers an atexit
+hook).  Worker crashes and pool rebuilds never unlink: the rebuilt
+pool's workers re-attach the same segment.  On Linux an attached mapping
+survives unlinking, so workers stay valid even if the parent unlinks
+while they still hold views.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import tempfile
+import weakref
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+import numpy as np
+
+from repro.experiments.cache import EXPERIMENT_CACHE
+from repro.experiments.pipeline import (
+    ExperimentConfig,
+    cohort_record_specs,
+    make_dataset,
+    realize_record,
+)
+from repro.signals.dataset import Record, SyntheticFantasia
+
+__all__ = [
+    "DatasetPlane",
+    "PlaneManifest",
+    "RecordBlock",
+    "attach_records",
+    "attached_plane_tokens",
+    "leaked_segments",
+    "realize_cohort_records",
+    "seed_worker_cache",
+]
+
+#: Shared-memory segment name prefix; the CI leak check and the tests
+#: grep ``/dev/shm`` for it after runs and crashes.
+SEGMENT_PREFIX = "sift_plane_"
+
+#: The arrays serialized per record, in layout order.
+_FIELDS = ("ecg", "abp", "r_peaks", "systolic_peaks")
+
+#: Alignment of each array inside the segment, in bytes.
+_ALIGN = 64
+
+
+def _plane_name() -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid():x}_{secrets.token_hex(4)}"
+
+
+@dataclass(frozen=True)
+class RecordBlock:
+    """Layout of one record inside the plane.
+
+    ``fields`` maps each array of :data:`_FIELDS` to ``(offset, count,
+    dtype_str)``; offsets index the shared segment (the ``.npz`` backend
+    addresses members by name instead and ignores them).
+    """
+
+    cache_key: tuple
+    subject_id: str
+    sample_rate: float
+    fields: tuple[tuple[str, int, int, str], ...]
+
+
+@dataclass(frozen=True)
+class PlaneManifest:
+    """Everything a worker needs to attach: picklable, arrays excluded.
+
+    ``token`` identifies the published segment instance; workers memoize
+    attachments by it, so re-submitted tasks (retries, rebuilt pools)
+    attach at most once per process.
+    """
+
+    token: str
+    backend: str  # "shm" | "npz"
+    name: str | None  # shared-memory segment name (shm backend)
+    path: str | None  # artifact path (npz backend)
+    total_bytes: int
+    blocks: tuple[RecordBlock, ...]
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("shm", "npz"):
+            raise ValueError(f"unknown plane backend: {self.backend!r}")
+
+
+def _layout(records: Mapping[Hashable, Record]) -> tuple[list[RecordBlock], int]:
+    """Assign aligned offsets to every array of every record."""
+    blocks: list[RecordBlock] = []
+    offset = 0
+    for key, record in records.items():
+        fields = []
+        for name in _FIELDS:
+            array = np.ascontiguousarray(getattr(record, name))
+            offset = -(-offset // _ALIGN) * _ALIGN
+            fields.append((name, offset, int(array.size), array.dtype.str))
+            offset += array.nbytes
+        blocks.append(
+            RecordBlock(
+                cache_key=tuple(key) if isinstance(key, tuple) else (key,),
+                subject_id=record.subject_id,
+                sample_rate=record.sample_rate,
+                fields=tuple(fields),
+            )
+        )
+    return blocks, offset
+
+
+def _cleanup_segment(shm, path: str | None) -> None:
+    """Idempotent unlink of a plane's backing storage (finalizer body)."""
+    if shm is not None:
+        try:
+            shm.close()
+        except BufferError:  # stray exported views: mapping dies with us
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+    if path is not None:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+
+
+class DatasetPlane:
+    """Parent-side handle of a published record working set.
+
+    Build one with :meth:`publish`; ship :attr:`manifest` to workers;
+    :meth:`unlink` (or ``close()``, or garbage collection, or interpreter
+    exit -- whichever comes first) destroys the backing segment exactly
+    once.
+    """
+
+    def __init__(self, manifest: PlaneManifest, shm=None, path: str | None = None):
+        self.manifest = manifest
+        self._finalizer = weakref.finalize(self, _cleanup_segment, shm, path)
+
+    @classmethod
+    def publish(
+        cls,
+        records: Mapping[Hashable, Record],
+        backend: str = "auto",
+        directory: str | None = None,
+    ) -> "DatasetPlane":
+        """Serialize ``records`` once, into shared memory when possible.
+
+        ``backend`` is ``"auto"`` (shared memory, falling back to the
+        on-disk artifact), ``"shm"`` or ``"npz"``; ``directory`` places
+        the fallback artifact (default: the system temp dir).
+        """
+        if backend not in ("auto", "shm", "npz"):
+            raise ValueError(f"unknown plane backend: {backend!r}")
+        blocks, total = _layout(records)
+        if backend in ("auto", "shm"):
+            try:
+                return cls._publish_shm(records, blocks, total)
+            except Exception:
+                if backend == "shm":
+                    raise
+        return cls._publish_npz(records, blocks, total, directory)
+
+    @classmethod
+    def _publish_shm(cls, records, blocks, total) -> "DatasetPlane":
+        from multiprocessing import shared_memory
+
+        shm = None
+        for _ in range(3):  # name collisions are theoretical; retry anyway
+            try:
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, total), name=_plane_name()
+                )
+                break
+            except FileExistsError:
+                continue
+        if shm is None:
+            raise FileExistsError("could not allocate a unique segment name")
+        try:
+            for block, record in zip(blocks, records.values()):
+                for name, offset, count, dtype in block.fields:
+                    view = np.frombuffer(
+                        shm.buf, dtype=np.dtype(dtype), count=count, offset=offset
+                    )
+                    view[:] = getattr(record, name)
+                    del view  # drop the exported buffer before any close()
+            manifest = PlaneManifest(
+                token=shm.name,
+                backend="shm",
+                name=shm.name,
+                path=None,
+                total_bytes=total,
+                blocks=tuple(blocks),
+            )
+        except BaseException:
+            _cleanup_segment(shm, None)
+            raise
+        return cls(manifest, shm=shm)
+
+    @classmethod
+    def _publish_npz(cls, records, blocks, total, directory) -> "DatasetPlane":
+        fd, path = tempfile.mkstemp(
+            prefix=SEGMENT_PREFIX, suffix=".npz", dir=directory
+        )
+        os.close(fd)
+        try:
+            arrays = {
+                f"b{i}_{name}": np.ascontiguousarray(getattr(record, name))
+                for i, record in enumerate(records.values())
+                for name in _FIELDS
+            }
+            np.savez(path, **arrays)
+            manifest = PlaneManifest(
+                token=os.path.basename(path),
+                backend="npz",
+                name=None,
+                path=path,
+                total_bytes=total,
+                blocks=tuple(blocks),
+            )
+        except BaseException:
+            _cleanup_segment(None, path)
+            raise
+        return cls(manifest, path=path)
+
+    @property
+    def alive(self) -> bool:
+        """False once the backing segment has been unlinked."""
+        return self._finalizer.alive
+
+    def unlink(self) -> None:
+        """Destroy the backing segment (idempotent)."""
+        self._finalizer()
+
+    # A plane holds no other resources; closing is unlinking.
+    close = unlink
+
+    def __enter__(self) -> "DatasetPlane":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _AttachedPlane:
+    records: dict[tuple, Record]
+    shm: object | None  # keeps the mapping alive while views exist
+    backend: str
+
+
+#: Process-local attachments, keyed by manifest token.  Bounded to the
+#: *current* plane: attaching a new token evicts every stale one (and the
+#: cache entries whose arrays may view into it).
+_ATTACHED: dict[str, _AttachedPlane] = {}
+
+
+def attached_plane_tokens() -> tuple[str, ...]:
+    """Tokens of the planes this process currently has attached."""
+    return tuple(_ATTACHED)
+
+
+def _evict_stale_planes(current_token: str) -> None:
+    """Drop attachments to other planes before mapping a new one.
+
+    Long-lived pool workers outlive cohort runs; without eviction every
+    plane they ever attached (and every record view seeded from it)
+    would stay mapped for the worker's lifetime.  Stale cache entries
+    may hold views into the stale segments, so the cache goes first.
+    """
+    stale = [token for token in _ATTACHED if token != current_token]
+    if not stale:
+        return
+    EXPERIMENT_CACHE.clear()
+    for token in stale:
+        plane = _ATTACHED.pop(token)
+        plane.records.clear()
+        if plane.shm is not None:
+            try:
+                plane.shm.close()
+            except BufferError:
+                # A stray view still exports the buffer; the mapping is
+                # reclaimed when the worker exits instead.
+                pass
+
+
+def _attach(manifest: PlaneManifest) -> _AttachedPlane:
+    if manifest.backend == "shm":
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=manifest.name)
+
+        def array_for(index: int, name: str, offset: int, count: int, dtype: str):
+            return np.frombuffer(
+                shm.buf, dtype=np.dtype(dtype), count=count, offset=offset
+            )
+
+    else:
+        shm = None
+        with np.load(manifest.path) as archive:
+            members = {key: archive[key] for key in archive.files}
+
+        def array_for(index: int, name: str, offset: int, count: int, dtype: str):
+            return members[f"b{index}_{name}"]
+
+    records: dict[tuple, Record] = {}
+    for index, block in enumerate(manifest.blocks):
+        arrays = {
+            name: array_for(index, name, offset, count, dtype)
+            for name, offset, count, dtype in block.fields
+        }
+        records[block.cache_key] = Record(
+            subject_id=block.subject_id,
+            sample_rate=block.sample_rate,
+            **arrays,
+        )
+    return _AttachedPlane(records=records, shm=shm, backend=manifest.backend)
+
+
+def attach_records(manifest: PlaneManifest) -> Mapping[tuple, Record]:
+    """The plane's records, as zero-copy views (memoized per process)."""
+    plane = _ATTACHED.get(manifest.token)
+    if plane is None:
+        _evict_stale_planes(manifest.token)
+        plane = _ATTACHED[manifest.token] = _attach(manifest)
+    return plane.records
+
+
+def seed_worker_cache(manifest: PlaneManifest) -> None:
+    """Attach the plane and pre-populate this process's experiment cache.
+
+    Idempotent and cheap after the first call: re-seeding refreshes the
+    entries' LRU recency, so records a tiny budget evicted mid-run come
+    back before the next task instead of being re-synthesized.
+    """
+    records = attach_records(manifest)
+    shared = manifest.backend == "shm"
+    for key, record in records.items():
+        # Shared views cost one byte: the arrays are resident once
+        # machine-wide, not once per worker.  The npz fallback's copies
+        # are real per-process memory and are billed as such.
+        EXPERIMENT_CACHE.put(key, record, cost=1 if shared else record.nbytes)
+
+
+# ----------------------------------------------------------------------
+# Realization and diagnostics
+# ----------------------------------------------------------------------
+
+
+def realize_cohort_records(
+    config: ExperimentConfig,
+    dataset: SyntheticFantasia | None = None,
+    subjects: Iterable[int] | None = None,
+) -> dict[tuple, Record]:
+    """Realize the record working set of a cohort run, cache-backed.
+
+    Returns ``{cache_key: Record}`` for every recording ``run_subject``
+    would touch for the given subject indices (default: the whole
+    cohort): the subject's training and test records plus the train- and
+    test-donor records its donor split draws.  Keys are exactly the
+    pipeline's record cache keys, so publishing and seeding cannot drift
+    from what workers look up.
+    """
+    dataset = dataset if dataset is not None else make_dataset(config)
+    return {
+        key: realize_record(dataset, subject, duration, purpose, config)
+        for key, (subject, duration, purpose) in cohort_record_specs(
+            config, dataset, subjects
+        ).items()
+    }
+
+
+def leaked_segments() -> list[str]:
+    """Names of plane segments currently present in ``/dev/shm``.
+
+    The CI leak check and the cleanup tests call this after runs and
+    forced crashes; a non-empty result means some exit path failed to
+    unlink.  Returns ``[]`` on platforms without ``/dev/shm``.
+    """
+    try:
+        return sorted(
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith(SEGMENT_PREFIX)
+        )
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return []

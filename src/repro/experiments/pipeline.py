@@ -24,7 +24,15 @@ from repro.signals.dataset import Record, SyntheticFantasia
 from repro.signals.subjects import SubjectParameters
 from repro.sift_app.harness import AmuletSIFTRunner
 
-__all__ = ["ExperimentConfig", "SubjectRunResult", "make_dataset", "run_subject"]
+__all__ = [
+    "ExperimentConfig",
+    "SubjectRunResult",
+    "cohort_record_specs",
+    "make_dataset",
+    "realize_record",
+    "record_cache_key",
+    "run_subject",
+]
 
 
 @dataclass(frozen=True)
@@ -102,7 +110,29 @@ def make_dataset(config: ExperimentConfig) -> SyntheticFantasia:
     )
 
 
-def _record(
+def record_cache_key(
+    config: ExperimentConfig, subject_id: str, duration: float, purpose: str
+) -> tuple:
+    """The experiment-cache key of one realized recording.
+
+    Shared between :func:`realize_record` and the dataset plane
+    (:mod:`repro.experiments.dataplane`): the plane publishes records
+    under these keys and workers look them up under the same ones, so
+    the two sides cannot drift.
+    """
+    return (
+        "record",
+        config.n_subjects,
+        config.seed,
+        config.sample_rate,
+        config.peak_source,
+        subject_id,
+        float(duration),
+        purpose,
+    )
+
+
+def realize_record(
     dataset: SyntheticFantasia,
     subject: SubjectParameters,
     duration: float,
@@ -111,20 +141,11 @@ def _record(
 ) -> Record:
     """A recording with peak indexes per the configured peak source.
 
-    Synthesis (and peak re-detection) is deterministic in the key below,
+    Synthesis (and peak re-detection) is deterministic in the cache key,
     so the result is cached: every experiment sharing a config reuses the
     same cohort recordings instead of re-synthesizing them.
     """
-    key = (
-        "record",
-        config.n_subjects,
-        config.seed,
-        config.sample_rate,
-        config.peak_source,
-        subject.subject_id,
-        float(duration),
-        purpose,
-    )
+    key = record_cache_key(config, subject.subject_id, duration, purpose)
 
     def build() -> Record:
         record = dataset.record(subject, duration, purpose=purpose)
@@ -133,6 +154,44 @@ def _record(
         return record
 
     return EXPERIMENT_CACHE.get_or_create(key, build)
+
+
+# Backwards-compatible module-private alias (older call sites and tests).
+_record = realize_record
+
+
+def cohort_record_specs(
+    config: ExperimentConfig,
+    dataset: SyntheticFantasia,
+    subjects: "list[int] | None" = None,
+) -> dict[tuple, tuple[SubjectParameters, float, str]]:
+    """The recordings a cohort run touches, keyed by record cache key.
+
+    For each subject index (default: the whole cohort) this covers what
+    :func:`run_subject` consumes: the training and test records plus the
+    train-donor and test-donor records of the subject's donor split.
+    Values are ``(subject, duration, purpose)`` triples ready to pass to
+    :func:`realize_record`.
+    """
+    indices = (
+        range(len(dataset.subjects)) if subjects is None else subjects
+    )
+    specs: dict[tuple, tuple[SubjectParameters, float, str]] = {}
+
+    def add(subject: SubjectParameters, duration: float, purpose: str) -> None:
+        key = record_cache_key(config, subject.subject_id, duration, purpose)
+        specs.setdefault(key, (subject, float(duration), purpose))
+
+    for index in indices:
+        subject = dataset.subjects[index]
+        train_donors, test_donors = _donor_split(dataset, subject, config)
+        add(subject, config.train_duration_s, "train")
+        add(subject, config.test_duration_s, "test")
+        for donor in train_donors:
+            add(donor, config.donor_duration_s, "train")
+        for donor in test_donors:
+            add(donor, config.donor_duration_s, "test")
+    return specs
 
 
 def _donor_split(

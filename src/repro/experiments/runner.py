@@ -15,6 +15,11 @@ path (``jobs=1``) bit-identical to calling ``run_subject`` in a loop:
   process-local :data:`~repro.experiments.cache.EXPERIMENT_CACHE`, so a
   worker that handles several versions of the same subject trains from
   cached records.
+* **Zero-copy dataset plane** -- the parent realizes the cohort's record
+  working set once and publishes it via
+  :mod:`repro.experiments.dataplane`; workers attach shared-memory views
+  instead of re-synthesizing recordings per process (``share_dataset``,
+  on by default).
 
 Hardening (deployment-grade behaviour under faulty workers):
 
@@ -47,6 +52,12 @@ from dataclasses import dataclass, replace
 
 from repro.core.versions import DetectorVersion
 from repro.experiments.cache import EXPERIMENT_CACHE, set_cache_budget
+from repro.experiments.dataplane import (
+    DatasetPlane,
+    PlaneManifest,
+    realize_cohort_records,
+    seed_worker_cache,
+)
 from repro.experiments.pipeline import (
     ExperimentConfig,
     SubjectRunResult,
@@ -143,6 +154,11 @@ def _worker_dataset(config: ExperimentConfig) -> SyntheticFantasia:
     key = (config.n_subjects, config.seed, config.sample_rate)
     dataset = _WORKER_DATASETS.get(key)
     if dataset is None:
+        # Keep only the current config: long-lived workers that serve
+        # sweeps with varying dataset knobs otherwise accumulate one
+        # cohort (and its realized records, via references) per config
+        # for the life of the process.
+        _WORKER_DATASETS.clear()
         dataset = _WORKER_DATASETS[key] = make_dataset(config)
     return dataset
 
@@ -154,17 +170,23 @@ def _run_subject_task(
     with_device: bool,
     chunk_size: int | None = None,
     cache_bytes: int | None = None,
+    plane_manifest: PlaneManifest | None = None,
 ) -> tuple[SubjectRunResult | None, tuple[str, str] | None]:
     """Top-level (picklable) per-subject task with error capture.
 
     ``cache_bytes`` (when given) rebudgets the worker process's local
     experiment cache before the run -- each worker holds its own LRU.
-    Errors come back as ``(type_name, message)`` so the parent can build
-    a structured fault report.
+    ``plane_manifest`` (when given) attaches the parent's published
+    dataset plane and seeds this worker's cache with zero-copy record
+    views, so the task trains and evaluates without re-synthesizing any
+    recording.  Errors come back as ``(type_name, message)`` so the
+    parent can build a structured fault report.
     """
     try:
         if cache_bytes is not None:
             set_cache_budget(cache_bytes)
+        if plane_manifest is not None:
+            seed_worker_cache(plane_manifest)
         dataset = _worker_dataset(config)
         result = run_subject(
             dataset,
@@ -217,12 +239,23 @@ class CohortRunner:
     retry_backoff_s:
         Base of the exponential backoff slept before each retry
         (``retry_backoff_s * 2**(attempt-1)``, capped at 30 s).
+    share_dataset:
+        Publish the realized cohort records once into a shared-memory
+        dataset plane (``.npz`` artifact where shared memory is
+        unavailable) and have workers attach zero-copy views instead of
+        re-synthesizing recordings per process (default).  ``False``
+        restores the historical per-worker synthesis.  Results are
+        bit-identical either way; only fan-out cost changes.
 
     A parallel runner keeps its worker pool alive across ``run_version``
     calls (pool start-up costs more than a quick cohort); use it as a
-    context manager, or call :meth:`close`, to release the workers.  On
-    platforms with ``fork`` the workers inherit the parent's already-built
-    dataset instead of re-synthesizing it.
+    context manager, or call :meth:`close`, to release the workers.  The
+    dataset plane has the same lifetime: it is published lazily on the
+    first parallel run, survives task timeouts and pool rebuilds (the
+    rebuilt pool's workers re-attach it), and its segment is unlinked by
+    :meth:`close`/context exit, by any exception unwinding a run
+    (including ``KeyboardInterrupt``), or -- as a last resort -- when the
+    runner is garbage collected or the interpreter exits.
     """
 
     #: Pool rebuilds allowed per ``run_version`` before the runner stops
@@ -242,6 +275,7 @@ class CohortRunner:
         task_timeout_s: float | None = None,
         max_retries: int = 0,
         retry_backoff_s: float = 0.5,
+        share_dataset: bool = True,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -265,8 +299,12 @@ class CohortRunner:
         )
         self.max_retries = int(max_retries)
         self.retry_backoff_s = float(retry_backoff_s)
+        self.share_dataset = bool(share_dataset)
         self._pool: ProcessPoolExecutor | None = None
         self._pool_rebuilds = 0
+        self._plane: DatasetPlane | None = None
+        self._plane_subjects: set[int] = set()
+        self._plane_manifest: PlaneManifest | None = None
 
     @property
     def dataset(self) -> SyntheticFantasia:
@@ -279,11 +317,54 @@ class CohortRunner:
         """Pools rebuilt after hangs/crashes during the last run."""
         return self._pool_rebuilds
 
+    @property
+    def plane(self) -> DatasetPlane | None:
+        """The live dataset plane (``None`` before the first parallel run)."""
+        return self._plane
+
     def close(self) -> None:
-        """Shut down the worker pool (no-op when none was started)."""
+        """Shut down the worker pool and unlink the dataset plane."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        self._cleanup_plane()
+
+    def _cleanup_plane(self) -> None:
+        """Unlink the published segment (idempotent; workers' mappings
+        stay valid -- on Linux an attached segment survives unlinking)."""
+        plane, self._plane = self._plane, None
+        self._plane_manifest = None
+        self._plane_subjects = set()
+        if plane is not None:
+            plane.unlink()
+
+    def _ensure_plane(self, indices: list[int]) -> PlaneManifest | None:
+        """Publish (or extend) the dataset plane covering ``indices``.
+
+        The plane is reused across ``run_version`` calls as long as it
+        covers the requested subjects; asking for new subjects republishes
+        a segment covering the union (and unlinks the old one first).
+        Publishing failures degrade silently to per-worker synthesis --
+        the plane is an optimization, never a correctness dependency.
+        """
+        if not self.share_dataset:
+            return None
+        needed = set(indices)
+        if self._plane is not None and needed <= self._plane_subjects:
+            return self._plane_manifest
+        covered = needed | self._plane_subjects
+        self._cleanup_plane()
+        try:
+            records = realize_cohort_records(
+                self.config, dataset=self.dataset, subjects=sorted(covered)
+            )
+            self._plane = DatasetPlane.publish(records)
+        except Exception:
+            self._plane = None
+            return None
+        self._plane_subjects = covered
+        self._plane_manifest = self._plane.manifest
+        return self._plane_manifest
 
     def __enter__(self) -> "CohortRunner":
         return self
@@ -368,7 +449,14 @@ class CohortRunner:
                 for index, version in tasks
             ]
         else:
-            pairs = self._run_parallel(tasks)
+            self._ensure_plane([index for index, _ in tasks])
+            try:
+                pairs = self._run_parallel(tasks)
+            except BaseException:
+                # Guaranteed unlink on every abnormal exit -- including
+                # KeyboardInterrupt -- before the exception propagates.
+                self._cleanup_plane()
+                raise
         return [
             CohortOutcome(
                 subject_id=self.dataset.subjects[index].subject_id,
@@ -390,6 +478,7 @@ class CohortRunner:
             self.with_device,
             self.chunk_size,
             self.cache_bytes,
+            self._plane_manifest,
         )
 
     def _run_serial_with_retries(

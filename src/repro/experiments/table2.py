@@ -71,6 +71,7 @@ def run_table2(
     task_timeout_s: float | None = None,
     max_retries: int = 0,
     retry_backoff_s: float = 0.5,
+    share_dataset: bool = True,
 ) -> Table2Result:
     """Run the full Table II protocol.
 
@@ -82,7 +83,10 @@ def run_table2(
     neither changes a single reported number.  ``task_timeout_s``,
     ``max_retries`` and ``retry_backoff_s`` are the hardened runner's
     fault-tolerance knobs (see :class:`CohortRunner`); the defaults keep
-    the historical fail-fast behaviour.
+    the historical fail-fast behaviour.  ``share_dataset`` publishes the
+    cohort recordings once through the zero-copy dataset plane instead of
+    re-synthesizing them in every worker (results are identical either
+    way; disable only to diagnose shared-memory issues).
     """
     config = config or ExperimentConfig()
     per_subject: list[SubjectRunResult] = []
@@ -97,6 +101,7 @@ def run_table2(
         task_timeout_s=task_timeout_s,
         max_retries=max_retries,
         retry_backoff_s=retry_backoff_s,
+        share_dataset=share_dataset,
     ) as runner:
         for version in versions:
             outcomes = runner.run_version(version)
