@@ -47,7 +47,7 @@ def _table(rows, columns):
 
 
 def test_window_size(benchmark, config, save_result, jobs):
-    rows = run_once(benchmark, lambda: window_size_ablation(config, jobs=jobs))
+    rows = run_once(benchmark, lambda: window_size_ablation(config, jobs=jobs), study="ablations", unit="window_size")
     save_result(
         "ablation_window_size",
         _table(rows, ["window_s", "accuracy", "fp_rate", "fn_rate", "f1"]),
@@ -60,7 +60,7 @@ def test_window_size(benchmark, config, save_result, jobs):
 
 
 def test_grid_size(benchmark, config, save_result, jobs):
-    rows = run_once(benchmark, lambda: grid_size_ablation(config, jobs=jobs))
+    rows = run_once(benchmark, lambda: grid_size_ablation(config, jobs=jobs), study="ablations", unit="grid_size")
     save_result(
         "ablation_grid_size",
         _table(rows, ["grid_n", "accuracy", "fp_rate", "fn_rate", "f1"]),
@@ -71,7 +71,7 @@ def test_grid_size(benchmark, config, save_result, jobs):
 
 
 def test_training_duration(benchmark, config, save_result, jobs):
-    rows = run_once(benchmark, lambda: training_duration_ablation(config, jobs=jobs))
+    rows = run_once(benchmark, lambda: training_duration_ablation(config, jobs=jobs), study="ablations", unit="training_duration")
     save_result(
         "ablation_training_duration",
         _table(rows, ["train_duration_s", "accuracy", "fp_rate", "fn_rate", "f1"]),
@@ -84,7 +84,7 @@ def test_training_duration(benchmark, config, save_result, jobs):
 
 
 def test_feature_classes(benchmark, config, save_result, jobs):
-    rows = run_once(benchmark, lambda: feature_class_ablation(config, jobs=jobs))
+    rows = run_once(benchmark, lambda: feature_class_ablation(config, jobs=jobs), study="ablations", unit="feature_classes")
     save_result(
         "ablation_feature_classes",
         _table(rows, ["features", "n_features", "accuracy", "f1"]),
@@ -97,7 +97,7 @@ def test_feature_classes(benchmark, config, save_result, jobs):
 
 
 def test_classifier_choice(benchmark, config, save_result):
-    rows = run_once(benchmark, lambda: classifier_ablation(config))
+    rows = run_once(benchmark, lambda: classifier_ablation(config), study="ablations", unit="classifier")
     save_result(
         "ablation_classifier",
         _table(rows, ["classifier", "accuracy", "f1"]),
@@ -111,7 +111,7 @@ def test_classifier_choice(benchmark, config, save_result):
 
 
 def test_fixed_point_precision(benchmark, config, save_result):
-    rows = run_once(benchmark, lambda: fixed_point_ablation(config))
+    rows = run_once(benchmark, lambda: fixed_point_ablation(config), study="ablations", unit="fixed_point")
     save_result(
         "ablation_fixed_point",
         _table(rows, ["frac_bits", "accuracy", "agreement_with_float"]),
@@ -124,7 +124,7 @@ def test_fixed_point_precision(benchmark, config, save_result):
 
 
 def test_attack_types(benchmark, config, save_result):
-    rows = run_once(benchmark, lambda: attack_type_ablation(config))
+    rows = run_once(benchmark, lambda: attack_type_ablation(config), study="ablations", unit="attack_types")
     save_result(
         "ablation_attack_types",
         _table(rows, ["attack", "accuracy", "fn_rate", "fp_rate"]),
@@ -143,7 +143,7 @@ def test_attack_types(benchmark, config, save_result):
 
 
 def test_mixed_attack_training(benchmark, config, save_result):
-    rows = run_once(benchmark, lambda: mixed_attack_training_ablation(config))
+    rows = run_once(benchmark, lambda: mixed_attack_training_ablation(config), study="ablations", unit="mixed_attack_training")
     save_result(
         "ablation_mixed_attack_training",
         _table(rows, ["training", "eval_attack", "accuracy", "fn_rate", "fp_rate"]),

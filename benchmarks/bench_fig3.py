@@ -21,7 +21,7 @@ from conftest import run_once
 
 
 def test_reproduce_fig3(benchmark, save_result):
-    result = run_once(benchmark, run_fig3)
+    result = run_once(benchmark, run_fig3, study="fig3", unit="profile")
     save_result("fig3", format_fig3(result))
 
     profile = result.profile
@@ -52,7 +52,7 @@ def test_reproduce_fig3(benchmark, save_result):
 
 def test_grid_resource_sweep(benchmark, save_result):
     """The resource half of the grid-size trade-off (ARP-view slider)."""
-    rows = run_once(benchmark, run_grid_resource_sweep)
+    rows = run_once(benchmark, run_grid_resource_sweep, study="fig3", unit="grid_sweep")
     save_result(
         "fig3_grid_resource_sweep",
         format_table(
@@ -81,7 +81,10 @@ def test_grid_resource_sweep(benchmark, save_result):
 
 def test_fig3_simplified_has_no_libm_components(benchmark, save_result):
     result = run_once(
-        benchmark, lambda: run_fig3(version=DetectorVersion.SIMPLIFIED)
+        benchmark,
+        lambda: run_fig3(version=DetectorVersion.SIMPLIFIED),
+        study="fig3",
+        unit="profile_simplified",
     )
     save_result("fig3_simplified", format_fig3(result))
     assert not any(

@@ -42,7 +42,7 @@ def _table(rows, columns):
 
 
 def test_channel_loss(benchmark, config, save_result):
-    rows = run_once(benchmark, lambda: channel_loss_study(config))
+    rows = run_once(benchmark, lambda: channel_loss_study(config), study="robustness", unit="channel_loss")
     save_result(
         "robustness_channel_loss",
         _table(rows, ["loss_probability", "window_coverage", "accuracy_on_classified"]),
@@ -59,7 +59,7 @@ def test_channel_loss(benchmark, config, save_result):
 
 
 def test_artifact_load(benchmark, config, save_result):
-    rows = run_once(benchmark, lambda: artifact_load_study(config))
+    rows = run_once(benchmark, lambda: artifact_load_study(config), study="robustness", unit="artifact_load")
     save_result(
         "robustness_artifact_load",
         _table(rows, ["artifact_rate_per_min", "accuracy", "fp_rate", "fn_rate"]),
@@ -74,7 +74,7 @@ def test_artifact_load(benchmark, config, save_result):
 
 
 def test_debouncing(benchmark, config, save_result):
-    rows = run_once(benchmark, lambda: debounce_study(config))
+    rows = run_once(benchmark, lambda: debounce_study(config), study="robustness", unit="debounce")
     save_result(
         "robustness_debounce",
         _table(

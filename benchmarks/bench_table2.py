@@ -28,7 +28,7 @@ def table2_result(request):
 
 
 def test_reproduce_table2(benchmark, table2_result, save_result):
-    result = run_once(benchmark, run_table2)
+    result = run_once(benchmark, run_table2, study="table2")
     table2_result["result"] = result
     save_result("table2", format_table2(result))
     save_result("table2_by_subject", format_table2_by_subject(result))

@@ -18,7 +18,7 @@ from conftest import run_once
 
 
 def test_reproduce_table3(benchmark, save_result):
-    result = run_once(benchmark, run_table3)
+    result = run_once(benchmark, run_table3, study="table3")
     save_result("table3", format_table3(result))
 
     profiles = result.profiles

@@ -28,7 +28,7 @@ def config():
 
 
 def test_universal_vs_per_user(benchmark, config, save_result):
-    study = run_once(benchmark, lambda: run_universal_study(config))
+    study = run_once(benchmark, lambda: run_universal_study(config), study="universal", unit="loso")
 
     rows = [
         [

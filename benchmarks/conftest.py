@@ -4,10 +4,17 @@ Heavy experiments run exactly once via ``benchmark.pedantic`` (regenerating
 a paper table is a one-shot measurement, not a statistical microbenchmark);
 their rendered tables are printed and also written to
 ``benchmarks/results/<name>.txt`` so the output survives pytest's capture.
+
+Every :func:`run_once` measurement that names its ``study`` also lands in
+the orchestrator's perf-sample buffer; at session end the samples are
+aggregated into a ``BENCH_<stamp>.json`` perf trajectory (same schema the
+``repro orchestrate`` driver emits), which is what the CI regression gate
+(``repro bench-gate``) consumes.
 """
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 import pytest
@@ -62,6 +69,41 @@ def save_result():
     return _save
 
 
-def run_once(benchmark, fn):
-    """Run a one-shot experiment under pytest-benchmark's timer."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+def run_once(benchmark, fn, study: str | None = None, unit: str | None = None):
+    """Run a one-shot experiment under pytest-benchmark's timer.
+
+    Naming a ``study`` (and optionally a ``unit`` within it) records the
+    wall-clock into the orchestrator's perf-sample buffer, from which
+    :func:`pytest_sessionfinish` assembles the session's trajectory.
+    """
+    started = time.perf_counter()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    wall_s = time.perf_counter() - started
+    if study is not None:
+        from repro.experiments.orchestrator import record_perf_sample
+
+        record_perf_sample(study, unit or study, wall_s)
+    return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the session's perf samples as a BENCH_<stamp>.json record."""
+    try:
+        from repro.experiments.orchestrator import (
+            drain_perf_samples,
+            trajectory_from_samples,
+            write_trajectory,
+        )
+    except ImportError:  # bare collection without src on the path
+        return
+    samples = drain_perf_samples()
+    if not samples:
+        return
+    record = trajectory_from_samples(
+        samples,
+        label="bench",
+        quick=bool(session.config.getoption("--quick")),
+        jobs=int(session.config.getoption("--jobs")),
+    )
+    path = write_trajectory(record, RESULTS_DIR)
+    print(f"\nperf trajectory: {path}")

@@ -7,6 +7,16 @@ Commands
 ``table2`` / ``table3`` / ``fig3``
     Regenerate the paper's tables and figure (``--quick`` for a reduced
     cohort).
+``orchestrate``
+    The checkpointed driver over the full study matrix: every completed
+    (study, config) unit is persisted as a JSONL checkpoint, re-runs skip
+    completed units, interrupted sweeps resume mid-matrix, ``--reeval``
+    re-renders every report with zero recomputation, and a completed run
+    emits a ``BENCH_<stamp>.json`` perf trajectory.
+``bench-gate``
+    The CI perf-regression gate: compare two trajectory files and fail
+    when a study's calibrated wall-clock or throughput regressed past
+    the threshold.
 ``fault-matrix``
     Sweep named sensor/channel faults across severities and report
     accuracy, coverage and abstain rate per cell.
@@ -116,6 +126,53 @@ def build_parser() -> argparse.ArgumentParser:
                                "workers re-synthesize the cohort instead of "
                                "attaching the parent's shared-memory copy "
                                "(results are identical; diagnostic only)")
+
+    orchestrate = sub.add_parser(
+        "orchestrate",
+        help="checkpointed run of the full study matrix (resumable; "
+        "emits a BENCH_<stamp>.json perf trajectory)",
+    )
+    orchestrate.add_argument("--quick", action="store_true",
+                             help="reduced cohort, trimmed sweeps")
+    orchestrate.add_argument("--jobs", type=_positive_int, default=1,
+                             metavar="N",
+                             help="worker processes for cohort-fanning units "
+                             "(results are identical at any worker count)")
+    orchestrate.add_argument("--studies", type=_csv_list, default=None,
+                             metavar="A,B,...",
+                             help="comma-separated study names (default: all; "
+                             "see repro.experiments.orchestrator.study_names)")
+    orchestrate.add_argument("--reeval", action="store_true",
+                             help="regenerate reports from checkpoints alone "
+                             "(zero recomputation; fails on any missing unit)")
+    orchestrate.add_argument("--fresh", action="store_true",
+                             help="drop the selected studies' checkpoints "
+                             "first and recompute everything")
+    orchestrate.add_argument("--checkpoint-dir", type=Path,
+                             default=Path("benchmarks/results/checkpoints"),
+                             metavar="DIR",
+                             help="where unit checkpoints live")
+    orchestrate.add_argument("--results-dir", type=Path,
+                             default=Path("benchmarks/results"), metavar="DIR",
+                             help="where reports and trajectories land")
+    orchestrate.add_argument("--no-trajectory", action="store_true",
+                             help="skip the BENCH_<stamp>.json perf record")
+
+    gate = sub.add_parser(
+        "bench-gate",
+        help="compare two BENCH_*.json trajectories; exit 1 on regression",
+    )
+    gate.add_argument("baseline", type=Path,
+                      help="committed baseline trajectory (BENCH_*.json)")
+    gate.add_argument("current", type=Path,
+                      help="freshly produced trajectory to check")
+    gate.add_argument("--threshold", type=_positive_float, default=0.2,
+                      metavar="R",
+                      help="allowed fractional slowdown (default: 0.2 = 20%%)")
+    gate.add_argument("--min-wall-s", type=_positive_float, default=1.0,
+                      metavar="S",
+                      help="noise floor: studies faster than this on both "
+                      "sides never gate (default: 1.0 s)")
 
     matrix = sub.add_parser(
         "fault-matrix",
@@ -249,6 +306,74 @@ def _cmd_table2(args) -> int:
     return 0
 
 
+def _cmd_orchestrate(args) -> int:
+    from repro.experiments.orchestrator import (
+        CheckpointError,
+        MissingCheckpointError,
+        Orchestrator,
+    )
+
+    orchestrator = Orchestrator(
+        quick=args.quick,
+        jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        results_dir=args.results_dir,
+        echo=lambda message: print(message, file=sys.stderr),
+    )
+    try:
+        run = orchestrator.run(
+            studies=args.studies,
+            reeval=args.reeval,
+            fresh=args.fresh,
+            trajectory=not args.no_trajectory,
+        )
+    except MissingCheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for study in run.studies:
+        cached = len(study.units) - study.recomputed_units
+        print(
+            f"{study.name}: {study.recomputed_units} computed, "
+            f"{cached} from checkpoints, {study.wall_s:.2f}s"
+        )
+        for name, path in sorted(study.reports.items()):
+            print(f"  {name}: {path}")
+    if run.trajectory_path is not None:
+        print(f"trajectory: {run.trajectory_path}")
+    _print_cache_stats()
+    return 0
+
+
+def _cmd_bench_gate(args) -> int:
+    from repro.experiments.orchestrator import (
+        CheckpointError,
+        compare_trajectories,
+        load_trajectory,
+    )
+
+    try:
+        baseline = load_trajectory(args.baseline)
+        current = load_trajectory(args.current)
+    except (OSError, ValueError, CheckpointError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    regressions, lines = compare_trajectories(
+        baseline, current, threshold=args.threshold, min_wall_s=args.min_wall_s
+    )
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} perf regression(s):")
+        for regression in regressions:
+            print(f"  - {regression}")
+        return 1
+    print("\nOK: no perf regressions past the threshold")
+    return 0
+
+
 def _cmd_fault_matrix(args) -> int:
     from repro.experiments import fault_matrix_study, format_fault_matrix
 
@@ -345,6 +470,8 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "table3": _cmd_table3,
     "fig3": _cmd_fig3,
+    "orchestrate": _cmd_orchestrate,
+    "bench-gate": _cmd_bench_gate,
     "fault-matrix": _cmd_fault_matrix,
     "profile": _cmd_profile,
     "export": _cmd_export,

@@ -13,7 +13,11 @@
   classes, classifier, fixed-point precision, attack types);
 - :mod:`~repro.experiments.dataplane` -- the zero-copy dataset plane:
   cohort recordings serialized once into shared memory and attached
-  (not rebuilt) by :class:`CohortRunner` workers.
+  (not rebuilt) by :class:`CohortRunner` workers;
+- :mod:`~repro.experiments.orchestrator` -- the checkpointed driver over
+  the whole study matrix: resumable JSONL unit checkpoints, zero-compute
+  report re-evaluation, and the persisted perf trajectory the CI
+  regression gate consumes.
 """
 
 from repro.experiments.ablations import (
@@ -41,6 +45,15 @@ from repro.experiments.dataplane import (
     realize_cohort_records,
 )
 from repro.experiments.fig3 import Fig3Result, format_fig3, run_fig3
+from repro.experiments.orchestrator import (
+    CheckpointStore,
+    Orchestrator,
+    compare_trajectories,
+    config_hash,
+    load_trajectory,
+    study_names,
+    write_trajectory,
+)
 from repro.experiments.pipeline import (
     ExperimentConfig,
     SubjectRunResult,
@@ -75,6 +88,7 @@ from repro.experiments.table2 import (
 from repro.experiments.table3 import Table3Result, format_table3, run_table3
 
 __all__ = [
+    "CheckpointStore",
     "CohortOutcome",
     "CohortRunner",
     "DEFAULT_CACHE_BYTES",
@@ -83,6 +97,7 @@ __all__ = [
     "ExperimentCache",
     "ExperimentConfig",
     "Fig3Result",
+    "Orchestrator",
     "PlaneManifest",
     "SubjectRunResult",
     "Table2Result",
@@ -95,6 +110,8 @@ __all__ = [
     "channel_loss_study",
     "classifier_ablation",
     "clear_experiment_cache",
+    "compare_trajectories",
+    "config_hash",
     "debounce_study",
     "effective_workers",
     "entry_cost",
@@ -109,6 +126,7 @@ __all__ = [
     "format_table3",
     "grid_size_ablation",
     "leaked_segments",
+    "load_trajectory",
     "make_dataset",
     "mixed_attack_training_ablation",
     "realize_cohort_records",
@@ -118,6 +136,8 @@ __all__ = [
     "run_table3",
     "run_universal_study",
     "set_cache_budget",
+    "study_names",
     "training_duration_ablation",
     "window_size_ablation",
+    "write_trajectory",
 ]

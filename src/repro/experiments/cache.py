@@ -26,7 +26,7 @@ from __future__ import annotations
 import sys
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, Iterable, Mapping
 
 __all__ = [
     "DEFAULT_CACHE_BYTES",
@@ -50,15 +50,48 @@ def entry_cost(value: Any) -> int:
     Uses the value's own ``nbytes`` when it has one (NumPy arrays,
     :class:`~repro.signals.dataset.Record`,
     :class:`~repro.attacks.scenario.LabeledStream`,
-    :class:`~repro.core.detector.SIFTDetector`), falling back to
-    ``sys.getsizeof``.  Costs are budget heuristics, not exact heap
-    accounting; every entry is billed at least one byte so unpriceable
-    values still count toward the budget.
+    :class:`~repro.core.detector.SIFTDetector`).  Containers (dict,
+    list, tuple, set) are priced by *recursing* into their members and
+    summing: a shallow ``sys.getsizeof`` would bill a dict of arrays at
+    ~64 B regardless of the hundreds of megabytes it pins, so budget
+    eviction would never fire for composite values.  Scalars and other
+    leaves fall back to ``sys.getsizeof``.  Costs are budget heuristics,
+    not exact heap accounting; every entry is billed at least one byte
+    so unpriceable values still count toward the budget.
+    """
+    return max(1, _cost(value, set()))
+
+
+def _cost(value: Any, seen: set[int]) -> int:
+    """Recursive cost of one value; ``seen`` guards shared/cyclic refs.
+
+    An object reachable twice is billed once -- it is resident once --
+    and reference cycles terminate instead of recursing forever.
     """
     nbytes = getattr(value, "nbytes", None)
-    if nbytes is None:
-        nbytes = sys.getsizeof(value)
-    return max(1, int(nbytes))
+    if nbytes is not None:
+        if id(value) in seen:
+            return 0
+        seen.add(id(value))
+        return int(nbytes)
+    if isinstance(value, (str, bytes, bytearray, memoryview)):
+        # Sized leaves: getsizeof is exact enough, and iterating a str
+        # yields strs (infinite recursion without this case).
+        return int(sys.getsizeof(value))
+    if isinstance(value, (Mapping, list, tuple, set, frozenset)):
+        if id(value) in seen:
+            return 0
+        seen.add(id(value))
+        total = int(sys.getsizeof(value))  # the container's own overhead
+        items: Iterable[Any]
+        if isinstance(value, Mapping):
+            items = (member for pair in value.items() for member in pair)
+        else:
+            items = iter(value)
+        for member in items:
+            total += _cost(member, seen)
+        return total
+    return int(sys.getsizeof(value))
 
 
 @dataclass

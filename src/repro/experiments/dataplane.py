@@ -42,9 +42,11 @@ while they still hold views.
 
 from __future__ import annotations
 
+import logging
 import os
 import secrets
 import tempfile
+import time
 import weakref
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping
@@ -67,9 +69,32 @@ __all__ = [
     "attach_records",
     "attached_plane_tokens",
     "leaked_segments",
+    "perf_stats",
     "realize_cohort_records",
     "seed_worker_cache",
 ]
+
+logger = logging.getLogger(__name__)
+
+#: Errors a shared-memory publish can legitimately fail with at runtime:
+#: no ``/dev/shm`` or exhausted names/permissions/space (``OSError``
+#: covers ``FileExistsError``/``FileNotFoundError``/``PermissionError``),
+#: a platform without the module (``ImportError``), an allocation the
+#: host cannot satisfy (``MemoryError``), and buffer-protocol trouble
+#: while filling the segment (``BufferError``/``ValueError``).  Anything
+#: else is a bug and must propagate.
+PUBLISH_ERRORS = (OSError, ImportError, MemoryError, BufferError, ValueError)
+
+#: Process-local perf accounting of the plane's publish/attach work,
+#: cumulative since process start.  Counters cover *this* process only
+#: (each pool worker keeps its own copy); the orchestrator snapshots
+#: parent-side deltas around every study unit for the perf trajectory.
+_PERF = {"publishes": 0, "publish_s": 0.0, "attaches": 0, "attach_s": 0.0}
+
+
+def perf_stats() -> dict[str, float]:
+    """A snapshot of this process's publish/attach perf counters."""
+    return dict(_PERF)
 
 #: Shared-memory segment name prefix; the CI leak check and the tests
 #: grep ``/dev/shm`` for it after runs and crashes.
@@ -190,14 +215,32 @@ class DatasetPlane:
         """
         if backend not in ("auto", "shm", "npz"):
             raise ValueError(f"unknown plane backend: {backend!r}")
+        started = time.perf_counter()
         blocks, total = _layout(records)
+        plane = None
         if backend in ("auto", "shm"):
             try:
-                return cls._publish_shm(records, blocks, total)
-            except Exception:
+                plane = cls._publish_shm(records, blocks, total)
+            except PUBLISH_ERRORS as exc:
                 if backend == "shm":
                     raise
-        return cls._publish_npz(records, blocks, total, directory)
+                # Degrading to the .npz artifact is correct but slower
+                # (workers copy at attach time); make the cause visible
+                # instead of silently losing the zero-copy path.
+                logger.warning(
+                    "dataset-plane shared-memory publish failed; falling "
+                    "back to the .npz artifact: error=%s message=%r "
+                    "records=%d bytes=%d",
+                    type(exc).__name__,
+                    str(exc),
+                    len(records),
+                    total,
+                )
+        if plane is None:
+            plane = cls._publish_npz(records, blocks, total, directory)
+        _PERF["publishes"] += 1
+        _PERF["publish_s"] += time.perf_counter() - started
+        return plane
 
     @classmethod
     def _publish_shm(cls, records, blocks, total) -> "DatasetPlane":
@@ -364,8 +407,11 @@ def attach_records(manifest: PlaneManifest) -> Mapping[tuple, Record]:
     """The plane's records, as zero-copy views (memoized per process)."""
     plane = _ATTACHED.get(manifest.token)
     if plane is None:
+        started = time.perf_counter()
         _evict_stale_planes(manifest.token)
         plane = _ATTACHED[manifest.token] = _attach(manifest)
+        _PERF["attaches"] += 1
+        _PERF["attach_s"] += time.perf_counter() - started
     return plane.records
 
 

@@ -43,6 +43,7 @@ boundary; the reports it produced travel fine.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import time
@@ -53,6 +54,7 @@ from dataclasses import dataclass, replace
 from repro.core.versions import DetectorVersion
 from repro.experiments.cache import EXPERIMENT_CACHE, set_cache_budget
 from repro.experiments.dataplane import (
+    PUBLISH_ERRORS,
     DatasetPlane,
     PlaneManifest,
     realize_cohort_records,
@@ -72,6 +74,8 @@ __all__ = [
     "TaskFaultReport",
     "effective_workers",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 def effective_workers(jobs: int) -> int:
@@ -344,8 +348,11 @@ class CohortRunner:
         The plane is reused across ``run_version`` calls as long as it
         covers the requested subjects; asking for new subjects republishes
         a segment covering the union (and unlinks the old one first).
-        Publishing failures degrade silently to per-worker synthesis --
-        the plane is an optimization, never a correctness dependency.
+        Publishing failures degrade to per-worker synthesis -- the plane
+        is an optimization, never a correctness dependency -- but the
+        degradation is *logged*: every worker quietly re-synthesizing the
+        cohort is exactly the cost the plane exists to remove, so a run
+        that silently fell back would be undiagnosable from its numbers.
         """
         if not self.share_dataset:
             return None
@@ -359,7 +366,16 @@ class CohortRunner:
                 self.config, dataset=self.dataset, subjects=sorted(covered)
             )
             self._plane = DatasetPlane.publish(records)
-        except Exception:
+        except PUBLISH_ERRORS as exc:
+            logger.warning(
+                "dataset-plane publish failed; workers will re-synthesize "
+                "the cohort per process: error=%s message=%r subjects=%d "
+                "jobs=%d",
+                type(exc).__name__,
+                str(exc),
+                len(covered),
+                self.jobs,
+            )
             self._plane = None
             return None
         self._plane_subjects = covered
@@ -405,6 +421,22 @@ class CohortRunner:
         time.sleep(
             min(self.max_backoff_s, self.retry_backoff_s * 2 ** (attempt - 1))
         )
+
+    def _retry_after_failure(self, attempts: int) -> bool:
+        """Whether a task that has failed ``attempts`` times may retry.
+
+        This is the *only* gate between a failure and its backoff sleep,
+        so the exponential sleep can never be paid unless a retry
+        actually follows: the final failed attempt returns ``False``
+        without sleeping (a capped backoff before giving up would delay
+        the fault report for nothing).  Total sleep for ``max_retries=N``
+        is therefore exactly ``sum(min(cap, base * 2**(k-1)) for k in
+        1..N)`` -- the regression tests assert this per path.
+        """
+        if attempts > self.max_retries:
+            return False
+        self._backoff_sleep(attempts)
+        return True
 
     def run_version(
         self,
@@ -503,8 +535,7 @@ class CohortRunner:
                 )
                 return result, None
             except Exception as exc:  # noqa: BLE001 -- capture is the point
-                if attempts <= self.max_retries:
-                    self._backoff_sleep(attempts)
+                if self._retry_after_failure(attempts):
                     continue
                 return None, TaskFaultReport(
                     kind="exception",
@@ -536,8 +567,7 @@ class CohortRunner:
             )
             if error is None:
                 return result, None
-            if attempts <= self.max_retries:
-                self._backoff_sleep(attempts)
+            if self._retry_after_failure(attempts):
                 continue
             return None, TaskFaultReport(
                 kind="exception",
@@ -678,8 +708,11 @@ class CohortRunner:
 
                 # The worker returned.  Retry captured exceptions inline on
                 # the same pool (it is healthy -- the task itself failed).
-                while error is not None and attempts[i] <= self.max_retries:
-                    self._backoff_sleep(attempts[i])
+                # _retry_after_failure sleeps only when the retry follows,
+                # never after the final failed attempt.
+                while error is not None and self._retry_after_failure(
+                    attempts[i]
+                ):
                     attempts[i] += 1
                     retry_future = self._submit(pool, tasks[i])
                     try:

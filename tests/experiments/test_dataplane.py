@@ -106,6 +106,39 @@ class TestPublishAttach:
             assert plane.manifest.backend == "npz"
         assert not os.path.exists(plane.manifest.path)
 
+    def test_fallback_logs_a_structured_warning(
+        self, cohort_records, monkeypatch, tmp_path, caplog
+    ):
+        """Regression: the shm->npz fallback used to swallow the cause
+        silently; it must now warn with the error type and message."""
+
+        def refuse(cls, *args):
+            raise OSError("no shared memory here")
+
+        monkeypatch.setattr(DatasetPlane, "_publish_shm", classmethod(refuse))
+        with caplog.at_level("WARNING", logger="repro.experiments.dataplane"):
+            with DatasetPlane.publish(
+                cohort_records, directory=str(tmp_path)
+            ) as plane:
+                assert plane.manifest.backend == "npz"
+        assert any(
+            "OSError" in rec.message and "no shared memory here" in rec.message
+            for rec in caplog.records
+        )
+
+    def test_unexpected_publish_error_propagates(
+        self, cohort_records, monkeypatch
+    ):
+        """Only PUBLISH_ERRORS may trigger the fallback; a genuine bug
+        (e.g. a TypeError) must surface, not degrade to npz."""
+
+        def broken(cls, *args):
+            raise TypeError("genuine bug")
+
+        monkeypatch.setattr(DatasetPlane, "_publish_shm", classmethod(broken))
+        with pytest.raises(TypeError, match="genuine bug"):
+            DatasetPlane.publish(cohort_records)
+
     def test_forced_shm_backend_raises_instead_of_falling_back(
         self, cohort_records, monkeypatch
     ):
@@ -300,7 +333,7 @@ class TestRunnerPlane:
         assert leaked_segments() == []
 
     def test_publish_failure_degrades_to_per_worker_synthesis(
-        self, config, monkeypatch
+        self, config, monkeypatch, caplog
     ):
         def refuse(records, backend="auto", directory=None):
             raise OSError("plane refused")
@@ -308,11 +341,17 @@ class TestRunnerPlane:
         monkeypatch.setattr(
             runner_module.DatasetPlane, "publish", staticmethod(refuse)
         )
-        with CohortRunner(config=config, jobs=2, with_device=False) as runner:
-            outcomes = runner.run_version("reduced", subjects=[0, 1])
+        with caplog.at_level("WARNING", logger="repro.experiments.runner"):
+            with CohortRunner(config=config, jobs=2, with_device=False) as runner:
+                outcomes = runner.run_version("reduced", subjects=[0, 1])
         assert all(o.ok for o in outcomes)
         assert runner.plane is None
         assert leaked_segments() == []
+        # The degradation is no longer silent: the cause is logged.
+        assert any(
+            "OSError" in rec.message and "plane refused" in rec.message
+            for rec in caplog.records
+        )
 
     def test_no_leak_after_forced_worker_crash(
         self, config, monkeypatch, tmp_path

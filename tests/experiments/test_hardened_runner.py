@@ -107,6 +107,84 @@ class TestSerialRetries:
         assert fault.attempts == 3  # the first try plus two retries
 
 
+class TestBackoffBudget:
+    """The backoff invariant: sleep is paid only when a retry follows.
+
+    ``_retry_after_failure`` is the single gate between a failure and its
+    exponential sleep, so a task that exhausts its retries must sleep
+    exactly ``sum(min(cap, base * 2**(k-1)) for k in 1..N)`` seconds in
+    total for ``max_retries=N`` -- never an extra capped sleep after the
+    final attempt it already knows is the last.
+    """
+
+    @staticmethod
+    def _record_sleeps(monkeypatch):
+        sleeps: list[float] = []
+        monkeypatch.setattr(
+            runner_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+        return sleeps
+
+    def _doom(self, monkeypatch):
+        def doomed(dataset, subject, version, cfg, with_device, chunk_size=None):
+            raise RuntimeError("always broken")
+
+        monkeypatch.setattr(runner_module, "run_subject", doomed)
+
+    def test_serial_total_sleep_exact(self, config, monkeypatch):
+        self._doom(monkeypatch)
+        sleeps = self._record_sleeps(monkeypatch)
+        runner = CohortRunner(
+            config=config,
+            jobs=1,
+            with_device=False,
+            max_retries=3,
+            retry_backoff_s=0.5,
+        )
+        outcomes = runner.run_version("reduced", subjects=[0])
+        assert not outcomes[0].ok
+        assert outcomes[0].fault.attempts == 4
+        # 0.5, 1.0, 2.0 before retries 1..3; NO sleep after attempt 4.
+        assert sleeps == [0.5, 1.0, 2.0]
+
+    def test_serial_no_sleep_without_retries(self, config, monkeypatch):
+        self._doom(monkeypatch)
+        sleeps = self._record_sleeps(monkeypatch)
+        runner = CohortRunner(
+            config=config,
+            jobs=1,
+            with_device=False,
+            max_retries=0,
+            retry_backoff_s=0.5,
+        )
+        outcomes = runner.run_version("reduced", subjects=[0])
+        assert not outcomes[0].ok
+        assert sleeps == []
+
+    def test_backoff_respects_cap(self, config, monkeypatch):
+        self._doom(monkeypatch)
+        sleeps = self._record_sleeps(monkeypatch)
+        runner = CohortRunner(
+            config=config,
+            jobs=1,
+            with_device=False,
+            max_retries=4,
+            retry_backoff_s=0.5,
+        )
+        runner.max_backoff_s = 1.0
+        outcomes = runner.run_version("reduced", subjects=[0])
+        assert not outcomes[0].ok
+        assert sleeps == [0.5, 1.0, 1.0, 1.0]
+
+    def test_retry_gate_refuses_past_budget(self, config):
+        runner = CohortRunner(
+            config=config, with_device=False, max_retries=2, retry_backoff_s=0.0
+        )
+        assert runner._retry_after_failure(1)
+        assert runner._retry_after_failure(2)
+        assert not runner._retry_after_failure(3)
+
+
 class TestWorkerCrash:
     def test_pool_rebuild_recovers_the_cohort(
         self, config, monkeypatch, tmp_path

@@ -276,6 +276,36 @@ class TestCacheEviction:
         assert entry_cost("text") >= 1
         assert entry_cost(0) >= 1  # never bills below one byte
 
+    def test_entry_cost_recurses_into_containers(self):
+        """Regression: a shallow getsizeof billed a dict of arrays at
+        container overhead (~64 B) no matter how many megabytes its
+        members pinned, so budget eviction never fired for composites."""
+        member = np.zeros(1024 * 1024, dtype=np.uint8)  # 1 MiB
+        assert entry_cost({"a": member}) >= member.nbytes
+        assert entry_cost([member, np.zeros(10)]) >= member.nbytes + 80
+        assert entry_cost((member,)) >= member.nbytes
+        assert entry_cost({"nested": {"deep": [member]}}) >= member.nbytes
+
+    def test_entry_cost_bills_shared_members_once(self):
+        member = np.zeros(1000, dtype=np.float64)  # 8000 B
+        shared = entry_cost([member, member])
+        assert member.nbytes <= shared < 2 * member.nbytes
+
+    def test_entry_cost_tolerates_reference_cycles(self):
+        cycle: list = []
+        cycle.append(cycle)
+        assert entry_cost(cycle) >= 1
+
+    def test_composite_entries_actually_evict(self):
+        """The budget must see through containers: two 1 MiB dict values
+        under a 1.5 MiB budget cannot both stay resident."""
+        cache = ExperimentCache(max_bytes=int(1.5 * 1024 * 1024))
+        cache.put("first", {"payload": np.zeros(1024 * 1024, dtype=np.uint8)})
+        cache.put("second", {"payload": np.zeros(1024 * 1024, dtype=np.uint8)})
+        stats = cache.stats()
+        assert stats["evictions"] >= 1
+        assert stats["resident_bytes"] <= cache.max_bytes
+
     def test_set_cache_budget_roundtrip(self):
         original = EXPERIMENT_CACHE.max_bytes
         try:
