@@ -1,0 +1,61 @@
+"""Ingestion-gateway serving bench.
+
+Drives a fleet of concurrent simulated wearers (>= 1k in the full run)
+through the async micro-batching gateway and asserts the serving-side
+contract: every sent window is accounted for (verdict, shed, or
+incomplete), no session leaks past shutdown, and the run reports
+sustained windows/sec plus p50/p99 verdict latency -- which land in the
+session's ``BENCH_<stamp>.json`` trajectory via the ``gateway`` study,
+where ``repro bench-gate`` gates them against the committed baseline.
+"""
+
+from repro.gateway import run_gateway_load
+
+from conftest import run_once
+
+
+def test_gateway_fleet(benchmark, quick, save_result):
+    n_wearers = 128 if quick else 1024
+    stream_s = 12.0 if quick else 30.0
+
+    report = run_once(
+        benchmark,
+        lambda: run_gateway_load(
+            n_wearers=n_wearers,
+            stream_s=stream_s,
+            batch_size=256,
+            loss_probability=0.02,
+        ),
+        study="gateway",
+        unit="serving",
+        sample=lambda r: {
+            "n_windows": r.stats.verdicts,
+            "p99_ms": r.p99_latency_s * 1e3,
+        },
+    )
+    save_result("gateway_serving_bench", report.summary())
+
+    stats = report.stats
+    assert report.n_wearers == n_wearers
+    assert stats.sessions_started == n_wearers
+    # Clean shutdown: every session finalized, none leaked.
+    assert report.leaked_sessions == 0
+    assert stats.sessions_active == 0
+    # Conservation: every sent window got a disposition -- scored, shed,
+    # assembled-incomplete, or vanished entirely in the channel (both
+    # halves dropped; only the sender can count those).
+    assert (
+        stats.verdicts
+        + stats.windows_shed
+        + stats.incomplete_windows
+        + report.windows_vanished
+        == report.windows_sent
+    )
+    assert stats.verdicts > 0
+    # The 2% channel loss must surface as incomplete windows, not vanish.
+    assert report.packets_dropped > 0
+    assert stats.incomplete_windows > 0
+    # Latency percentiles are real measurements (perf_counter-based).
+    assert 0.0 < report.p50_latency_s <= report.p99_latency_s
+    # Micro-batching actually crosses sessions.
+    assert stats.mean_batch_size > 1.0

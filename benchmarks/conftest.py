@@ -69,12 +69,15 @@ def save_result():
     return _save
 
 
-def run_once(benchmark, fn, study: str | None = None, unit: str | None = None):
+def run_once(benchmark, fn, study: str | None = None, unit: str | None = None,
+             sample=None):
     """Run a one-shot experiment under pytest-benchmark's timer.
 
     Naming a ``study`` (and optionally a ``unit`` within it) records the
     wall-clock into the orchestrator's perf-sample buffer, from which
     :func:`pytest_sessionfinish` assembles the session's trajectory.
+    ``sample`` maps the run's result to extra sample fields (e.g.
+    ``n_windows``, ``p99_ms``) merged into the recorded measurement.
     """
     started = time.perf_counter()
     result = benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
@@ -82,7 +85,8 @@ def run_once(benchmark, fn, study: str | None = None, unit: str | None = None):
     if study is not None:
         from repro.experiments.orchestrator import record_perf_sample
 
-        record_perf_sample(study, unit or study, wall_s)
+        fields = dict(sample(result)) if sample is not None else {}
+        record_perf_sample(study, unit or study, wall_s, **fields)
     return result
 
 

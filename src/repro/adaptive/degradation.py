@@ -81,6 +81,20 @@ class DegradationController:
         self.sqi_floor = sqi_floor
         self.reset()
 
+    def clone(self) -> "DegradationController":
+        """A fresh controller with identical parameters and no history.
+
+        The ingestion gateway holds one template controller and spawns a
+        clone per wearer session, so each wearer degrades and recovers on
+        its own signal quality rather than on the interleaved stream's.
+        """
+        return DegradationController(
+            tiers=self.tiers,
+            degrade_after=self.degrade_after,
+            recover_after=self.recover_after,
+            sqi_floor=self.sqi_floor,
+        )
+
     def reset(self) -> None:
         """Return to the heaviest tier and clear all history."""
         self._level = 0

@@ -17,6 +17,10 @@ Commands
     The CI perf-regression gate: compare two trajectory files and fail
     when a study's calibrated wall-clock or throughput regressed past
     the threshold.
+``gateway-bench``
+    Drive a fleet of simulated wearers through the async ingestion
+    gateway and report sustained windows/sec plus p50/p99 verdict
+    latency; SIGINT drains and finalizes every session before exit.
 ``fault-matrix``
     Sweep named sensor/channel faults across severities and report
     accuracy, coverage and abstain rate per cell.
@@ -173,6 +177,32 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="S",
                       help="noise floor: studies faster than this on both "
                       "sides never gate (default: 1.0 s)")
+
+    gateway = sub.add_parser(
+        "gateway-bench",
+        help="drive a fleet of simulated wearers through the async "
+        "ingestion gateway and report throughput + verdict latency "
+        "(SIGINT triggers an orderly drain, not a mid-batch abort)",
+    )
+    gateway.add_argument("--wearers", type=_positive_int, default=256,
+                         metavar="N",
+                         help="concurrent wearer sessions (default: 256)")
+    gateway.add_argument("--stream-s", type=_positive_float, default=30.0,
+                         metavar="S",
+                         help="seconds of recording each wearer streams "
+                         "(default: 30 = 10 windows/wearer)")
+    gateway.add_argument("--batch-size", type=_positive_int, default=256,
+                         metavar="W",
+                         help="micro-batch size (default: 256; verdicts are "
+                         "bit-identical at any batch size)")
+    gateway.add_argument("--loss", type=_unit_float, default=0.02,
+                         metavar="P",
+                         help="per-packet channel loss probability "
+                         "(default: 0.02)")
+    gateway.add_argument("--degradation", action="store_true",
+                         help="give each session its own quality-driven "
+                         "tier controller with simplified/reduced fallbacks")
+    gateway.add_argument("--seed", type=int, default=2017)
 
     matrix = sub.add_parser(
         "fault-matrix",
@@ -374,6 +404,29 @@ def _cmd_bench_gate(args) -> int:
     return 0
 
 
+def _cmd_gateway_bench(args) -> int:
+    from repro.gateway import run_gateway_load
+
+    report = run_gateway_load(
+        n_wearers=args.wearers,
+        stream_s=args.stream_s,
+        batch_size=args.batch_size,
+        loss_probability=args.loss,
+        with_degradation=args.degradation,
+        seed=args.seed,
+        install_sigint=True,
+    )
+    print(report.summary())
+    if report.leaked_sessions:
+        print(
+            f"error: {report.leaked_sessions} session(s) leaked past "
+            "shutdown",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_fault_matrix(args) -> int:
     from repro.experiments import fault_matrix_study, format_fault_matrix
 
@@ -472,6 +525,7 @@ _COMMANDS = {
     "fig3": _cmd_fig3,
     "orchestrate": _cmd_orchestrate,
     "bench-gate": _cmd_bench_gate,
+    "gateway-bench": _cmd_gateway_bench,
     "fault-matrix": _cmd_fault_matrix,
     "profile": _cmd_profile,
     "export": _cmd_export,

@@ -167,6 +167,29 @@ class StreamingDetector:
         self.abstained_indexes.append(self.state.window_index)
         self.state.window_index += 1
 
+    def advance_value(self, value: float) -> AttackEpisode | None:
+        """Feed one *externally computed* decision value to the debouncer.
+
+        The ingestion gateway scores windows from many wearers in one
+        cross-session micro-batch (:meth:`SIFTDetector.decision_values`)
+        and feeds each session's scores back in arrival order.  Because
+        the batched scores are bit-identical to the per-window
+        :meth:`~repro.core.detector.SIFTDetector.decision_value`, the
+        episodes produced here equal a :meth:`process_window` run --
+        quality gating and tier selection are the caller's job (they
+        happened before the value was computed).
+        """
+        return self._advance(float(value))
+
+    def abstain_window(self) -> None:
+        """Record an externally gated abstain: time advances, no vote.
+
+        The interleaved-session counterpart of the gate branch in
+        :meth:`process_window`, for callers that assess quality
+        themselves before deciding whether a window gets scored.
+        """
+        self._abstain()
+
     def process_window(self, window: SignalWindow) -> AttackEpisode | None:
         """Feed one window; returns the episode if one just *closed*."""
         if self.quality_gate is not None:

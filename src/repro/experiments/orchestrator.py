@@ -832,6 +832,94 @@ def _robustness_render(ctx: StudyContext, payloads: dict[str, Any]) -> dict[str,
     }
 
 
+def _gateway_units(ctx: StudyContext) -> list[UnitSpec]:
+    # Serving scale: quick keeps the orchestrator smoke a smoke; the
+    # full run holds the issue's >= 1k concurrent wearers.
+    n_wearers = 64 if ctx.quick else 1024
+    stream_s = 12.0 if ctx.quick else 30.0
+    batch_size = 256
+    loss_probability = 0.02
+
+    def run(ctx: StudyContext) -> dict[str, Any]:
+        from repro.gateway import run_gateway_load
+
+        report = run_gateway_load(
+            n_wearers=n_wearers,
+            stream_s=stream_s,
+            batch_size=batch_size,
+            loss_probability=loss_probability,
+            seed=ctx.config.seed,
+        )
+        stats = report.stats
+        return {
+            "n_wearers": report.n_wearers,
+            "wall_s": round(report.wall_s, 6),
+            "windows_sent": report.windows_sent,
+            "verdicts": stats.verdicts,
+            "windows_scored": stats.windows_scored,
+            "windows_abstained": stats.windows_abstained,
+            "windows_shed": stats.windows_shed,
+            "incomplete_windows": stats.incomplete_windows,
+            "windows_vanished": report.windows_vanished,
+            "episodes_closed": stats.episodes_closed,
+            "mean_batch_size": round(stats.mean_batch_size, 3),
+            "windows_per_s": round(report.windows_per_s, 3),
+            "p50_ms": round(report.p50_latency_s * 1e3, 4),
+            "p99_ms": round(report.p99_latency_s * 1e3, 4),
+            "leaked_sessions": report.leaked_sessions,
+            "n_windows": stats.verdicts,
+        }
+
+    return [
+        UnitSpec(
+            name="serving",
+            params={
+                "study": "gateway",
+                "n_wearers": n_wearers,
+                "stream_s": stream_s,
+                "batch_size": batch_size,
+                "loss_probability": loss_probability,
+                "seed": ctx.config.seed,
+            },
+            run=run,
+        )
+    ]
+
+
+def _gateway_render(ctx: StudyContext, payloads: dict[str, Any]) -> dict[str, str]:
+    payload = payloads["serving"]
+    rows = [
+        ["concurrent wearers", f"{payload['n_wearers']}"],
+        ["windows sent", f"{payload['windows_sent']}"],
+        [
+            "verdicts",
+            f"{payload['verdicts']} ({payload['windows_scored']} scored, "
+            f"{payload['windows_abstained']} abstained)",
+        ],
+        ["windows shed", f"{payload['windows_shed']}"],
+        [
+            "incomplete windows",
+            f"{payload['incomplete_windows']} "
+            f"(+{payload.get('windows_vanished', 0)} vanished in channel)",
+        ],
+        ["episodes closed", f"{payload['episodes_closed']}"],
+        ["mean batch size", f"{payload['mean_batch_size']:.1f}"],
+        ["throughput", f"{payload['windows_per_s']:.0f} windows/s"],
+        [
+            "verdict latency",
+            f"p50 {payload['p50_ms']:.2f} ms, p99 {payload['p99_ms']:.2f} ms",
+        ],
+        ["leaked sessions", f"{payload['leaked_sessions']}"],
+    ]
+    return {
+        "gateway_serving": format_table(
+            ["metric", "value"],
+            rows,
+            title="Ingestion gateway: multi-wearer serving load",
+        )
+    }
+
+
 def build_registry() -> dict[str, StudyDefinition]:
     """The default study registry, in canonical run order."""
     return {
@@ -849,6 +937,9 @@ def build_registry() -> dict[str, StudyDefinition]:
         ),
         "robustness": StudyDefinition(
             "robustness", _robustness_units, _robustness_render
+        ),
+        "gateway": StudyDefinition(
+            "gateway", _gateway_units, _gateway_render
         ),
     }
 
@@ -1079,6 +1170,9 @@ class Orchestrator:
             n_windows = run.n_windows
             cache = {"hits": 0, "misses": 0, "evictions": 0}
             plane = {"publishes": 0, "publish_s": 0.0, "attaches": 0, "attach_s": 0.0}
+            # Serving studies report a tail latency; the worst recomputed
+            # unit's p99 is the study's (a sum would be meaningless).
+            p99_ms = 0.0
             for unit in run.units:
                 if unit.cached:
                     continue
@@ -1086,7 +1180,10 @@ class Orchestrator:
                     cache[key] += int(unit.cache.get(key, 0))
                 for key in plane:
                     plane[key] += unit.dataplane.get(key, 0)
+                if isinstance(unit.payload, Mapping):
+                    p99_ms = max(p99_ms, float(unit.payload.get("p99_ms", 0.0)))
             studies[run.name] = {
+                "p99_ms": round(p99_ms, 4),
                 "wall_s": round(wall_s, 6),
                 "units": len(run.units),
                 "recomputed_units": run.recomputed_units,
@@ -1132,15 +1229,25 @@ _PERF_SAMPLES: list[dict[str, Any]] = []
 
 
 def record_perf_sample(
-    study: str, unit: str, wall_s: float, n_windows: int = 0
+    study: str,
+    unit: str,
+    wall_s: float,
+    n_windows: int = 0,
+    p99_ms: float = 0.0,
 ) -> None:
-    """Record one bench measurement for the session's trajectory."""
+    """Record one bench measurement for the session's trajectory.
+
+    ``p99_ms`` is the serving-path tail latency (0 = not a serving
+    measurement); it feeds the trajectory's per-study ``p99_ms`` and the
+    regression gate's latency check.
+    """
     _PERF_SAMPLES.append(
         {
             "study": str(study),
             "unit": str(unit),
             "wall_s": float(wall_s),
             "n_windows": int(n_windows),
+            "p99_ms": float(p99_ms),
         }
     )
 
@@ -1169,6 +1276,7 @@ def trajectory_from_samples(
                 "cached_units": 0,
                 "n_windows": 0,
                 "windows_per_s": 0.0,
+                "p99_ms": 0.0,
                 "units_detail": [],
             },
         )
@@ -1176,6 +1284,9 @@ def trajectory_from_samples(
         study["units"] += 1
         study["recomputed_units"] += 1
         study["n_windows"] += int(sample.get("n_windows", 0))
+        study["p99_ms"] = round(
+            max(study["p99_ms"], float(sample.get("p99_ms", 0.0))), 4
+        )
         study["units_detail"].append(
             {
                 "unit": str(sample["unit"]),
@@ -1239,6 +1350,7 @@ def compare_trajectories(
     current: Mapping[str, Any],
     threshold: float = 0.2,
     min_wall_s: float = 1.0,
+    min_p99_ms: float = 1.0,
 ) -> tuple[list[str], list[str]]:
     """The CI regression gate over two trajectory records.
 
@@ -1250,9 +1362,11 @@ def compare_trajectories(
     inflated, calibrated ~1) nor a noisy calibration constant (calibrated
     inflated, raw ~1) can fail the gate by itself; a genuine same-code
     slowdown inflates both.  Throughput (windows/sec) gates symmetrically
-    on a drop past ``threshold``.  Studies missing from either side,
-    fully checkpoint-cached on either side, or faster than ``min_wall_s``
-    on both sides (noise floor) are reported but never gate.
+    on a drop past ``threshold``, and serving tail latency (``p99_ms``,
+    recorded by the gateway study) gates like wall-clock, with its own
+    ``min_p99_ms`` noise floor.  Studies missing from either side, fully
+    checkpoint-cached on either side, or faster than ``min_wall_s`` on
+    both sides (noise floor) are reported but never gate.
     """
     if threshold <= 0:
         raise ValueError("threshold must be positive")
@@ -1277,39 +1391,66 @@ def compare_trajectories(
             lines.append(f"{name}: checkpoint-cached run -- skipped")
             continue
         if base_wall < min_wall_s and cur_wall < min_wall_s:
+            # Sub-second studies never wall-clock-gate, but their tail
+            # latency (below) still does: a serving study can be cheap
+            # in wall-clock yet regress badly in p99.
             lines.append(
                 f"{name}: {base_wall:.2f}s -> {cur_wall:.2f}s "
                 f"(below {min_wall_s:g}s noise floor -- skipped)"
             )
-            continue
-        raw_ratio = cur_wall / base_wall if base_wall > 0 else float("inf")
-        if base_cal and cur_cal:
-            cal_ratio = (cur_wall / cur_cal) / (base_wall / base_cal)
-            ratio = min(raw_ratio, cal_ratio)
-            note = f" raw x{raw_ratio:.2f}, calibrated x{cal_ratio:.2f}"
         else:
-            ratio = raw_ratio
-            note = f" raw x{raw_ratio:.2f}"
-        lines.append(
-            f"{name}: {base_wall:.2f}s -> {cur_wall:.2f}s [{note.strip()}]"
-        )
-        if ratio > 1.0 + threshold:
-            regressions.append(
-                f"{name}: wall-clock regressed x{ratio:.2f} "
-                f"(limit x{1.0 + threshold:.2f};{note})"
-            )
-        base_wps = float(base.get("windows_per_s", 0.0))
-        cur_wps = float(cur.get("windows_per_s", 0.0))
-        if base_wps > 0 and cur_wps > 0:
-            raw_wps = cur_wps / base_wps
+            raw_ratio = cur_wall / base_wall if base_wall > 0 else float("inf")
             if base_cal and cur_cal:
-                cal_wps = (cur_wps * cur_cal) / (base_wps * base_cal)
-                wps_ratio = max(raw_wps, cal_wps)
+                cal_ratio = (cur_wall / cur_cal) / (base_wall / base_cal)
+                ratio = min(raw_ratio, cal_ratio)
+                note = f" raw x{raw_ratio:.2f}, calibrated x{cal_ratio:.2f}"
             else:
-                wps_ratio = raw_wps
-            if wps_ratio < 1.0 - threshold:
+                ratio = raw_ratio
+                note = f" raw x{raw_ratio:.2f}"
+            lines.append(
+                f"{name}: {base_wall:.2f}s -> {cur_wall:.2f}s [{note.strip()}]"
+            )
+            if ratio > 1.0 + threshold:
                 regressions.append(
-                    f"{name}: throughput regressed x{wps_ratio:.2f} "
-                    f"({base_wps:.1f} -> {cur_wps:.1f} windows/s)"
+                    f"{name}: wall-clock regressed x{ratio:.2f} "
+                    f"(limit x{1.0 + threshold:.2f};{note})"
                 )
+            base_wps = float(base.get("windows_per_s", 0.0))
+            cur_wps = float(cur.get("windows_per_s", 0.0))
+            if base_wps > 0 and cur_wps > 0:
+                raw_wps = cur_wps / base_wps
+                if base_cal and cur_cal:
+                    cal_wps = (cur_wps * cur_cal) / (base_wps * base_cal)
+                    wps_ratio = max(raw_wps, cal_wps)
+                else:
+                    wps_ratio = raw_wps
+                if wps_ratio < 1.0 - threshold:
+                    regressions.append(
+                        f"{name}: throughput regressed x{wps_ratio:.2f} "
+                        f"({base_wps:.1f} -> {cur_wps:.1f} windows/s)"
+                    )
+        base_p99 = float(base.get("p99_ms", 0.0))
+        cur_p99 = float(cur.get("p99_ms", 0.0))
+        if base_p99 > 0 and cur_p99 > 0:
+            if base_p99 < min_p99_ms and cur_p99 < min_p99_ms:
+                lines.append(
+                    f"{name}: p99 {base_p99:.2f}ms -> {cur_p99:.2f}ms "
+                    f"(below {min_p99_ms:g}ms noise floor -- skipped)"
+                )
+            else:
+                raw_p99 = cur_p99 / base_p99
+                if base_cal and cur_cal:
+                    cal_p99 = (cur_p99 / cur_cal) / (base_p99 / base_cal)
+                    p99_ratio = min(raw_p99, cal_p99)
+                else:
+                    p99_ratio = raw_p99
+                lines.append(
+                    f"{name}: p99 {base_p99:.2f}ms -> {cur_p99:.2f}ms "
+                    f"[raw x{raw_p99:.2f}]"
+                )
+                if p99_ratio > 1.0 + threshold:
+                    regressions.append(
+                        f"{name}: p99 latency regressed x{p99_ratio:.2f} "
+                        f"({base_p99:.2f} -> {cur_p99:.2f} ms)"
+                    )
     return regressions, lines

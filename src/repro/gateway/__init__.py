@@ -1,0 +1,32 @@
+"""Async multi-wearer ingestion gateway (serving-side of the paper).
+
+The detector studies evaluate one wearer at a time; a deployment serves
+*fleets*.  This subpackage turns the batched scoring path into a live
+service: per-wearer sessions (:mod:`~repro.gateway.session`) feed a
+shared micro-batching scorer (:mod:`~repro.gateway.gateway`) whose
+verdicts are bit-identical to each wearer's sequential
+:class:`~repro.core.streaming.StreamingDetector` run, and a fleet
+simulator (:mod:`~repro.gateway.loadgen`) drives it at load for
+benchmarks and smoke tests.
+"""
+
+from repro.gateway.gateway import GatewayStats, IngestionGateway
+from repro.gateway.loadgen import (
+    LoadReport,
+    run_fleet,
+    run_gateway_load,
+    train_serving_detectors,
+)
+from repro.gateway.session import SessionVerdict, WearerSession, window_from_slot
+
+__all__ = [
+    "GatewayStats",
+    "IngestionGateway",
+    "LoadReport",
+    "SessionVerdict",
+    "WearerSession",
+    "run_fleet",
+    "run_gateway_load",
+    "train_serving_detectors",
+    "window_from_slot",
+]

@@ -1,0 +1,448 @@
+"""The asyncio ingestion gateway: live serving over the batched path.
+
+Thousands of concurrent wearers each produce one 3-second window every 3
+seconds -- individually trivial, collectively a throughput problem if
+every window pays the per-call overhead of the scalar scoring path.  The
+gateway keeps per-wearer state in :class:`~repro.gateway.session
+.WearerSession` objects and pushes every *assembled* window into one
+shared micro-batch queue; a single batcher task drains the queue, groups
+windows by the fitted detector their session's tier selected, and scores
+each group in one :meth:`~repro.core.detector.SIFTDetector
+.decision_values` call.  Batched scores are bit-identical to the scalar
+path, and the queue is FIFO, so every session observes exactly the
+verdict sequence a per-wearer sequential run would have produced -- the
+micro-batching is invisible except in throughput.
+
+Backpressure is explicit, never silent:
+
+* the shared queue is bounded (``queue_windows``); when it is full the
+  incoming window is shed and counted (``windows_shed_queue``);
+* each session is bounded (``max_inflight_per_session``); a wearer whose
+  windows pile up faster than they are scored -- a slow consumer in
+  classic backpressure terms -- is shed *individually*
+  (``windows_shed_session``) without degrading anyone else.
+
+A shed window is accounted exactly like a channel loss: the wearer's
+``windows_shed`` counter and the gateway totals record it, and the
+debouncer never sees it.  All latency timing uses
+``time.perf_counter()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from collections import deque
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.adaptive.degradation import DegradationController
+from repro.core.detector import SIFTDetector
+from repro.core.versions import DetectorVersion
+from repro.gateway.session import SessionVerdict, WearerSession
+from repro.signals.dataset import SignalWindow
+from repro.signals.quality import SignalQualityIndex
+from repro.wiot.assembly import DEFAULT_MAX_PENDING_LAG
+from repro.wiot.channel import DeliveredPacket
+
+__all__ = ["GatewayStats", "IngestionGateway"]
+
+#: Queue sentinel that tells the batcher to drain and exit.
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class _PendingWindow:
+    """One assembled window waiting in the micro-batch queue."""
+
+    session: WearerSession
+    sequence: int
+    time_s: float
+    window: SignalWindow
+    detector: SIFTDetector | None  # None = SQI-gated abstain
+    sqi: float | None
+    enqueued_at: float  # perf_counter timestamp
+
+
+@dataclass(frozen=True)
+class GatewayStats:
+    """Aggregate accounting across live and closed sessions."""
+
+    sessions_started: int
+    sessions_active: int
+    windows_assembled: int
+    windows_scored: int
+    windows_abstained: int
+    windows_shed_queue: int
+    windows_shed_session: int
+    incomplete_windows: int
+    duplicate_packets: int
+    corrupted_packets: int
+    episodes_closed: int
+    batches: int
+    batched_windows: int
+
+    @property
+    def windows_shed(self) -> int:
+        return self.windows_shed_queue + self.windows_shed_session
+
+    @property
+    def verdicts(self) -> int:
+        """Windows that received an explicit outcome (scored or abstain)."""
+        return self.windows_scored + self.windows_abstained
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_windows / self.batches if self.batches else 0.0
+
+
+class IngestionGateway:
+    """Micro-batching ingestion front-end over one or more detector tiers.
+
+    Parameters
+    ----------
+    detector:
+        The fitted primary detector every new session starts on.
+    quality_gate:
+        Optional SQI gate, shared by all sessions (assessment is
+        stateless); gated windows become abstain verdicts.
+    fallbacks:
+        Fitted detectors for lighter tiers, keyed by version.
+    degradation:
+        Optional *template* tier controller; each session gets its own
+        :meth:`~repro.adaptive.degradation.DegradationController.clone`
+        so one wearer's artifacts never degrade another wearer's tier.
+    batch_size / linger_s:
+        A micro-batch closes at ``batch_size`` windows or ``linger_s``
+        seconds after its first window, whichever comes first.
+    queue_windows / max_inflight_per_session:
+        The backpressure bounds (see the module docstring).
+    on_verdict:
+        Optional callback invoked with every :class:`SessionVerdict`
+        (the sink-integration hook; exceptions propagate).
+    latency_window:
+        How many recent verdict latencies to retain for percentiles.
+    """
+
+    def __init__(
+        self,
+        detector: SIFTDetector,
+        quality_gate: SignalQualityIndex | None = None,
+        fallbacks: Mapping[DetectorVersion, SIFTDetector] | None = None,
+        degradation: DegradationController | None = None,
+        votes_needed: int = 2,
+        vote_window: int = 3,
+        batch_size: int = 256,
+        linger_s: float = 0.002,
+        queue_windows: int = 4096,
+        max_inflight_per_session: int = 64,
+        max_pending_lag: int | None = DEFAULT_MAX_PENDING_LAG,
+        dedup_capacity: int = 1024,
+        on_verdict: Callable[[SessionVerdict], None] | None = None,
+        latency_window: int = 100_000,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if linger_s < 0:
+            raise ValueError("linger_s must be non-negative")
+        if queue_windows < 1:
+            raise ValueError("queue_windows must be >= 1")
+        if max_inflight_per_session < 1:
+            raise ValueError("max_inflight_per_session must be >= 1")
+        if degradation is not None and quality_gate is None:
+            raise ValueError("degradation requires a quality_gate")
+        self.detector = detector
+        self.quality_gate = quality_gate
+        self.fallbacks = dict(fallbacks) if fallbacks else {}
+        self.degradation = degradation
+        self.votes_needed = int(votes_needed)
+        self.vote_window = int(vote_window)
+        self.batch_size = int(batch_size)
+        self.linger_s = float(linger_s)
+        self.max_inflight_per_session = int(max_inflight_per_session)
+        self.max_pending_lag = max_pending_lag
+        self.dedup_capacity = int(dedup_capacity)
+        self.on_verdict = on_verdict
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_windows)
+        self._sessions: dict[str, WearerSession] = {}
+        self._batcher_task: asyncio.Task | None = None
+        self._closing = False
+        self._inflight_total = 0
+        self.latencies_s: deque[float] = deque(maxlen=latency_window)
+        self.sessions_started = 0
+        self.windows_shed_queue = 0
+        self.windows_shed_session = 0
+        self.batches = 0
+        self.batched_windows = 0
+        # Totals carried over from finalized (ended) sessions.
+        self._closed_totals = {
+            "windows_assembled": 0,
+            "windows_scored": 0,
+            "windows_abstained": 0,
+            "incomplete_windows": 0,
+            "duplicate_packets": 0,
+            "corrupted_packets": 0,
+            "episodes_closed": 0,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the batcher task on the running event loop."""
+        if self._batcher_task is not None:
+            raise RuntimeError("gateway already started")
+        self._batcher_task = asyncio.get_running_loop().create_task(
+            self._batch_loop()
+        )
+
+    async def __aenter__(self) -> "IngestionGateway":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.shutdown()
+
+    async def drain(self) -> None:
+        """Wait until every queued window has been scored."""
+        while self._inflight_total > 0:
+            await asyncio.sleep(0)
+
+    async def shutdown(self) -> None:
+        """Stop intake, score everything queued, close every session.
+
+        Idempotent; after it returns ``active_sessions`` is zero and the
+        batcher task has exited.  A SIGINT-driven shutdown goes through
+        here, so an interrupted service still flushes its accounting.
+        """
+        if self._batcher_task is None:
+            raise RuntimeError("gateway was never started")
+        if not self._closing:
+            self._closing = True
+            await self._queue.put(_STOP)
+        await self._batcher_task
+        for wearer_id in list(self._sessions):
+            self.end_session(wearer_id)
+
+    # -- sessions -------------------------------------------------------
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self._sessions)
+
+    def session(self, wearer_id: str) -> WearerSession:
+        """The wearer's live session, created on first contact."""
+        session = self._sessions.get(wearer_id)
+        if session is None:
+            session = WearerSession(
+                wearer_id,
+                self.detector,
+                quality_gate=self.quality_gate,
+                fallbacks=self.fallbacks,
+                degradation=(
+                    self.degradation.clone()
+                    if self.degradation is not None
+                    else None
+                ),
+                votes_needed=self.votes_needed,
+                vote_window=self.vote_window,
+                max_pending_lag=self.max_pending_lag,
+                dedup_capacity=self.dedup_capacity,
+            )
+            self._sessions[wearer_id] = session
+            self.sessions_started += 1
+        return session
+
+    def end_session(self, wearer_id: str) -> WearerSession:
+        """Detach a wearer; its state is finalized once its queue drains.
+
+        Pending halves are flushed into the incomplete count and the
+        debouncer's trailing episode is closed.  If windows of this
+        wearer are still awaiting scoring, finalization happens right
+        after the batcher scores the last of them -- never before, so
+        the episode accounting stays in arrival order.
+        """
+        session = self._sessions.pop(wearer_id)
+        session.ending = True
+        if session.inflight == 0:
+            self._finalize(session)
+        return session
+
+    def _finalize(self, session: WearerSession) -> None:
+        session.finalize()
+        totals = self._closed_totals
+        totals["windows_assembled"] += session.windows_assembled
+        totals["windows_scored"] += session.windows_scored
+        totals["windows_abstained"] += session.windows_abstained
+        totals["incomplete_windows"] += session.assembler.incomplete_windows
+        totals["duplicate_packets"] += session.assembler.duplicate_packets
+        totals["corrupted_packets"] += session.assembler.corrupted_packets
+        totals["episodes_closed"] += len(session.episodes)
+
+    # -- intake ---------------------------------------------------------
+
+    def submit(
+        self, wearer_id: str, delivered: DeliveredPacket | None
+    ) -> bool:
+        """Accept one channel delivery for a wearer.
+
+        Synchronous fast path (call it from any task on the gateway's
+        loop); verdicts surface through ``on_verdict`` once the batcher
+        scores the window.  Returns ``False`` iff an assembled window
+        was shed by backpressure -- every other disposition (absorbed
+        half, duplicate, corrupt, enqueued) returns ``True``, with the
+        session counters carrying the detail.
+        """
+        if self._closing:
+            raise RuntimeError("gateway is shutting down")
+        if delivered is None:
+            return True
+        session = self.session(wearer_id)
+        completed = session.assemble(delivered)
+        if completed is None:
+            return True
+        sequence, time_s, window = completed
+        report = session.assess(window)
+        if report is not None and not report.usable:
+            item = _PendingWindow(
+                session=session,
+                sequence=sequence,
+                time_s=time_s,
+                window=window,
+                detector=None,
+                sqi=report.sqi,
+                enqueued_at=time.perf_counter(),
+            )
+        else:
+            item = _PendingWindow(
+                session=session,
+                sequence=sequence,
+                time_s=time_s,
+                window=window,
+                detector=session.active_detector(),
+                sqi=None if report is None else report.sqi,
+                enqueued_at=time.perf_counter(),
+            )
+        # Backpressure: per-wearer bound first (a slow wearer sheds only
+        # itself), then the shared queue bound.
+        if session.inflight >= self.max_inflight_per_session:
+            session.windows_shed += 1
+            self.windows_shed_session += 1
+            return False
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            session.windows_shed += 1
+            self.windows_shed_queue += 1
+            return False
+        session.inflight += 1
+        self._inflight_total += 1
+        return True
+
+    # -- the batcher ----------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        stop = False
+        while not stop:
+            item = await self._queue.get()
+            if item is _STOP:
+                break
+            batch = [item]
+            deadline = time.perf_counter() + self.linger_s
+            while len(batch) < self.batch_size:
+                if self._queue.empty():
+                    if time.perf_counter() >= deadline:
+                        break
+                    # Yield so producer tasks can top the batch up.
+                    await asyncio.sleep(0)
+                    continue
+                nxt = self._queue.get_nowait()
+                if nxt is _STOP:
+                    stop = True
+                    break
+                batch.append(nxt)
+            self._score_batch(batch)
+
+    def _score_batch(self, batch: list[_PendingWindow]) -> None:
+        """Score one cross-session micro-batch and fan verdicts out.
+
+        Windows are grouped by the detector instance their session's
+        tier selected; each group is one batched ``decision_values``
+        call.  Verdicts are then recorded in *batch order* -- the queue
+        is FIFO, so this preserves every session's arrival order even
+        when its windows landed in different tier groups.
+        """
+        groups: dict[int, tuple[SIFTDetector, list[_PendingWindow]]] = {}
+        for item in batch:
+            if item.detector is None:
+                continue
+            key = id(item.detector)
+            if key not in groups:
+                groups[key] = (item.detector, [])
+            groups[key][1].append(item)
+        scores: dict[int, float] = {}
+        for detector, items in groups.values():
+            values = detector.decision_values([it.window for it in items])
+            for it, value in zip(items, values):
+                scores[id(it)] = float(value)
+        decided_at = time.perf_counter()
+        for item in batch:
+            session = item.session
+            session.inflight -= 1
+            self._inflight_total -= 1
+            latency_s = decided_at - item.enqueued_at
+            if item.detector is None:
+                verdict = session.record_abstain(
+                    item.sequence, item.time_s, item.sqi, latency_s
+                )
+            else:
+                verdict = session.record_score(
+                    item.sequence,
+                    item.time_s,
+                    scores[id(item)],
+                    item.detector.version,
+                    item.sqi,
+                    latency_s,
+                )
+            self.latencies_s.append(latency_s)
+            if session.ending and session.inflight == 0:
+                self._finalize(session)
+            if self.on_verdict is not None:
+                self.on_verdict(verdict)
+        self.batches += 1
+        self.batched_windows += len(batch)
+
+    # -- accounting -----------------------------------------------------
+
+    def stats(self) -> GatewayStats:
+        """Aggregate counters over live plus finalized sessions."""
+        totals = dict(self._closed_totals)
+        for session in self._sessions.values():
+            totals["windows_assembled"] += session.windows_assembled
+            totals["windows_scored"] += session.windows_scored
+            totals["windows_abstained"] += session.windows_abstained
+            totals["incomplete_windows"] += session.assembler.incomplete_windows
+            totals["duplicate_packets"] += session.assembler.duplicate_packets
+            totals["corrupted_packets"] += session.assembler.corrupted_packets
+            totals["episodes_closed"] += len(session.episodes)
+        return GatewayStats(
+            sessions_started=self.sessions_started,
+            sessions_active=self.active_sessions,
+            windows_shed_queue=self.windows_shed_queue,
+            windows_shed_session=self.windows_shed_session,
+            batches=self.batches,
+            batched_windows=self.batched_windows,
+            **totals,
+        )
+
+    def latency_percentiles(
+        self, percentiles: tuple[float, ...] = (50.0, 99.0)
+    ) -> tuple[float, ...]:
+        """Verdict latency percentiles, in seconds, over the recent window."""
+        if not self.latencies_s:
+            return tuple(float("nan") for _ in percentiles)
+        values = np.fromiter(self.latencies_s, dtype=np.float64)
+        return tuple(
+            float(np.percentile(values, p)) for p in percentiles
+        )

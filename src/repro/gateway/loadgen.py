@@ -1,0 +1,286 @@
+"""Wearer fleet simulator and load generator for the ingestion gateway.
+
+One wearer = one coroutine pushing a subject's ECG and ABP packet
+streams through its own :class:`~repro.wiot.channel.WirelessChannel`
+into the shared gateway -- the same sensor -> channel -> receiver path
+:class:`~repro.wiot.environment.WIoTEnvironment` drives for a single
+wearer, fanned out to thousands.  The fleet shares one synthetic cohort
+(synthesizing a distinct recording per wearer would benchmark the signal
+generator, not the gateway), but every wearer gets its own channel seed,
+so loss patterns -- and therefore assembly, eviction and abstain
+behaviour -- differ across sessions.
+
+All timing uses ``time.perf_counter()``.  ``run_gateway_load`` is the
+synchronous entry point used by the CLI, the benchmark suite and the
+orchestrator's gateway study; pass ``stop_event`` (or let the CLI
+install its SIGINT handler) for a clean early shutdown that still
+flushes every session and reports full accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.adaptive.degradation import DegradationController
+from repro.core.detector import SIFTDetector
+from repro.core.versions import DetectorVersion
+from repro.gateway.gateway import GatewayStats, IngestionGateway
+from repro.gateway.session import SessionVerdict
+from repro.signals.dataset import Record, SyntheticFantasia
+from repro.signals.quality import SignalQualityIndex
+from repro.wiot.channel import WirelessChannel
+from repro.wiot.sensor import BodySensor, SensorPacket
+
+__all__ = ["LoadReport", "run_fleet", "run_gateway_load", "train_serving_detectors"]
+
+#: How many windows (= ECG+ABP packet pairs) a wearer pushes between
+#: event-loop yields.  Yielding every window keeps sessions finely
+#: interleaved (so micro-batches actually mix wearers) without paying a
+#: loop round-trip per packet.
+_YIELD_EVERY = 1
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one fleet run (all durations perf_counter-based)."""
+
+    n_wearers: int
+    wall_s: float
+    windows_sent: int
+    windows_vanished: int
+    packets_dropped: int
+    stats: GatewayStats
+    p50_latency_s: float
+    p99_latency_s: float
+    interrupted: bool
+    leaked_sessions: int
+
+    @property
+    def windows_per_s(self) -> float:
+        """Sustained verdict throughput over the whole run."""
+        return self.stats.verdicts / self.wall_s if self.wall_s > 0 else 0.0
+
+    def summary(self) -> str:
+        s = self.stats
+        lines = [
+            f"wearers            {self.n_wearers}"
+            + ("  (interrupted)" if self.interrupted else ""),
+            f"wall time          {self.wall_s:.2f} s",
+            f"windows sent       {self.windows_sent}"
+            f"  (channel dropped {self.packets_dropped} packets)",
+            f"verdicts           {s.verdicts}"
+            f"  ({s.windows_scored} scored, {s.windows_abstained} abstained)",
+            f"shed               {s.windows_shed}"
+            f"  (queue {s.windows_shed_queue}, per-session {s.windows_shed_session})",
+            f"incomplete         {s.incomplete_windows}"
+            f"  (+{self.windows_vanished} never reached the gateway)",
+            f"episodes closed    {s.episodes_closed}",
+            f"throughput         {self.windows_per_s:.0f} windows/s",
+            f"verdict latency    p50 {self.p50_latency_s * 1e3:.2f} ms, "
+            f"p99 {self.p99_latency_s * 1e3:.2f} ms",
+            f"mean batch size    {s.mean_batch_size:.1f}",
+            f"leaked sessions    {self.leaked_sessions}",
+        ]
+        return "\n".join(lines)
+
+
+def train_serving_detectors(
+    versions: Sequence[str] = ("original",),
+    n_subjects: int = 6,
+    seed: int = 2017,
+    train_s: float = 120.0,
+) -> tuple[SyntheticFantasia, dict[DetectorVersion, SIFTDetector]]:
+    """Fit one detector per requested tier on the cohort's first subject.
+
+    A deliberately small training slice -- the load generator measures
+    serving throughput, and the detectors only need to be *fitted*, not
+    paper-accurate (the evaluation studies own that).
+    """
+    data = SyntheticFantasia(n_subjects=n_subjects, seed=seed)
+    victim = data.subjects[0]
+    others = [s for s in data.subjects if s is not victim]
+    training = data.record(victim, train_s, purpose="train")
+    donors = [data.record(s, train_s / 2, purpose="train") for s in others[:3]]
+    fitted: dict[DetectorVersion, SIFTDetector] = {}
+    for version in versions:
+        detector = SIFTDetector(version=version)
+        detector.fit(training, donors)
+        fitted[detector.version] = detector
+    return data, fitted
+
+
+def _wearer_windows(
+    record: Record, wearer_index: int
+) -> Iterator[tuple[SensorPacket, SensorPacket]]:
+    """The (ECG, ABP) packet pairs of one wearer, one pair per window."""
+    ecg = BodySensor(f"w{wearer_index}-ecg", "ecg", record)
+    abp = BodySensor(f"w{wearer_index}-abp", "abp", record)
+    return zip(ecg.packets(), abp.packets())
+
+
+async def _wearer(
+    gateway: IngestionGateway,
+    wearer_id: str,
+    record: Record,
+    wearer_index: int,
+    channel: WirelessChannel,
+    stop: asyncio.Event,
+) -> tuple[int, int]:
+    """Stream one wearer's recording; returns (windows sent, windows
+    vanished).  A window whose *both* halves the channel drops never
+    reaches the gateway, so only the sender can account for it -- it is
+    counted here, not in the gateway stats."""
+    sent = 0
+    vanished = 0
+    for ecg_packet, abp_packet in _wearer_windows(record, wearer_index):
+        if stop.is_set():
+            break
+        delivered = 0
+        for packet in (ecg_packet, abp_packet):
+            transmitted = channel.transmit(packet)
+            if transmitted is not None:
+                delivered += 1
+            gateway.submit(wearer_id, transmitted)
+        sent += 1
+        if delivered == 0:
+            vanished += 1
+        if sent % _YIELD_EVERY == 0:
+            await asyncio.sleep(0)
+    return sent, vanished
+
+
+async def run_fleet(
+    gateway: IngestionGateway,
+    records: Sequence[Record],
+    n_wearers: int,
+    loss_probability: float = 0.0,
+    seed: int = 7,
+    stop: asyncio.Event | None = None,
+) -> LoadReport:
+    """Drive ``n_wearers`` concurrent sessions through a started gateway.
+
+    Wearer ``i`` streams ``records[i % len(records)]`` over its own
+    channel (seeded ``seed + i``).  Runs until every wearer's recording
+    is exhausted or ``stop`` is set, then shuts the gateway down --
+    scoring everything still queued and closing every session -- before
+    reporting.
+    """
+    if n_wearers < 1:
+        raise ValueError("n_wearers must be >= 1")
+    if not records:
+        raise ValueError("need at least one record to stream")
+    stop = stop if stop is not None else asyncio.Event()
+    channels = [
+        WirelessChannel(loss_probability=loss_probability, seed=seed + i)
+        for i in range(n_wearers)
+    ]
+    started = time.perf_counter()
+    async with gateway:
+        outcomes = await asyncio.gather(
+            *(
+                _wearer(
+                    gateway,
+                    f"wearer-{i:05d}",
+                    records[i % len(records)],
+                    i,
+                    channels[i],
+                    stop,
+                )
+                for i in range(n_wearers)
+            )
+        )
+    wall_s = time.perf_counter() - started
+    p50, p99 = gateway.latency_percentiles((50.0, 99.0))
+    return LoadReport(
+        n_wearers=n_wearers,
+        wall_s=wall_s,
+        windows_sent=sum(sent for sent, _ in outcomes),
+        windows_vanished=sum(vanished for _, vanished in outcomes),
+        packets_dropped=sum(c.packets_dropped for c in channels),
+        stats=gateway.stats(),
+        p50_latency_s=p50,
+        p99_latency_s=p99,
+        interrupted=stop.is_set(),
+        leaked_sessions=gateway.active_sessions,
+    )
+
+
+def run_gateway_load(
+    n_wearers: int = 64,
+    stream_s: float = 30.0,
+    batch_size: int = 256,
+    linger_s: float = 0.002,
+    queue_windows: int = 4096,
+    max_inflight_per_session: int = 64,
+    loss_probability: float = 0.02,
+    with_quality_gate: bool = True,
+    with_degradation: bool = False,
+    seed: int = 2017,
+    install_sigint: bool = False,
+    on_verdict: Callable[[SessionVerdict], None] | None = None,
+) -> LoadReport:
+    """Train, build, and drive a gateway fleet end to end (synchronous).
+
+    With ``install_sigint=True`` a SIGINT during the run triggers the
+    orderly path instead of a KeyboardInterrupt mid-scoring: intake
+    stops, the queue drains, sessions finalize, and the report is still
+    produced (flagged ``interrupted``).
+    """
+    versions = ["original"]
+    if with_degradation:
+        versions += ["simplified", "reduced"]
+    data, fitted = train_serving_detectors(versions=versions, seed=seed)
+    primary = fitted[DetectorVersion.ORIGINAL]
+    fallbacks = {v: d for v, d in fitted.items() if v is not primary.version}
+    quality_gate = (
+        SignalQualityIndex() if (with_quality_gate or with_degradation) else None
+    )
+    degradation = DegradationController() if with_degradation else None
+    gateway = IngestionGateway(
+        primary,
+        quality_gate=quality_gate,
+        fallbacks=fallbacks,
+        degradation=degradation,
+        batch_size=batch_size,
+        linger_s=linger_s,
+        queue_windows=queue_windows,
+        max_inflight_per_session=max_inflight_per_session,
+        on_verdict=on_verdict,
+    )
+    # A handful of distinct recordings, cycled across the fleet.
+    records = [
+        data.record(subject, stream_s, purpose="test")
+        for subject in data.subjects[: min(4, len(data.subjects))]
+    ]
+
+    async def _run() -> LoadReport:
+        stop = asyncio.Event()
+        if install_sigint:
+            import signal
+
+            loop = asyncio.get_running_loop()
+            loop.add_signal_handler(signal.SIGINT, stop.set)
+            try:
+                return await run_fleet(
+                    gateway,
+                    records,
+                    n_wearers,
+                    loss_probability=loss_probability,
+                    seed=seed,
+                    stop=stop,
+                )
+            finally:
+                loop.remove_signal_handler(signal.SIGINT)
+        return await run_fleet(
+            gateway,
+            records,
+            n_wearers,
+            loss_probability=loss_probability,
+            seed=seed,
+            stop=stop,
+        )
+
+    return asyncio.run(_run())

@@ -1,0 +1,236 @@
+"""Per-wearer session state for the ingestion gateway.
+
+A :class:`WearerSession` is everything the gateway must remember about
+one live wearer: bounded window assembly (the same
+:class:`~repro.wiot.assembly.WindowAssembler` the base station uses),
+the SQI gate verdict history, the wearer's *own* adaptive-tier
+controller, and the k-of-n alert debouncer.  Scoring is deliberately
+absent -- the gateway scores windows from many sessions in one
+cross-session micro-batch and feeds each session's results back in
+arrival order, which is why the debouncer is driven through
+:meth:`~repro.core.streaming.StreamingDetector.advance_value` /
+``abstain_window`` instead of ``process_window``.
+
+Per-session state is O(1) in stream length: assembly is bounded by
+construction, the debouncer's horizon is ``vote_window`` entries, and
+the verdict history is a fixed-size ring (counters carry the totals).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adaptive.degradation import DegradationController
+from repro.core.detector import SIFTDetector
+from repro.core.streaming import StreamingDetector
+from repro.core.versions import DetectorVersion
+from repro.signals.dataset import SignalWindow
+from repro.signals.quality import QualityReport, SignalQualityIndex
+from repro.wiot.assembly import WindowAssembler
+from repro.wiot.channel import DeliveredPacket
+
+__all__ = ["SessionVerdict", "WearerSession", "window_from_slot"]
+
+
+@dataclass(frozen=True)
+class SessionVerdict:
+    """One wearer window's outcome, as emitted by the gateway.
+
+    ``latency_s`` is the assembled-to-decided interval, measured with
+    ``time.perf_counter()`` (monotonic; wall clocks can step backwards
+    mid-measurement).  An abstained verdict carries a NaN
+    ``decision_value`` and ``altered=False`` -- scoring must exclude it,
+    exactly as with :class:`~repro.wiot.basestation.WindowVerdict`.
+    """
+
+    wearer_id: str
+    sequence: int
+    time_s: float
+    altered: bool
+    decision_value: float
+    version: str
+    abstained: bool = False
+    sqi: float | None = None
+    latency_s: float = 0.0
+
+
+def window_from_slot(
+    slot: dict[str, DeliveredPacket], subject_id: str = ""
+) -> SignalWindow:
+    """The device-format (float32) window of one assembled sequence slot.
+
+    Mirrors the base station's :class:`~repro.sift_app.payload
+    .DeviceWindow` construction so the gateway's quality gate and
+    detector see exactly the payload an Amulet deployment would.
+    """
+    ecg = slot["ecg"].packet
+    abp = slot["abp"].packet
+    if ecg.samples.size != abp.samples.size:
+        raise ValueError(
+            f"window {ecg.sequence}: ECG and ABP packet lengths differ "
+            f"({ecg.samples.size} vs {abp.samples.size})"
+        )
+    return SignalWindow(
+        ecg=ecg.samples.astype(np.float32),
+        abp=abp.samples.astype(np.float32),
+        r_peaks=np.asarray(ecg.peak_indexes, dtype=np.intp),
+        systolic_peaks=np.asarray(abp.peak_indexes, dtype=np.intp),
+        sample_rate=ecg.sample_rate,
+        subject_id=subject_id,
+    )
+
+
+class WearerSession:
+    """One wearer's live serving state.
+
+    Parameters mirror :class:`~repro.core.streaming.StreamingDetector`
+    (the sequential equivalent this session must match bit-for-bit),
+    plus the assembly bounds.  ``degradation`` must be this session's
+    *own* controller (the gateway clones its template per session).
+    """
+
+    def __init__(
+        self,
+        wearer_id: str,
+        detector: SIFTDetector,
+        quality_gate: SignalQualityIndex | None = None,
+        fallbacks: dict[DetectorVersion, SIFTDetector] | None = None,
+        degradation: DegradationController | None = None,
+        votes_needed: int = 2,
+        vote_window: int = 3,
+        max_pending_lag: int | None = None,
+        dedup_capacity: int = 1024,
+        verdict_history: int = 64,
+    ) -> None:
+        if degradation is not None and quality_gate is None:
+            raise ValueError("degradation requires a quality_gate")
+        self.wearer_id = wearer_id
+        self.detector = detector
+        self.quality_gate = quality_gate
+        self.fallbacks = dict(fallbacks) if fallbacks else {}
+        self.degradation = degradation
+        self.assembler = WindowAssembler(
+            max_pending_lag=max_pending_lag, dedup_capacity=dedup_capacity
+        )
+        self.debouncer = StreamingDetector(
+            detector, votes_needed=votes_needed, vote_window=vote_window
+        )
+        self.recent_verdicts: deque[SessionVerdict] = deque(maxlen=verdict_history)
+        self.windows_assembled = 0
+        self.windows_abstained = 0
+        self.windows_scored = 0
+        self.windows_shed = 0
+        self.inflight = 0
+        self.ending = False
+        self.closed = False
+
+    # -- intake ---------------------------------------------------------
+
+    def assemble(
+        self, delivered: DeliveredPacket
+    ) -> tuple[int, float, SignalWindow] | None:
+        """Absorb one delivery; ``(sequence, time_s, window)`` on completion."""
+        completed = self.assembler.offer(delivered)
+        if completed is None:
+            return None
+        sequence, slot = completed
+        self.windows_assembled += 1
+        window = window_from_slot(slot, subject_id=self.wearer_id)
+        return sequence, slot["ecg"].packet.start_time_s, window
+
+    def assess(self, window: SignalWindow) -> QualityReport | None:
+        """Run the SQI gate (observing the tier controller); None = no gate.
+
+        Called once per assembled window, *in arrival order*, before the
+        window is queued -- so the tier selected for a window reflects
+        exactly the quality history a sequential run would have seen.
+        """
+        if self.quality_gate is None:
+            return None
+        report = self.quality_gate.assess(window)
+        if self.degradation is not None:
+            self.degradation.observe(report)
+        return report
+
+    def active_detector(self) -> SIFTDetector:
+        """The fitted detector for this session's current tier."""
+        if self.degradation is None:
+            return self.detector
+        version = self.degradation.active
+        if version is self.detector.version:
+            return self.detector
+        try:
+            return self.fallbacks[version]
+        except KeyError:
+            raise KeyError(
+                f"session {self.wearer_id!r}: degradation selected "
+                f"{version.value!r} but no fitted fallback was provided"
+            ) from None
+
+    # -- outcomes (called by the gateway's batcher, in arrival order) ---
+
+    def record_abstain(
+        self, sequence: int, time_s: float, sqi: float | None, latency_s: float
+    ) -> SessionVerdict:
+        """An SQI-gated window: advances the debouncer clock, casts no vote."""
+        self.debouncer.abstain_window()
+        self.windows_abstained += 1
+        verdict = SessionVerdict(
+            wearer_id=self.wearer_id,
+            sequence=sequence,
+            time_s=time_s,
+            altered=False,
+            decision_value=float("nan"),
+            version=self.detector.version.value,
+            abstained=True,
+            sqi=sqi,
+            latency_s=latency_s,
+        )
+        self.recent_verdicts.append(verdict)
+        return verdict
+
+    def record_score(
+        self,
+        sequence: int,
+        time_s: float,
+        value: float,
+        version: DetectorVersion,
+        sqi: float | None,
+        latency_s: float,
+    ) -> SessionVerdict:
+        """One micro-batched decision value, fed to the debouncer."""
+        self.debouncer.advance_value(value)
+        self.windows_scored += 1
+        verdict = SessionVerdict(
+            wearer_id=self.wearer_id,
+            sequence=sequence,
+            time_s=time_s,
+            altered=value >= 0.0,
+            decision_value=float(value),
+            version=version.value,
+            sqi=sqi,
+            latency_s=latency_s,
+        )
+        self.recent_verdicts.append(verdict)
+        return verdict
+
+    # -- lifecycle ------------------------------------------------------
+
+    def finalize(self) -> int:
+        """Flush pending halves and close any open episode; returns lost."""
+        lost = self.assembler.flush()
+        self.debouncer.finish()
+        self.closed = True
+        return lost
+
+    @property
+    def episodes(self):
+        """Attack episodes the debouncer has closed for this wearer."""
+        return self.debouncer.episodes
+
+    @property
+    def under_attack(self) -> bool:
+        return self.debouncer.under_attack()

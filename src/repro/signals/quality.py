@@ -31,6 +31,13 @@ __all__ = ["QualityReport", "SignalQualityIndex", "assess_window"]
 #: Physiological heart-rate bounds used by the beat-plausibility check.
 _MIN_BPM, _MAX_BPM = 25.0, 220.0
 
+#: Symmetric tolerance for float rounding on the [0, 1] score contract.
+#: Scores within the epsilon of either boundary are clamped onto it;
+#: only a genuinely out-of-range score raises.  (The old check tolerated
+#: ``1.0 + 1e-9`` but crashed on ``-1e-12`` -- a numerically noisy SQI
+#: component must never take down a live session.)
+_SCORE_EPS = 1e-9
+
 
 @dataclass(frozen=True)
 class QualityReport:
@@ -49,9 +56,10 @@ class QualityReport:
 
     def __post_init__(self) -> None:
         for name in ("sqi", "clipping_score", "burst_score", "beat_score"):
-            value = getattr(self, name)
-            if not 0.0 <= value <= 1.0 + 1e-9:
+            value = float(getattr(self, name))
+            if not -_SCORE_EPS <= value <= 1.0 + _SCORE_EPS:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
+            object.__setattr__(self, name, min(1.0, max(0.0, value)))
 
 
 class SignalQualityIndex:

@@ -9,12 +9,15 @@ together around the signal substrate and the Amulet simulator:
 - :mod:`~repro.wiot.sensor` -- ECG/ABP body sensors (optionally
   compromised at the source);
 - :mod:`~repro.wiot.channel` -- the lossy wireless hop;
+- :mod:`~repro.wiot.assembly` -- bounded-memory window assembly
+  (stale-half eviction, ring-buffer dedup) shared with the gateway;
 - :mod:`~repro.wiot.basestation` -- window assembly + the SIFT detector
   on the simulated Amulet;
 - :mod:`~repro.wiot.sink` -- historical storage and summaries;
 - :mod:`~repro.wiot.environment` -- end-to-end orchestration.
 """
 
+from repro.wiot.assembly import BoundedDedup, WindowAssembler
 from repro.wiot.basestation import BaseStation
 from repro.wiot.channel import WirelessChannel
 from repro.wiot.environment import WIoTEnvironment, WIoTRunSummary
@@ -30,6 +33,7 @@ __all__ = [
     "AuthenticatedPacket",
     "BaseStation",
     "BodySensor",
+    "BoundedDedup",
     "CompromisedSensor",
     "PacketAuthenticator",
     "PacketVerifier",
@@ -37,5 +41,6 @@ __all__ = [
     "Sink",
     "WIoTEnvironment",
     "WIoTRunSummary",
+    "WindowAssembler",
     "WirelessChannel",
 ]

@@ -11,6 +11,12 @@ channel) rejects corrupted packets on arrival, and an optional
 :class:`~repro.signals.quality.SignalQualityIndex` gate converts
 low-quality windows into explicit *abstain* verdicts -- tracked coverage
 loss, never a silent skip and never a classification of garbage.
+
+Assembly state is bounded (see :class:`~repro.wiot.assembly
+.WindowAssembler`): halves whose partner never arrives are evicted after
+``max_pending_lag`` sequences and counted as incomplete windows, and
+duplicate detection uses a fixed-capacity ring -- a multi-day stream
+runs in O(1) memory even if it is never explicitly flushed.
 """
 
 from __future__ import annotations
@@ -23,6 +29,11 @@ from repro.core.detector import SIFTDetector
 from repro.signals.quality import SignalQualityIndex
 from repro.sift_app.harness import AmuletSIFTRunner
 from repro.sift_app.payload import DeviceWindow
+from repro.wiot.assembly import (
+    DEFAULT_DEDUP_CAPACITY,
+    DEFAULT_MAX_PENDING_LAG,
+    WindowAssembler,
+)
 from repro.wiot.channel import DeliveredPacket
 from repro.wiot.sink import Sink
 
@@ -60,6 +71,11 @@ class BaseStation:
         Optional SQI gate; windows scoring below its threshold yield an
         abstain verdict instead of a classification.  ``None`` (the
         default) keeps the historical classify-everything behaviour.
+    max_pending_lag / dedup_capacity:
+        Bounds on the assembly state (see
+        :class:`~repro.wiot.assembly.WindowAssembler`); the defaults are
+        far above the channel's reordering horizon, so short experiment
+        runs behave exactly as the unbounded implementation did.
     """
 
     def __init__(
@@ -67,17 +83,18 @@ class BaseStation:
         detector: SIFTDetector,
         sink: Sink | None = None,
         quality_gate: SignalQualityIndex | None = None,
+        max_pending_lag: int | None = DEFAULT_MAX_PENDING_LAG,
+        dedup_capacity: int = DEFAULT_DEDUP_CAPACITY,
     ) -> None:
         self.runner = AmuletSIFTRunner(detector)
         self.sink = sink
         self.quality_gate = quality_gate
         self.verdicts: list[WindowVerdict] = []
-        self.incomplete_windows = 0
         self.abstained_windows = 0
-        self.corrupted_packets = 0
-        self.duplicate_packets = 0
-        self._pending: dict[int, dict[str, DeliveredPacket]] = {}
-        self._completed: set[int] = set()
+        self.assembler = WindowAssembler(
+            max_pending_lag=max_pending_lag, dedup_capacity=dedup_capacity
+        )
+        self._rejected_windows = 0  # PeaksDataCheck refusals on the device
 
     @property
     def app(self):
@@ -87,38 +104,43 @@ class BaseStation:
     def os(self):
         return self.runner.os
 
+    @property
+    def incomplete_windows(self) -> int:
+        """Windows lost before a decision: evicted/flushed halves plus
+        assembled windows the device's data check refused to run."""
+        return self.assembler.incomplete_windows + self._rejected_windows
+
+    @property
+    def corrupted_packets(self) -> int:
+        return self.assembler.corrupted_packets
+
+    @property
+    def corrupted_duplicate_packets(self) -> int:
+        """CRC rejections whose claimed sequence was already resolved.
+
+        Corruption takes precedence in ``corrupted_packets`` (an
+        unverifiable payload's sequence number is itself untrustworthy);
+        this counter exposes the overlap so channel statistics can
+        separate destroyed retransmissions from destroyed data.
+        """
+        return self.assembler.corrupted_duplicate_packets
+
+    @property
+    def duplicate_packets(self) -> int:
+        return self.assembler.duplicate_packets
+
     def receive(self, delivered: DeliveredPacket | None) -> WindowVerdict | None:
         """Accept one channel delivery; classify when a window completes."""
         if delivered is None:
             return None
-        packet = delivered.packet
-        if (
-            delivered.crc32 is not None
-            and packet.payload_crc32() != delivered.crc32
-        ):
-            # In-flight corruption: refuse the payload at the door.  The
-            # window will surface as incomplete (coverage loss), which is
-            # the honest outcome -- its data never arrived intact.
-            self.corrupted_packets += 1
+        completed = self.assembler.offer(delivered)
+        if completed is None:
             return None
-        if packet.sequence in self._completed:
-            self.duplicate_packets += 1
-            return None
-        slot = self._pending.setdefault(packet.sequence, {})
-        if packet.channel in slot:
-            self.duplicate_packets += 1
-            return None
-        slot[packet.channel] = delivered
-        if "ecg" not in slot or "abp" not in slot:
-            return None
-        return self._classify(packet.sequence, slot)
+        return self._classify(*completed)
 
     def flush_incomplete(self) -> int:
         """Drop windows still missing a half; returns how many were lost."""
-        lost = len(self._pending)
-        self.incomplete_windows += lost
-        self._pending.clear()
-        return lost
+        return self.assembler.flush()
 
     def _assess_quality(self, window: DeviceWindow):
         """Run the SQI gate over an assembled window (None = no gate)."""
@@ -131,8 +153,6 @@ class BaseStation:
     ) -> WindowVerdict:
         ecg = slot["ecg"].packet
         abp = slot["abp"].packet
-        del self._pending[sequence]
-        self._completed.add(sequence)
         if ecg.samples.size != abp.samples.size:
             raise ValueError(
                 f"window {sequence}: ECG and ABP packet lengths differ "
@@ -167,7 +187,7 @@ class BaseStation:
         self.runner._windows_run += 1
         if len(app.predictions) == before:
             # PeaksDataCheck rejected the snippet (corrupt peak metadata).
-            self.incomplete_windows += 1
+            self._rejected_windows += 1
             verdict = WindowVerdict(
                 sequence=sequence,
                 time_s=ecg.start_time_s,

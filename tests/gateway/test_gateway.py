@@ -1,0 +1,362 @@
+"""Tests for the async ingestion gateway.
+
+The load-bearing property is *bit-identity*: micro-batching windows
+across wearer sessions must produce, for every wearer, exactly the
+verdict sequence a per-wearer sequential
+:class:`~repro.core.streaming.StreamingDetector` run would have -- same
+decision values (bitwise), same abstains, same episodes.  Everything
+else here is the backpressure and lifecycle accounting contract.
+"""
+
+import asyncio
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.adaptive.degradation import DegradationController
+from repro.core.streaming import StreamingDetector
+from repro.core.versions import DetectorVersion
+from repro.gateway import IngestionGateway, window_from_slot
+from repro.signals.quality import SignalQualityIndex
+from repro.wiot.channel import DeliveredPacket
+from repro.wiot.sensor import BodySensor
+
+
+def _deliveries(record, flatline=()):
+    """One wearer's in-order deliveries (ECG+ABP per sequence); sequences
+    in ``flatline`` get zeroed ECG samples so the SQI gate abstains."""
+    out = []
+    ecg = BodySensor("s-ecg", "ecg", record)
+    abp = BodySensor("s-abp", "abp", record)
+    for e, a in zip(ecg.packets(), abp.packets()):
+        if e.sequence in flatline:
+            e = dataclasses.replace(e, samples=np.zeros_like(e.samples))
+        out.append(DeliveredPacket(packet=e, arrival_time_s=e.start_time_s))
+        out.append(DeliveredPacket(packet=a, arrival_time_s=a.start_time_s))
+    return out
+
+
+def _windows_of(deliveries):
+    """The float32 windows those deliveries assemble into, in order."""
+    windows = []
+    for e, a in zip(deliveries[0::2], deliveries[1::2]):
+        windows.append(window_from_slot({"ecg": e, "abp": a}))
+    return windows
+
+
+async def _drive(gateway, streams):
+    """Submit every wearer's stream, round-robin, through a started
+    gateway; returns the per-wearer session objects."""
+    sessions = {}
+    async with gateway:
+        iters = {w: iter(d) for w, d in streams.items()}
+        alive = set(iters)
+        while alive:
+            for wearer_id in sorted(alive):
+                try:
+                    gateway.submit(wearer_id, next(iters[wearer_id]))
+                except StopIteration:
+                    alive.discard(wearer_id)
+                sessions.setdefault(wearer_id, gateway.session(wearer_id))
+            await asyncio.sleep(0)
+    return sessions
+
+
+class TestBitIdentity:
+    def test_cross_session_batches_match_sequential(
+        self, trained_detectors, test_record, test_donor_records
+    ):
+        """Three wearers, interleaved, scored in shared micro-batches
+        (batch_size forces mixing) == three independent sequential runs."""
+        detector = trained_detectors[DetectorVersion.ORIGINAL]
+        gate = SignalQualityIndex()
+        records = [test_record, *test_donor_records]
+        # Wearer 0 gets two flatlined windows so abstains interleave with
+        # scores inside shared batches.
+        streams = {
+            f"w{i}": _deliveries(record, flatline=(3, 4) if i == 0 else ())
+            for i, record in enumerate(records)
+        }
+        gateway = IngestionGateway(
+            detector,
+            quality_gate=gate,
+            votes_needed=2,
+            vote_window=3,
+            batch_size=5,  # not a multiple of anything: batches straddle wearers
+            linger_s=0.001,
+        )
+        sessions = asyncio.run(_drive(gateway, streams))
+        # Micro-batching actually crossed sessions.
+        assert gateway.stats().mean_batch_size > 1.0
+
+        for wearer_id, deliveries in streams.items():
+            session = sessions[wearer_id]
+            reference = StreamingDetector(
+                detector, votes_needed=2, vote_window=3, quality_gate=gate
+            )
+            expected = []
+            for window in _windows_of(deliveries):
+                report = gate.assess(window)
+                if not report.usable:
+                    expected.append(("abstain", None))
+                else:
+                    expected.append(("score", detector.decision_value(window)))
+                reference.process_window(window)
+            reference.finish()
+
+            got = [
+                ("abstain", None) if v.abstained else ("score", v.decision_value)
+                for v in session.recent_verdicts
+            ]
+            # Bitwise-equal decision values, same abstain placement.
+            assert got == expected
+            # Identical episode structure and debouncer state.
+            assert session.episodes == reference.episodes
+            assert (
+                session.debouncer.abstained_indexes
+                == reference.abstained_indexes
+            )
+
+    def test_degraded_tiers_match_sequential(
+        self, trained_detectors, dataset, victim
+    ):
+        """Per-session tier controllers: a noisy wearer steps down to the
+        fallback tier exactly where its own sequential run would."""
+        primary = trained_detectors[DetectorVersion.ORIGINAL]
+        fallbacks = {
+            v: d for v, d in trained_detectors.items() if v is not primary.version
+        }
+        gate = SignalQualityIndex()
+        record = dataset.record(victim, 90.0, purpose="extra")
+        # A run of flatlined windows long enough to trip the controller.
+        streams = {
+            "noisy": _deliveries(record, flatline=(2, 3, 4, 5, 6)),
+            "clean": _deliveries(record),
+        }
+        template = DegradationController(degrade_after=2, recover_after=30)
+        gateway = IngestionGateway(
+            primary,
+            quality_gate=gate,
+            fallbacks=fallbacks,
+            degradation=template,
+            batch_size=4,
+            linger_s=0.001,
+        )
+        sessions = asyncio.run(_drive(gateway, streams))
+
+        for wearer_id, deliveries in streams.items():
+            session = sessions[wearer_id]
+            reference = StreamingDetector(
+                primary,
+                quality_gate=gate,
+                fallbacks=fallbacks,
+                degradation=template.clone(),
+            )
+            for window in _windows_of(deliveries):
+                reference.process_window(window)
+            got = [
+                v.decision_value
+                for v in session.recent_verdicts
+                if not v.abstained
+            ]
+            # Recompute the reference values sequentially with a second
+            # independent controller to pin the tier schedule.
+            control = template.clone()
+            expected = []
+            for window in _windows_of(deliveries):
+                report = gate.assess(window)
+                control.observe(report)
+                if not report.usable:
+                    continue
+                version = control.active
+                active = primary if version is primary.version else fallbacks[version]
+                expected.append(active.decision_value(window))
+            assert got == expected
+            assert session.episodes == reference.episodes
+        # The noisy wearer actually switched tiers; the clean one never did.
+        assert sessions["noisy"].degradation.switches
+        assert not sessions["clean"].degradation.switches
+
+
+class TestBackpressure:
+    def test_per_session_inflight_cap_sheds_only_the_slow_wearer(
+        self, trained_detectors, test_record
+    ):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        deliveries = _deliveries(test_record)  # 20 windows
+
+        async def run():
+            gateway = IngestionGateway(
+                detector,
+                batch_size=64,
+                linger_s=0.0,
+                queue_windows=1024,
+                max_inflight_per_session=3,
+            )
+            async with gateway:
+                shed = 0
+                # Submit every window with no yield: the batcher cannot
+                # drain, so the 4th assembled window onward must shed.
+                for delivered in deliveries:
+                    if not gateway.submit("slow", delivered):
+                        shed += 1
+                session = gateway.session("slow")
+                assert session.inflight == 3
+                assert shed == 17
+                assert session.windows_shed == 17
+                assert gateway.windows_shed_session == 17
+                assert gateway.windows_shed_queue == 0
+                return gateway, session
+
+        gateway, session = asyncio.run(run())
+        # Shutdown scored the 3 queued windows; accounting conserves.
+        stats = gateway.stats()
+        assert stats.windows_scored == 3
+        assert stats.windows_assembled == 20
+        assert (
+            stats.verdicts + stats.windows_shed == stats.windows_assembled
+        )
+        assert session.closed
+
+    def test_full_queue_sheds_with_global_accounting(
+        self, trained_detectors, test_record
+    ):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        deliveries = _deliveries(test_record)
+
+        async def run():
+            gateway = IngestionGateway(
+                detector,
+                batch_size=64,
+                linger_s=0.0,
+                queue_windows=2,
+                max_inflight_per_session=100,
+            )
+            async with gateway:
+                results = [
+                    gateway.submit("w", delivered) for delivered in deliveries
+                ]
+                # 20 assembled windows into a 2-slot queue: 18 shed.
+                assert results.count(False) == 18
+                assert gateway.windows_shed_queue == 18
+                assert gateway.windows_shed_session == 0
+                return gateway
+
+        gateway = asyncio.run(run())
+        stats = gateway.stats()
+        assert stats.windows_scored == 2
+        assert stats.verdicts + stats.windows_shed == stats.windows_assembled
+
+    def test_shed_windows_never_reach_the_debouncer(
+        self, trained_detectors, test_record
+    ):
+        """A shed window is a loss, not a verdict: the debouncer's clock
+        only advances for scored/abstained windows."""
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        deliveries = _deliveries(test_record)
+
+        async def run():
+            gateway = IngestionGateway(
+                detector, batch_size=8, linger_s=0.0, max_inflight_per_session=5
+            )
+            async with gateway:
+                for delivered in deliveries:
+                    gateway.submit("w", delivered)
+                session = gateway.session("w")
+                return gateway, session
+
+        _, session = asyncio.run(run())
+        assert session.windows_shed > 0
+        assert (
+            session.debouncer.state.window_index
+            == session.windows_scored + session.windows_abstained
+        )
+
+
+class TestLifecycle:
+    def test_shutdown_leaves_zero_sessions(self, trained_detectors, test_record):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        streams = {
+            f"w{i}": _deliveries(test_record) for i in range(3)
+        }
+        gateway = IngestionGateway(detector, batch_size=16, linger_s=0.001)
+        sessions = asyncio.run(_drive(gateway, streams))
+        assert gateway.active_sessions == 0
+        assert all(s.closed for s in sessions.values())
+        stats = gateway.stats()
+        assert stats.sessions_started == 3
+        assert stats.sessions_active == 0
+        assert stats.windows_assembled == 60
+        assert stats.verdicts + stats.windows_shed == 60
+
+    def test_submit_after_shutdown_raises(self, trained_detectors, test_record):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        delivered = _deliveries(test_record)[0]
+
+        async def run():
+            gateway = IngestionGateway(detector)
+            async with gateway:
+                pass
+            with pytest.raises(RuntimeError, match="shutting down"):
+                gateway.submit("w", delivered)
+
+        asyncio.run(run())
+
+    def test_end_session_with_inflight_finalizes_after_scoring(
+        self, trained_detectors, test_record
+    ):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        deliveries = _deliveries(test_record)[:8]  # 4 windows
+
+        async def run():
+            gateway = IngestionGateway(detector, batch_size=64, linger_s=0.0)
+            async with gateway:
+                for delivered in deliveries:
+                    gateway.submit("w", delivered)
+                session = gateway.end_session("w")
+                # Still awaiting scoring: detached but not yet finalized.
+                assert session.ending and not session.closed
+                assert gateway.active_sessions == 0
+                await gateway.drain()
+                assert session.closed
+                assert session.windows_scored == 4
+                return session
+
+        session = asyncio.run(run())
+        assert session.episodes is not None  # debouncer was finished
+
+    def test_lost_halves_count_per_session(self, trained_detectors, test_record):
+        """Dropping one half of a window surfaces as an incomplete window
+        in the gateway stats, never a verdict."""
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        deliveries = _deliveries(test_record)
+        del deliveries[6 * 2 + 1]  # drop window 6's ABP half
+
+        async def run():
+            gateway = IngestionGateway(detector, batch_size=8, linger_s=0.0,
+                                       max_inflight_per_session=100)
+            async with gateway:
+                for delivered in deliveries:
+                    gateway.submit("w", delivered)
+                    await asyncio.sleep(0)
+                return gateway
+
+        gateway = asyncio.run(run())
+        stats = gateway.stats()
+        assert stats.windows_assembled == 19
+        assert stats.incomplete_windows == 1
+        assert stats.verdicts == 19
+
+    def test_validation(self, trained_detectors):
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        with pytest.raises(ValueError):
+            IngestionGateway(detector, batch_size=0)
+        with pytest.raises(ValueError):
+            IngestionGateway(detector, linger_s=-1.0)
+        with pytest.raises(ValueError):
+            IngestionGateway(detector, queue_windows=0)
+        with pytest.raises(ValueError):
+            IngestionGateway(detector, max_inflight_per_session=0)
+        with pytest.raises(ValueError, match="quality_gate"):
+            IngestionGateway(detector, degradation=DegradationController())

@@ -111,6 +111,30 @@ class TestConfiguration:
                 burst_score=1.0, beat_score=1.0,
             )
 
+    def test_boundary_tolerance_is_symmetric(self):
+        """Float noise within the epsilon of *either* bound is accepted
+        and clamped; the old check took ``1.0 + 1e-9`` but crashed on
+        ``-1e-12``."""
+        above = QualityReport(
+            sqi=1.0 + 1e-10, usable=True, clipping_score=1.0,
+            burst_score=1.0, beat_score=1.0,
+        )
+        assert above.sqi == 1.0
+        below = QualityReport(
+            sqi=-1e-12, usable=False, clipping_score=-1e-12,
+            burst_score=0.0, beat_score=0.0,
+        )
+        assert below.sqi == 0.0
+        assert below.clipping_score == 0.0
+
+    def test_genuinely_out_of_range_still_raises(self):
+        for bad in (1.0 + 1e-6, -1e-6, float("nan")):
+            with pytest.raises(ValueError):
+                QualityReport(
+                    sqi=bad, usable=False, clipping_score=0.5,
+                    burst_score=0.5, beat_score=0.5,
+                )
+
 
 class TestComponentEdgeCases:
     """Degenerate inputs every component score must survive."""

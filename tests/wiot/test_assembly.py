@@ -1,0 +1,198 @@
+"""Tests for bounded-memory window assembly (eviction, dedup, precedence)."""
+
+import numpy as np
+import pytest
+
+from repro.wiot.assembly import BoundedDedup, WindowAssembler
+from repro.wiot.channel import DeliveredPacket
+from repro.wiot.sensor import SensorPacket
+
+_SAMPLES = np.zeros(4, dtype=np.float64)
+_PEAKS = np.array([1], dtype=np.intp)
+
+
+def _delivered(sequence, channel="ecg", crc=None, corrupt=False):
+    """A minimal delivery; ``crc=True`` stamps a valid CRC, ``corrupt``
+    stamps a wrong one."""
+    packet = SensorPacket(
+        sensor_id=f"{channel}-0",
+        channel=channel,
+        sequence=sequence,
+        start_time_s=sequence * 3.0,
+        samples=_SAMPLES,
+        peak_indexes=_PEAKS,
+        sample_rate=360.0,
+    )
+    crc32 = None
+    if crc or corrupt:
+        crc32 = packet.payload_crc32() ^ (0xDEAD if corrupt else 0)
+    return DeliveredPacket(packet=packet, arrival_time_s=sequence * 3.0, crc32=crc32)
+
+
+class TestBoundedDedup:
+    def test_membership_and_fifo_forgetting(self):
+        dedup = BoundedDedup(capacity=3)
+        for seq in (1, 2, 3):
+            dedup.add(seq)
+        assert all(seq in dedup for seq in (1, 2, 3))
+        dedup.add(4)  # evicts 1, the oldest
+        assert 1 not in dedup
+        assert all(seq in dedup for seq in (2, 3, 4))
+        assert len(dedup) == 3
+
+    def test_add_is_idempotent(self):
+        dedup = BoundedDedup(capacity=2)
+        dedup.add(7)
+        dedup.add(7)
+        dedup.add(8)
+        # The re-add of 7 must not have consumed a slot.
+        assert 7 in dedup and 8 in dedup
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedDedup(capacity=0)
+
+
+class TestWindowAssembler:
+    def test_pairs_complete_windows(self):
+        assembler = WindowAssembler()
+        assert assembler.offer(_delivered(0, "ecg")) is None
+        completed = assembler.offer(_delivered(0, "abp"))
+        assert completed is not None
+        sequence, slot = completed
+        assert sequence == 0
+        assert set(slot) == {"ecg", "abp"}
+        assert assembler.n_pending == 0
+
+    def test_resolved_sequence_rejected_as_duplicate(self):
+        assembler = WindowAssembler()
+        assembler.offer(_delivered(0, "ecg"))
+        assembler.offer(_delivered(0, "abp"))
+        assert assembler.offer(_delivered(0, "ecg")) is None
+        assert assembler.duplicate_packets == 1
+
+    def test_same_channel_redelivery_is_duplicate(self):
+        assembler = WindowAssembler()
+        assembler.offer(_delivered(0, "ecg"))
+        assert assembler.offer(_delivered(0, "ecg")) is None
+        assert assembler.duplicate_packets == 1
+        # The window can still complete afterwards.
+        assert assembler.offer(_delivered(0, "abp")) is not None
+
+    def test_stale_half_evicted_and_counted(self):
+        assembler = WindowAssembler(max_pending_lag=4)
+        assembler.offer(_delivered(0, "ecg"))  # partner never arrives
+        for seq in range(1, 6):
+            assembler.offer(_delivered(seq, "ecg"))
+            assembler.offer(_delivered(seq, "abp"))
+        # Sequence 0 fell more than 4 behind the highest seen (5).
+        assert assembler.incomplete_windows == 1
+        assert assembler.n_pending == 0
+
+    def test_late_partner_of_evicted_window_is_duplicate(self):
+        assembler = WindowAssembler(max_pending_lag=2)
+        assembler.offer(_delivered(0, "ecg"))
+        for seq in range(1, 4):
+            assembler.offer(_delivered(seq, "ecg"))
+            assembler.offer(_delivered(seq, "abp"))
+        assert assembler.incomplete_windows == 1
+        # The ABP half arrives after its window was written off: it must
+        # count as a duplicate, not seed a second pending slot that would
+        # be evicted again (double-counting the same loss).
+        assert assembler.offer(_delivered(0, "abp")) is None
+        assert assembler.duplicate_packets == 1
+        assert assembler.incomplete_windows == 1
+        assert assembler.n_pending == 0
+
+    def test_out_of_order_within_lag_still_pairs(self):
+        assembler = WindowAssembler(max_pending_lag=8)
+        assembler.offer(_delivered(3, "ecg"))
+        assembler.offer(_delivered(1, "ecg"))  # behind, but within lag
+        assert assembler.offer(_delivered(1, "abp")) is not None
+        assert assembler.offer(_delivered(3, "abp")) is not None
+        assert assembler.incomplete_windows == 0
+
+    def test_flush_counts_all_pending(self):
+        assembler = WindowAssembler()
+        assembler.offer(_delivered(0, "ecg"))
+        assembler.offer(_delivered(1, "abp"))
+        assert assembler.flush() == 2
+        assert assembler.incomplete_windows == 2
+        assert assembler.n_pending == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowAssembler(max_pending_lag=0)
+        WindowAssembler(max_pending_lag=None)  # explicit opt-out is fine
+
+
+class TestIntegrityPrecedence:
+    """Corruption wins over duplicate, in both arrival orders."""
+
+    def test_corrupt_then_duplicate(self):
+        assembler = WindowAssembler()
+        # A corrupted delivery of a never-seen sequence: corrupted only.
+        assert assembler.offer(_delivered(5, "ecg", corrupt=True)) is None
+        assert assembler.corrupted_packets == 1
+        assert assembler.corrupted_duplicate_packets == 0
+        assert assembler.duplicate_packets == 0
+        # The corrupt packet must not have seeded pending state.
+        assert assembler.n_pending == 0
+
+    def test_duplicate_then_corrupt(self):
+        assembler = WindowAssembler()
+        assembler.offer(_delivered(0, "ecg", crc=True))
+        assembler.offer(_delivered(0, "abp", crc=True))
+        # A corrupted retransmission of the resolved sequence: corruption
+        # takes precedence (the claimed sequence is untrustworthy), with
+        # the overlap exposed separately.
+        assert assembler.offer(_delivered(0, "ecg", corrupt=True)) is None
+        assert assembler.corrupted_packets == 1
+        assert assembler.corrupted_duplicate_packets == 1
+        assert assembler.duplicate_packets == 0
+        # An *intact* retransmission is a plain duplicate.
+        assert assembler.offer(_delivered(0, "ecg", crc=True)) is None
+        assert assembler.duplicate_packets == 1
+        assert assembler.corrupted_packets == 1
+
+
+class TestLongStreamMemoryBound:
+    def test_hundred_thousand_half_lost_windows_hold_bounded_state(self):
+        """A multi-day stream that loses one half of every other window
+        must hold O(lag) pending state and O(capacity) dedup state --
+        with every lost window counted, exactly once."""
+        lag, capacity = 64, 512
+        assembler = WindowAssembler(max_pending_lag=lag, dedup_capacity=capacity)
+        n_windows = 100_000
+        completed = 0
+        for seq in range(n_windows):
+            if assembler.offer(_delivered(seq, "ecg")) is not None:
+                completed += 1
+            if seq % 2 == 0:  # odd windows lose their ABP half
+                if assembler.offer(_delivered(seq, "abp")) is not None:
+                    completed += 1
+            # The memory bound holds *throughout*, not just at the end.
+            if seq % 10_000 == 0:
+                assert assembler.n_pending <= lag + 1
+                assert assembler.n_resolved_tracked <= capacity
+        assert completed == n_windows // 2
+        assert assembler.n_pending <= lag + 1
+        assert assembler.n_resolved_tracked <= capacity
+        # Lost windows: every odd sequence, minus those still pending.
+        still_pending = assembler.n_pending
+        assert assembler.incomplete_windows == n_windows // 2 - still_pending
+        assert assembler.flush() == still_pending
+        assert assembler.incomplete_windows == n_windows // 2
+        assert assembler.duplicate_packets == 0
+
+    def test_unbounded_mode_keeps_historical_behaviour(self):
+        """``max_pending_lag=None`` never evicts: the half-lost windows
+        all sit in pending until an explicit flush."""
+        assembler = WindowAssembler(max_pending_lag=None, dedup_capacity=64)
+        for seq in range(500):
+            assembler.offer(_delivered(seq, "ecg"))
+            if seq % 2 == 0:
+                assembler.offer(_delivered(seq, "abp"))
+        assert assembler.n_pending == 250
+        assert assembler.incomplete_windows == 0
+        assert assembler.flush() == 250
