@@ -117,6 +117,37 @@ class DegradationController:
             return report.sqi < self.sqi_floor
         return not report.usable
 
+    # -- snapshot/restore (gateway session persistence) -----------------
+
+    def export_state(self) -> dict:
+        """JSON-safe dump of the hysteresis state and switch history."""
+        return {
+            "level": self._level,
+            "bad_streak": self._bad_streak,
+            "good_streak": self._good_streak,
+            "observed": self._observed,
+            "switches": [
+                [s.window_index, s.version.value, s.direction]
+                for s in self.switches
+            ],
+        }
+
+    def restore_state(self, exported: dict) -> None:
+        """Resume from an :meth:`export_state` dump (round-trip exact)."""
+        level = int(exported["level"])
+        if not 0 <= level < len(self.tiers):
+            raise ValueError(f"snapshot tier level {level} outside the ladder")
+        self._level = level
+        self._bad_streak = int(exported["bad_streak"])
+        self._good_streak = int(exported["good_streak"])
+        self._observed = int(exported["observed"])
+        self.switches = [
+            TierSwitch(
+                int(index), DetectorVersion.from_name(version), str(direction)
+            )
+            for index, version, direction in exported["switches"]
+        ]
+
     def observe(self, report: QualityReport) -> DetectorVersion:
         """Feed one window's quality report; returns the tier to use."""
         index = self._observed

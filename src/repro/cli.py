@@ -21,6 +21,11 @@ Commands
     Drive a fleet of simulated wearers through the async ingestion
     gateway and report sustained windows/sec plus p50/p99 verdict
     latency; SIGINT drains and finalizes every session before exit.
+``chaos``
+    Seeded runtime-fault schedules (scorer crash/stall/slow/poison,
+    gateway kill-and-restart, snapshot truncation) against the
+    supervised gateway; exits non-zero when any conservation or
+    bit-identity invariant breaks.
 ``fault-matrix``
     Sweep named sensor/channel faults across severities and report
     accuracy, coverage and abstain rate per cell.
@@ -202,7 +207,28 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--degradation", action="store_true",
                          help="give each session its own quality-driven "
                          "tier controller with simplified/reduced fallbacks")
+    gateway.add_argument("--supervised", action="store_true",
+                         help="score through the crash-isolated subprocess "
+                         "backend (watchdog + breaker) instead of in-process")
     gateway.add_argument("--seed", type=int, default=2017)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded runtime-fault schedules against the supervised "
+        "gateway; non-zero exit on any invariant violation",
+    )
+    chaos.add_argument("--schedule", default="all",
+                       help="fault schedule to run: one of the named "
+                       "schedules (see repro.faults.schedule_names), "
+                       "'restart', 'truncation', or 'all' (default)")
+    chaos.add_argument("--wearers", type=_positive_int, default=8,
+                       metavar="N",
+                       help="fleet size for the scorer-fault schedules "
+                       "(default: 8)")
+    chaos.add_argument("--stream-s", type=_positive_float, default=12.0,
+                       metavar="S",
+                       help="seconds of recording per wearer (default: 12)")
+    chaos.add_argument("--seed", type=int, default=2017)
 
     matrix = sub.add_parser(
         "fault-matrix",
@@ -413,14 +439,101 @@ def _cmd_gateway_bench(args) -> int:
         batch_size=args.batch_size,
         loss_probability=args.loss,
         with_degradation=args.degradation,
+        supervised=args.supervised,
         seed=args.seed,
         install_sigint=True,
     )
     print(report.summary())
+    failed = False
     if report.leaked_sessions:
         print(
             f"error: {report.leaked_sessions} session(s) leaked past "
             "shutdown",
+            file=sys.stderr,
+        )
+        failed = True
+    if not report.conservation_ok:
+        stats = report.stats
+        accounted = (
+            stats.verdicts
+            + stats.windows_shed
+            + stats.incomplete_windows
+            + report.windows_vanished
+        )
+        print(
+            f"error: window conservation broken -- {accounted} accounted "
+            f"!= {report.windows_sent} sent",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+def _cmd_chaos(args) -> int:
+    import tempfile
+
+    from repro.faults.runtime import (
+        ChaosInvariantError,
+        run_chaos_schedule,
+        run_restart_chaos,
+        run_truncation_chaos,
+        schedule_names,
+    )
+
+    if args.schedule == "all":
+        selected = [*schedule_names(), "restart", "truncation"]
+    else:
+        selected = [args.schedule]
+    known = {*schedule_names(), "restart", "truncation"}
+    unknown = [name for name in selected if name not in known]
+    if unknown:
+        print(
+            f"error: unknown schedule(s) {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))}, all)",
+            file=sys.stderr,
+        )
+        return 2
+
+    failures = 0
+    for name in selected:
+        try:
+            if name == "restart":
+                with tempfile.TemporaryDirectory(prefix="chaos-") as tmp:
+                    report = run_restart_chaos(
+                        Path(tmp) / "sessions.jsonl", seed=args.seed
+                    )
+                detail = (
+                    f"restart window verdicts={report.restart_window_verdicts} "
+                    f"bit-identical outside={report.bit_identical_outside_restart}"
+                )
+            elif name == "truncation":
+                with tempfile.TemporaryDirectory(prefix="chaos-") as tmp:
+                    report = run_truncation_chaos(tmp, seed=args.seed)
+                detail = (
+                    f"{report.points_checked} truncation points, max epoch "
+                    f"{max(report.recovered_epochs, default=0)} recovered"
+                )
+            else:
+                report = run_chaos_schedule(
+                    name,
+                    seed=args.seed,
+                    n_wearers=args.wearers,
+                    stream_s=args.stream_s,
+                )
+                sup = report.report.supervisor
+                detail = (
+                    f"{report.planned_faults} fault(s) injected, "
+                    f"{sup.faults} detected, {sup.restarts} restart(s), "
+                    f"{sup.windows_degraded} window(s) degraded"
+                )
+        except ChaosInvariantError as error:
+            print(f"chaos {name:<10s} FAIL  {error}")
+            failures += 1
+            continue
+        print(f"chaos {name:<10s} ok    {detail}")
+    if failures:
+        print(
+            f"error: {failures} schedule(s) violated invariants",
             file=sys.stderr,
         )
         return 1
@@ -526,6 +639,7 @@ _COMMANDS = {
     "orchestrate": _cmd_orchestrate,
     "bench-gate": _cmd_bench_gate,
     "gateway-bench": _cmd_gateway_bench,
+    "chaos": _cmd_chaos,
     "fault-matrix": _cmd_fault_matrix,
     "profile": _cmd_profile,
     "export": _cmd_export,

@@ -1,0 +1,115 @@
+"""Jittered exponential backoff, shared by every retry loop in the repo.
+
+Pure exponential backoff has a thundering-herd failure mode: when several
+workers fail on the *same* cause at the same time (a crashed scorer
+subprocess, a dead pool), they all sleep exactly ``base * 2**(k-1)``
+seconds and then retry in lockstep, re-creating the very contention that
+failed them.  The classic fix (AWS architecture blog, "Exponential
+Backoff and Jitter") subtracts a random fraction of the delay so
+retries decorrelate.
+
+:class:`JitteredBackoff` packages the policy once so the hardened
+:class:`~repro.experiments.runner.CohortRunner` and the gateway's
+:class:`~repro.gateway.supervisor.SupervisedScoringBackend` sleep by the
+same rules.  The jitter stream is an explicitly seeded
+``numpy.random.Generator`` -- reproducibility is the repo's contract
+(DET001), so even retry timing is replayable: two runs constructed with
+the same seed observe identical delay sequences.
+
+With ``jitter=0.0`` the helper degrades to the exact historical
+deterministic schedule ``min(cap, base * 2**(attempt-1))``, which the
+runner's regression tests pin.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["JitteredBackoff"]
+
+#: Default fraction of each delay eligible to be jittered away.  0.5
+#: ("equal jitter") keeps at least half the exponential delay -- enough
+#: decorrelation to break retry lockstep while preserving the backoff
+#: envelope that protects the failing resource.
+DEFAULT_JITTER = 0.5
+
+#: Default cap on any single sleep, matching the runner's historical 30 s.
+DEFAULT_CAP_S = 30.0
+
+
+class JitteredBackoff:
+    """Capped exponential backoff with seeded, replayable jitter.
+
+    Parameters
+    ----------
+    base_s:
+        Delay before the first retry (attempt 1); each further attempt
+        doubles it.  ``0`` disables sleeping entirely.
+    cap_s:
+        Upper bound on any single delay, applied *before* jitter so the
+        jittered delay never exceeds the cap either.
+    jitter:
+        Fraction of each delay that may be randomly subtracted: the
+        delay for attempt ``k`` is uniform in
+        ``[raw * (1 - jitter), raw]`` where
+        ``raw = min(cap_s, base_s * 2**(k-1))``.  ``0`` reproduces the
+        deterministic schedule exactly.
+    seed:
+        Seed for the jitter stream.  Identical seeds replay identical
+        delay sequences -- chaos schedules and backoff regression tests
+        rely on this.
+    sleep:
+        The sleeping primitive (monkeypatch point for tests; defaults to
+        :func:`time.sleep`).
+    """
+
+    def __init__(
+        self,
+        base_s: float,
+        cap_s: float = DEFAULT_CAP_S,
+        jitter: float = DEFAULT_JITTER,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if base_s < 0:
+            raise ValueError("base_s must be >= 0")
+        if cap_s <= 0:
+            raise ValueError("cap_s must be positive")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.base_s = float(base_s)
+        self.cap_s = float(cap_s)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self._sleep = sleep
+        self._rng = np.random.default_rng(self.seed)
+
+    def delay(self, attempt: int) -> float:
+        """The (possibly jittered) delay before retry number ``attempt``.
+
+        Consumes one draw from the jitter stream per call when jitter is
+        enabled, so the sequence of delays -- not just each marginal
+        distribution -- is reproducible from the seed.
+        """
+        if attempt < 1:
+            raise ValueError("attempt numbering starts at 1")
+        if self.base_s <= 0:
+            return 0.0
+        raw = min(self.cap_s, self.base_s * 2 ** (attempt - 1))
+        if self.jitter <= 0.0:
+            return raw
+        return raw * (1.0 - self.jitter * float(self._rng.random()))
+
+    def sleep(self, attempt: int) -> float:
+        """Sleep for :meth:`delay`'s duration; returns the seconds slept."""
+        delay = self.delay(attempt)
+        if delay > 0:
+            self._sleep(delay)
+        return delay
+
+    def reset(self) -> None:
+        """Rewind the jitter stream to its seed (fresh retry cycle)."""
+        self._rng = np.random.default_rng(self.seed)

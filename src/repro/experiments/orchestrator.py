@@ -920,6 +920,148 @@ def _gateway_render(ctx: StudyContext, payloads: dict[str, Any]) -> dict[str, st
     }
 
 
+def _chaos_units(ctx: StudyContext) -> list[UnitSpec]:
+    # Chaos scale: the schedules are invariant checks, not load tests --
+    # quick and full differ only in fleet size / stream length so the
+    # full run exercises more batches per fault.
+    n_wearers = 8 if ctx.quick else 16
+    stream_s = 12.0 if ctx.quick else 24.0
+
+    from repro.faults.runtime import schedule_names
+
+    def schedule_runner(schedule: str) -> Callable[[StudyContext], dict[str, Any]]:
+        def run(ctx: StudyContext) -> dict[str, Any]:
+            from repro.faults.runtime import run_chaos_schedule
+
+            report = run_chaos_schedule(
+                schedule,
+                seed=ctx.config.seed,
+                n_wearers=n_wearers,
+                stream_s=stream_s,
+                strict=False,
+            )
+            payload = report.to_payload()
+            payload["n_windows"] = payload["verdicts"]
+            return payload
+
+        return run
+
+    def run_restart(ctx: StudyContext) -> dict[str, Any]:
+        import tempfile
+
+        from repro.faults.runtime import run_restart_chaos
+
+        with tempfile.TemporaryDirectory(prefix="chaos-restart-") as tmp:
+            report = run_restart_chaos(
+                Path(tmp) / "sessions.jsonl",
+                seed=ctx.config.seed,
+                strict=False,
+            )
+        payload = report.to_payload()
+        payload["n_windows"] = report.n_wearers * report.n_windows_per_wearer
+        return payload
+
+    def run_truncation(ctx: StudyContext) -> dict[str, Any]:
+        import tempfile
+
+        from repro.faults.runtime import run_truncation_chaos
+
+        with tempfile.TemporaryDirectory(prefix="chaos-trunc-") as tmp:
+            report = run_truncation_chaos(tmp, seed=ctx.config.seed, strict=False)
+        return report.to_payload()
+
+    units = [
+        UnitSpec(
+            name=f"schedule-{schedule}",
+            params={
+                "study": "chaos",
+                "schedule": schedule,
+                "n_wearers": n_wearers,
+                "stream_s": stream_s,
+                "seed": ctx.config.seed,
+            },
+            run=schedule_runner(schedule),
+        )
+        for schedule in schedule_names()
+    ]
+    units.append(
+        UnitSpec(
+            name="restart",
+            params={"study": "chaos", "unit": "restart", "seed": ctx.config.seed},
+            run=run_restart,
+        )
+    )
+    units.append(
+        UnitSpec(
+            name="truncation",
+            params={"study": "chaos", "unit": "truncation", "seed": ctx.config.seed},
+            run=run_truncation,
+        )
+    )
+    return units
+
+
+def _chaos_render(ctx: StudyContext, payloads: dict[str, Any]) -> dict[str, str]:
+    rows = []
+    for name, payload in payloads.items():
+        if not name.startswith("schedule-"):
+            continue
+        rows.append(
+            [
+                payload["schedule"],
+                f"{payload['planned_faults']}",
+                f"{payload['faults_detected']}",
+                f"{payload['restarts']}",
+                f"{payload['windows_degraded']}",
+                f"{payload['windows_unscorable']}",
+                "yes" if payload["conservation_ok"] else "NO",
+                "ok" if payload["ok"] else "; ".join(payload["violations"]),
+            ]
+        )
+    restart = payloads["restart"]
+    truncation = payloads["truncation"]
+    rows.append(
+        [
+            "restart",
+            "1",
+            "-",
+            "1",
+            "-",
+            "-",
+            "yes" if restart["bit_identical_outside_restart"] else "NO",
+            "ok" if restart["ok"] else "; ".join(restart["violations"]),
+        ]
+    )
+    rows.append(
+        [
+            "truncation",
+            f"{truncation['points_checked']}",
+            "-",
+            "-",
+            "-",
+            "-",
+            "yes",
+            "ok" if truncation["ok"] else "; ".join(truncation["violations"]),
+        ]
+    )
+    return {
+        "chaos_matrix": format_table(
+            [
+                "schedule",
+                "planned",
+                "detected",
+                "restarts",
+                "degraded",
+                "unscorable",
+                "conserved",
+                "verdict",
+            ],
+            rows,
+            title="Runtime chaos: supervised gateway under seeded fault schedules",
+        )
+    }
+
+
 def build_registry() -> dict[str, StudyDefinition]:
     """The default study registry, in canonical run order."""
     return {
@@ -941,6 +1083,7 @@ def build_registry() -> dict[str, StudyDefinition]:
         "gateway": StudyDefinition(
             "gateway", _gateway_units, _gateway_render
         ),
+        "chaos": StudyDefinition("chaos", _chaos_units, _chaos_render),
     }
 
 

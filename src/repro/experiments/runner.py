@@ -28,9 +28,11 @@ Hardening (deployment-grade behaviour under faulty workers):
   wedging the cohort.  Timeouts are terminal for the task that hung
   (deterministic tasks that hang once hang again), but never for its
   innocent pool-mates, which are requeued.
-* **Bounded retry with exponential backoff** -- ``max_retries`` re-runs
-  failed tasks, sleeping ``retry_backoff_s * 2**(attempt-1)`` between
-  attempts.
+* **Bounded retry with jittered exponential backoff** -- ``max_retries``
+  re-runs failed tasks, sleeping ``retry_backoff_s * 2**(attempt-1)``
+  (capped, then jittered by ``retry_jitter`` through the shared
+  :class:`~repro.core.backoff.JitteredBackoff` helper) between attempts,
+  so simultaneous worker failures do not retry in lockstep.
 * **Broken-pool recovery** -- a crashed worker (``BrokenProcessPool``)
   kills the pool; the runner rebuilds it once and requeues the undone
   tasks.  If the rebuilt pool breaks too, the remaining tasks fall back
@@ -51,6 +53,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, replace
 
+from repro.core.backoff import JitteredBackoff
 from repro.core.versions import DetectorVersion
 from repro.experiments.cache import EXPERIMENT_CACHE, set_cache_budget
 from repro.experiments.dataplane import (
@@ -243,6 +246,14 @@ class CohortRunner:
     retry_backoff_s:
         Base of the exponential backoff slept before each retry
         (``retry_backoff_s * 2**(attempt-1)``, capped at 30 s).
+    retry_jitter:
+        Fraction of each backoff delay eligible to be randomly
+        subtracted (uniform in ``[raw * (1 - retry_jitter), raw]``), so
+        workers that failed together do not retry in lockstep.  ``0``
+        restores the exact deterministic schedule.
+    backoff_seed:
+        Seed of the jitter stream; identical seeds replay identical
+        delay sequences.
     share_dataset:
         Publish the realized cohort records once into a shared-memory
         dataset plane (``.npz`` artifact where shared memory is
@@ -279,6 +290,8 @@ class CohortRunner:
         task_timeout_s: float | None = None,
         max_retries: int = 0,
         retry_backoff_s: float = 0.5,
+        retry_jitter: float = 0.5,
+        backoff_seed: int = 0,
         share_dataset: bool = True,
     ) -> None:
         if jobs < 1:
@@ -293,6 +306,8 @@ class CohortRunner:
             raise ValueError("max_retries must be >= 0")
         if retry_backoff_s < 0:
             raise ValueError("retry_backoff_s must be >= 0")
+        if not 0.0 <= retry_jitter <= 1.0:
+            raise ValueError("retry_jitter must be in [0, 1]")
         self.config = config or ExperimentConfig()
         self.jobs = int(jobs)
         self.with_device = bool(with_device)
@@ -303,6 +318,14 @@ class CohortRunner:
         )
         self.max_retries = int(max_retries)
         self.retry_backoff_s = float(retry_backoff_s)
+        self.retry_jitter = float(retry_jitter)
+        self.backoff_seed = int(backoff_seed)
+        self._backoff = JitteredBackoff(
+            self.retry_backoff_s,
+            cap_s=self.max_backoff_s,
+            jitter=self.retry_jitter,
+            seed=self.backoff_seed,
+        )
         self.share_dataset = bool(share_dataset)
         self._pool: ProcessPoolExecutor | None = None
         self._pool_rebuilds = 0
@@ -415,12 +438,20 @@ class CohortRunner:
         pool.shutdown(wait=True, cancel_futures=True)
 
     def _backoff_sleep(self, attempt: int) -> None:
-        """Exponential backoff before retry number ``attempt``."""
+        """Jittered exponential backoff before retry number ``attempt``.
+
+        Delegates the delay schedule to the shared
+        :class:`~repro.core.backoff.JitteredBackoff` (the gateway's
+        scoring supervisor sleeps by the same rules), but sleeps through
+        this module's ``time.sleep`` so tests can intercept it.  The
+        knobs are re-synced per call because tests (and callers) may
+        adjust ``max_backoff_s`` after construction.
+        """
         if self.retry_backoff_s <= 0:
             return
-        time.sleep(
-            min(self.max_backoff_s, self.retry_backoff_s * 2 ** (attempt - 1))
-        )
+        self._backoff.base_s = self.retry_backoff_s
+        self._backoff.cap_s = self.max_backoff_s
+        time.sleep(self._backoff.delay(attempt))
 
     def _retry_after_failure(self, attempts: int) -> bool:
         """Whether a task that has failed ``attempts`` times may retry.
@@ -429,9 +460,11 @@ class CohortRunner:
         so the exponential sleep can never be paid unless a retry
         actually follows: the final failed attempt returns ``False``
         without sleeping (a capped backoff before giving up would delay
-        the fault report for nothing).  Total sleep for ``max_retries=N``
-        is therefore exactly ``sum(min(cap, base * 2**(k-1)) for k in
-        1..N)`` -- the regression tests assert this per path.
+        the fault report for nothing).  With ``retry_jitter=0`` the
+        total sleep for ``max_retries=N`` is exactly ``sum(min(cap,
+        base * 2**(k-1)) for k in 1..N)``; with jitter it is the seeded
+        :class:`~repro.core.backoff.JitteredBackoff` sequence -- the
+        regression tests assert both, per path.
         """
         if attempts > self.max_retries:
             return False

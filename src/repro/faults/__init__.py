@@ -13,7 +13,11 @@ as *composable* faults so the robustness experiments can sweep a
 - :mod:`~repro.faults.channel` -- channel-side faults (Gilbert-Elliott
   bursty loss, duplication/reordering, CRC-detected bit corruption);
 - :mod:`~repro.faults.catalog` -- the named registry the fault-matrix
-  study and the CLI sweep over.
+  study and the CLI sweep over;
+- :mod:`~repro.faults.runtime` -- *runtime* chaos: seeded schedules of
+  scorer crashes, stalls, slow batches, poison batches, gateway
+  kill-and-restart, and snapshot truncation, each asserting the
+  supervision layer's conservation and bit-identity invariants.
 
 Every fault honours the *zero-severity contract*: at ``severity == 0`` the
 faulty pipeline is bit-identical to the clean one (enforced by tests).
@@ -22,6 +26,17 @@ faulty pipeline is bit-identical to the clean one (enforced by tests).
 from repro.faults.base import FaultInjector, SensorFault
 from repro.faults.catalog import FaultCell, build_fault_cell, fault_names
 from repro.faults.channel import FaultyChannel, GilbertElliottChannel
+from repro.faults.runtime import (
+    ChaosInvariantError,
+    ChaosReport,
+    RestartChaosReport,
+    RuntimeFaultPlan,
+    TruncationChaosReport,
+    run_chaos_schedule,
+    run_restart_chaos,
+    run_truncation_chaos,
+    schedule_names,
+)
 from repro.faults.sensor import (
     BaselineWanderFault,
     BurstNoiseFault,
@@ -33,14 +48,23 @@ from repro.faults.sensor import (
 __all__ = [
     "BaselineWanderFault",
     "BurstNoiseFault",
+    "ChaosInvariantError",
+    "ChaosReport",
     "ClockDriftFault",
     "FaultCell",
     "FaultInjector",
     "FaultyChannel",
     "FlatlineFault",
     "GilbertElliottChannel",
+    "RestartChaosReport",
+    "RuntimeFaultPlan",
     "SaturationFault",
     "SensorFault",
+    "TruncationChaosReport",
     "build_fault_cell",
     "fault_names",
+    "run_chaos_schedule",
+    "run_restart_chaos",
+    "run_truncation_chaos",
+    "schedule_names",
 ]

@@ -8,6 +8,13 @@ verdicts are bit-identical to each wearer's sequential
 :class:`~repro.core.streaming.StreamingDetector` run, and a fleet
 simulator (:mod:`~repro.gateway.loadgen`) drives it at load for
 benchmarks and smoke tests.
+
+The supervision layer (:mod:`~repro.gateway.supervisor`) isolates
+scoring in a watched child process -- heartbeat watchdog, per-batch
+timeout, jittered-backoff restarts, circuit breaker -- and
+:mod:`~repro.gateway.snapshot` persists crash-consistent per-wearer
+session state so a restarted gateway resumes every wearer without
+duplicating or dropping verdicts outside the restart window.
 """
 
 from repro.gateway.gateway import GatewayStats, IngestionGateway
@@ -18,12 +25,26 @@ from repro.gateway.loadgen import (
     train_serving_detectors,
 )
 from repro.gateway.session import SessionVerdict, WearerSession, window_from_slot
+from repro.gateway.snapshot import SessionSnapshotStore
+from repro.gateway.supervisor import (
+    InProcessBackend,
+    ScoringBackend,
+    ScoringUnavailable,
+    SupervisedScoringBackend,
+    SupervisorStats,
+)
 
 __all__ = [
     "GatewayStats",
     "IngestionGateway",
+    "InProcessBackend",
     "LoadReport",
+    "ScoringBackend",
+    "ScoringUnavailable",
+    "SessionSnapshotStore",
     "SessionVerdict",
+    "SupervisedScoringBackend",
+    "SupervisorStats",
     "WearerSession",
     "run_fleet",
     "run_gateway_load",

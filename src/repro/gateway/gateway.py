@@ -42,6 +42,12 @@ from repro.adaptive.degradation import DegradationController
 from repro.core.detector import SIFTDetector
 from repro.core.versions import DetectorVersion
 from repro.gateway.session import SessionVerdict, WearerSession
+from repro.gateway.snapshot import SessionSnapshotStore
+from repro.gateway.supervisor import (
+    InProcessBackend,
+    ScoringBackend,
+    ScoringUnavailable,
+)
 from repro.signals.dataset import SignalWindow
 from repro.signals.quality import SignalQualityIndex
 from repro.wiot.assembly import DEFAULT_MAX_PENDING_LAG
@@ -83,6 +89,11 @@ class GatewayStats:
     episodes_closed: int
     batches: int
     batched_windows: int
+    #: Windows abstained because no scoring backend could score them
+    #: (supervision exhausted its whole ladder).  A subset of
+    #: ``windows_abstained`` -- they are real verdicts, so conservation
+    #: still closes.
+    windows_unscorable: int = 0
 
     @property
     def windows_shed(self) -> int:
@@ -124,6 +135,18 @@ class IngestionGateway:
         (the sink-integration hook; exceptions propagate).
     latency_window:
         How many recent verdict latencies to retain for percentiles.
+    backend:
+        Where micro-batches are scored.  ``None`` (default) builds an
+        :class:`~repro.gateway.supervisor.InProcessBackend` over this
+        gateway's detectors -- the historical, bit-identical behaviour.
+        Pass a :class:`~repro.gateway.supervisor
+        .SupervisedScoringBackend` for crash-isolated scoring; the
+        gateway owns whichever backend it ends up with (``shutdown``
+        closes it).  If the backend raises
+        :class:`~repro.gateway.supervisor.ScoringUnavailable` for a
+        batch, its windows become abstain verdicts (counted in
+        ``windows_unscorable``) so conservation closes under any fault
+        schedule.
     """
 
     def __init__(
@@ -142,6 +165,7 @@ class IngestionGateway:
         dedup_capacity: int = 1024,
         on_verdict: Callable[[SessionVerdict], None] | None = None,
         latency_window: int = 100_000,
+        backend: ScoringBackend | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -165,6 +189,21 @@ class IngestionGateway:
         self.max_pending_lag = max_pending_lag
         self.dedup_capacity = int(dedup_capacity)
         self.on_verdict = on_verdict
+        # Detectors by tier key (version string): the vocabulary every
+        # ScoringBackend speaks.  All fitted instances the sessions can
+        # select come from here, so id() -> key lookup is total.
+        self._detectors_by_key: dict[str, SIFTDetector] = {
+            detector.version.value: detector
+        }
+        for version, fallback in self.fallbacks.items():
+            self._detectors_by_key[version.value] = fallback
+        self._key_of: dict[int, str] = {
+            id(det): key for key, det in self._detectors_by_key.items()
+        }
+        self.backend: ScoringBackend = (
+            backend if backend is not None else InProcessBackend(self._detectors_by_key)
+        )
+        self.windows_unscorable = 0
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_windows)
         self._sessions: dict[str, WearerSession] = {}
         self._batcher_task: asyncio.Task | None = None
@@ -190,9 +229,10 @@ class IngestionGateway:
     # -- lifecycle ------------------------------------------------------
 
     def start(self) -> None:
-        """Spawn the batcher task on the running event loop."""
+        """Start the scoring backend and spawn the batcher task."""
         if self._batcher_task is not None:
             raise RuntimeError("gateway already started")
+        self.backend.start()
         self._batcher_task = asyncio.get_running_loop().create_task(
             self._batch_loop()
         )
@@ -224,6 +264,28 @@ class IngestionGateway:
         await self._batcher_task
         for wearer_id in list(self._sessions):
             self.end_session(wearer_id)
+        self.backend.close()
+
+    async def abort(self) -> None:
+        """Simulate a crash: stop dead, *without* draining or finalizing.
+
+        The chaos harness's in-process stand-in for a killed gateway
+        process: queued windows are discarded unscored, sessions are
+        left as they are (not finalized -- a real crash would not have
+        flushed them either), and only the backend is reaped so no child
+        process leaks.  A gateway restarted from the last snapshot must
+        then resume exactly; anything this abort loses outside the
+        restart window is a bug the chaos tests would catch.
+        """
+        if self._batcher_task is None:
+            raise RuntimeError("gateway was never started")
+        self._closing = True
+        self._batcher_task.cancel()
+        try:
+            await self._batcher_task
+        except asyncio.CancelledError:
+            pass
+        self.backend.close()
 
     # -- sessions -------------------------------------------------------
 
@@ -367,23 +429,31 @@ class IngestionGateway:
     def _score_batch(self, batch: list[_PendingWindow]) -> None:
         """Score one cross-session micro-batch and fan verdicts out.
 
-        Windows are grouped by the detector instance their session's
-        tier selected; each group is one batched ``decision_values``
-        call.  Verdicts are then recorded in *batch order* -- the queue
-        is FIFO, so this preserves every session's arrival order even
-        when its windows landed in different tier groups.
+        Windows are grouped by the tier key their session's detector
+        selected; each group is one :meth:`ScoringBackend.score` call
+        (the in-process backend makes that exactly PR 7's batched
+        ``decision_values``).  Verdicts are then recorded in *batch
+        order* -- the queue is FIFO, so this preserves every session's
+        arrival order even when its windows landed in different tier
+        groups.  A group whose backend exhausts the whole supervision
+        ladder (:class:`ScoringUnavailable`) abstains window by window:
+        time advances, no vote is cast, conservation closes.
         """
-        groups: dict[int, tuple[SIFTDetector, list[_PendingWindow]]] = {}
+        groups: dict[str, list[_PendingWindow]] = {}
         for item in batch:
             if item.detector is None:
                 continue
-            key = id(item.detector)
-            if key not in groups:
-                groups[key] = (item.detector, [])
-            groups[key][1].append(item)
+            groups.setdefault(self._key_of[id(item.detector)], []).append(item)
         scores: dict[int, float] = {}
-        for detector, items in groups.values():
-            values = detector.decision_values([it.window for it in items])
+        unscorable: set[int] = set()
+        for key, items in groups.items():
+            try:
+                values = self.backend.score(key, [it.window for it in items])
+            except ScoringUnavailable:
+                for it in items:
+                    unscorable.add(id(it))
+                self.windows_unscorable += len(items)
+                continue
             for it, value in zip(items, values):
                 scores[id(it)] = float(value)
         decided_at = time.perf_counter()
@@ -392,7 +462,7 @@ class IngestionGateway:
             session.inflight -= 1
             self._inflight_total -= 1
             latency_s = decided_at - item.enqueued_at
-            if item.detector is None:
+            if item.detector is None or id(item) in unscorable:
                 verdict = session.record_abstain(
                     item.sequence, item.time_s, item.sqi, latency_s
                 )
@@ -412,6 +482,72 @@ class IngestionGateway:
                 self.on_verdict(verdict)
         self.batches += 1
         self.batched_windows += len(batch)
+
+    # -- snapshot/restore -----------------------------------------------
+
+    async def snapshot(self, store: SessionSnapshotStore) -> int:
+        """Persist a crash-consistent epoch of every live session.
+
+        Quiescent by construction: the queue is drained first, so no
+        window is in flight and the persisted debouncer state matches
+        the verdicts already emitted exactly.  Returns the epoch number.
+        Intake stays open -- callers snapshot on a cadence while the
+        fleet streams.
+        """
+        await self.drain()
+        sessions = [
+            session.export_state() for session in self._sessions.values()
+        ]
+        return store.write_epoch(self._export_gateway_state(), sessions)
+
+    def _export_gateway_state(self) -> dict:
+        return {
+            "sessions_started": self.sessions_started,
+            "windows_shed_queue": self.windows_shed_queue,
+            "windows_shed_session": self.windows_shed_session,
+            "batches": self.batches,
+            "batched_windows": self.batched_windows,
+            "windows_unscorable": self.windows_unscorable,
+            "closed_totals": dict(self._closed_totals),
+        }
+
+    def restore_sessions(self, store: SessionSnapshotStore) -> dict[str, int]:
+        """Rebuild every snapshotted session before serving resumes.
+
+        Call on a *freshly constructed* gateway (same detectors and
+        knobs as the one that crashed), before :meth:`start`.  Returns
+        each wearer's sequence high-water mark -- the resume point a
+        sender should replay from; anything at or below it is already
+        resolved and the restored dedup ring will reject it as a
+        duplicate rather than re-verdict it.  Restoring from an empty
+        or never-committed store is a no-op (cold start).
+        """
+        if self._batcher_task is not None:
+            raise RuntimeError("restore must happen before the gateway starts")
+        if self._sessions:
+            raise RuntimeError("restore requires a fresh gateway (no sessions)")
+        loaded = store.load()
+        if loaded is None:
+            return {}
+        _, gateway_state, session_states = loaded
+        resume_points: dict[str, int] = {}
+        for state in session_states:
+            session = self.session(state["wearer_id"])
+            session.restore_state(state)
+            resume_points[session.wearer_id] = (
+                session.assembler.highest_sequence
+            )
+        self.sessions_started = int(gateway_state["sessions_started"])
+        self.windows_shed_queue = int(gateway_state["windows_shed_queue"])
+        self.windows_shed_session = int(gateway_state["windows_shed_session"])
+        self.batches = int(gateway_state["batches"])
+        self.batched_windows = int(gateway_state["batched_windows"])
+        self.windows_unscorable = int(gateway_state["windows_unscorable"])
+        self._closed_totals = {
+            key: int(value)
+            for key, value in gateway_state["closed_totals"].items()
+        }
+        return resume_points
 
     # -- accounting -----------------------------------------------------
 
@@ -433,6 +569,7 @@ class IngestionGateway:
             windows_shed_session=self.windows_shed_session,
             batches=self.batches,
             batched_windows=self.batched_windows,
+            windows_unscorable=self.windows_unscorable,
             **totals,
         )
 

@@ -29,6 +29,7 @@ from repro.core.detector import SIFTDetector
 from repro.core.versions import DetectorVersion
 from repro.gateway.gateway import GatewayStats, IngestionGateway
 from repro.gateway.session import SessionVerdict
+from repro.gateway.supervisor import SupervisedScoringBackend, SupervisorStats
 from repro.signals.dataset import Record, SyntheticFantasia
 from repro.signals.quality import SignalQualityIndex
 from repro.wiot.channel import WirelessChannel
@@ -57,11 +58,29 @@ class LoadReport:
     p99_latency_s: float
     interrupted: bool
     leaked_sessions: int
+    supervisor: SupervisorStats | None = None
 
     @property
     def windows_per_s(self) -> float:
         """Sustained verdict throughput over the whole run."""
         return self.stats.verdicts / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def conservation_ok(self) -> bool:
+        """Does every sent window have exactly one disposition?
+
+        The serving contract: ``verdicts + shed + incomplete + vanished
+        == sent``, under any fault schedule.  ``repro gateway-bench``
+        exits non-zero when this is false.
+        """
+        s = self.stats
+        return (
+            s.verdicts
+            + s.windows_shed
+            + s.incomplete_windows
+            + self.windows_vanished
+            == self.windows_sent
+        )
 
     def summary(self) -> str:
         s = self.stats
@@ -83,7 +102,21 @@ class LoadReport:
             f"p99 {self.p99_latency_s * 1e3:.2f} ms",
             f"mean batch size    {s.mean_batch_size:.1f}",
             f"leaked sessions    {self.leaked_sessions}",
+            f"conservation       {'ok' if self.conservation_ok else 'VIOLATED'}",
         ]
+        if self.supervisor is not None:
+            sup = self.supervisor
+            lines += [
+                f"scorer faults      {sup.faults}"
+                f"  (crash {sup.crashes}, stall {sup.stalls}, "
+                f"timeout {sup.timeouts}, poison {sup.poisons})",
+                f"scorer restarts    {sup.restarts}"
+                f"  ({sup.retries} retries, "
+                f"mean recovery {sup.mean_recovery_s * 1e3:.1f} ms)",
+                f"degraded windows   {sup.windows_degraded}"
+                f"  (breaker trips {sup.breaker_trips}, "
+                f"unscorable {sup.windows_unscorable})",
+            ]
         return "\n".join(lines)
 
 
@@ -194,6 +227,11 @@ async def run_fleet(
         )
     wall_s = time.perf_counter() - started
     p50, p99 = gateway.latency_percentiles((50.0, 99.0))
+    supervisor = (
+        gateway.backend.stats()
+        if isinstance(gateway.backend, SupervisedScoringBackend)
+        else None
+    )
     return LoadReport(
         n_wearers=n_wearers,
         wall_s=wall_s,
@@ -205,6 +243,7 @@ async def run_fleet(
         p99_latency_s=p99,
         interrupted=stop.is_set(),
         leaked_sessions=gateway.active_sessions,
+        supervisor=supervisor,
     )
 
 
@@ -221,6 +260,9 @@ def run_gateway_load(
     seed: int = 2017,
     install_sigint: bool = False,
     on_verdict: Callable[[SessionVerdict], None] | None = None,
+    supervised: bool = False,
+    fault_plan: object | None = None,
+    supervisor_knobs: dict | None = None,
 ) -> LoadReport:
     """Train, build, and drive a gateway fleet end to end (synchronous).
 
@@ -228,7 +270,17 @@ def run_gateway_load(
     orderly path instead of a KeyboardInterrupt mid-scoring: intake
     stops, the queue drains, sessions finalize, and the report is still
     produced (flagged ``interrupted``).
+
+    ``supervised=True`` scores through a crash-isolated
+    :class:`~repro.gateway.supervisor.SupervisedScoringBackend` (child
+    process + watchdog + circuit breaker) instead of in-process; with no
+    injected faults the verdict stream is bit-identical either way.
+    ``fault_plan`` (a :class:`~repro.faults.runtime.RuntimeFaultPlan`)
+    and ``supervisor_knobs`` (extra backend constructor arguments) are
+    the chaos harness's hooks and require ``supervised=True``.
     """
+    if (fault_plan is not None or supervisor_knobs) and not supervised:
+        raise ValueError("fault_plan/supervisor_knobs require supervised=True")
     versions = ["original"]
     if with_degradation:
         versions += ["simplified", "reduced"]
@@ -239,6 +291,16 @@ def run_gateway_load(
         SignalQualityIndex() if (with_quality_gate or with_degradation) else None
     )
     degradation = DegradationController() if with_degradation else None
+    backend = None
+    if supervised:
+        detectors_by_key = {
+            version.value: detector for version, detector in fitted.items()
+        }
+        backend = SupervisedScoringBackend(
+            detectors_by_key,
+            fault_plan=fault_plan,
+            **(supervisor_knobs or {}),
+        )
     gateway = IngestionGateway(
         primary,
         quality_gate=quality_gate,
@@ -249,6 +311,7 @@ def run_gateway_load(
         queue_windows=queue_windows,
         max_inflight_per_session=max_inflight_per_session,
         on_verdict=on_verdict,
+        backend=backend,
     )
     # A handful of distinct recordings, cycled across the fleet.
     records = [

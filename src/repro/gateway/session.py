@@ -234,3 +234,91 @@ class WearerSession:
     @property
     def under_attack(self) -> bool:
         return self.debouncer.under_attack()
+
+    # -- snapshot/restore ------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Everything a fresh session needs to continue bit-identically.
+
+        Only *state* is exported, never configuration or models: the
+        restoring gateway is constructed with the same detectors and
+        knobs, and a session rebuilt from this dump produces the same
+        verdicts, episodes and tier switches as one that never stopped.
+        Pending assembler halves are live packet objects here -- the
+        snapshot store's codec (:mod:`repro.gateway.snapshot`) owns
+        their JSON form.  Snapshots are quiescent by contract: taking
+        one with windows still awaiting scoring would silently drop
+        their debouncer advances on restore, so it is refused.
+        """
+        if self.inflight != 0:
+            raise RuntimeError(
+                f"session {self.wearer_id!r} has {self.inflight} windows "
+                "in flight; drain the gateway before snapshotting"
+            )
+        return {
+            "wearer_id": self.wearer_id,
+            "assembler": self.assembler.export_state(),
+            "debouncer": self.debouncer.export_state(),
+            "degradation": (
+                None if self.degradation is None else self.degradation.export_state()
+            ),
+            "recent_verdicts": [
+                {
+                    "wearer_id": v.wearer_id,
+                    "sequence": v.sequence,
+                    "time_s": v.time_s,
+                    "altered": v.altered,
+                    "decision_value": v.decision_value,
+                    "version": v.version,
+                    "abstained": v.abstained,
+                    "sqi": v.sqi,
+                    "latency_s": v.latency_s,
+                }
+                for v in self.recent_verdicts
+            ],
+            "windows_assembled": self.windows_assembled,
+            "windows_abstained": self.windows_abstained,
+            "windows_scored": self.windows_scored,
+            "windows_shed": self.windows_shed,
+            "ending": self.ending,
+            "closed": self.closed,
+        }
+
+    def restore_state(self, exported: dict) -> None:
+        """Resume from an :meth:`export_state` dump (round-trip exact)."""
+        if exported["wearer_id"] != self.wearer_id:
+            raise ValueError(
+                f"snapshot belongs to {exported['wearer_id']!r}, "
+                f"not {self.wearer_id!r}"
+            )
+        self.assembler.restore_state(exported["assembler"])
+        self.debouncer.restore_state(exported["debouncer"])
+        degradation_state = exported["degradation"]
+        if (degradation_state is None) != (self.degradation is None):
+            raise ValueError(
+                f"session {self.wearer_id!r}: snapshot and gateway disagree "
+                "about degradation being enabled"
+            )
+        if self.degradation is not None:
+            self.degradation.restore_state(degradation_state)
+        self.recent_verdicts.clear()
+        for v in exported["recent_verdicts"]:
+            self.recent_verdicts.append(
+                SessionVerdict(
+                    wearer_id=v["wearer_id"],
+                    sequence=int(v["sequence"]),
+                    time_s=float(v["time_s"]),
+                    altered=bool(v["altered"]),
+                    decision_value=float(v["decision_value"]),
+                    version=v["version"],
+                    abstained=bool(v["abstained"]),
+                    sqi=None if v["sqi"] is None else float(v["sqi"]),
+                    latency_s=float(v["latency_s"]),
+                )
+            )
+        self.windows_assembled = int(exported["windows_assembled"])
+        self.windows_abstained = int(exported["windows_abstained"])
+        self.windows_scored = int(exported["windows_scored"])
+        self.windows_shed = int(exported["windows_shed"])
+        self.ending = bool(exported["ending"])
+        self.closed = bool(exported["closed"])

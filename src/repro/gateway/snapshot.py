@@ -1,0 +1,266 @@
+"""Crash-consistent gateway session snapshots (JSONL epochs).
+
+A restarted gateway must resume every wearer exactly where it stopped:
+the assembler's pending halves and dedup ring (so replayed packets are
+rejected, not re-verdicted), the debouncer's voting horizon and open
+episode, the degradation tier with its hysteresis streaks, and the
+per-session counters.  This module persists that state with the same
+conventions the experiment orchestrator's checkpoint store proved out:
+
+* **append-only JSONL** -- one JSON object per line, never rewritten in
+  place;
+* **fsync at the commit point** -- an epoch is ``begin`` line, one
+  ``session`` line per wearer, one ``gateway`` line, then a ``commit``
+  line carrying the expected session count; ``flush()`` + ``os.fsync``
+  happen once, after the commit line, so the epoch is durable exactly
+  when its commit is;
+* **truncation tolerance** -- a torn tail (power loss mid-write) leaves
+  a partial last line; :meth:`SessionSnapshotStore.load` skips
+  undecodable lines and ignores any epoch whose commit is missing or
+  whose session count disagrees, falling back to the previous committed
+  epoch.
+
+Snapshots are *quiescent*: the gateway drains its queue first (see
+:meth:`~repro.gateway.gateway.IngestionGateway.snapshot`), so no window
+is in flight and the persisted debouncer state corresponds exactly to
+the verdicts already emitted.  Restore rebuilds sessions bit-identically
+-- the restart-window contract (duplicated verdicts confined to windows
+scored after the last snapshot) follows from the dedup ring: every
+sequence resolved *before* the snapshot is still in the restored ring
+and is rejected as a duplicate on replay.
+
+Floats round-trip exactly: ``repr``-based JSON encoding of a Python
+float is shortest-exact, and float32 sample arrays widen to float64 and
+narrow back losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.wiot.channel import DeliveredPacket
+from repro.wiot.sensor import SensorPacket
+
+__all__ = ["SessionSnapshotStore", "decode_delivered", "encode_delivered"]
+
+
+# -- packet codec -------------------------------------------------------
+
+
+def encode_delivered(delivered: DeliveredPacket) -> dict:
+    """JSON-safe form of one pending delivery (bit-exact round trip)."""
+    packet = delivered.packet
+    return {
+        "sensor_id": packet.sensor_id,
+        "channel": packet.channel,
+        "sequence": packet.sequence,
+        "start_time_s": packet.start_time_s,
+        "samples": np.asarray(packet.samples).tolist(),
+        "samples_dtype": str(np.asarray(packet.samples).dtype),
+        "peak_indexes": np.asarray(packet.peak_indexes).astype(np.int64).tolist(),
+        "sample_rate": packet.sample_rate,
+        "arrival_time_s": delivered.arrival_time_s,
+        "crc32": delivered.crc32,
+    }
+
+
+def decode_delivered(encoded: dict) -> DeliveredPacket:
+    """Inverse of :func:`encode_delivered`."""
+    packet = SensorPacket(
+        sensor_id=encoded["sensor_id"],
+        channel=encoded["channel"],
+        sequence=int(encoded["sequence"]),
+        start_time_s=float(encoded["start_time_s"]),
+        samples=np.asarray(encoded["samples"], dtype=encoded["samples_dtype"]),
+        peak_indexes=np.asarray(encoded["peak_indexes"], dtype=np.intp),
+        sample_rate=float(encoded["sample_rate"]),
+    )
+    return DeliveredPacket(
+        packet=packet,
+        arrival_time_s=float(encoded["arrival_time_s"]),
+        crc32=encoded["crc32"],
+    )
+
+
+def _encode_session(state: dict) -> dict:
+    """JSON-encode one session export (packets are the only live objects)."""
+    encoded = dict(state)
+    assembler = dict(state["assembler"])
+    assembler["pending"] = {
+        str(sequence): {
+            channel: encode_delivered(delivered)
+            for channel, delivered in slot.items()
+        }
+        for sequence, slot in assembler["pending"].items()
+    }
+    encoded["assembler"] = assembler
+    return encoded
+
+
+def _decode_session(encoded: dict) -> dict:
+    """Inverse of :func:`_encode_session`."""
+    state = dict(encoded)
+    assembler = dict(encoded["assembler"])
+    assembler["pending"] = {
+        int(sequence): {
+            channel: decode_delivered(delivered)
+            for channel, delivered in slot.items()
+        }
+        for sequence, slot in assembler["pending"].items()
+    }
+    state["assembler"] = assembler
+    return state
+
+
+# -- the store ----------------------------------------------------------
+
+
+class SessionSnapshotStore:
+    """Epoch-structured JSONL persistence for gateway session state.
+
+    One store = one file = one gateway.  Epochs are numbered
+    monotonically; :meth:`load` returns the newest *committed* epoch,
+    whatever garbage follows it.  :meth:`compact` rewrites the file down
+    to that epoch (atomically, via a temp file and ``os.replace``) so a
+    long-running gateway's snapshot file stays O(fleet), not O(uptime).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._next_epoch = 1
+        existing = self._scan()
+        if existing is not None:
+            self._next_epoch = existing[0] + 1
+
+    # -- writing --------------------------------------------------------
+
+    def write_epoch(self, gateway_state: dict, sessions: list[dict]) -> int:
+        """Append one complete snapshot epoch; returns its number.
+
+        ``sessions`` are raw :meth:`~repro.gateway.session.WearerSession
+        .export_state` dumps (live packet objects included); encoding
+        happens here.  The epoch is durable iff its commit line is: the
+        single flush+fsync happens after the commit is written.
+        """
+        epoch = self._next_epoch
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "begin", "epoch": epoch}) + "\n")
+            for state in sessions:
+                fh.write(
+                    json.dumps(
+                        {
+                            "kind": "session",
+                            "epoch": epoch,
+                            "state": _encode_session(state),
+                        }
+                    )
+                    + "\n"
+                )
+            fh.write(
+                json.dumps(
+                    {"kind": "gateway", "epoch": epoch, "state": gateway_state}
+                )
+                + "\n"
+            )
+            fh.write(
+                json.dumps(
+                    {"kind": "commit", "epoch": epoch, "n_sessions": len(sessions)}
+                )
+                + "\n"
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._next_epoch = epoch + 1
+        return epoch
+
+    # -- reading --------------------------------------------------------
+
+    def _scan(self) -> tuple[int, dict, list[dict]] | None:
+        """Newest committed epoch as raw (encoded) records, or ``None``."""
+        if not self.path.exists():
+            return None
+        epochs: dict[int, dict] = {}
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail or flipped bits: skip, don't die
+                epoch = record.get("epoch")
+                if not isinstance(epoch, int):
+                    continue
+                bucket = epochs.setdefault(
+                    epoch, {"sessions": [], "gateway": None, "committed": None}
+                )
+                kind = record.get("kind")
+                if kind == "session":
+                    bucket["sessions"].append(record["state"])
+                elif kind == "gateway":
+                    bucket["gateway"] = record["state"]
+                elif kind == "commit":
+                    bucket["committed"] = record.get("n_sessions")
+        for epoch in sorted(epochs, reverse=True):
+            bucket = epochs[epoch]
+            if (
+                bucket["committed"] is not None
+                and bucket["gateway"] is not None
+                and len(bucket["sessions"]) == bucket["committed"]
+            ):
+                return epoch, bucket["gateway"], bucket["sessions"]
+        return None
+
+    def load(self) -> tuple[int, dict, list[dict]] | None:
+        """The newest committed epoch, decoded, or ``None`` if there is
+        none (missing file, empty file, or nothing ever committed)."""
+        raw = self._scan()
+        if raw is None:
+            return None
+        epoch, gateway_state, sessions = raw
+        return epoch, gateway_state, [_decode_session(s) for s in sessions]
+
+    # -- maintenance ----------------------------------------------------
+
+    def compact(self) -> bool:
+        """Rewrite the file down to its newest committed epoch.
+
+        Atomic (temp file + ``os.replace``), fsynced, and a no-op when
+        there is nothing committed.  Returns whether anything was kept.
+        """
+        raw = self._scan()
+        if raw is None:
+            return False
+        epoch, gateway_state, sessions = raw
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "begin", "epoch": epoch}) + "\n")
+            for state in sessions:
+                fh.write(
+                    json.dumps(
+                        {"kind": "session", "epoch": epoch, "state": state}
+                    )
+                    + "\n"
+                )
+            fh.write(
+                json.dumps(
+                    {"kind": "gateway", "epoch": epoch, "state": gateway_state}
+                )
+                + "\n"
+            )
+            fh.write(
+                json.dumps(
+                    {"kind": "commit", "epoch": epoch, "n_sessions": len(sessions)}
+                )
+                + "\n"
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        return True

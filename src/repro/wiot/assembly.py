@@ -118,6 +118,11 @@ class WindowAssembler:
         self.corrupted_duplicate_packets = 0
 
     @property
+    def highest_sequence(self) -> int:
+        """Highest sequence number seen (-1 before any delivery)."""
+        return self._highest_sequence
+
+    @property
     def n_pending(self) -> int:
         """Windows currently waiting on their other half."""
         return len(self._pending)
@@ -199,3 +204,45 @@ class WindowAssembler:
         for sequence in list(self._pending):
             self._evict(sequence)
         return lost
+
+    # -- snapshot/restore (gateway session persistence) -----------------
+
+    def export_state(self) -> dict:
+        """Dump the assembler's mutable state for a session snapshot.
+
+        Pending deliveries are exported as live
+        :class:`~repro.wiot.channel.DeliveredPacket` objects -- the
+        snapshot codec (:mod:`repro.gateway.snapshot`) owns their JSON
+        encoding, this layer owns only *which* state matters.  Insertion
+        order of both ``pending`` and the dedup ring is preserved: the
+        eviction fast path and the ring's forget order depend on it.
+        """
+        return {
+            "pending": {
+                sequence: dict(slot) for sequence, slot in self._pending.items()
+            },
+            "resolved": list(self._resolved._order),
+            "highest_sequence": self._highest_sequence,
+            "incomplete_windows": self.incomplete_windows,
+            "duplicate_packets": self.duplicate_packets,
+            "corrupted_packets": self.corrupted_packets,
+            "corrupted_duplicate_packets": self.corrupted_duplicate_packets,
+        }
+
+    def restore_state(self, exported: dict) -> None:
+        """Resume from an :meth:`export_state` dump (round-trip exact)."""
+        self._pending = {
+            int(sequence): dict(slot)
+            for sequence, slot in exported["pending"].items()
+        }
+        ring = BoundedDedup(self._resolved.capacity)
+        for sequence in exported["resolved"]:
+            ring.add(int(sequence))
+        self._resolved = ring
+        self._highest_sequence = int(exported["highest_sequence"])
+        self.incomplete_windows = int(exported["incomplete_windows"])
+        self.duplicate_packets = int(exported["duplicate_packets"])
+        self.corrupted_packets = int(exported["corrupted_packets"])
+        self.corrupted_duplicate_packets = int(
+            exported["corrupted_duplicate_packets"]
+        )

@@ -15,6 +15,7 @@ import time
 import pytest
 
 import repro.experiments.runner as runner_module
+from repro.core.backoff import JitteredBackoff
 from repro.experiments.runner import CohortRunner, TaskFaultReport
 
 
@@ -59,6 +60,8 @@ class TestFaultReport:
             CohortRunner(config=config, max_retries=-1)
         with pytest.raises(ValueError, match="retry_backoff_s"):
             CohortRunner(config=config, retry_backoff_s=-0.5)
+        with pytest.raises(ValueError, match="retry_jitter"):
+            CohortRunner(config=config, retry_jitter=1.5)
 
 
 class TestSerialRetries:
@@ -113,8 +116,10 @@ class TestBackoffBudget:
     ``_retry_after_failure`` is the single gate between a failure and its
     exponential sleep, so a task that exhausts its retries must sleep
     exactly ``sum(min(cap, base * 2**(k-1)) for k in 1..N)`` seconds in
-    total for ``max_retries=N`` -- never an extra capped sleep after the
-    final attempt it already knows is the last.
+    total for ``max_retries=N`` with jitter disabled -- never an extra
+    capped sleep after the final attempt it already knows is the last --
+    and, with jitter enabled, exactly the seeded
+    :class:`~repro.core.backoff.JitteredBackoff` sequence.
     """
 
     @staticmethod
@@ -140,12 +145,37 @@ class TestBackoffBudget:
             with_device=False,
             max_retries=3,
             retry_backoff_s=0.5,
+            retry_jitter=0.0,
         )
         outcomes = runner.run_version("reduced", subjects=[0])
         assert not outcomes[0].ok
         assert outcomes[0].fault.attempts == 4
         # 0.5, 1.0, 2.0 before retries 1..3; NO sleep after attempt 4.
         assert sleeps == [0.5, 1.0, 2.0]
+
+    def test_jittered_sleeps_replay_the_seeded_schedule(
+        self, config, monkeypatch
+    ):
+        """Default (jittered) backoff: each sleep is the seeded helper's
+        draw -- inside ``[raw/2, raw]`` and bit-reproducible from the
+        seed, so simultaneous failures with different seeds decorrelate
+        while any single run stays replayable."""
+        self._doom(monkeypatch)
+        sleeps = self._record_sleeps(monkeypatch)
+        runner = CohortRunner(
+            config=config,
+            jobs=1,
+            with_device=False,
+            max_retries=3,
+            retry_backoff_s=0.5,
+            backoff_seed=7,
+        )
+        outcomes = runner.run_version("reduced", subjects=[0])
+        assert not outcomes[0].ok
+        expected = JitteredBackoff(0.5, cap_s=30.0, jitter=0.5, seed=7)
+        assert sleeps == [expected.delay(k) for k in (1, 2, 3)]
+        for slept, raw in zip(sleeps, (0.5, 1.0, 2.0)):
+            assert raw / 2 <= slept <= raw
 
     def test_serial_no_sleep_without_retries(self, config, monkeypatch):
         self._doom(monkeypatch)
@@ -170,6 +200,7 @@ class TestBackoffBudget:
             with_device=False,
             max_retries=4,
             retry_backoff_s=0.5,
+            retry_jitter=0.0,
         )
         runner.max_backoff_s = 1.0
         outcomes = runner.run_version("reduced", subjects=[0])
