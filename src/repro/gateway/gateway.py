@@ -516,11 +516,16 @@ class IngestionGateway:
 
         Call on a *freshly constructed* gateway (same detectors and
         knobs as the one that crashed), before :meth:`start`.  Returns
-        each wearer's sequence high-water mark -- the resume point a
-        sender should replay from; anything at or below it is already
-        resolved and the restored dedup ring will reject it as a
-        duplicate rather than re-verdict it.  Restoring from an empty
-        or never-committed store is a no-op (cold start).
+        each wearer's resume point -- the sequence a sender should
+        replay from (exclusive).  This is the high-water mark, lowered
+        to just below the oldest half-assembled pending window: a
+        pending window's missing half was never delivered, so replaying
+        only above the high-water mark would strand it until it expired
+        as incomplete.  Replayed halves of a pending window are absorbed
+        (the slot already holds the other channel), and anything already
+        resolved is rejected by the restored dedup ring rather than
+        re-verdicted.  Restoring from an empty or never-committed store
+        is a no-op (cold start).
         """
         if self._batcher_task is not None:
             raise RuntimeError("restore must happen before the gateway starts")
@@ -534,9 +539,11 @@ class IngestionGateway:
         for state in session_states:
             session = self.session(state["wearer_id"])
             session.restore_state(state)
-            resume_points[session.wearer_id] = (
-                session.assembler.highest_sequence
-            )
+            resume = session.assembler.highest_sequence
+            pending_floor = session.assembler.lowest_pending_sequence
+            if pending_floor is not None:
+                resume = min(resume, pending_floor - 1)
+            resume_points[session.wearer_id] = resume
         self.sessions_started = int(gateway_state["sessions_started"])
         self.windows_shed_queue = int(gateway_state["windows_shed_queue"])
         self.windows_shed_session = int(gateway_state["windows_shed_session"])

@@ -61,7 +61,8 @@ def encode_delivered(delivered: DeliveredPacket) -> dict:
         "start_time_s": packet.start_time_s,
         "samples": np.asarray(packet.samples).tolist(),
         "samples_dtype": str(np.asarray(packet.samples).dtype),
-        "peak_indexes": np.asarray(packet.peak_indexes).astype(np.int64).tolist(),
+        "peak_indexes": np.asarray(packet.peak_indexes).tolist(),
+        "peak_indexes_dtype": str(np.asarray(packet.peak_indexes).dtype),
         "sample_rate": packet.sample_rate,
         "arrival_time_s": delivered.arrival_time_s,
         "crc32": delivered.crc32,
@@ -76,7 +77,11 @@ def decode_delivered(encoded: dict) -> DeliveredPacket:
         sequence=int(encoded["sequence"]),
         start_time_s=float(encoded["start_time_s"]),
         samples=np.asarray(encoded["samples"], dtype=encoded["samples_dtype"]),
-        peak_indexes=np.asarray(encoded["peak_indexes"], dtype=np.intp),
+        peak_indexes=np.asarray(
+            encoded["peak_indexes"],
+            # Epochs written before the dtype was recorded cast to int64.
+            dtype=encoded.get("peak_indexes_dtype", "int64"),
+        ),
         sample_rate=float(encoded["sample_rate"]),
     )
     return DeliveredPacket(
@@ -131,10 +136,34 @@ class SessionSnapshotStore:
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
-        self._next_epoch = 1
-        existing = self._scan()
-        if existing is not None:
-            self._next_epoch = existing[0] + 1
+        self._next_epoch = self._max_epoch_present() + 1
+
+    def _max_epoch_present(self) -> int:
+        """Highest epoch number in any decodable record, committed or not.
+
+        Numbering must advance past *torn* epochs too: a crash mid-write
+        leaves epoch N begun but uncommitted, and a reopened store that
+        reused N would merge both attempts into one bucket whose session
+        count can never match its commit -- the fresh, fully fsynced
+        epoch would then be rejected and :meth:`load` would silently fall
+        back to stale state.
+        """
+        if not self.path.exists():
+            return 0
+        highest = 0
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                epoch = record.get("epoch")
+                if isinstance(epoch, int) and epoch > highest:
+                    highest = epoch
+        return highest
 
     # -- writing --------------------------------------------------------
 
@@ -197,10 +226,21 @@ class SessionSnapshotStore:
                 epoch = record.get("epoch")
                 if not isinstance(epoch, int):
                     continue
+                kind = record.get("kind")
+                if kind == "begin":
+                    # Last begin-delimited attempt wins: if a file ever
+                    # holds two attempts at the same epoch number, merging
+                    # them would desynchronize the session count from the
+                    # commit and reject the good attempt.
+                    epochs[epoch] = {
+                        "sessions": [],
+                        "gateway": None,
+                        "committed": None,
+                    }
+                    continue
                 bucket = epochs.setdefault(
                     epoch, {"sessions": [], "gateway": None, "committed": None}
                 )
-                kind = record.get("kind")
                 if kind == "session":
                     bucket["sessions"].append(record["state"])
                 elif kind == "gateway":

@@ -131,9 +131,9 @@ class SupervisorStats:
     transitions.  ``batches_degraded``/``windows_degraded`` count work
     the degraded backend absorbed; ``batches_unscorable`` /
     ``windows_unscorable`` count work nothing could score (surfaced to
-    the gateway as abstains).  ``recovery_s_total`` sums
-    fault-detection-to-recovery intervals (perf_counter-based) over
-    ``recoveries``.
+    the gateway as abstains).  ``recovery_s_total`` sums kill+respawn
+    time per restart (perf_counter-based, one sample per restart, the
+    deliberate backoff sleep excluded) over ``recoveries``.
     """
 
     requests: int
@@ -407,12 +407,27 @@ class SupervisedScoringBackend:
             process.join(timeout=5.0)
             process.close()
 
-    def _restart(self, attempt: int) -> None:
-        """Kill + backoff + respawn; the restart-with-backoff leg."""
+    def _restart(self, attempt: int | None) -> None:
+        """Kill + backoff + respawn; the restart-with-backoff leg.
+
+        Every restart records one recovery sample: the kill plus respawn
+        time, *excluding* the deliberate backoff sleep in between --
+        that sleep is retry policy, not recovery work, and folding it in
+        would report the backoff schedule as recovery latency.  Pass
+        ``attempt=None`` to skip the backoff entirely (the final-attempt
+        respawn, where the breaker/degraded leg takes over immediately).
+        """
+        kill_began = time.perf_counter()
         self._kill_child()
-        self.backoff.sleep(attempt)
+        kill_s = time.perf_counter() - kill_began
+        if attempt is not None:
+            self.backoff.sleep(attempt)
+        spawn_began = time.perf_counter()
         self._spawn()
+        spawn_s = time.perf_counter() - spawn_began
         self.restarts += 1
+        self.recoveries += 1
+        self.recovery_s_total += kill_s + spawn_s
 
     def close(self) -> None:
         """Stop the child (politely, then by force) and the degraded leg."""
@@ -489,23 +504,18 @@ class SupervisedScoringBackend:
         attempt = 0
         while True:
             attempt += 1
-            fault_detected_at: float | None = None
             try:
                 return self._request(key, windows)
             except ScorerFault as fault:
-                fault_detected_at = time.perf_counter()
                 self._count_fault(fault)
                 if attempt > self.max_retries:
-                    # Final attempt: leave the child dead-or-doomed for
-                    # the *next* batch to restart lazily; report up.
-                    self._kill_child()
-                    self._spawn()
-                    self.restarts += 1
+                    # Final attempt: respawn without backoff so the next
+                    # batch finds a live child; report up so the breaker
+                    # and degraded leg take over this batch.
+                    self._restart(None)
                     raise
                 self.retries += 1
                 self._restart(attempt)
-                self.recoveries += 1
-                self.recovery_s_total += time.perf_counter() - fault_detected_at
 
     def _count_fault(self, fault: ScorerFault) -> None:
         if fault.kind == "crash":

@@ -128,6 +128,15 @@ class WindowAssembler:
         return len(self._pending)
 
     @property
+    def lowest_pending_sequence(self) -> int | None:
+        """Lowest sequence still waiting on its other half, or ``None``.
+
+        Pending slots are insertion-ordered, not sequence-ordered, so a
+        reordered stream needs the min over keys.
+        """
+        return min(self._pending) if self._pending else None
+
+    @property
     def n_resolved_tracked(self) -> int:
         """Resolved sequences currently held by the dedup ring."""
         return len(self._resolved)

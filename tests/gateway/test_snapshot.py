@@ -8,6 +8,7 @@ exactly when its commit line is, and any byte-level truncation falls
 back to the newest surviving committed epoch without raising.
 """
 
+import asyncio
 import json
 import math
 
@@ -17,7 +18,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.versions import DetectorVersion
-from repro.gateway import SessionSnapshotStore, WearerSession
+from repro.gateway import IngestionGateway, SessionSnapshotStore, WearerSession
 from repro.gateway.snapshot import decode_delivered, encode_delivered
 from repro.wiot.channel import DeliveredPacket
 from repro.wiot.sensor import BodySensor
@@ -153,6 +154,42 @@ class TestPendingHalves:
         assert restored.assembler.duplicate_packets == 1
 
 
+class TestResumePoints:
+    def test_resume_point_drops_below_pending_halves(
+        self, tmp_path, trained_detectors, test_record
+    ):
+        """A pending window's missing half was never delivered, so the
+        resume point must sit below the oldest pending sequence, not at
+        the high-water mark -- a sender replaying from resume+1 would
+        otherwise strand those windows until they expire incomplete."""
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        ecg = list(BodySensor("s-ecg", "ecg", test_record).packets())[:4]
+        abp = list(BodySensor("s-abp", "abp", test_record).packets())[:4]
+
+        def deliver(packet):
+            return DeliveredPacket(
+                packet=packet, arrival_time_s=packet.start_time_s
+            )
+
+        store = SessionSnapshotStore(tmp_path / "s.jsonl")
+
+        async def _run():
+            gateway = IngestionGateway(detector)
+            async with gateway:
+                # Window 0 completes; 1 and 3 are stranded ECG halves.
+                gateway.submit("w0", deliver(ecg[0]))
+                gateway.submit("w0", deliver(abp[0]))
+                gateway.submit("w0", deliver(ecg[1]))
+                gateway.submit("w0", deliver(ecg[3]))
+                await gateway.snapshot(store)
+
+        asyncio.run(_run())
+        successor = IngestionGateway(detector)
+        # highest_sequence is 3, but pending windows 1 and 3 still need
+        # their ABP halves: replay must restart at sequence 1.
+        assert successor.restore_sessions(store) == {"w0": 0}
+
+
 class TestPacketCodec:
     def test_bit_exact_for_device_floats(self, rng):
         from repro.wiot.sensor import SensorPacket
@@ -180,6 +217,33 @@ class TestPacketCodec:
         assert decoded.packet.payload_crc32() == delivered.crc32
         assert decoded.arrival_time_s == delivered.arrival_time_s
         assert np.array_equal(decoded.packet.peak_indexes, packet.peak_indexes)
+        assert decoded.packet.peak_indexes.dtype == np.intp
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64, np.uint16])
+    def test_peak_index_dtype_survives(self, rng, dtype):
+        """The round trip is exact for *whatever* dtype the device used
+        -- widening to int64 on decode would break bit-identity checks
+        that compare ``tobytes()`` across a restart."""
+        from repro.wiot.sensor import SensorPacket
+
+        packet = SensorPacket(
+            sensor_id="s-ecg",
+            channel="ecg",
+            sequence=0,
+            start_time_s=0.0,
+            samples=rng.standard_normal(750).astype(np.float32),
+            peak_indexes=np.asarray([3, 99, 512], dtype=dtype),
+            sample_rate=250.0,
+        )
+        delivered = DeliveredPacket(packet=packet, arrival_time_s=0.5)
+        decoded = decode_delivered(
+            json.loads(json.dumps(encode_delivered(delivered)))
+        )
+        assert decoded.packet.peak_indexes.dtype == dtype
+        assert (
+            decoded.packet.peak_indexes.tobytes()
+            == packet.peak_indexes.tobytes()
+        )
 
 
 class TestSnapshotStore:
@@ -236,6 +300,61 @@ class TestSnapshotStore:
         restored = _session(detector)
         restored.restore_state(sessions[0])
         assert restored.windows_scored == 2
+
+    def test_torn_tail_then_write_then_load_recovers_the_new_epoch(
+        self, tmp_path, trained_detectors
+    ):
+        """The crash-mid-snapshot shape: epoch 2 is begun (begin + a
+        session line) but never committed.  The reopened store must not
+        reuse epoch number 2 -- a reused number merges the torn and
+        fresh attempts into one bucket whose session count can never
+        match its commit, silently rejecting the fresh epoch."""
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        path = tmp_path / "s.jsonl"
+        store = SessionSnapshotStore(path)
+        store.write_epoch({"n": 1}, [self._epoch(detector, [0.1])])
+        boundary = path.stat().st_size
+        store.write_epoch({"n": 2}, [self._epoch(detector, [0.1, -0.5])])
+        # Tear epoch 2 mid-write: keep its begin + session lines, drop
+        # the gateway and commit tail.
+        lines = path.read_bytes().splitlines(keepends=True)
+        torn = b"".join(lines[:-2])
+        assert len(torn) > boundary  # epoch 2 really is begun
+        path.write_bytes(torn)
+
+        reopened = SessionSnapshotStore(path)
+        written = reopened.write_epoch(
+            {"n": 3}, [self._epoch(detector, [0.2, 0.3, -0.1])]
+        )
+        assert written == 3  # torn epoch 2's number is not reused
+        epoch, gateway_state, sessions = SessionSnapshotStore(path).load()
+        assert (epoch, gateway_state) == (3, {"n": 3})
+        assert sessions[0]["windows_scored"] == 3
+
+    def test_second_attempt_at_same_epoch_number_wins(
+        self, tmp_path, trained_detectors
+    ):
+        """Defense in depth for files written before epoch numbering
+        advanced past torn attempts: two begin-delimited attempts at one
+        number may coexist, and the committed last attempt must load."""
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        path = tmp_path / "s.jsonl"
+        store = SessionSnapshotStore(path)
+        store.write_epoch({"n": 1}, [self._epoch(detector, [0.1])])
+        with path.open("a") as fh:  # torn first attempt at epoch 2
+            fh.write(json.dumps({"kind": "begin", "epoch": 2}) + "\n")
+            fh.write(
+                json.dumps(
+                    {"kind": "session", "epoch": 2, "state": {"bogus": 1}}
+                )
+                + "\n"
+            )
+        store._next_epoch = 2  # simulate the legacy reopen numbering
+        store.write_epoch({"n": 2}, [self._epoch(detector, [0.1, -0.5])])
+        epoch, gateway_state, sessions = SessionSnapshotStore(path).load()
+        assert (epoch, gateway_state) == (2, {"n": 2})
+        assert len(sessions) == 1
+        assert sessions[0]["windows_scored"] == 2
 
     def test_garbage_lines_are_skipped_not_fatal(
         self, tmp_path, trained_detectors
