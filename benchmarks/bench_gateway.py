@@ -25,6 +25,7 @@ def test_gateway_fleet(benchmark, quick, save_result):
             stream_s=stream_s,
             batch_size=256,
             loss_probability=0.02,
+            sanitize_loop=True,
         ),
         study="gateway",
         unit="serving",
@@ -59,3 +60,5 @@ def test_gateway_fleet(benchmark, quick, save_result):
     assert 0.0 < report.p50_latency_s <= report.p99_latency_s
     # Micro-batching actually crosses sessions.
     assert stats.mean_batch_size > 1.0
+    # The event loop never executed blocking work (stall sanitizer).
+    assert report.loop_clean, report.summary()

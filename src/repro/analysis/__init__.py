@@ -19,6 +19,17 @@ This package proves them at source level, before anything runs:
   :meth:`~repro.ml.model_codegen.FixedPointLinearModel.to_c_source`
   emits (no floats, no libm, MSP430-friendly identifier and storage
   widths);
+* :mod:`~repro.analysis.concurrency` -- **ASYNC001** (no blocking calls
+  reachable from coroutines, with receiver tracking through the module
+  call graph) and **ASYNC002** (no dropped coroutines or unreferenced
+  fire-and-forget tasks);
+* :mod:`~repro.analysis.isolation` -- **PROC001** (only picklable,
+  ownerless values cross the fork boundary), **SHM001** (every
+  SharedMemory/tempfile create has cleanup on all exit paths) and
+  **RACE001** (no cross-context writes to module state without a lock);
+* :mod:`~repro.analysis.sanitizer` -- the runtime twin of ASYNC001: a
+  :class:`~repro.analysis.sanitizer.LoopStallSanitizer` that times every
+  asyncio callback and fails tests on event-loop stalls;
 * :mod:`~repro.analysis.engine` / :mod:`~repro.analysis.baseline` /
   :mod:`~repro.analysis.rules` -- the pluggable framework: a ``Rule``
   protocol, per-file ``Finding`` diagnostics, ``# lint: allow`` pragmas
@@ -34,6 +45,10 @@ from repro.analysis.c_checker import (
     MAX_IDENTIFIER_LENGTH,
     check_c_source,
 )
+from repro.analysis.concurrency import (
+    AsyncBlockingCallRule,
+    AsyncTaskLeakRule,
+)
 from repro.analysis.determinism import DeterminismRule
 from repro.analysis.device_rules import (
     DEVICE_PACKAGES,
@@ -44,6 +59,11 @@ from repro.analysis.device_rules import (
 )
 from repro.analysis.engine import Analyzer, module_name_for_path
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.isolation import (
+    CrossContextRaceRule,
+    ForkBoundaryRule,
+    SharedResourceCleanupRule,
+)
 from repro.analysis.overflow import (
     FixedPointOverflowRule,
     OverflowReport,
@@ -58,24 +78,37 @@ from repro.analysis.rules import (
     register_rule,
     rules_for_codes,
 )
+from repro.analysis.sanitizer import (
+    LoopStall,
+    LoopStallError,
+    LoopStallSanitizer,
+)
 
 __all__ = [
     "Analyzer",
+    "AsyncBlockingCallRule",
+    "AsyncTaskLeakRule",
     "Baseline",
+    "CrossContextRaceRule",
     "DEVICE_PACKAGES",
     "DeterminismRule",
+    "ForkBoundaryRule",
     "DeviceFloatBanRule",
     "DeviceLibmRule",
     "Finding",
     "FixedPointOverflowRule",
     "LIBM_C_FUNCTIONS",
     "LintContext",
+    "LoopStall",
+    "LoopStallError",
+    "LoopStallSanitizer",
     "MAX_IDENTIFIER_LENGTH",
     "NUMPY_TRANSCENDENTALS",
     "ORIGINAL_TIER_FUNCTIONS",
     "OverflowReport",
     "Rule",
     "Severity",
+    "SharedResourceCleanupRule",
     "accumulator_interval",
     "all_rules",
     "analyze_model",

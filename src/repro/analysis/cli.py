@@ -3,13 +3,22 @@
 Kept separate from :mod:`repro.cli` so the argparse surface there stays a
 thin dispatcher.  The exit code contract is what CI keys off: 0 when the
 tree is clean (or every finding is baselined), 1 when new findings exist,
-2 on usage errors.
+2 on usage or I/O errors (unknown rule, missing path, unreadable file,
+git failure under ``--changed-only``) -- a wrapper script can therefore
+tell "the tree is dirty" from "the lint run itself is broken".
+
+``--changed-only [REF]`` is the incremental path for pre-commit hooks
+and CI: only files that differ from the git ref (default ``HEAD``),
+plus untracked files, are linted -- the rule set is per-file, so the
+subset's findings are exactly what a full run would report for those
+files.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 from typing import Sequence, TextIO
@@ -73,6 +82,66 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="list registered rules and exit",
     )
+    parser.add_argument(
+        "--changed-only",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="lint only files differing from a git ref (default: HEAD), "
+        "plus untracked files; exits 2 if git fails",
+    )
+
+
+def _git_changed_files(ref: str) -> list[Path] | None:
+    """Python files changed vs ``ref`` plus untracked ones, absolute.
+
+    Returns ``None`` when git itself fails (not a repository, unknown
+    ref) -- the caller maps that to exit code 2, not to "no findings".
+    """
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        changed = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--", "*.py"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.splitlines()
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard", "--", "*.py"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.splitlines()
+    except (OSError, subprocess.CalledProcessError) as error:
+        detail = getattr(error, "stderr", "") or str(error)
+        print(f"error: --changed-only: git failed: {detail.strip()}", file=sys.stderr)
+        return None
+    root = Path(top)
+    files = {root / name for name in changed + untracked if name.strip()}
+    return sorted(path for path in files if path.exists())
+
+
+def _restrict_to_changed(paths: list[Path], ref: str) -> list[Path] | None:
+    """The subset of ``paths`` (files, or files under directories) that
+    git says changed vs ``ref``; ``None`` on git failure."""
+    changed = _git_changed_files(ref)
+    if changed is None:
+        return None
+    roots = [path.resolve() for path in paths]
+    selected: list[Path] = []
+    for file in changed:
+        resolved = file.resolve()
+        for root in roots:
+            if resolved == root or root in resolved.parents:
+                selected.append(file)
+                break
+    return selected
 
 
 def _render_text(findings: Sequence[Finding], stream: TextIO) -> None:
@@ -123,8 +192,18 @@ def run_lint(args: argparse.Namespace, stream: TextIO | None = None) -> int:
             print(f"error: no such path: {path}", file=sys.stderr)
         return 2
 
+    if getattr(args, "changed_only", None) is not None:
+        restricted = _restrict_to_changed(paths, args.changed_only)
+        if restricted is None:
+            return 2
+        paths = restricted
+
     analyzer = Analyzer(rules)
-    findings = analyzer.lint_paths(paths)
+    try:
+        findings = analyzer.lint_paths(paths)
+    except (OSError, UnicodeDecodeError) as error:
+        print(f"error: cannot read source: {error}", file=sys.stderr)
+        return 2
 
     if args.check_c is not None:
         if not args.check_c.exists():

@@ -1,0 +1,419 @@
+"""Event-loop contracts: the blocking-call gate (ASYNC001) and the
+task-leak lint (ASYNC002).
+
+The ingestion gateway's latency story rests on one invariant: nothing
+on the event loop blocks.  A single ``time.sleep`` or fsync inside a
+coroutine stalls *every* wearer's verdict stream at once -- exactly the
+failure mode the p99 bench-gate guards, but invisible to it until the
+regression has shipped.  ASYNC001 is the static version of that
+invariant, built the way DEV001 shadows ``RestrictedMath``'s runtime
+gate: a table of known-blocking calls, plus *receiver tracking* through
+the module's own call graph, so a blocking call wrapped in a sync helper
+is still caught at the ``async def`` that reaches it.
+
+What counts as blocking (the table, not a heuristic):
+
+* ``time.sleep`` and ``from time import sleep`` (``asyncio.sleep`` is
+  awaited, and awaited calls are never flagged -- awaiting *is* the
+  yield);
+* ``os.fsync`` / ``os.fdatasync`` / ``os.sync``;
+* any call through a ``subprocess`` module alias;
+* synchronous file I/O: bare ``open(...)``, ``Path.read_text`` /
+  ``write_text`` / ``read_bytes`` / ``write_bytes``;
+* ``Lock.acquire()`` on a lock the module visibly constructed via
+  ``threading`` (``asyncio`` lock acquires are awaited, so they pass);
+* ``SharedMemory(...)`` construction (page allocation + /dev/shm I/O);
+* the snapshot store's durability points, ``.write_epoch(...)`` and
+  ``.compact(...)`` -- each hides an fsync.
+
+Receiver tracking: a sync function or method containing a blocking call
+is itself blocking; blocking-ness propagates through bare-name calls and
+``self.``-method calls to a fixed point, and an ``async def`` calling a
+transitively blocking in-module helper is flagged at the call site.
+Passing the helper *by reference* to ``asyncio.to_thread`` / an executor
+is the sanctioned fix and is not a call, so it never trips the rule.
+
+ASYNC002 catches the two ways a coroutine object dies silently: calling
+an in-module ``async def`` as a bare expression statement (the coroutine
+is created, never awaited, never scheduled), and a fire-and-forget
+``create_task`` / ``ensure_future`` whose task object is discarded --
+asyncio holds only a weak reference to running tasks, so an exception in
+one is swallowed and the task itself may be garbage-collected mid-flight.
+Keep a reference or attach a done-callback.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import LintContext, register_rule
+
+__all__ = [
+    "BLOCKING_DURABILITY_METHODS",
+    "BLOCKING_OS_FUNCTIONS",
+    "BLOCKING_PATH_METHODS",
+    "AsyncBlockingCallRule",
+    "AsyncTaskLeakRule",
+]
+
+#: ``os.<attr>`` calls that block on storage.
+BLOCKING_OS_FUNCTIONS: frozenset[str] = frozenset({"fsync", "fdatasync", "sync"})
+
+#: ``Path`` (or file-ish receiver) methods that perform whole-file I/O.
+BLOCKING_PATH_METHODS: frozenset[str] = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+#: Methods whose contract *is* a durable (fsynced) write: the snapshot
+#: store's commit points.  Attribute calls by these names block by
+#: design, whoever the receiver is.
+BLOCKING_DURABILITY_METHODS: frozenset[str] = frozenset(
+    {"write_epoch", "compact"}
+)
+
+
+class _ConcurrencyImports:
+    """Module aliases and members the blocking table keys off."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.time_modules: set[str] = set()
+        self.os_modules: set[str] = set()
+        self.subprocess_modules: set[str] = set()
+        self.threading_modules: set[str] = set()
+        self.asyncio_modules: set[str] = set()
+        #: local name -> blocking origin ("sleep", "fsync", ...).
+        self.blocking_members: dict[str, str] = {}
+        #: local names bound to the SharedMemory class.
+        self.shared_memory_names: set[str] = set()
+        #: local names bound to threading's lock constructors.
+        self.lock_constructors: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "time":
+                        self.time_modules.add(local)
+                    elif alias.name == "os":
+                        self.os_modules.add(local)
+                    elif alias.name == "subprocess":
+                        self.subprocess_modules.add(local)
+                    elif alias.name == "threading":
+                        self.threading_modules.add(local)
+                    elif alias.name == "asyncio":
+                        self.asyncio_modules.add(local)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name == "sleep":
+                            self.blocking_members[alias.asname or alias.name] = "sleep"
+                elif node.module == "os":
+                    for alias in node.names:
+                        if alias.name in BLOCKING_OS_FUNCTIONS:
+                            self.blocking_members[alias.asname or alias.name] = (
+                                alias.name
+                            )
+                elif node.module == "multiprocessing.shared_memory":
+                    for alias in node.names:
+                        if alias.name == "SharedMemory":
+                            self.shared_memory_names.add(alias.asname or alias.name)
+                elif node.module == "threading":
+                    for alias in node.names:
+                        if alias.name in ("Lock", "RLock", "Semaphore", "Condition"):
+                            self.lock_constructors.add(alias.asname or alias.name)
+
+
+def _tracked_lock_names(tree: ast.Module, imports: _ConcurrencyImports) -> set[str]:
+    """Names the module visibly binds to a ``threading`` lock object."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        func = node.value.func
+        is_lock = (
+            isinstance(func, ast.Name) and func.id in imports.lock_constructors
+        ) or (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in imports.threading_modules
+            and func.attr in ("Lock", "RLock", "Semaphore", "Condition")
+        )
+        if not is_lock:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                names.add(target.attr)  # self._lock = threading.Lock()
+    return names
+
+
+def _receiver_chain(func: ast.expr) -> tuple[str, ...] | None:
+    """``a.b.c`` as ``("a", "b", "c")``; ``None`` for non-name chains."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _iter_own_calls(
+    function: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[tuple[ast.Call, bool]]:
+    """Every Call in the function's own body (nested defs excluded),
+    tagged with whether it sits under an ``await`` / ``async with`` /
+    ``async for`` -- i.e. whether executing it yields the loop."""
+
+    def walk(node: ast.AST, awaited: bool) -> Iterator[tuple[ast.Call, bool]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # a nested def runs in whatever context calls *it*
+            if isinstance(child, ast.Await):
+                yield from walk(child, True)
+                continue
+            if isinstance(child, ast.Call):
+                yield child, awaited
+            # Only the await node itself marks its operand; siblings and
+            # children of a call are back to the surrounding context.
+            yield from walk(child, awaited if not isinstance(child, ast.Call) else False)
+
+    yield from walk(function, False)
+
+
+class _ModuleCallGraph:
+    """Intra-module blocking propagation (the receiver tracking)."""
+
+    def __init__(self, context: LintContext, imports: _ConcurrencyImports) -> None:
+        self.imports = imports
+        self.locks = _tracked_lock_names(context.tree, imports)
+        #: qualified name -> def node, for module functions ("f") and
+        #: methods ("Cls.m", reachable as self.m from inside Cls).
+        self.functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        self.owner_class: dict[str, str | None] = {}
+        for node in context.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = node
+                self.owner_class[node.name] = None
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qualified = f"{node.name}.{item.name}"
+                        self.functions[qualified] = item
+                        self.owner_class[qualified] = node.name
+        self.blocking_reason: dict[str, str] = {}
+        self._propagate()
+
+    # -- the direct table -------------------------------------------------
+
+    def direct_blocking_reason(self, call: ast.Call) -> str | None:
+        """Why this single call blocks, or ``None`` if the table is silent."""
+        imports = self.imports
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                return "synchronous file open()"
+            origin = imports.blocking_members.get(func.id)
+            if origin == "sleep":
+                return "time.sleep()"
+            if origin is not None:
+                return f"os.{origin}()"
+            if func.id in imports.shared_memory_names:
+                return "SharedMemory construction (shm allocation is disk I/O)"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            owner = receiver.id
+            if owner in imports.time_modules and attr == "sleep":
+                return "time.sleep()"
+            if owner in imports.os_modules and attr in BLOCKING_OS_FUNCTIONS:
+                return f"os.{attr}()"
+            if owner in imports.subprocess_modules:
+                return f"subprocess.{attr}()"
+            if attr == "acquire" and owner in self.locks:
+                return f"blocking {owner}.acquire() on a threading lock"
+        if isinstance(receiver, ast.Attribute) and attr == "acquire":
+            if receiver.attr in self.locks:
+                return f"blocking .{receiver.attr}.acquire() on a threading lock"
+        if attr in BLOCKING_PATH_METHODS:
+            return f"synchronous file I/O .{attr}()"
+        if attr in BLOCKING_DURABILITY_METHODS:
+            return f".{attr}() commits with flush+fsync"
+        return None
+
+    # -- call-graph edges -------------------------------------------------
+
+    def callee_key(self, call: ast.Call, caller: str) -> str | None:
+        """The in-module function a call resolves to, if any."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in self.functions and self.owner_class[func.id] is None:
+                return func.id
+            return None
+        chain = _receiver_chain(func)
+        if chain is None or len(chain) != 2 or chain[0] != "self":
+            return None
+        owner = self.owner_class.get(caller)
+        if owner is None:
+            return None
+        qualified = f"{owner}.{chain[1]}"
+        return qualified if qualified in self.functions else None
+
+    def _propagate(self) -> None:
+        # Seed: sync functions with a direct blocking call of their own.
+        for key, node in self.functions.items():
+            if isinstance(node, ast.AsyncFunctionDef):
+                continue  # an async callee is awaited, not blocking
+            for call, _ in _iter_own_calls(node):
+                reason = self.direct_blocking_reason(call)
+                if reason is not None:
+                    self.blocking_reason[key] = reason
+                    break
+        # Fixed point over bare-name and self.-method edges.
+        changed = True
+        while changed:
+            changed = False
+            for key, node in self.functions.items():
+                if key in self.blocking_reason or isinstance(
+                    node, ast.AsyncFunctionDef
+                ):
+                    continue
+                for call, _ in _iter_own_calls(node):
+                    callee = self.callee_key(call, key)
+                    if callee is not None and callee in self.blocking_reason:
+                        self.blocking_reason[key] = (
+                            f"{callee.split('.')[-1]}() -> "
+                            f"{self.blocking_reason[callee]}"
+                        )
+                        changed = True
+                        break
+
+
+@register_rule
+class AsyncBlockingCallRule:
+    """ASYNC001: nothing reachable from an ``async def`` may block."""
+
+    code = "ASYNC001"
+    description = (
+        "blocking calls (time.sleep, os.fsync, file I/O, subprocess, "
+        "Lock.acquire, SharedMemory ops, fsynced snapshot commits) must not "
+        "be reachable from async def bodies; wrapped sync helpers are "
+        "tracked through the module call graph -- move the work to "
+        "asyncio.to_thread or an executor"
+    )
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        if "async" not in context.source:
+            return
+        imports = _ConcurrencyImports(context.tree)
+        graph = _ModuleCallGraph(context, imports)
+        for key, node in graph.functions.items():
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            yield from self._check_coroutine(context, graph, key, node)
+        # async defs nested inside functions (test helpers, closures).
+        for outer in graph.functions.values():
+            for inner in ast.walk(outer):
+                if isinstance(inner, ast.AsyncFunctionDef) and inner is not outer:
+                    yield from self._check_coroutine(context, graph, "", inner)
+
+    def _check_coroutine(
+        self,
+        context: LintContext,
+        graph: _ModuleCallGraph,
+        key: str,
+        node: ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        for call, awaited in _iter_own_calls(node):
+            if awaited:
+                continue  # awaiting yields the loop by construction
+            reason = graph.direct_blocking_reason(call)
+            if reason is not None:
+                yield context.finding(
+                    call,
+                    self.code,
+                    f"{reason} on the event loop, inside async def "
+                    f"{node.name}() -- every session stalls while this "
+                    "runs; use await asyncio.to_thread(...) or an executor",
+                )
+                continue
+            callee = graph.callee_key(call, key)
+            if callee is not None and callee in graph.blocking_reason:
+                yield context.finding(
+                    call,
+                    self.code,
+                    f"async def {node.name}() calls "
+                    f"{callee.split('.')[-1]}(), which blocks "
+                    f"({graph.blocking_reason[callee]}) -- run it via "
+                    "await asyncio.to_thread(...) instead",
+                )
+
+
+@register_rule
+class AsyncTaskLeakRule:
+    """ASYNC002: no silently dropped coroutines or unreferenced tasks."""
+
+    code = "ASYNC002"
+    description = (
+        "coroutines must be awaited or scheduled (a bare call to an async "
+        "def creates a coroutine that never runs), and create_task/"
+        "ensure_future results must be kept or given a done-callback -- "
+        "asyncio only weakly references running tasks"
+    )
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        if "async" not in context.source:
+            return
+        imports = _ConcurrencyImports(context.tree)
+        graph = _ModuleCallGraph(context, imports)
+        async_functions = {
+            key
+            for key, node in graph.functions.items()
+            if isinstance(node, ast.AsyncFunctionDef)
+        }
+        for key, function in graph.functions.items():
+            for statement in ast.walk(function):
+                if not isinstance(statement, ast.Expr):
+                    continue
+                call = statement.value
+                if not isinstance(call, ast.Call):
+                    continue
+                callee = graph.callee_key(call, key)
+                if callee in async_functions:
+                    yield context.finding(
+                        call,
+                        self.code,
+                        f"coroutine {callee.split('.')[-1]}() is neither "
+                        "awaited nor scheduled -- it will never execute "
+                        "(RuntimeWarning at GC time is the only trace)",
+                    )
+                elif self._is_task_spawn(call, imports):
+                    yield context.finding(
+                        call,
+                        self.code,
+                        "fire-and-forget task: the result of create_task()/"
+                        "ensure_future() is discarded, so the task can be "
+                        "garbage-collected mid-flight and its exceptions "
+                        "vanish -- keep a reference or add_done_callback",
+                    )
+
+    @staticmethod
+    def _is_task_spawn(call: ast.Call, imports: _ConcurrencyImports) -> bool:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id in ("create_task", "ensure_future")
+        if isinstance(func, ast.Attribute):
+            if func.attr not in ("create_task", "ensure_future"):
+                return False
+            # asyncio.create_task(...), loop.create_task(...), or any
+            # receiver -- spawning without keeping the handle is the
+            # defect regardless of which loop object spawned it.
+            return True
+        return False

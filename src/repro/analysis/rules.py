@@ -8,8 +8,13 @@ and the baseline machinery pick it up automatically.
 
 Suppression works the way the Amulet firmware toolchain's own pragmas do:
 a trailing ``# lint: allow CODE[,CODE...] -- reason`` comment silences
-those codes on that line only.  The reason is not optional by convention
+those codes on that line.  The reason is not optional by convention
 -- the repo-clean test keeps the repo at zero unexplained suppressions.
+Because a Python *statement* is the natural unit of intent, a pragma
+anywhere inside a multi-line statement covers the whole statement, and a
+pragma on any header line of a ``def``/``async def``/``class`` (its
+decorators included) covers the header -- so a finding anchored at the
+``def`` keyword can be silenced from the decorator line above it.
 """
 
 from __future__ import annotations
@@ -62,6 +67,7 @@ class LintContext:
     def __post_init__(self) -> None:
         self._lines = self.source.splitlines()
         self._allowed = _collect_pragmas(self._lines)
+        _spread_pragmas_over_statements(self.tree, self._allowed)
 
     @classmethod
     def from_source(
@@ -118,6 +124,70 @@ def _collect_pragmas(lines: list[str]) -> dict[int, frozenset[str]]:
     return allowed
 
 
+def _statement_spans(tree: ast.Module) -> Iterable[tuple[int, int]]:
+    """(first, last) line of every statement's *own* text.
+
+    For simple statements that is the full node extent -- a call broken
+    over four lines is one span.  For compound statements (``def``,
+    ``class``, ``if``, ``with``, ...) it is only the header: decorators
+    plus the lines up to where the first body statement starts, so a
+    pragma inside the body never leaks onto the header or vice versa
+    (the body's statements get their own spans).
+    """
+    compound = (
+        ast.FunctionDef,
+        ast.AsyncFunctionDef,
+        ast.ClassDef,
+        ast.If,
+        ast.For,
+        ast.AsyncFor,
+        ast.While,
+        ast.With,
+        ast.AsyncWith,
+        ast.Try,
+        ast.Match,
+    )
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        if isinstance(node, compound):
+            start = node.lineno
+            decorators = getattr(node, "decorator_list", [])
+            if decorators:
+                start = min(start, min(d.lineno for d in decorators))
+            body = getattr(node, "body", [])
+            end = body[0].lineno - 1 if body else node.lineno
+            yield start, max(start, end)
+        else:
+            yield node.lineno, getattr(node, "end_lineno", None) or node.lineno
+
+
+def _spread_pragmas_over_statements(
+    tree: ast.Module, allowed: dict[int, frozenset[str]]
+) -> None:
+    """Extend line-scoped pragmas to the statement they sit in.
+
+    A pragma on *any* line of a statement span silences its codes on
+    *every* line of that span, so multi-line calls and decorated
+    ``async def`` headers behave like the single-line case.  Mutates
+    ``allowed`` in place; lines outside any statement (blank, comment)
+    keep their line-only scope.
+    """
+    if not allowed:
+        return
+    pragma_lines = sorted(allowed)
+    for start, end in _statement_spans(tree):
+        if end <= start:
+            continue
+        span_codes = frozenset().union(
+            *(allowed[line] for line in pragma_lines if start <= line <= end)
+        )
+        if not span_codes:
+            continue
+        for line in range(start, end + 1):
+            allowed[line] = allowed.get(line, frozenset()) | span_codes
+
+
 @runtime_checkable
 class Rule(Protocol):
     """The contract every analysis rule implements."""
@@ -152,11 +222,28 @@ def all_rules() -> tuple[Rule, ...]:
 
 
 def rules_for_codes(codes: Iterable[str]) -> tuple[Rule, ...]:
-    """Resolve rule codes, raising on unknown ones."""
-    selected = []
+    """Resolve rule codes (or family prefixes), raising on unknown ones.
+
+    An exact code selects one rule; a bare family prefix -- the code
+    with its digits stripped, e.g. ``ASYNC`` or ``DEV`` -- selects every
+    registered rule of that family, so ``--rules ASYNC,PROC`` tracks new
+    family members without the CI invocation changing.
+    """
+    selected: dict[str, Rule] = {}
     for code in codes:
-        if code not in _REGISTRY:
-            known = ", ".join(sorted(_REGISTRY))
-            raise KeyError(f"unknown rule code {code!r}; known rules: {known}")
-        selected.append(_REGISTRY[code])
-    return tuple(selected)
+        if code in _REGISTRY:
+            selected[code] = _REGISTRY[code]
+            continue
+        members = [
+            known
+            for known in _REGISTRY
+            if known.startswith(code) and known[len(code) :].isdigit()
+        ]
+        if not members:
+            known_codes = ", ".join(sorted(_REGISTRY))
+            raise KeyError(
+                f"unknown rule code {code!r}; known rules: {known_codes}"
+            )
+        for member in members:
+            selected[member] = _REGISTRY[member]
+    return tuple(selected[code] for code in sorted(selected))

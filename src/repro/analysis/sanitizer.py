@@ -1,0 +1,178 @@
+"""The event-loop stall sanitizer: ASYNC001's claim, checked at runtime.
+
+The static rule proves no *known* blocking call is reachable from a
+coroutine; this module measures what actually happens.  Every asyncio
+callback -- a task step, a ``call_soon``, a timer -- runs through
+``asyncio.events.Handle._run``; :class:`LoopStallSanitizer` wraps that
+single choke point with a ``perf_counter`` timer and records every
+callback that held the loop longer than the threshold, with enough
+identity (the callback's qualname) to find the offender.  Install is a
+context manager; tests assert via :meth:`~LoopStallSanitizer.check`,
+which raises :class:`LoopStallError` listing the worst stalls.
+
+The default threshold (250 ms) is deliberately far above anything the
+gateway's loop-side work should take -- applying a 256-window batch of
+verdicts is sub-millisecond -- and far below the stalls the rule family
+exists to catch (an fsynced snapshot epoch of a 1k-wearer fleet, a
+scoring pass that should have been in a thread).  It is a tripwire for
+category errors, not a latency SLO; the bench-gate owns the SLO.
+
+Threading: ``_run`` executes on the loop thread but a fleet test may run
+several loops (``asyncio.run`` per case), so the stall list is guarded
+by its own lock.  Install/uninstall nests safely via a module-level
+depth count -- the innermost uninstall restores the original method.
+"""
+
+from __future__ import annotations
+
+import asyncio.events
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["LoopStall", "LoopStallError", "LoopStallSanitizer"]
+
+
+class LoopStallError(AssertionError):
+    """The event loop was held past the sanitizer's threshold."""
+
+
+@dataclass(frozen=True)
+class LoopStall:
+    """One callback that held the event loop too long."""
+
+    duration_s: float
+    callback: str
+
+    def render(self) -> str:
+        return f"{self.duration_s * 1e3:.1f} ms in {self.callback}"
+
+
+def _describe_callback(handle: asyncio.events.Handle) -> str:
+    callback = getattr(handle, "_callback", None)
+    if callback is None:
+        return repr(handle)
+    qualname = getattr(callback, "__qualname__", None)
+    if qualname is not None:
+        return qualname
+    # Task steps hide the coroutine inside a bound method of the task.
+    owner = getattr(callback, "__self__", None)
+    if owner is not None:
+        return repr(owner)
+    return repr(callback)
+
+
+#: Nesting state: (depth, original Handle._run).  Guarded by _PATCH_LOCK;
+#: single writer per install/uninstall call.
+_PATCH_LOCK = threading.Lock()
+_PATCH_DEPTH = 0
+_ORIGINAL_RUN = None
+_ACTIVE: list["LoopStallSanitizer"] = []
+
+
+class LoopStallSanitizer:
+    """Record every event-loop callback exceeding ``threshold_s``.
+
+    Usage::
+
+        with LoopStallSanitizer() as sanitizer:
+            asyncio.run(main())
+        sanitizer.check()   # raises LoopStallError on any stall
+
+    ``max_records`` bounds memory on a pathological run; the counter
+    keeps the true total so ``check`` never under-reports.
+    """
+
+    DEFAULT_THRESHOLD_S = 0.25
+
+    def __init__(
+        self,
+        threshold_s: float = DEFAULT_THRESHOLD_S,
+        max_records: int = 100,
+    ) -> None:
+        if threshold_s <= 0:
+            raise ValueError("threshold_s must be positive")
+        if max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self.threshold_s = float(threshold_s)
+        self.max_records = int(max_records)
+        self.stalls: list[LoopStall] = []
+        self.total_stalls = 0
+        self._lock = threading.Lock()
+        self._installed = False
+
+    # -- recording ------------------------------------------------------
+
+    def _record(self, duration_s: float, handle: asyncio.events.Handle) -> None:
+        with self._lock:
+            self.total_stalls += 1
+            if len(self.stalls) < self.max_records:
+                self.stalls.append(
+                    LoopStall(duration_s=duration_s, callback=_describe_callback(handle))
+                )
+
+    @property
+    def max_stall_s(self) -> float:
+        with self._lock:
+            return max((stall.duration_s for stall in self.stalls), default=0.0)
+
+    def check(self) -> None:
+        """Raise :class:`LoopStallError` if any callback stalled the loop."""
+        with self._lock:
+            total = self.total_stalls
+            worst = sorted(
+                self.stalls, key=lambda stall: stall.duration_s, reverse=True
+            )[:5]
+        if not total:
+            return
+        details = "; ".join(stall.render() for stall in worst)
+        raise LoopStallError(
+            f"event loop stalled {total} time(s) past "
+            f"{self.threshold_s * 1e3:.0f} ms: {details}"
+        )
+
+    # -- installation ---------------------------------------------------
+
+    def install(self) -> None:
+        """Start timing every callback (idempotent per sanitizer)."""
+        global _PATCH_DEPTH, _ORIGINAL_RUN
+        if self._installed:
+            return
+        with _PATCH_LOCK:
+            if _PATCH_DEPTH == 0:
+                _ORIGINAL_RUN = asyncio.events.Handle._run
+                original = _ORIGINAL_RUN
+
+                def _timed_run(handle: asyncio.events.Handle) -> None:
+                    began = time.perf_counter()
+                    try:
+                        original(handle)
+                    finally:
+                        elapsed = time.perf_counter() - began
+                        for sanitizer in _ACTIVE:
+                            if elapsed >= sanitizer.threshold_s:
+                                sanitizer._record(elapsed, handle)
+
+                asyncio.events.Handle._run = _timed_run  # type: ignore[method-assign]
+            _PATCH_DEPTH += 1
+            _ACTIVE.append(self)
+            self._installed = True
+
+    def uninstall(self) -> None:
+        """Stop timing; restores the pristine ``Handle._run`` at depth 0."""
+        global _PATCH_DEPTH
+        if not self._installed:
+            return
+        with _PATCH_LOCK:
+            _ACTIVE.remove(self)
+            _PATCH_DEPTH -= 1
+            if _PATCH_DEPTH == 0 and _ORIGINAL_RUN is not None:
+                asyncio.events.Handle._run = _ORIGINAL_RUN  # type: ignore[method-assign]
+            self._installed = False
+
+    def __enter__(self) -> "LoopStallSanitizer":
+        self.install()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.uninstall()

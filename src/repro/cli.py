@@ -210,6 +210,14 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--supervised", action="store_true",
                          help="score through the crash-isolated subprocess "
                          "backend (watchdog + breaker) instead of in-process")
+    gateway.add_argument("--sanitize-loop", action="store_true",
+                         help="time every asyncio callback and fail the run "
+                         "if any holds the event loop past the stall "
+                         "threshold (the dynamic check behind ASYNC001)")
+    gateway.add_argument("--stall-threshold-s", type=_positive_float,
+                         default=0.25, metavar="S",
+                         help="event-loop stall threshold for "
+                         "--sanitize-loop (default: 0.25)")
     gateway.add_argument("--seed", type=int, default=2017)
 
     chaos = sub.add_parser(
@@ -442,9 +450,19 @@ def _cmd_gateway_bench(args) -> int:
         supervised=args.supervised,
         seed=args.seed,
         install_sigint=True,
+        sanitize_loop=args.sanitize_loop,
+        stall_threshold_s=args.stall_threshold_s,
     )
     print(report.summary())
     failed = False
+    if not report.loop_clean:
+        print(
+            f"error: event loop stalled {report.loop_stalls} time(s), "
+            f"worst {report.max_loop_stall_s * 1e3:.1f} ms past the "
+            f"{args.stall_threshold_s * 1e3:.0f} ms threshold",
+            file=sys.stderr,
+        )
+        failed = True
     if report.leaked_sessions:
         print(
             f"error: {report.leaked_sessions} session(s) leaked past "

@@ -424,20 +424,31 @@ class IngestionGateway:
                     stop = True
                     break
                 batch.append(nxt)
-            self._score_batch(batch)
+            # Scoring is CPU/pipe work and must not hold the event loop
+            # (ASYNC001): compute off-loop, then apply the verdicts on
+            # the loop.  The single batcher task awaits each batch in
+            # turn, so batches still retire strictly in FIFO order and
+            # the bit-identity contract is untouched.
+            scores, unscorable = await asyncio.to_thread(
+                self._compute_scores, batch
+            )
+            self._apply_batch(batch, scores, unscorable)
 
-    def _score_batch(self, batch: list[_PendingWindow]) -> None:
-        """Score one cross-session micro-batch and fan verdicts out.
+    def _compute_scores(
+        self, batch: list[_PendingWindow]
+    ) -> tuple[dict[int, float], set[int]]:
+        """Score one micro-batch (runs on a worker thread, loop-free).
 
         Windows are grouped by the tier key their session's detector
         selected; each group is one :meth:`ScoringBackend.score` call
         (the in-process backend makes that exactly PR 7's batched
-        ``decision_values``).  Verdicts are then recorded in *batch
-        order* -- the queue is FIFO, so this preserves every session's
-        arrival order even when its windows landed in different tier
-        groups.  A group whose backend exhausts the whole supervision
-        ladder (:class:`ScoringUnavailable`) abstains window by window:
-        time advances, no vote is cast, conservation closes.
+        ``decision_values``).  Touches no session or gateway state
+        except the ``windows_unscorable`` counter -- all bookkeeping
+        happens loop-side in :meth:`_apply_batch`.  A group whose
+        backend exhausts the whole supervision ladder
+        (:class:`ScoringUnavailable`) is marked unscorable so the loop
+        side abstains window by window: time advances, no vote is cast,
+        conservation closes.
         """
         groups: dict[str, list[_PendingWindow]] = {}
         for item in batch:
@@ -456,6 +467,20 @@ class IngestionGateway:
                 continue
             for it, value in zip(items, values):
                 scores[id(it)] = float(value)
+        return scores, unscorable
+
+    def _apply_batch(
+        self,
+        batch: list[_PendingWindow],
+        scores: dict[int, float],
+        unscorable: set[int],
+    ) -> None:
+        """Fan one scored micro-batch out to its sessions (loop-side).
+
+        Verdicts are recorded in *batch order* -- the queue is FIFO, so
+        this preserves every session's arrival order even when its
+        windows landed in different tier groups.
+        """
         decided_at = time.perf_counter()
         for item in batch:
             session = item.session
@@ -498,7 +523,14 @@ class IngestionGateway:
         sessions = [
             session.export_state() for session in self._sessions.values()
         ]
-        return store.write_epoch(self._export_gateway_state(), sessions)
+        # write_epoch commits with flush+fsync -- storage-speed work that
+        # must not stall every wearer's verdict stream (ASYNC001).  State
+        # is exported above, on the loop, so the epoch is still the
+        # quiescent post-drain picture; only the serialization and the
+        # durable write happen off-loop.
+        return await asyncio.to_thread(
+            store.write_epoch, self._export_gateway_state(), sessions
+        )
 
     def _export_gateway_state(self) -> dict:
         return {

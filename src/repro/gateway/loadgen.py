@@ -20,11 +20,13 @@ flushes every session and reports full accounting.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
 from repro.adaptive.degradation import DegradationController
+from repro.analysis.sanitizer import LoopStallSanitizer
 from repro.core.detector import SIFTDetector
 from repro.core.versions import DetectorVersion
 from repro.gateway.gateway import GatewayStats, IngestionGateway
@@ -59,6 +61,19 @@ class LoadReport:
     interrupted: bool
     leaked_sessions: int
     supervisor: SupervisorStats | None = None
+    #: Event-loop stall sanitizer outcome (``sanitize_loop=True`` runs
+    #: only): ``None`` when the sanitizer was off, else the number of
+    #: callbacks that held the loop past the threshold and the worst
+    #: single hold.  A non-zero count is an ASYNC001-class defect the
+    #: static rule missed; ``repro gateway-bench --sanitize-loop`` exits
+    #: non-zero on it.
+    loop_stalls: int | None = None
+    max_loop_stall_s: float = 0.0
+
+    @property
+    def loop_clean(self) -> bool:
+        """No observed stall (vacuously true when the sanitizer was off)."""
+        return not self.loop_stalls
 
     @property
     def windows_per_s(self) -> float:
@@ -104,6 +119,15 @@ class LoadReport:
             f"leaked sessions    {self.leaked_sessions}",
             f"conservation       {'ok' if self.conservation_ok else 'VIOLATED'}",
         ]
+        if self.loop_stalls is not None:
+            lines.append(
+                f"loop stalls        {self.loop_stalls}"
+                + (
+                    f"  (worst {self.max_loop_stall_s * 1e3:.1f} ms)"
+                    if self.loop_stalls
+                    else "  (sanitizer clean)"
+                )
+            )
         if self.supervisor is not None:
             sup = self.supervisor
             lines += [
@@ -263,6 +287,8 @@ def run_gateway_load(
     supervised: bool = False,
     fault_plan: object | None = None,
     supervisor_knobs: dict | None = None,
+    sanitize_loop: bool = False,
+    stall_threshold_s: float = LoopStallSanitizer.DEFAULT_THRESHOLD_S,
 ) -> LoadReport:
     """Train, build, and drive a gateway fleet end to end (synchronous).
 
@@ -278,6 +304,13 @@ def run_gateway_load(
     ``fault_plan`` (a :class:`~repro.faults.runtime.RuntimeFaultPlan`)
     and ``supervisor_knobs`` (extra backend constructor arguments) are
     the chaos harness's hooks and require ``supervised=True``.
+
+    ``sanitize_loop=True`` runs the whole fleet under a
+    :class:`~repro.analysis.sanitizer.LoopStallSanitizer`: every asyncio
+    callback is timed, and any that holds the loop past
+    ``stall_threshold_s`` lands in the report's ``loop_stalls`` /
+    ``max_loop_stall_s`` fields -- the dynamic check behind the
+    ASYNC001 lint rule.
     """
     if (fault_plan is not None or supervisor_knobs) and not supervised:
         raise ValueError("fault_plan/supervisor_knobs require supervised=True")
@@ -346,4 +379,12 @@ def run_gateway_load(
             stop=stop,
         )
 
-    return asyncio.run(_run())
+    if not sanitize_loop:
+        return asyncio.run(_run())
+    with LoopStallSanitizer(threshold_s=stall_threshold_s) as sanitizer:
+        report = asyncio.run(_run())
+    return dataclasses.replace(
+        report,
+        loop_stalls=sanitizer.total_stalls,
+        max_loop_stall_s=sanitizer.max_stall_s,
+    )

@@ -376,10 +376,17 @@ class SupervisedScoringBackend:
     def start(self) -> None:
         """Spawn the scorer child (idempotent)."""
         if not self._started:
-            self._spawn()
             self._started = True
+            self._spawn()
 
     def _spawn(self) -> None:
+        # Refuse to respawn once closed: scoring now runs on a worker
+        # thread, so a restart attempt can race close()/abort() -- a
+        # child spawned after close() would leak.  The thread's next
+        # _request then fails as a crash and the ladder falls through to
+        # the degraded leg (or ScoringUnavailable) instead.
+        if not self._started:
+            return
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=_scorer_child_main,

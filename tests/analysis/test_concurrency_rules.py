@@ -1,0 +1,300 @@
+"""ASYNC001 (blocking on the loop) and ASYNC002 (task leaks).
+
+Planted violations prove each detection fires; the negatives prove the
+rules stay silent on the idioms the gateway actually uses (awaited
+calls, ``asyncio.to_thread`` with the helper passed by reference, kept
+task handles) -- and on the shipped gateway package itself.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import Analyzer
+from repro.analysis.rules import rules_for_codes
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src"
+
+
+def lint(source, rules=("ASYNC001", "ASYNC002")):
+    analyzer = Analyzer(rules_for_codes(rules))
+    return analyzer.lint_source(textwrap.dedent(source), path="<fixture>")
+
+
+class TestAsyncBlockingDirect:
+    def test_time_sleep_in_coroutine(self):
+        findings = lint(
+            """
+            import time
+
+            async def serve():
+                time.sleep(0.1)
+            """
+        )
+        assert [f.code for f in findings] == ["ASYNC001"]
+        assert "time.sleep" in findings[0].message
+
+    def test_sleep_imported_by_name_and_aliased_module(self):
+        findings = lint(
+            """
+            import time as clock
+            from time import sleep as snooze
+
+            async def serve():
+                clock.sleep(0.1)
+                snooze(0.1)
+            """
+        )
+        assert [f.code for f in findings] == ["ASYNC001", "ASYNC001"]
+
+    def test_fsync_open_pathio_subprocess_and_lock(self):
+        findings = lint(
+            """
+            import os
+            import subprocess
+            import threading
+            from pathlib import Path
+
+            GUARD = threading.Lock()
+
+            async def serve():
+                os.fsync(3)
+                open("x").read()
+                Path("x").write_text("y")
+                subprocess.run(["true"])
+                GUARD.acquire()
+            """
+        )
+        assert [f.code for f in findings] == ["ASYNC001"] * 5
+
+    def test_shared_memory_construction(self):
+        findings = lint(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            async def attach():
+                return SharedMemory(name="seg")
+            """
+        )
+        assert [f.code for f in findings] == ["ASYNC001"]
+
+    def test_snapshot_commit_points(self):
+        findings = lint(
+            """
+            async def persist(gateway, store):
+                store.write_epoch({}, [])
+                store.compact()
+            """
+        )
+        assert [f.code for f in findings] == ["ASYNC001", "ASYNC001"]
+
+    def test_nested_async_def_is_checked(self):
+        findings = lint(
+            """
+            import time
+
+            def harness():
+                async def inner():
+                    time.sleep(0.1)
+                return inner
+            """
+        )
+        assert [f.code for f in findings] == ["ASYNC001"]
+
+
+class TestAsyncBlockingReceiverTracking:
+    def test_wrapped_helper_is_tracked(self):
+        findings = lint(
+            """
+            import time
+
+            def pause():
+                time.sleep(1.0)
+
+            def indirection():
+                pause()
+
+            async def serve():
+                indirection()
+            """
+        )
+        assert [f.code for f in findings] == ["ASYNC001"]
+        assert "indirection()" in findings[0].message
+        assert "time.sleep" in findings[0].message
+
+    def test_self_method_chain_is_tracked(self):
+        findings = lint(
+            """
+            import os
+
+            class Store:
+                def _commit(self):
+                    os.fsync(3)
+
+                def save(self):
+                    self._commit()
+
+                async def snapshot(self):
+                    self.save()
+            """
+        )
+        assert [f.code for f in findings] == ["ASYNC001"]
+
+
+class TestAsyncBlockingNegatives:
+    def test_awaited_calls_never_flag(self):
+        findings = lint(
+            """
+            import asyncio
+
+            async def serve(lock):
+                await asyncio.sleep(0.1)
+                await lock.acquire()
+            """
+        )
+        assert findings == []
+
+    def test_to_thread_by_reference_is_the_sanctioned_fix(self):
+        findings = lint(
+            """
+            import asyncio
+            import time
+
+            def pause():
+                time.sleep(1.0)
+
+            async def serve(store):
+                await asyncio.to_thread(pause)
+                await asyncio.to_thread(store.write_epoch, {}, [])
+            """
+        )
+        assert findings == []
+
+    def test_blocking_in_sync_code_is_fine(self):
+        findings = lint(
+            """
+            import time
+
+            async def marker():
+                pass
+
+            def cli_entry():
+                time.sleep(0.1)
+            """
+        )
+        assert findings == []
+
+    def test_nested_sync_def_inside_coroutine_not_flagged(self):
+        # The inner def runs wherever it is *called* (e.g. shipped to a
+        # thread); defining it on the loop blocks nothing.
+        findings = lint(
+            """
+            import time
+
+            async def serve():
+                def for_the_thread():
+                    time.sleep(1.0)
+                return for_the_thread
+            """
+        )
+        assert findings == []
+
+    def test_shipped_gateway_package_is_clean(self):
+        analyzer = Analyzer(rules_for_codes(["ASYNC"]))
+        findings = analyzer.lint_paths([SRC_ROOT / "repro" / "gateway"])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestTaskLeaks:
+    def test_bare_coroutine_call(self):
+        findings = lint(
+            """
+            async def work():
+                pass
+
+            def kick():
+                work()
+            """
+        )
+        assert [f.code for f in findings] == ["ASYNC002"]
+        assert "neither awaited nor scheduled" in findings[0].message
+
+    def test_bare_self_coroutine_call(self):
+        findings = lint(
+            """
+            class Gateway:
+                async def flush(self):
+                    pass
+
+                def shutdown(self):
+                    self.flush()
+            """
+        )
+        assert [f.code for f in findings] == ["ASYNC002"]
+
+    def test_fire_and_forget_create_task(self):
+        findings = lint(
+            """
+            import asyncio
+
+            async def work():
+                pass
+
+            async def kick(loop):
+                asyncio.create_task(work())
+                loop.create_task(work())
+                asyncio.ensure_future(work())
+            """
+        )
+        assert [f.code for f in findings] == ["ASYNC002"] * 3
+
+    def test_kept_and_awaited_tasks_are_fine(self):
+        findings = lint(
+            """
+            import asyncio
+
+            async def work():
+                pass
+
+            class Gateway:
+                def start(self):
+                    self._task = asyncio.get_running_loop().create_task(work())
+
+            async def kick():
+                task = asyncio.create_task(work())
+                await task
+                await work()
+            """
+        )
+        assert findings == []
+
+    def test_done_callback_chained_is_fine(self):
+        findings = lint(
+            """
+            import asyncio
+
+            async def work():
+                pass
+
+            def on_done(task):
+                task.result()
+
+            async def kick():
+                asyncio.create_task(work()).add_done_callback(on_done)
+            """
+        )
+        assert findings == []
+
+    def test_calling_plain_function_is_fine(self):
+        findings = lint(
+            """
+            async def marker():
+                pass
+
+            def helper():
+                pass
+
+            def kick():
+                helper()
+            """
+        )
+        assert findings == []

@@ -23,9 +23,33 @@ class TestRegistry:
         rules = rules_for_codes(["DET001"])
         assert [rule.code for rule in rules] == ["DET001"]
 
+    def test_family_prefix_expands(self):
+        rules = rules_for_codes(["ASYNC"])
+        assert [rule.code for rule in rules] == ["ASYNC001", "ASYNC002"]
+
+    def test_prefix_and_member_deduplicate(self):
+        rules = rules_for_codes(["ASYNC", "ASYNC001"])
+        assert [rule.code for rule in rules] == ["ASYNC001", "ASYNC002"]
+
     def test_unknown_code_rejected(self):
         with pytest.raises(KeyError):
             rules_for_codes(["NOPE999"])
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(KeyError):
+            rules_for_codes(["ASY"])  # not a full family name
+
+    def test_every_rule_is_documented(self):
+        """CI's doc gate: an undocumented rule code fails this test."""
+        repo = SRC_ROOT.parent
+        docs = (
+            (repo / "docs" / "ARCHITECTURE.md").read_text()
+            + (repo / "README.md").read_text()
+        )
+        undocumented = [
+            rule.code for rule in all_rules() if rule.code not in docs
+        ]
+        assert undocumented == []
 
 
 class TestModuleInference:
@@ -60,6 +84,42 @@ class TestPragmas:
         )
         assert context.is_suppressed(1, "DEV001")
         assert context.is_suppressed(1, "DET001")
+
+    def test_pragma_covers_multiline_statement(self):
+        context = LintContext.from_source(
+            textwrap.dedent(
+                """
+                value = compute(  # lint: allow DET001 -- spans the call
+                    1,
+                    2,
+                )
+                after = 1
+                """
+            ),
+            path="<t>",
+        )
+        for line in (2, 3, 4, 5):
+            assert context.is_suppressed(line, "DET001")
+        assert not context.is_suppressed(6, "DET001")
+
+    def test_pragma_covers_decorated_async_def_header(self):
+        context = LintContext.from_source(
+            textwrap.dedent(
+                """
+                @decorator  # lint: allow ASYNC001 -- header pragma
+                async def serve(
+                    wearer,
+                ):
+                    body = 1
+                """
+            ),
+            path="<t>",
+        )
+        # The decorator pragma blankets the whole header...
+        for line in (2, 3, 4, 5):
+            assert context.is_suppressed(line, "ASYNC001")
+        # ...but never leaks into the body.
+        assert not context.is_suppressed(6, "ASYNC001")
 
 
 class TestLintFile:

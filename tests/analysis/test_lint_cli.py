@@ -1,6 +1,7 @@
 """The ``python -m repro lint`` surface: flags, formats, exit codes."""
 
 import json
+import subprocess
 import textwrap
 
 import pytest
@@ -71,10 +72,34 @@ class TestLintCommand:
         assert main(["lint", str(tmp_path / "absent.py")]) == 2
         assert "no such path" in capsys.readouterr().err
 
+    def test_rule_family_prefix(self, tmp_path):
+        racy = write_fixture(
+            tmp_path,
+            textwrap.dedent(
+                """
+                import time
+
+                async def serve():
+                    time.sleep(0.1)
+                """
+            ),
+        )
+        assert main(["lint", str(racy), "--rules", "ASYNC"]) == 1
+        assert main(["lint", str(racy), "--rules", "PROC,SHM,RACE"]) == 0
+
+    def test_unreadable_source_is_io_error(self, tmp_path, capsys):
+        bad = tmp_path / "mojibake.py"
+        bad.write_bytes(b"x = 1\n\xff\xfe broken\n")
+        assert main(["lint", str(bad)]) == 2
+        assert "cannot read source" in capsys.readouterr().err
+
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("DEV001", "DEV002", "DET001", "OVF001"):
+        for code in (
+            "DEV001", "DEV002", "DET001", "OVF001",
+            "ASYNC001", "ASYNC002", "PROC001", "SHM001", "RACE001",
+        ):
             assert code in out
 
     def test_default_target_is_package_and_clean(self, capsys):
@@ -82,6 +107,49 @@ class TestLintCommand:
         assert main(["lint", "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["count"] == 0
+
+
+class TestChangedOnly:
+    @staticmethod
+    def _git(tmp_path, *argv):
+        subprocess.run(
+            ["git", "-c", "user.name=t", "-c", "user.email=t@t", *argv],
+            cwd=tmp_path,
+            check=True,
+            capture_output=True,
+        )
+
+    @pytest.fixture()
+    def repo(self, tmp_path, monkeypatch):
+        self._git(tmp_path, "init", "-q")
+        committed = write_fixture(tmp_path, NOISY, name="committed.py")
+        self._git(tmp_path, "add", "committed.py")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        monkeypatch.chdir(tmp_path)
+        return tmp_path, committed
+
+    def test_untracked_file_is_linted(self, repo):
+        tmp_path, _ = repo
+        write_fixture(tmp_path, NOISY, name="fresh.py")
+        assert main(["lint", str(tmp_path), "--changed-only"]) == 1
+
+    def test_committed_unchanged_file_is_skipped(self, repo, capsys):
+        tmp_path, _ = repo
+        # committed.py has a violation, but it did not change vs HEAD.
+        assert main(["lint", str(tmp_path), "--changed-only"]) == 0
+        assert "0 path(s)" in capsys.readouterr().out
+
+    def test_modified_file_is_linted(self, repo):
+        tmp_path, committed = repo
+        committed.write_text(NOISY + "SALT = random.random()\n")
+        assert main(["lint", str(tmp_path), "--changed-only", "HEAD"]) == 1
+
+    def test_outside_git_is_usage_error(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path.parent))
+        path = write_fixture(tmp_path, CLEAN)
+        assert main(["lint", str(path), "--changed-only"]) == 2
+        assert "git failed" in capsys.readouterr().err
 
 
 class TestBaselineWorkflow:

@@ -1,0 +1,97 @@
+"""The event-loop stall sanitizer: detection, nesting, and bounds."""
+
+import asyncio
+import asyncio.events
+import time
+
+import pytest
+
+from repro.analysis import LoopStallError, LoopStallSanitizer
+
+
+def spin_loop(coroutine):
+    asyncio.run(coroutine)
+
+
+class TestDetection:
+    def test_blocking_callback_is_recorded(self):
+        async def offender():
+            time.sleep(0.05)  # lint: allow ASYNC001 -- planted stall
+
+        with LoopStallSanitizer(threshold_s=0.02) as sanitizer:
+            spin_loop(offender())
+
+        assert sanitizer.total_stalls >= 1
+        assert sanitizer.max_stall_s >= 0.05
+        with pytest.raises(LoopStallError) as excinfo:
+            sanitizer.check()
+        message = str(excinfo.value)
+        assert "stalled" in message
+        assert "ms" in message
+
+    def test_cooperative_loop_is_clean(self):
+        async def polite():
+            for _ in range(5):
+                await asyncio.sleep(0)
+
+        with LoopStallSanitizer(threshold_s=10.0) as sanitizer:
+            spin_loop(polite())
+
+        assert sanitizer.total_stalls == 0
+        sanitizer.check()  # must not raise
+
+    def test_max_records_bounds_memory_but_not_the_count(self):
+        async def offender():
+            for _ in range(3):
+                time.sleep(0.02)  # lint: allow ASYNC001 -- planted stall
+                await asyncio.sleep(0)
+
+        with LoopStallSanitizer(threshold_s=0.01, max_records=1) as sanitizer:
+            spin_loop(offender())
+
+        assert len(sanitizer.stalls) == 1
+        assert sanitizer.total_stalls >= 3
+
+
+class TestInstallation:
+    def test_uninstall_restores_pristine_handle_run(self):
+        original = asyncio.events.Handle._run
+        sanitizer = LoopStallSanitizer()
+        sanitizer.install()
+        assert asyncio.events.Handle._run is not original
+        sanitizer.uninstall()
+        assert asyncio.events.Handle._run is original
+
+    def test_nested_installs_unwind_in_any_order(self):
+        original = asyncio.events.Handle._run
+        outer = LoopStallSanitizer(threshold_s=0.02)
+        inner = LoopStallSanitizer(threshold_s=0.02)
+        outer.install()
+        inner.install()
+        assert asyncio.events.Handle._run is not original
+
+        async def offender():
+            time.sleep(0.05)  # lint: allow ASYNC001 -- planted stall
+
+        spin_loop(offender())
+        outer.uninstall()
+        assert asyncio.events.Handle._run is not original  # inner still live
+        inner.uninstall()
+        assert asyncio.events.Handle._run is original
+        # Both saw the stall while both were installed.
+        assert outer.total_stalls >= 1
+        assert inner.total_stalls >= 1
+
+    def test_install_is_idempotent_per_sanitizer(self):
+        original = asyncio.events.Handle._run
+        sanitizer = LoopStallSanitizer()
+        sanitizer.install()
+        sanitizer.install()
+        sanitizer.uninstall()
+        assert asyncio.events.Handle._run is original
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            LoopStallSanitizer(threshold_s=0.0)
+        with pytest.raises(ValueError):
+            LoopStallSanitizer(max_records=0)

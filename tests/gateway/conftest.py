@@ -1,0 +1,18 @@
+"""Every gateway test runs under the event-loop stall sanitizer.
+
+The static ASYNC rules prove no *known* blocking call is reachable from
+the gateway's coroutines; this autouse fixture checks the claim
+dynamically -- any test whose event loop is held past the default
+threshold fails at teardown with the offending callbacks named.
+"""
+
+import pytest
+
+from repro.analysis import LoopStallSanitizer
+
+
+@pytest.fixture(autouse=True)
+def loop_stall_sanitizer():
+    with LoopStallSanitizer() as sanitizer:
+        yield sanitizer
+    sanitizer.check()

@@ -301,6 +301,22 @@ class TestCircuitBreaker:
         assert backend.stats().breaker_trips == 1
 
 
+class TestShutdownRace:
+    def test_spawn_after_close_does_not_leak_a_child(self, keyed):
+        """A worker-thread restart racing ``close()`` must not respawn.
+
+        The scoring thread calls ``_spawn`` after a fault; if ``close``
+        (or ``abort``) has already run, that respawn would leak a child
+        process with nobody left to reap it.  The guard makes the late
+        ``_spawn`` a no-op.
+        """
+        backend = SupervisedScoringBackend(keyed, **FAST)
+        backend.start()
+        backend.close()
+        backend._spawn()  # the racing restart, after shutdown
+        assert backend._process is None
+
+
 class TestValidation:
     def test_rejects_bad_knobs(self, keyed):
         with pytest.raises(ValueError):
