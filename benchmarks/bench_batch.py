@@ -26,6 +26,8 @@ from repro.attacks import AttackScenario, ReplacementAttack
 from repro.core import SIFTDetector
 from repro.signals import SyntheticFantasia
 
+from conftest import run_once
+
 
 @pytest.fixture(scope="module")
 def setup():
@@ -56,15 +58,23 @@ def _best_of(fn, rounds: int) -> float:
 
 def test_scalar_stream_scoring(benchmark, setup):
     detector, stream = setup
-    values = benchmark(
-        lambda: [detector.decision_value(w) for w in stream.windows]
+    values = run_once(
+        benchmark,
+        lambda: [detector.decision_value(w) for w in stream.windows],
+        study="batch",
+        unit="scalar-stream",
     )
     assert len(values) == len(stream)
 
 
 def test_batch_stream_scoring(benchmark, setup):
     detector, stream = setup
-    values = benchmark(lambda: detector.decision_values(stream))
+    values = run_once(
+        benchmark,
+        lambda: detector.decision_values(stream),
+        study="batch",
+        unit="batch-stream",
+    )
     assert values.shape == (len(stream),)
 
 

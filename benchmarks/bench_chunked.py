@@ -23,6 +23,8 @@ import pytest
 from repro.core import SIFTDetector
 from repro.signals import SyntheticFantasia, iter_windows
 
+from conftest import run_once
+
 WINDOW_S = 3.0
 CHUNK = 16
 
@@ -106,7 +108,12 @@ def test_chunked_peak_memory(setup, quick):
 
 def test_one_shot_stream_scoring(benchmark, setup):
     detector, record, n_windows = setup
-    values = benchmark(lambda: detector.decision_values(list(_windows(record))))
+    values = run_once(
+        benchmark,
+        lambda: detector.decision_values(list(_windows(record))),
+        study="chunked",
+        unit="one-shot",
+    )
     assert values.shape == (n_windows,)
 
 
@@ -118,4 +125,4 @@ def test_chunked_stream_scoring(benchmark, setup):
             len(v) for v in detector.iter_decision_values(_windows(record), 256)
         )
 
-    assert benchmark(run) == n_windows
+    assert run_once(benchmark, run, study="chunked", unit="chunked") == n_windows

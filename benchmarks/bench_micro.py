@@ -19,6 +19,8 @@ from repro.signals import SyntheticFantasia
 from repro.sift_app.device_features import device_extract_features
 from repro.sift_app.payload import DeviceWindow
 
+from conftest import run_once
+
 
 @pytest.fixture(scope="module")
 def data():
@@ -42,19 +44,34 @@ def data():
 
 def test_bench_signal_generation(benchmark, data):
     dataset, victim = data["dataset"], data["victim"]
-    record = benchmark(dataset.record, victim, 120.0, "extra")
+    record = run_once(
+        benchmark,
+        lambda: dataset.record(victim, 120.0, "extra"),
+        study="micro",
+        unit="signal-generation",
+    )
     assert record.n_samples == int(120.0 * dataset.sample_rate)
 
 
 def test_bench_portrait_construction(benchmark, data):
-    portrait = benchmark(build_portrait, data["window"])
+    portrait = run_once(
+        benchmark,
+        lambda: build_portrait(data["window"]),
+        study="micro",
+        unit="portrait",
+    )
     assert portrait.n_points == 1080
 
 
 @pytest.mark.parametrize("version", list(DetectorVersion), ids=lambda v: v.value)
 def test_bench_reference_extraction(benchmark, data, version):
     extractor = make_extractor(version)
-    features = benchmark(extractor.extract_window, data["window"])
+    features = run_once(
+        benchmark,
+        lambda: extractor.extract_window(data["window"]),
+        study="micro",
+        unit=f"reference-extract-{version.value}",
+    )
     assert features.shape == (version.n_features,)
 
 
@@ -66,7 +83,9 @@ def test_bench_device_extraction(benchmark, data, version):
         )
         return device_extract_features(math, version, data["device_window"])
 
-    features = benchmark(extract)
+    features = run_once(
+        benchmark, extract, study="micro", unit=f"device-extract-{version.value}"
+    )
     assert features.shape == (version.n_features,)
 
 
@@ -98,7 +117,12 @@ def test_bench_svm_training(benchmark, data):
 def test_bench_end_to_end_window_classification(benchmark, data):
     detector = SIFTDetector(version="simplified")
     detector.fit(data["train"], data["donors"])
-    verdict = benchmark(detector.classify_window, data["window"])
+    verdict = run_once(
+        benchmark,
+        lambda: detector.classify_window(data["window"]),
+        study="micro",
+        unit="end-to-end-window",
+    )
     assert verdict in (True, False)
 
 
@@ -107,14 +131,24 @@ def test_bench_fixed_point_classification(benchmark, data):
     detector.fit(data["train"], data["donors"])
     model = detector.deploy()
     features_q = model.quantize(detector.extract_features(data["window"]))
-    result = benchmark(model.predict_bool_fixed, features_q)
+    result = run_once(
+        benchmark,
+        lambda: model.predict_bool_fixed(features_q),
+        study="micro",
+        unit="fixed-point-classify",
+    )
     assert result in (True, False)
 
 
 def test_bench_peak_detection(benchmark, data):
     from repro.signals.peaks import detect_r_peaks
 
-    peaks = benchmark(detect_r_peaks, data["test"].ecg, 360.0)
+    peaks = run_once(
+        benchmark,
+        lambda: detect_r_peaks(data["test"].ecg, 360.0),
+        study="micro",
+        unit="peak-detection",
+    )
     assert peaks.size > 50
 
 
@@ -122,5 +156,10 @@ def test_bench_occupancy_histogram(benchmark, data):
     math = RestrictedMath(counter=OpCounter())
     x = np.random.default_rng(0).random(1080)
     y = np.random.default_rng(1).random(1080)
-    matrix = benchmark(math.histogram2d, x, y, 50)
+    matrix = run_once(
+        benchmark,
+        lambda: math.histogram2d(x, y, 50),
+        study="micro",
+        unit="occupancy-histogram",
+    )
     assert matrix.sum() == 1080

@@ -1,0 +1,109 @@
+"""Benchmarks: the generated-C native scoring core vs the NumPy tiers.
+
+``platform="native"`` compiles the whole scoring hot path (normalize ->
+occupancy grid -> features -> decision value) to one C translation unit.
+The contract is *bit parity at native speed*: these benches first assert
+the native scores are bit-identical to the NumPy path on a long genuine
+stream, then assert the throughput win that justifies the backend
+(>= 2x windows/sec on every tier; measured ~3-4x on CI-class hardware).
+
+Skips cleanly when the host has no C compiler (or, for the Original
+tier, no SVML atan2) -- the fallback path is covered by the unit tests.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import SIFTDetector
+from repro.core.versions import DetectorVersion
+from repro.native import native_status
+from repro.signals import SyntheticFantasia, iter_windows
+
+from conftest import run_once
+
+WINDOW_S = 3.0
+
+#: Acceptance floor for the native win.  Dispatch overhead shrinks the
+#: margin on the tiny --quick stream, so smoke runs only require a win.
+MIN_SPEEDUP = 2.0
+MIN_SPEEDUP_QUICK = 1.0
+
+
+@pytest.fixture(scope="module")
+def setup(quick):
+    """Per-tier fitted detectors plus a long genuine evaluation stream."""
+    data = SyntheticFantasia(n_subjects=4, seed=13)
+    victim = data.subjects[0]
+    others = data.subjects[1:]
+    train = data.record(victim, 180.0, purpose="train")
+    donors = [data.record(s, 60.0, purpose="train") for s in others[:3]]
+    detectors = {}
+    for version in DetectorVersion:
+        detector = SIFTDetector(version=version)
+        detector.fit(train, donors)
+        detectors[version] = detector
+    stream_s = 120.0 if quick else 900.0
+    record = data.record(victim, stream_s, purpose="test")
+    windows = list(iter_windows(record, window_s=WINDOW_S))
+    return detectors, windows
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("version", list(DetectorVersion), ids=lambda v: v.value)
+def test_native_scoring_speedup(benchmark, setup, quick, version):
+    """Acceptance: native is bit-identical and >= 2x NumPy windows/sec."""
+    available, reason = native_status(version)
+    if not available:
+        pytest.skip(f"native backend unavailable: {reason}")
+    detectors, windows = setup
+    detector = detectors[version]
+
+    numpy_values = detector.decision_values(windows)
+    detector.platform = "native"
+    try:
+        assert detector.native_active, detector.native_error
+
+        # Parity before speed -- a fast wrong answer is no speedup.
+        native_values = detector.decision_values(windows)
+        assert np.array_equal(native_values, numpy_values)
+
+        rounds = 3 if quick else 5
+        native_t = _best_of(lambda: detector.decision_values(windows), rounds)
+        detector.platform = "numpy"
+        numpy_t = _best_of(lambda: detector.decision_values(windows), rounds)
+        detector.platform = "native"
+
+        speedup = numpy_t / native_t
+        n = len(windows)
+        print(
+            f"\n{version.value}: numpy {n / numpy_t:.0f} windows/s, "
+            f"native {n / native_t:.0f} windows/s, speedup {speedup:.2f}x"
+        )
+
+        # The recorded measurement: native wall-clock, with the measured
+        # speedup riding along into the trajectory's units_detail.
+        run_once(
+            benchmark,
+            lambda: detector.decision_values(windows),
+            study="native",
+            unit=version.value,
+            sample=lambda values: {
+                "n_windows": int(values.size),
+                "speedup": round(speedup, 3),
+                "numpy_windows_per_s": round(n / numpy_t, 3),
+                "native_windows_per_s": round(n / native_t, 3),
+            },
+        )
+        assert speedup >= (MIN_SPEEDUP_QUICK if quick else MIN_SPEEDUP)
+    finally:
+        detector.platform = "numpy"

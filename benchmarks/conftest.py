@@ -14,12 +14,25 @@ aggregated into a ``BENCH_<stamp>.json`` perf trajectory (same schema the
 
 from __future__ import annotations
 
+import os
 import time
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def results_dir() -> Path:
+    """Where rendered tables and the trajectory land.
+
+    ``REPRO_BENCH_RESULTS`` overrides the default ``benchmarks/results``
+    -- the trajectory regression test points it at a tmp dir so a real
+    bench session can be asserted against without touching the repo's
+    committed results.
+    """
+    override = os.environ.get("REPRO_BENCH_RESULTS")
+    return Path(override) if override else RESULTS_DIR
 
 
 def pytest_addoption(parser):
@@ -60,8 +73,9 @@ def save_result():
     """Persist a rendered experiment table under benchmarks/results/."""
 
     def _save(name: str, text: str) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"{name}.txt"
+        out = results_dir()
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / f"{name}.txt"
         path.write_text(text + "\n")
         # Also echo for -s runs / the captured log.
         print(f"\n{text}\n[saved to {path}]")
@@ -109,5 +123,7 @@ def pytest_sessionfinish(session, exitstatus):
         quick=bool(session.config.getoption("--quick")),
         jobs=int(session.config.getoption("--jobs")),
     )
-    path = write_trajectory(record, RESULTS_DIR)
+    out = results_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    path = write_trajectory(record, out)
     print(f"\nperf trajectory: {path}")

@@ -17,6 +17,14 @@ Simplified/Reduced deployment contract:
   (``(int64_t)w * x``), never as a declared variable or array type --
   64-bit locals blow the 2 KB SRAM budget and every access becomes a
   multi-word software sequence.
+
+Two profiles share the rule set.  The default ``"device"`` profile is
+the MSP430 contract above.  The ``"native"`` profile covers the
+gateway-side generated-C hot path (:mod:`repro.native.codegen`), which
+runs on the host in ``double`` precision: CGEN001 there bans only
+``float`` (a ``float`` token would silently round the bit-parity
+contract away) and CGEN002 allowlists ``sqrt`` (the one libm call the
+float64 reference semantics require); CGEN003/CGEN004 apply unchanged.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from repro.amulet.restricted import LIBM_OPERATIONS
 from repro.analysis.findings import Finding, Severity
 
 __all__ = [
+    "C_CHECK_PROFILES",
     "LIBM_C_FUNCTIONS",
     "MAX_IDENTIFIER_LENGTH",
     "CToken",
@@ -85,6 +94,35 @@ LIBM_C_FUNCTIONS: frozenset[str] = frozenset(
 
 _FLOAT_TYPES: frozenset[str] = frozenset({"double", "float"})
 _WIDE_TYPES: frozenset[str] = frozenset({"int64_t", "uint64_t"})
+
+#: Per-profile rule parameters: which type tokens CGEN001 bans, which
+#: libm calls CGEN002 tolerates, and how the messages justify themselves.
+C_CHECK_PROFILES: dict[str, dict] = {
+    "device": {
+        "banned_float_types": _FLOAT_TYPES,
+        "libm_allowed": frozenset(),
+        "float_reason": (
+            "the MSP430 fixed-point builds have no FPU and link no "
+            "soft-float support"
+        ),
+        "libm_reason": (
+            "the Simplified/Reduced builds do not link the C math library"
+        ),
+    },
+    "native": {
+        "banned_float_types": frozenset({"float"}),
+        "libm_allowed": frozenset({"sqrt"}),
+        "float_reason": (
+            "the native hot path is double-precision end to end; a "
+            "'float' would round away the bit-parity contract"
+        ),
+        "libm_reason": (
+            "the native hot path may call only 'sqrt' from libm -- "
+            "every other transcendental must reproduce NumPy bit-for-bit "
+            "and goes through the vetted SVML entry points instead"
+        ),
+    },
+}
 
 _TOKEN = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|0[xX][0-9a-fA-F]+|\d+\.?\d*|\S")
 
@@ -146,10 +184,21 @@ def tokenize_c(source: str) -> list[CToken]:
     return tokens
 
 
-def check_c_source(source: str, path: str = "<generated>") -> list[Finding]:
-    """Run every CGEN rule over one C translation unit."""
+def check_c_source(
+    source: str, path: str = "<generated>", profile: str = "device"
+) -> list[Finding]:
+    """Run every CGEN rule over one C translation unit.
+
+    ``profile`` selects the deployment contract: ``"device"`` (the
+    MSP430 rules, the default) or ``"native"`` (the gateway-side
+    generated-C hot path; see the module docstring).
+    """
+    if profile not in C_CHECK_PROFILES:
+        raise ValueError(
+            f"profile must be one of {sorted(C_CHECK_PROFILES)}, got {profile!r}"
+        )
     tokens = tokenize_c(source)
-    findings = list(_check_tokens(tokens, path))
+    findings = list(_check_tokens(tokens, path, C_CHECK_PROFILES[profile]))
     findings.sort(key=lambda f: (f.line, f.col, f.code))
     return findings
 
@@ -166,28 +215,32 @@ def _finding(token: CToken, path: str, code: str, message: str) -> Finding:
     )
 
 
-def _check_tokens(tokens: list[CToken], path: str) -> Iterator[Finding]:
+def _check_tokens(
+    tokens: list[CToken], path: str, profile: dict
+) -> Iterator[Finding]:
     for index, token in enumerate(tokens):
         nxt = tokens[index + 1] if index + 1 < len(tokens) else None
         prev = tokens[index - 1] if index > 0 else None
-        if token.text in _FLOAT_TYPES:
+        if token.text in profile["banned_float_types"]:
             yield _finding(
                 token,
                 path,
                 "CGEN001",
-                f"floating-point type '{token.text}' in generated C -- the "
-                "MSP430 fixed-point builds have no FPU and link no "
-                "soft-float support",
+                f"floating-point type '{token.text}' in generated C -- "
+                + profile["float_reason"],
             )
-        elif token.is_identifier and token.text in LIBM_C_FUNCTIONS:
+        elif (
+            token.is_identifier
+            and token.text in LIBM_C_FUNCTIONS
+            and token.text not in profile["libm_allowed"]
+        ):
             if nxt is not None and nxt.text == "(":
                 yield _finding(
                     token,
                     path,
                     "CGEN002",
-                    f"libm call '{token.text}()' in generated C -- the "
-                    "Simplified/Reduced builds do not link the C math "
-                    "library",
+                    f"libm call '{token.text}()' in generated C -- "
+                    + profile["libm_reason"],
                 )
         elif token.is_identifier and len(token.text) > MAX_IDENTIFIER_LENGTH:
             yield _finding(

@@ -25,7 +25,7 @@ from typing import Sequence, TextIO
 
 import repro
 from repro.analysis.baseline import Baseline
-from repro.analysis.c_checker import check_c_source
+from repro.analysis.c_checker import C_CHECK_PROFILES, check_c_source
 from repro.analysis.engine import Analyzer
 from repro.analysis.findings import Finding
 from repro.analysis.rules import all_rules, rules_for_codes
@@ -76,6 +76,14 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="FILE",
         help="also run the C-codegen checker over an emitted .c file",
+    )
+    parser.add_argument(
+        "--c-profile",
+        choices=sorted(C_CHECK_PROFILES),
+        default="device",
+        help="which deployment contract --check-c enforces: 'device' "
+        "(MSP430 fixed-point, the default) or 'native' (the gateway-side "
+        "double-precision hot path)",
     )
     parser.add_argument(
         "--list-rules",
@@ -210,7 +218,11 @@ def run_lint(args: argparse.Namespace, stream: TextIO | None = None) -> int:
             print(f"error: no such path: {args.check_c}", file=sys.stderr)
             return 2
         findings.extend(
-            check_c_source(args.check_c.read_text(), path=str(args.check_c))
+            check_c_source(
+                args.check_c.read_text(),
+                path=str(args.check_c),
+                profile=getattr(args, "c_profile", "device"),
+            )
         )
 
     if args.write_baseline:

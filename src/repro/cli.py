@@ -100,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--version", default="simplified",
                       choices=("original", "simplified", "reduced"))
     demo.add_argument("--seed", type=int, default=42)
+    demo.add_argument("--platform", default="numpy",
+                      choices=("numpy", "native"),
+                      help="scoring path: 'numpy' (default) or 'native' "
+                      "(generated-C hot path, bit-identical, falls back "
+                      "to numpy with a warning if no C compiler)")
 
     for name in ("table2", "table3", "fig3"):
         table = sub.add_parser(name, help=f"regenerate the paper's {name}")
@@ -172,9 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare two BENCH_*.json trajectories; exit 1 on regression",
     )
     gate.add_argument("baseline", type=Path,
-                      help="committed baseline trajectory (BENCH_*.json)")
+                      help="committed baseline trajectory (a BENCH_*.json "
+                      "file, or a directory: its newest BENCH_*.json)")
     gate.add_argument("current", type=Path,
-                      help="freshly produced trajectory to check")
+                      help="freshly produced trajectory to check (file or "
+                      "directory, as with the baseline)")
     gate.add_argument("--threshold", type=_positive_float, default=0.2,
                       metavar="R",
                       help="allowed fractional slowdown (default: 0.2 = 20%%)")
@@ -218,6 +225,11 @@ def build_parser() -> argparse.ArgumentParser:
                          default=0.25, metavar="S",
                          help="event-loop stall threshold for "
                          "--sanitize-loop (default: 0.25)")
+    gateway.add_argument("--platform", default="numpy",
+                         choices=("numpy", "native"),
+                         help="scoring path: 'numpy' (default) or 'native' "
+                         "(generated-C hot path; verdicts are "
+                         "bit-identical, only throughput changes)")
     gateway.add_argument("--seed", type=int, default=2017)
 
     chaos = sub.add_parser(
@@ -272,6 +284,10 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--skip-c-check", action="store_true",
                         help="write the generated C even if the codegen "
                         "contract checker rejects it")
+    export.add_argument("--native-c", action="store_true",
+                        help="also write the gateway-side generated-C hot "
+                        "path (<out>.native.c, checked against the "
+                        "'native' lint profile)")
 
     lint = sub.add_parser(
         "lint",
@@ -313,14 +329,14 @@ def _print_cache_stats() -> None:
     )
 
 
-def _train_demo_detector(version: str):
+def _train_demo_detector(version: str, platform: str = "numpy"):
     from repro.core import SIFTDetector
     from repro.signals import SyntheticFantasia
 
     data = SyntheticFantasia()
     victim = data.subjects[0]
     others = [s for s in data.subjects if s is not victim]
-    detector = SIFTDetector(version=version)
+    detector = SIFTDetector(version=version, platform=platform)
     detector.fit(
         data.training_record(victim),
         [data.record(s, 120.0, "train") for s in others[:3]],
@@ -331,14 +347,18 @@ def _train_demo_detector(version: str):
 def _cmd_demo(args) -> int:
     from repro.attacks import AttackScenario, ReplacementAttack
 
-    data, victim, others, detector = _train_demo_detector(args.version)
+    data, victim, others, detector = _train_demo_detector(
+        args.version, platform=args.platform
+    )
     stream = AttackScenario(
         ReplacementAttack([data.record(s, 120.0, "test") for s in others[3:6]])
     ).build(data.test_record(victim), np.random.default_rng(args.seed))
     report = detector.evaluate(stream)
     fp, fn, acc, f1 = report.as_percent_row()
+    scored_on = "native" if detector.native_active else "numpy"
     print(f"subject {victim.subject_id}, {args.version} build, "
-          f"{len(stream)} windows ({stream.n_altered} altered)")
+          f"{len(stream)} windows ({stream.n_altered} altered), "
+          f"scored on {scored_on}")
     print(f"FP {fp:.2f}%  FN {fn:.2f}%  accuracy {acc:.2f}%  F1 {f1:.2f}%")
     return 0
 
@@ -411,6 +431,20 @@ def _cmd_orchestrate(args) -> int:
     return 0
 
 
+def _resolve_trajectory(path: Path) -> Path:
+    """A trajectory file as given, or the newest ``BENCH_*.json`` inside
+    a directory.  Bench sessions stamp one file per run, so gating jobs
+    can point at the results directory instead of guessing the stamp."""
+    if not path.is_dir():
+        return path
+    candidates = sorted(
+        path.glob("BENCH_*.json"), key=lambda p: p.stat().st_mtime
+    )
+    if not candidates:
+        raise FileNotFoundError(f"no BENCH_*.json trajectory in {path}")
+    return candidates[-1]
+
+
 def _cmd_bench_gate(args) -> int:
     from repro.experiments.orchestrator import (
         CheckpointError,
@@ -419,8 +453,8 @@ def _cmd_bench_gate(args) -> int:
     )
 
     try:
-        baseline = load_trajectory(args.baseline)
-        current = load_trajectory(args.current)
+        baseline = load_trajectory(_resolve_trajectory(args.baseline))
+        current = load_trajectory(_resolve_trajectory(args.current))
     except (OSError, ValueError, CheckpointError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -452,6 +486,7 @@ def _cmd_gateway_bench(args) -> int:
         install_sigint=True,
         sanitize_loop=args.sanitize_loop,
         stall_threshold_s=args.stall_threshold_s,
+        platform=args.platform,
     )
     print(report.summary())
     failed = False
@@ -640,6 +675,32 @@ def _cmd_export(args) -> int:
         f"wrote {json_path} (model for {victim.subject_id}) and "
         f"{c_path} ({checked})"
     )
+    if args.native_c:
+        from repro.native import generate_hot_path_source
+
+        native_path = args.out.with_suffix(".native.c")
+        native_source = generate_hot_path_source(
+            detector.version,
+            detector.grid_n,
+            detector.svc.coef_,
+            float(detector.svc.intercept_),
+            detector.scaler.mean_,
+            detector.scaler.scale_,
+        )
+        native_findings = check_c_source(
+            native_source, path=str(native_path), profile="native"
+        )
+        if native_findings and not args.skip_c_check:
+            for finding in native_findings:
+                print(finding.render(), file=sys.stderr)
+            print(
+                "error: generated native C violates the native profile; "
+                f"{native_path} not written (--skip-c-check to force)",
+                file=sys.stderr,
+            )
+            return 1
+        native_path.write_text(native_source)
+        print(f"wrote {native_path} (gateway-side hot path, {checked})")
     return 0
 
 

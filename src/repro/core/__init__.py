@@ -20,7 +20,7 @@ Pipeline (paper Fig. 2):
 """
 
 from repro.core.alerts import Alert, AlertLog
-from repro.core.detector import DEFAULT_CHUNK_SIZE, SIFTDetector
+from repro.core.detector import DEFAULT_CHUNK_SIZE, PLATFORMS, SIFTDetector
 from repro.core.features import (
     FeatureExtractor,
     OriginalFeatureExtractor,
@@ -46,6 +46,7 @@ __all__ = [
     "DetectorVersion",
     "FeatureExtractor",
     "OriginalFeatureExtractor",
+    "PLATFORMS",
     "Portrait",
     "ReducedFeatureExtractor",
     "SIFTDetector",

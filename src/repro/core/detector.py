@@ -8,7 +8,8 @@ exports the fixed-point model that the simulated Amulet app executes.
 
 from __future__ import annotations
 
-from typing import Iterator
+import warnings
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -25,7 +26,14 @@ from repro.ml.scaler import StandardScaler
 from repro.ml.svm import SVC
 from repro.signals.dataset import Record, SignalWindow
 
-__all__ = ["DEFAULT_CHUNK_SIZE", "SIFTDetector"]
+if TYPE_CHECKING:
+    from repro.native.backend import NativeScorer
+
+__all__ = ["DEFAULT_CHUNK_SIZE", "PLATFORMS", "SIFTDetector"]
+
+#: Supported scoring platforms: the NumPy reference path, and the
+#: generated-C hot path (bit-identical, optional, falls back cleanly).
+PLATFORMS = ("numpy", "native")
 
 #: Windows scored per chunk by the bounded-memory stream entry points.
 #: 256 three-second windows are ~12.8 minutes of signal; the transient
@@ -50,8 +58,18 @@ class SIFTDetector:
         SVM soft-margin penalty.
     kernel:
         ``"linear"`` (the paper's deployed choice) or ``"rbf"``.
+    gamma:
+        RBF kernel width; ignored by the linear kernel but always threaded
+        through so an ``"rbf"`` detector never silently runs on the
+        default.
     seed:
         Seed for the SMO solver's internal randomness.
+    platform:
+        ``"numpy"`` (the reference path) or ``"native"`` -- score streams
+        through the generated-C hot path (:mod:`repro.native`).  Native
+        scoring is bit-identical to the NumPy path and falls back to it
+        (with a ``RuntimeWarning``) when the host cannot build or validate
+        the extension.
     """
 
     def __init__(
@@ -61,21 +79,29 @@ class SIFTDetector:
         grid_n: int = 50,
         C: float = 1.0,
         kernel: str = "linear",
+        gamma: float = 0.5,
         seed: int = 0,
+        platform: str = "numpy",
     ) -> None:
         if window_s <= 0:
             raise ValueError("window_s must be positive")
+        if platform not in PLATFORMS:
+            raise ValueError(f"platform must be one of {PLATFORMS}, got {platform!r}")
         if isinstance(version, str):
             version = DetectorVersion.from_name(version)
         self.version = version
         self.window_s = float(window_s)
         self.grid_n = int(grid_n)
         self.kernel_name = kernel
+        self.gamma = float(gamma)
+        self.platform = platform
         self.extractor: FeatureExtractor = make_extractor(version, grid_n=grid_n)
         self.scaler = StandardScaler()
-        self.svc = SVC(C=C, kernel=make_kernel(kernel), seed=seed)
+        self.svc = SVC(C=C, kernel=make_kernel(kernel, gamma=gamma), seed=seed)
         self.subject_id: str | None = None
         self._fitted = False
+        self._native_scorer: "NativeScorer | None" = None
+        self._native_error: str | None = None
 
     # ------------------------------------------------------------------
     # Training (offline; "need not be done on amulet platform itself")
@@ -119,7 +145,70 @@ class SIFTDetector:
         self.svc.fit(X, training_set.y)
         self.subject_id = subject_id
         self._fitted = True
+        # The native scorer bakes the model constants into generated C, so
+        # refitting invalidates it (and clears any stale failure reason).
+        self._native_scorer = None
+        self._native_error = None
         return self
+
+    # ------------------------------------------------------------------
+    # Native platform plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def native_active(self) -> bool:
+        """Whether scoring currently runs through the generated-C path."""
+        return self._native() is not None
+
+    @property
+    def native_error(self) -> str | None:
+        """Why the native path is inactive (``None`` when active/unused)."""
+        return self._native_error
+
+    def _native(self) -> "NativeScorer | None":
+        """The lazily-built native scorer, or ``None`` (numpy fallback)."""
+        if self.platform != "native" or not self._fitted:
+            return None
+        if self._native_scorer is None and self._native_error is None:
+            from repro.native.backend import NativeScorer, NativeUnavailableError
+
+            try:
+                if self.svc.coef_ is None:
+                    raise NativeUnavailableError(
+                        "native scoring requires a linear kernel "
+                        "(no primal weights to generate code from)"
+                    )
+                self._native_scorer = NativeScorer(
+                    self.version,
+                    self.grid_n,
+                    self.svc.coef_,
+                    float(self.svc.intercept_),
+                    self.scaler.mean_,
+                    self.scaler.scale_,
+                    window_s=self.window_s,
+                    fallback=self._numpy_decision_values,
+                )
+            except NativeUnavailableError as exc:
+                self._native_error = str(exc)
+                warnings.warn(
+                    f"native scoring backend unavailable ({exc}); "
+                    "falling back to the numpy path",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        return self._native_scorer
+
+    def __getstate__(self) -> dict:
+        """Drop the compiled-library handle; it cannot cross processes.
+
+        A supervised scoring child (or any unpickling consumer) rebuilds
+        the native scorer lazily on first use, hitting the on-disk
+        artifact cache rather than recompiling.
+        """
+        state = self.__dict__.copy()
+        state["_native_scorer"] = None
+        state["_native_error"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Detection (reference float path)
@@ -155,8 +244,19 @@ class SIFTDetector:
 
         Peak memory is O(stream); long or unbounded streams should use
         :meth:`iter_decision_values` instead.
+
+        With ``platform="native"`` the same scores come from the
+        generated-C hot path -- the parity contract makes the two
+        platforms interchangeable mid-stream.
         """
         self._require_fitted()
+        scorer = self._native()
+        if scorer is not None:
+            return scorer.decision_values(list(getattr(stream, "windows", stream)))
+        return self._numpy_decision_values(stream)
+
+    def _numpy_decision_values(self, stream) -> np.ndarray:
+        """The NumPy reference scoring path (also the native fallback)."""
         features = self.extractor.extract_stream(stream)
         if features.shape[0] == 0:
             return np.empty(0, dtype=np.float64)
@@ -185,9 +285,12 @@ class SIFTDetector:
         self._require_fitted()
         if chunk_size is None:
             chunk_size = DEFAULT_CHUNK_SIZE
+        scorer = self._native()
         for chunk in iter_window_chunks(stream, chunk_size):
-            features = self.extractor.extract_stream(chunk)
-            yield self.svc.decision_function(self.scaler.transform(features))
+            if scorer is not None:
+                yield scorer.decision_values(chunk)
+            else:
+                yield self._numpy_decision_values(chunk)
 
     def classify_stream(self, stream, chunk_size: int | None = None) -> np.ndarray:
         """Boolean predictions for every window (``True`` = altered).

@@ -44,6 +44,12 @@ def detector_to_json(detector: SIFTDetector) -> str:
             "window_s": detector.window_s,
             "grid_n": detector.grid_n,
             "subject_id": detector.subject_id,
+            # Training configuration that must survive the round trip:
+            # without these, a reloaded detector would silently refit with
+            # seed 0 / default gamma instead of its original settings.
+            "kernel": detector.kernel_name,
+            "gamma": detector.gamma,
+            "seed": detector.svc.seed,
         },
         "scaler": {
             "mean": detector.scaler.mean_.tolist(),
@@ -62,8 +68,17 @@ def detector_to_json(detector: SIFTDetector) -> str:
     return json.dumps(document, indent=2)
 
 
-def detector_from_json(text: str) -> SIFTDetector:
-    """Reconstruct a fitted detector from :func:`detector_to_json` output."""
+def detector_from_json(text: str, platform: str = "numpy") -> SIFTDetector:
+    """Reconstruct a fitted detector from :func:`detector_to_json` output.
+
+    ``platform`` selects the scoring path of the reconstructed detector
+    (``"numpy"`` or ``"native"``); it is a runtime choice, not model
+    state, so it is a parameter rather than part of the document.
+
+    The ``kernel``/``gamma``/``seed`` keys are optional (documents written
+    before format additions lack them); defaults match the constructor so
+    old documents load exactly as before.
+    """
     document = json.loads(text)
     if document.get("format") != _FORMAT:
         raise ValueError(
@@ -79,7 +94,10 @@ def detector_from_json(text: str) -> SIFTDetector:
         window_s=float(meta["window_s"]),
         grid_n=int(meta["grid_n"]),
         C=float(document["svm"]["C"]),
-        kernel="linear",
+        kernel=meta.get("kernel", "linear"),
+        gamma=float(meta.get("gamma", 0.5)),
+        seed=int(meta.get("seed", 0)),
+        platform=platform,
     )
     detector.scaler.mean_ = np.asarray(document["scaler"]["mean"], dtype=np.float64)
     detector.scaler.scale_ = np.asarray(document["scaler"]["scale"], dtype=np.float64)
@@ -113,6 +131,6 @@ def save_detector(detector: SIFTDetector, path: str | Path) -> None:
     Path(path).write_text(detector_to_json(detector))
 
 
-def load_detector(path: str | Path) -> SIFTDetector:
+def load_detector(path: str | Path, platform: str = "numpy") -> SIFTDetector:
     """Load a detector saved by :func:`save_detector`."""
-    return detector_from_json(Path(path).read_text())
+    return detector_from_json(Path(path).read_text(), platform=platform)

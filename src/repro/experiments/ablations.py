@@ -174,7 +174,10 @@ def feature_class_ablation(
             )
             scaler = StandardScaler()
             X = scaler.fit_transform(training_set.X)
-            svc = SVC(C=config.svm_c, kernel=make_kernel(config.kernel))
+            svc = SVC(
+                C=config.svm_c,
+                kernel=make_kernel(config.kernel, gamma=config.svm_gamma),
+            )
             svc.fit(X, training_set.y)
             features = scaler.transform(extractor.extract_many(stream.windows))
             predictions = svc.predict_bool(features)
@@ -218,7 +221,9 @@ def classifier_ablation(config: ExperimentConfig) -> list[dict[str, Any]]:
     dataset = make_dataset(config)
     classifiers: dict[str, Callable[[], Any]] = {
         "svm_linear": lambda: SVC(C=config.svm_c, kernel=make_kernel("linear")),
-        "svm_rbf": lambda: SVC(C=config.svm_c, kernel=make_kernel("rbf", gamma=0.5)),
+        "svm_rbf": lambda: SVC(
+            C=config.svm_c, kernel=make_kernel("rbf", gamma=config.svm_gamma)
+        ),
         "logistic": lambda: LogisticRegression(),
         "knn5": lambda: KNearestNeighbors(k=5),
         "centroid": lambda: NearestCentroid(),

@@ -1062,6 +1062,113 @@ def _chaos_render(ctx: StudyContext, payloads: dict[str, Any]) -> dict[str, str]
     }
 
 
+def _native_units(ctx: StudyContext) -> list[UnitSpec]:
+    # Native scale: throughput comparison needs a stream long enough to
+    # swamp dispatch overhead; quick keeps it to a CI-smoke minute.
+    stream_s = 60.0 if ctx.quick else 300.0
+    train_s = 120.0
+
+    def tier_runner(version_name: str) -> Callable[[StudyContext], dict[str, Any]]:
+        def run(ctx: StudyContext) -> dict[str, Any]:
+            from repro.core.detector import SIFTDetector
+            from repro.native import native_status
+            from repro.signals import SyntheticFantasia, iter_windows
+
+            data = SyntheticFantasia(n_subjects=4, seed=ctx.config.seed)
+            victim = data.subjects[0]
+            others = data.subjects[1:]
+            detector = SIFTDetector(version=version_name)
+            detector.fit(
+                data.record(victim, train_s, purpose="train"),
+                [data.record(s, train_s / 2, purpose="train") for s in others],
+            )
+            record = data.record(victim, stream_s, purpose="test")
+            windows = list(iter_windows(record, window_s=3.0))
+
+            def best_of(fn: Callable[[], Any], rounds: int = 3) -> float:
+                best = float("inf")
+                for _ in range(rounds):
+                    started = time.perf_counter()
+                    fn()
+                    best = min(best, time.perf_counter() - started)
+                return best
+
+            numpy_values = detector.decision_values(windows)
+            numpy_wall = best_of(lambda: detector.decision_values(windows))
+            payload: dict[str, Any] = {
+                "n_windows": len(windows),
+                "numpy_windows_per_s": round(len(windows) / numpy_wall, 3),
+            }
+            available, reason = native_status(version_name)
+            payload["available"] = available
+            if not available:
+                # No toolchain (or no SVML for Original): still a valid
+                # unit -- the payload records why there is no native lane.
+                payload.update(reason=reason, speedup=None, bit_identical=None)
+                return payload
+            detector.platform = "native"
+            if not detector.native_active:  # build failed; reason captured
+                payload.update(
+                    available=False,
+                    reason=str(detector.native_error),
+                    speedup=None,
+                    bit_identical=None,
+                )
+                return payload
+            native_values = detector.decision_values(windows)
+            native_wall = best_of(lambda: detector.decision_values(windows))
+            payload.update(
+                reason="ok",
+                bit_identical=bool(np.array_equal(numpy_values, native_values)),
+                native_windows_per_s=round(len(windows) / native_wall, 3),
+                speedup=round(numpy_wall / native_wall, 3),
+            )
+            return payload
+
+        return run
+
+    return [
+        UnitSpec(
+            name=version.value,
+            params={
+                "study": "native",
+                "version": version.value,
+                "stream_s": stream_s,
+                "seed": ctx.config.seed,
+            },
+            run=tier_runner(version.value),
+        )
+        for version in DetectorVersion
+    ]
+
+
+def _native_render(ctx: StudyContext, payloads: dict[str, Any]) -> dict[str, str]:
+    rows = []
+    for name, payload in payloads.items():
+        if payload.get("available"):
+            rows.append(
+                [
+                    name,
+                    f"{payload['numpy_windows_per_s']:.0f}",
+                    f"{payload['native_windows_per_s']:.0f}",
+                    f"{payload['speedup']:.2f}x",
+                    "yes" if payload["bit_identical"] else "NO",
+                ]
+            )
+        else:
+            rows.append(
+                [name, f"{payload['numpy_windows_per_s']:.0f}", "-", "-",
+                 payload.get("reason", "unavailable")]
+            )
+    return {
+        "native_speedup": format_table(
+            ["tier", "numpy w/s", "native w/s", "speedup", "bit-identical"],
+            rows,
+            title="Native scoring core: generated-C hot path vs NumPy",
+        )
+    }
+
+
 def build_registry() -> dict[str, StudyDefinition]:
     """The default study registry, in canonical run order."""
     return {
@@ -1084,6 +1191,7 @@ def build_registry() -> dict[str, StudyDefinition]:
             "gateway", _gateway_units, _gateway_render
         ),
         "chaos": StudyDefinition("chaos", _chaos_units, _chaos_render),
+        "native": StudyDefinition("native", _native_units, _native_render),
     }
 
 
@@ -1377,12 +1485,15 @@ def record_perf_sample(
     wall_s: float,
     n_windows: int = 0,
     p99_ms: float = 0.0,
+    **extra: Any,
 ) -> None:
     """Record one bench measurement for the session's trajectory.
 
     ``p99_ms`` is the serving-path tail latency (0 = not a serving
     measurement); it feeds the trajectory's per-study ``p99_ms`` and the
-    regression gate's latency check.
+    regression gate's latency check.  Any further keyword fields (e.g.
+    the native bench's measured ``speedup``) ride along into the unit's
+    ``units_detail`` entry verbatim -- they must be JSON-serializable.
     """
     _PERF_SAMPLES.append(
         {
@@ -1391,6 +1502,7 @@ def record_perf_sample(
             "wall_s": float(wall_s),
             "n_windows": int(n_windows),
             "p99_ms": float(p99_ms),
+            **{str(key): value for key, value in extra.items()},
         }
     )
 
@@ -1430,13 +1542,19 @@ def trajectory_from_samples(
         study["p99_ms"] = round(
             max(study["p99_ms"], float(sample.get("p99_ms", 0.0))), 4
         )
-        study["units_detail"].append(
+        detail = {
+            "unit": str(sample["unit"]),
+            "wall_s": round(float(sample["wall_s"]), 6),
+            "cached": False,
+        }
+        detail.update(
             {
-                "unit": str(sample["unit"]),
-                "wall_s": round(float(sample["wall_s"]), 6),
-                "cached": False,
+                key: value
+                for key, value in sample.items()
+                if key not in ("study", "unit", "wall_s", "n_windows", "p99_ms")
             }
         )
+        study["units_detail"].append(detail)
     for study in studies.values():
         if study["wall_s"] > 0 and study["n_windows"]:
             study["windows_per_s"] = round(

@@ -52,6 +52,9 @@ class ExperimentConfig:
     donor_duration_s: float = 120.0
     svm_c: float = 1.0
     kernel: str = "linear"
+    #: RBF kernel width; threaded everywhere a kernel is built from this
+    #: config so an ``"rbf"`` run never silently uses the default.
+    svm_gamma: float = 0.5
     frac_bits: int = 14
     train_stride_s: float | None = None  # None = non-overlapping
     scenario_seed: int = 42
@@ -278,6 +281,7 @@ def train_detector(
             grid_n=config.grid_n,
             C=config.svm_c,
             kernel=config.kernel,
+            gamma=config.svm_gamma,
         )
         rng = np.random.default_rng(
             [config.seed, dataset.subjects.index(subject), 99]

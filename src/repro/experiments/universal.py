@@ -103,7 +103,10 @@ def run_universal_study(
         y = np.concatenate(y_parts)
 
         scaler = StandardScaler()
-        svc = SVC(C=config.svm_c, kernel=make_kernel(config.kernel))
+        svc = SVC(
+            C=config.svm_c,
+            kernel=make_kernel(config.kernel, gamma=config.svm_gamma),
+        )
         svc.fit(scaler.fit_transform(X), y)
 
         stream = build_stream(dataset, held_out, config)

@@ -27,11 +27,15 @@ from typing import Callable, Iterator, Sequence
 
 from repro.adaptive.degradation import DegradationController
 from repro.analysis.sanitizer import LoopStallSanitizer
-from repro.core.detector import SIFTDetector
+from repro.core.detector import PLATFORMS, SIFTDetector
 from repro.core.versions import DetectorVersion
 from repro.gateway.gateway import GatewayStats, IngestionGateway
 from repro.gateway.session import SessionVerdict
-from repro.gateway.supervisor import SupervisedScoringBackend, SupervisorStats
+from repro.gateway.supervisor import (
+    NativeBackend,
+    SupervisedScoringBackend,
+    SupervisorStats,
+)
 from repro.signals.dataset import Record, SyntheticFantasia
 from repro.signals.quality import SignalQualityIndex
 from repro.wiot.channel import WirelessChannel
@@ -149,12 +153,15 @@ def train_serving_detectors(
     n_subjects: int = 6,
     seed: int = 2017,
     train_s: float = 120.0,
+    platform: str = "numpy",
 ) -> tuple[SyntheticFantasia, dict[DetectorVersion, SIFTDetector]]:
     """Fit one detector per requested tier on the cohort's first subject.
 
     A deliberately small training slice -- the load generator measures
     serving throughput, and the detectors only need to be *fitted*, not
-    paper-accurate (the evaluation studies own that).
+    paper-accurate (the evaluation studies own that).  ``platform``
+    selects the scoring path of the fitted detectors (``"numpy"`` or
+    ``"native"``); training itself is always NumPy.
     """
     data = SyntheticFantasia(n_subjects=n_subjects, seed=seed)
     victim = data.subjects[0]
@@ -163,7 +170,7 @@ def train_serving_detectors(
     donors = [data.record(s, train_s / 2, purpose="train") for s in others[:3]]
     fitted: dict[DetectorVersion, SIFTDetector] = {}
     for version in versions:
-        detector = SIFTDetector(version=version)
+        detector = SIFTDetector(version=version, platform=platform)
         detector.fit(training, donors)
         fitted[detector.version] = detector
     return data, fitted
@@ -289,6 +296,7 @@ def run_gateway_load(
     supervisor_knobs: dict | None = None,
     sanitize_loop: bool = False,
     stall_threshold_s: float = LoopStallSanitizer.DEFAULT_THRESHOLD_S,
+    platform: str = "numpy",
 ) -> LoadReport:
     """Train, build, and drive a gateway fleet end to end (synchronous).
 
@@ -305,6 +313,14 @@ def run_gateway_load(
     and ``supervisor_knobs`` (extra backend constructor arguments) are
     the chaos harness's hooks and require ``supervised=True``.
 
+    ``platform="native"`` scores through the generated-C hot path:
+    unsupervised runs use a
+    :class:`~repro.gateway.supervisor.NativeBackend`, supervised runs
+    ship native-platform detectors into the child (which rebuilds the
+    extension from the artifact cache, so a native fault stays
+    crash-isolated).  Decision values are bit-identical to NumPy either
+    way, and the run falls back to NumPy when no toolchain is present.
+
     ``sanitize_loop=True`` runs the whole fleet under a
     :class:`~repro.analysis.sanitizer.LoopStallSanitizer`: every asyncio
     callback is timed, and any that holds the loop past
@@ -314,10 +330,14 @@ def run_gateway_load(
     """
     if (fault_plan is not None or supervisor_knobs) and not supervised:
         raise ValueError("fault_plan/supervisor_knobs require supervised=True")
+    if platform not in PLATFORMS:
+        raise ValueError(f"platform must be one of {PLATFORMS}, got {platform!r}")
     versions = ["original"]
     if with_degradation:
         versions += ["simplified", "reduced"]
-    data, fitted = train_serving_detectors(versions=versions, seed=seed)
+    data, fitted = train_serving_detectors(
+        versions=versions, seed=seed, platform=platform
+    )
     primary = fitted[DetectorVersion.ORIGINAL]
     fallbacks = {v: d for v, d in fitted.items() if v is not primary.version}
     quality_gate = (
@@ -325,15 +345,17 @@ def run_gateway_load(
     )
     degradation = DegradationController() if with_degradation else None
     backend = None
+    detectors_by_key = {
+        version.value: detector for version, detector in fitted.items()
+    }
     if supervised:
-        detectors_by_key = {
-            version.value: detector for version, detector in fitted.items()
-        }
         backend = SupervisedScoringBackend(
             detectors_by_key,
             fault_plan=fault_plan,
             **(supervisor_knobs or {}),
         )
+    elif platform == "native":
+        backend = NativeBackend(detectors_by_key)
     gateway = IngestionGateway(
         primary,
         quality_gate=quality_gate,

@@ -28,10 +28,46 @@ import numpy as np
 from repro.ml.scaler import StandardScaler
 from repro.ml.svm import SVC
 
-__all__ = ["FixedPointLinearModel", "export_fixed_point"]
+__all__ = [
+    "FixedPointLinearModel",
+    "c_double_literal",
+    "export_fixed_point",
+    "parse_c_double_literal",
+]
 
 _INT32_MIN = -(2**31)
 _INT32_MAX = 2**31 - 1
+
+
+def c_double_literal(value: float) -> str:
+    """A C ``double`` literal that round-trips ``value`` bit-for-bit.
+
+    Decimal formatting is a minefield for exact code generation: ``%.17g``
+    survives re-parsing, but shorter forms silently lose the last ulp, and
+    negative zero or subnormals are easy to mangle.  Hexadecimal float
+    literals (C99 6.4.4.2) sidestep the problem entirely -- the mantissa is
+    written in base 16, so every finite float64 (including ``-0.0`` and
+    subnormals like ``5e-324``) has an exact, unambiguous spelling that
+    any conforming compiler parses back to the same bits.
+
+    Non-finite values are rejected: model constants are validated finite
+    upstream, and ``NAN``/``INFINITY`` would drag ``math.h`` macros into
+    otherwise self-contained generated code.
+    """
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"cannot emit a C literal for non-finite value {value!r}")
+    return value.hex()
+
+
+def parse_c_double_literal(literal: str) -> float:
+    """Parse a literal produced by :func:`c_double_literal` (for tests/audit).
+
+    ``float.fromhex`` implements exactly the C99 hexadecimal-float grammar
+    the compiler applies, so this is a faithful model of what the compiled
+    constant's bits will be.
+    """
+    return float.fromhex(literal.strip())
 
 
 def _saturate32(values: np.ndarray | int) -> np.ndarray | int:

@@ -1,0 +1,278 @@
+"""Host-side build and loading of the generated scoring hot path.
+
+The native backend is strictly optional: every capability it needs -- a C
+compiler, numpy's bundled SVML ``atan2`` for the Original tier -- is probed
+at runtime, and any missing piece downgrades the answer to "unavailable"
+(the detector then stays on the NumPy path).  Nothing here is a hard
+dependency and nothing raises during import.
+
+Compiled artifacts are cached on disk, keyed by a digest of the generated
+source, the compiler command line and the numpy version (the parity
+contract is against a specific numpy's kernels).  A second process -- or a
+supervised scoring child rebuilding its detectors after a crash -- reuses
+the cached ``.so`` without recompiling; concurrent builders race benignly
+via an atomic rename.
+
+Loading prefers cffi's ABI mode and falls back to ctypes, so the backend
+works even where cffi is absent.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import getpass
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.versions import DetectorVersion
+from repro.native.codegen import hot_path_cdef
+
+__all__ = [
+    "BuildError",
+    "LoadedScoringLib",
+    "cache_dir",
+    "compile_flags",
+    "compile_hot_path",
+    "find_compiler",
+    "svml_atan2_address",
+    "svml_atan2_supported",
+]
+
+#: Mandatory flags: gcc defaults to ``-ffp-contract=fast`` at ``-O2``,
+#: which fuses multiply-adds and breaks bit parity with numpy.
+_BASE_FLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off")
+
+#: The SVML routine numpy's ``np.arctan2`` dispatches to on AVX-512 hosts.
+#: The ``_ha`` (high-accuracy) variant is the one numpy calls; the plain
+#: ``__svml_atan28`` is a different polynomial and does NOT match.
+_SVML_ATAN2 = "__svml_atan28_ha"
+
+
+class BuildError(RuntimeError):
+    """The native scoring library could not be built or loaded."""
+
+
+def find_compiler() -> str | None:
+    """Locate a C compiler (``$CC``, then ``cc``, then ``gcc``)."""
+    env = os.environ.get("CC")
+    if env:
+        return shutil.which(env)
+    for name in ("cc", "gcc"):
+        found = shutil.which(name)
+        if found:
+            return found
+    return None
+
+
+def compile_flags(version: DetectorVersion) -> tuple[str, ...]:
+    """The compiler flags for one tier's translation unit."""
+    flags = _BASE_FLAGS
+    if version is DetectorVersion.ORIGINAL:
+        # immintrin's 512-bit intrinsics for the SVML atan2 call.
+        flags = flags + ("-mavx512f",)
+    return flags
+
+
+def cache_dir() -> Path:
+    """Where compiled artifacts live (override: ``$REPRO_NATIVE_CACHE``)."""
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        path = Path(override)
+    else:
+        try:
+            user = getpass.getuser()
+        except (KeyError, OSError):  # no passwd entry in minimal containers
+            user = f"uid{os.getuid()}"
+        path = Path(tempfile.gettempdir()) / f"repro-native-{user}"
+    path.mkdir(mode=0o700, parents=True, exist_ok=True)
+    return path
+
+
+def _artifact_key(source: str, compiler: str, flags: tuple[str, ...]) -> str:
+    digest = hashlib.sha256()
+    for part in (source, compiler, " ".join(flags), np.__version__):
+        digest.update(part.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()[:24]
+
+
+def svml_atan2_supported() -> bool:
+    """Whether this host can run the Original tier's SVML ``atan2``.
+
+    Requires both the CPU feature set numpy's SVML dispatch keys on and
+    the symbol itself in numpy's extension module (absent in non-x86 or
+    differently-built numpys).
+    """
+    try:
+        from numpy._core._multiarray_umath import __cpu_features__
+    except ImportError:
+        return False
+    if not __cpu_features__.get("AVX512_SKX"):
+        return False
+    return svml_atan2_address() is not None
+
+
+def svml_atan2_address() -> int | None:
+    """Resolve ``__svml_atan28_ha`` from numpy's own extension module."""
+    try:
+        import numpy._core._multiarray_umath as umath
+
+        lib = ctypes.CDLL(umath.__file__)
+        fn = getattr(lib, _SVML_ATAN2)
+        return ctypes.cast(fn, ctypes.c_void_p).value
+    except (ImportError, AttributeError, OSError):
+        return None
+
+
+def compile_hot_path(source: str, version: DetectorVersion) -> Path:
+    """Compile the generated source to a cached shared object.
+
+    Returns the artifact path; raises :class:`BuildError` when no compiler
+    is available or compilation fails.
+    """
+    compiler = find_compiler()
+    if compiler is None:
+        raise BuildError("no C compiler found (set $CC or install cc/gcc)")
+    flags = compile_flags(version)
+    key = _artifact_key(source, compiler, flags)
+    directory = cache_dir()
+    artifact = directory / f"sift-{version.value}-{key}.so"
+    if artifact.exists():
+        return artifact
+
+    c_path = directory / f"sift-{version.value}-{key}.c"
+    c_path.write_text(source)
+    staging = directory / f"{artifact.name}.tmp{os.getpid()}"
+    cmd = [compiler, *flags, str(c_path), "-o", str(staging), "-lm"]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+        if proc.returncode != 0:
+            raise BuildError(
+                f"native build failed ({' '.join(cmd)}):\n{proc.stderr.strip()}"
+            )
+        os.replace(staging, artifact)  # atomic: racing builders converge
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise BuildError(f"native build failed: {exc}") from exc
+    finally:
+        if staging.exists():
+            try:
+                staging.unlink()
+            except OSError:
+                pass
+    return artifact
+
+
+@dataclass
+class _CtypesLib:
+    lib: ctypes.CDLL
+
+    def __post_init__(self) -> None:
+        lp = ctypes.POINTER(ctypes.c_long)
+        dp = ctypes.POINTER(ctypes.c_double)
+        fn = self.lib.sift_score_windows
+        fn.restype = ctypes.c_long
+        fn.argtypes = [dp, dp, ctypes.c_long, ctypes.c_long, lp, lp, lp, lp, lp, dp]
+        if hasattr(self.lib, "sift_set_atan2"):
+            self.lib.sift_set_atan2.restype = None
+            self.lib.sift_set_atan2.argtypes = [ctypes.c_void_p]
+
+    def set_atan2(self, address: int) -> None:
+        self.lib.sift_set_atan2(ctypes.c_void_p(address))
+
+    def score_windows(self, *args) -> int:
+        def dp(a: np.ndarray):
+            return a.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+
+        def lp(a: np.ndarray):
+            return a.ctypes.data_as(ctypes.POINTER(ctypes.c_long))
+
+        ecg, abp, r_idx, r_off, s_idx, s_off, max_lag, out = args
+        return int(
+            self.lib.sift_score_windows(
+                dp(ecg), dp(abp),
+                ctypes.c_long(ecg.shape[0]), ctypes.c_long(ecg.shape[1]),
+                lp(r_idx), lp(r_off), lp(s_idx), lp(s_off), lp(max_lag),
+                dp(out),
+            )
+        )
+
+
+class _CffiLib:
+    def __init__(self, path: Path, version: DetectorVersion) -> None:
+        import cffi
+
+        self._ffi = cffi.FFI()
+        self._ffi.cdef(hot_path_cdef(version))
+        self._lib = self._ffi.dlopen(str(path))
+
+    def set_atan2(self, address: int) -> None:
+        self._lib.sift_set_atan2(self._ffi.cast("void *", address))
+
+    def score_windows(self, *args) -> int:
+        ffi = self._ffi
+
+        def dp(a: np.ndarray):
+            return ffi.cast("double *", a.ctypes.data)
+
+        def lp(a: np.ndarray):
+            return ffi.cast("long *", a.ctypes.data)
+
+        ecg, abp, r_idx, r_off, s_idx, s_off, max_lag, out = args
+        return int(
+            self._lib.sift_score_windows(
+                dp(ecg), dp(abp),
+                ecg.shape[0], ecg.shape[1],
+                lp(r_idx), lp(r_off), lp(s_idx), lp(s_off), lp(max_lag),
+                dp(out),
+            )
+        )
+
+
+class LoadedScoringLib:
+    """A compiled scoring library, bound via cffi (preferred) or ctypes."""
+
+    def __init__(self, path: Path, version: DetectorVersion) -> None:
+        self.path = Path(path)
+        self.version = version
+        self.binding: str
+        try:
+            self._impl = _CffiLib(self.path, version)
+            self.binding = "cffi"
+        except ImportError:
+            self._impl = _CtypesLib(ctypes.CDLL(str(self.path)))
+            self.binding = "ctypes"
+        except OSError as exc:
+            raise BuildError(f"cannot load {self.path}: {exc}") from exc
+        if version is DetectorVersion.ORIGINAL:
+            address = svml_atan2_address()
+            if address is None:
+                raise BuildError(
+                    "numpy does not export the SVML atan2 this host build needs"
+                )
+            self._impl.set_atan2(address)
+
+    def score_windows(
+        self,
+        ecg: np.ndarray,
+        abp: np.ndarray,
+        r_idx: np.ndarray,
+        r_off: np.ndarray,
+        s_idx: np.ndarray,
+        s_off: np.ndarray,
+        max_lag: np.ndarray,
+    ) -> np.ndarray:
+        """Score a uniform-length batch; arrays must be C-contiguous."""
+        out = np.empty(ecg.shape[0], dtype=np.float64)
+        status = self._impl.score_windows(
+            ecg, abp, r_idx, r_off, s_idx, s_off, max_lag, out
+        )
+        if status != 0:
+            raise BuildError(f"sift_score_windows failed with status {status}")
+        return out

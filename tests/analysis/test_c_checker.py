@@ -134,3 +134,73 @@ class TestToCSourceRoundTrip:
         assert len(bad_name) > MAX_IDENTIFIER_LENGTH
         findings = check_c_source(model.to_c_source(bad_name))
         assert codes(findings) == ["CGEN003"]
+
+
+class TestNativeProfile:
+    """The 'native' profile: the gateway-side hot path runs on the host
+    in double precision, so CGEN001 bans only 'float' and CGEN002
+    allowlists sqrt; the identifier and 64-bit-storage rules carry over."""
+
+    def test_double_allowed(self):
+        assert check_c_source("double x = 0.0;", profile="native") == []
+
+    def test_float_still_banned(self):
+        findings = check_c_source("float x = 0.0f;", profile="native")
+        assert codes(findings) == ["CGEN001"]
+
+    def test_sqrt_allowed(self):
+        assert check_c_source(
+            "double y = sqrt(x);", profile="native"
+        ) == []
+
+    def test_other_libm_still_banned(self):
+        findings = check_c_source("double y = atan2(a, b);", profile="native")
+        assert codes(findings) == ["CGEN002"]
+
+    def test_identifier_rule_carries_over(self):
+        name = "a_truly_excessively_long_identifier_name"
+        assert len(name) > MAX_IDENTIFIER_LENGTH
+        findings = check_c_source(f"int {name};", profile="native")
+        assert codes(findings) == ["CGEN003"]
+
+    def test_wide_storage_rule_carries_over(self):
+        findings = check_c_source("int64_t acc = 0;", profile="native")
+        assert codes(findings) == ["CGEN004"]
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="profile"):
+            check_c_source("int x;", profile="msp432")
+
+    @pytest.mark.parametrize(
+        "version", list(DetectorVersion), ids=lambda v: v.value
+    )
+    def test_generated_hot_path_is_clean(self, version):
+        from repro.native.codegen import generate_hot_path_source
+
+        n = version.n_features
+        source = generate_hot_path_source(
+            version,
+            50,
+            np.linspace(-1.0, 1.0, n),
+            0.25,
+            np.zeros(n),
+            np.ones(n),
+        )
+        assert check_c_source(source, profile="native") == []
+
+    def test_hot_path_fails_device_profile(self):
+        """Sanity: the native C is *not* device C -- the device profile
+        must reject it (doubles everywhere), so the two contracts cannot
+        be confused."""
+        from repro.native.codegen import generate_hot_path_source
+
+        source = generate_hot_path_source(
+            DetectorVersion.REDUCED,
+            50,
+            np.linspace(-1.0, 1.0, 5),
+            0.25,
+            np.zeros(5),
+            np.ones(5),
+        )
+        findings = check_c_source(source)
+        assert "CGEN001" in codes(findings)

@@ -318,3 +318,91 @@ class TestSerialization:
             assert restored.decision_value(window) == detector.decision_value(
                 window
             )
+
+
+class TestTrainingConfigRoundTrip:
+    """Regression: the training configuration (kernel, gamma, SVM seed)
+    must survive every save -> load -> export path.  Before these keys
+    existed, a reloaded detector silently carried seed 0 and the default
+    gamma -- invisible until someone refit or exported it."""
+
+    def test_document_records_training_config(self, trained_detectors):
+        import json
+
+        document = json.loads(
+            detector_to_json(trained_detectors[DetectorVersion.SIMPLIFIED])
+        )
+        meta = document["detector"]
+        assert meta["kernel"] == "linear"
+        assert meta["gamma"] == 0.5
+        assert meta["seed"] == 0
+
+    def test_seed_and_gamma_round_trip(self, train_record, train_donors):
+        detector = SIFTDetector(version="reduced", gamma=0.125, seed=9)
+        detector.fit(train_record, train_donors)
+        restored = detector_from_json(detector_to_json(detector))
+        assert restored.gamma == 0.125
+        assert restored.svc.seed == 9
+        assert restored.kernel_name == "linear"
+
+    def test_old_documents_without_keys_still_load(self, trained_detectors):
+        """Documents written before the keys existed load with the old
+        implicit defaults -- same behaviour, now explicit."""
+        import json
+
+        document = json.loads(
+            detector_to_json(trained_detectors[DetectorVersion.REDUCED])
+        )
+        for key in ("kernel", "gamma", "seed"):
+            del document["detector"][key]
+        restored = detector_from_json(json.dumps(document))
+        assert restored.kernel_name == "linear"
+        assert restored.gamma == 0.5
+        assert restored.svc.seed == 0
+
+    def test_load_detector_platform_parameter(
+        self, trained_detectors, labeled_stream, tmp_path
+    ):
+        """``platform`` is a runtime choice threaded through loading, not
+        model state; scores stay bit-identical either way."""
+        detector = trained_detectors[DetectorVersion.SIMPLIFIED]
+        path = tmp_path / "model.json"
+        save_detector(detector, path)
+        as_numpy = load_detector(path)
+        as_native = load_detector(path, platform="native")
+        assert as_numpy.platform == "numpy"
+        assert as_native.platform == "native"
+        expected = detector.decision_values(labeled_stream)
+        assert np.array_equal(as_numpy.decision_values(labeled_stream), expected)
+        # Native either activates (parity-checked) or falls back; both
+        # must reproduce the reference bit-for-bit.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore", RuntimeWarning)
+            values = as_native.decision_values(labeled_stream)
+        assert np.array_equal(values, expected)
+
+    def test_gamma_threads_from_experiment_config(self):
+        """ExperimentConfig.svm_gamma reaches the detector constructor
+        (the silent-default bug this sweep fixed)."""
+        from repro.experiments import ExperimentConfig
+
+        config = ExperimentConfig.quick(kernel="rbf", svm_gamma=0.03125)
+        assert config.svm_gamma == 0.03125
+        detector = SIFTDetector(
+            version="reduced", kernel=config.kernel, gamma=config.svm_gamma
+        )
+        assert detector.gamma == 0.03125
+        assert detector.svc.kernel.gamma == 0.03125
+
+    def test_rbf_gamma_changes_decisions(self, train_record, train_donors):
+        """End-to-end: two RBF detectors differing only in gamma must not
+        score identically (before the fix both silently used 0.5)."""
+        values = {}
+        for gamma in (0.05, 2.0):
+            detector = SIFTDetector(version="reduced", kernel="rbf", gamma=gamma)
+            detector.fit(train_record, train_donors)
+            windows = [train_record.window(i * 1080, 1080) for i in range(4)]
+            values[gamma] = detector.decision_values(windows)
+        assert not np.array_equal(values[0.05], values[2.0])

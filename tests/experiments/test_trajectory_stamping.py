@@ -1,0 +1,62 @@
+"""Regression: a bench session must land a discoverable perf trajectory.
+
+The perf-trajectory bug this guards against: bench modules that called
+``benchmark(...)`` directly never recorded a sample, so whole sessions
+finished with an *empty* trajectory buffer and ``BENCH_<stamp>.json``
+was never written -- the CI bench-gate then compared stale records and
+regressions sailed through.  Every stream-scoring bench now routes
+through ``run_once(study=...)``; this test runs a real (tiny) bench
+session in a subprocess and asserts the stamped record exists and is
+non-empty.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_bench_session_stamps_nonempty_trajectory(tmp_path):
+    env = os.environ.copy()
+    env["REPRO_BENCH_RESULTS"] = str(tmp_path)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/bench_batch.py::test_batch_stream_scoring",
+            "-q",
+            "--quick",
+            "--benchmark-disable",
+            "-p",
+            "no:cacheprovider",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    stamped = sorted(
+        p for p in tmp_path.glob("BENCH_*.json") if p.name != "BENCH_latest.json"
+    )
+    assert stamped, (
+        "bench session produced no stamped trajectory; "
+        f"results dir holds {sorted(p.name for p in tmp_path.iterdir())}"
+    )
+    record = json.loads(stamped[-1].read_text())
+    assert record["studies"], "trajectory written but empty"
+    batch = record["studies"]["batch"]
+    assert batch["units"] >= 1
+    assert batch["wall_s"] > 0.0
+    # The convenience copy the CI gate globs must exist and agree.
+    latest = json.loads((tmp_path / "BENCH_latest.json").read_text())
+    assert latest["studies"].keys() == record["studies"].keys()

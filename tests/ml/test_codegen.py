@@ -231,3 +231,98 @@ class TestFixedPointCParity:
         )
         features = np.array(features, dtype=np.int64)
         assert model.decision_fixed(features) == _c_like_decision(model, features)
+
+
+class TestCDoubleLiteral:
+    """Exact round-trips for C double literals (the native codegen's
+    number formatting).  Hex-float (C99 ``0x1.8p+1``) literals carry the
+    full 53-bit significand, so re-parsing must reproduce the float64
+    bit pattern -- including the cases ``repr`` formatting historically
+    got wrong in C (negative zero, subnormals, 17-significant-digit
+    values)."""
+
+    def _bits(self, value: float) -> bytes:
+        return np.float64(value).tobytes()
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            5e-324,  # smallest subnormal
+            -5e-324,
+            2.2250738585072014e-308,  # smallest normal
+            1.7976931348623157e308,  # largest finite
+            0.30000000000000004,  # classic 17-digit round-trip case
+            1.0 / 3.0,
+            float(np.nextafter(1.0, 2.0)),
+        ],
+    )
+    def test_round_trip_is_bit_exact(self, value):
+        from repro.ml.model_codegen import c_double_literal, parse_c_double_literal
+
+        literal = c_double_literal(value)
+        assert self._bits(parse_c_double_literal(literal)) == self._bits(value)
+
+    def test_negative_zero_keeps_its_sign(self):
+        from repro.ml.model_codegen import c_double_literal, parse_c_double_literal
+
+        back = parse_c_double_literal(c_double_literal(-0.0))
+        assert np.signbit(back)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite(self, bad):
+        from repro.ml.model_codegen import c_double_literal
+
+        with pytest.raises(ValueError):
+            c_double_literal(bad)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        value=st.floats(allow_nan=False, allow_infinity=False, width=64)
+    )
+    def test_property_round_trip(self, value):
+        from repro.ml.model_codegen import c_double_literal, parse_c_double_literal
+
+        literal = c_double_literal(value)
+        assert self._bits(parse_c_double_literal(literal)) == self._bits(value)
+
+    def test_literal_is_c99_hex_float(self):
+        import re
+
+        from repro.ml.model_codegen import c_double_literal
+
+        pattern = re.compile(r"^-?0x[01]\.?[0-9a-f]*p[+-]\d+$")
+        for value in (0.5, -3.25, 1e17, 5e-324, -0.0):
+            assert pattern.match(c_double_literal(value)), c_double_literal(value)
+
+
+class TestFixedPointSourceLiterals:
+    """Audit: the device C (fixed-point) must contain no floating-point
+    literals at all -- every constant is an exact integer, so nothing can
+    round-trip inexactly through the emitted source."""
+
+    def test_only_integer_literals(self, trained):
+        import re
+
+        from repro.analysis.c_checker import tokenize_c
+
+        _, _, scaler, svc = trained
+        source = export_fixed_point(svc, scaler, frac_bits=14).to_c_source()
+        # Comments may say "Q17.14"; the audit is over code tokens only.
+        for token in tokenize_c(source):
+            assert not re.match(r"^\d+\.|^\d+[eE]", token.text), token
+
+    def test_integer_constants_round_trip(self, trained):
+        import re
+
+        _, _, scaler, svc = trained
+        model = export_fixed_point(svc, scaler, frac_bits=14)
+        source = model.to_c_source()
+        emitted = {int(m) for m in re.findall(r"-?\b\d+\b", source)}
+        for weight in model.weights_q:
+            assert int(weight) in emitted
+        assert int(model.bias_q) in emitted

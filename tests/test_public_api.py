@@ -18,6 +18,7 @@ PUBLIC_MODULES = [
     "repro.core",
     "repro.experiments",
     "repro.ml",
+    "repro.native",
     "repro.signals",
     "repro.sift_app",
     "repro.wiot",
